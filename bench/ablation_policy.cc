@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation of the bandwidth-centric scheduling ingredients on the
+ * Fig. 8 scenario (comm-bound application on Grid'5000):
+ *
+ *  1. serving policy: bandwidth-centric vs FIFO (the paper's contrast);
+ *  2. effective-bandwidth estimate: harmonic path capacity vs plain
+ *     bottleneck capacity -- this repo's substitution choice. On a
+ *     platform whose edge links all have the same capacity, the
+ *     bottleneck estimate ranks every worker identically, so the
+ *     priority queue degenerates and the locality phenomenon the paper
+ *     observes disappears; the harmonic estimate preserves it.
+ *
+ * The reported number is the locality skew of the comm-bound app: the
+ * share of its tasks executed by the top-decile workers.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "grid_common.hh"
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    viva::workload::MwPolicy policy;
+    viva::workload::BwEstimate estimate;
+};
+
+double
+topDecileShare(const std::vector<std::size_t> &tasks)
+{
+    std::vector<std::size_t> sorted = tasks;
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::size_t total = 0, top = 0;
+    std::size_t decile = std::max<std::size_t>(sorted.size() / 10, 1);
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        total += sorted[i];
+        if (i < decile)
+            top += sorted[i];
+    }
+    return total ? double(top) / double(total) : 0.0;
+}
+
+double
+runVariant(const Variant &variant)
+{
+    viva::platform::Platform grid = viva::platform::makeGrid5000();
+    viva::sim::SimulationRun run(grid, {"netbound"});
+
+    viva::workload::MwParams params;
+    params.name = "netbound";
+    params.master = grid.findHost("sagittaire-1");
+    params.taskInputMbits = 60.0;
+    params.taskMflop = 6000.0;
+    params.totalTasks = 3000;
+    params.policy = variant.policy;
+    params.bwEstimate = variant.estimate;
+    params.workers =
+        viva::workload::allHostsExcept(grid, {params.master});
+
+    viva::workload::MasterWorkerApp app(run, params, 1);
+    app.start();
+    run.engine.run();
+    return topDecileShare(app.result().tasksPerWorker);
+}
+
+} // namespace
+
+int
+main()
+{
+    using viva::workload::BwEstimate;
+    using viva::workload::MwPolicy;
+
+    std::printf("=== ablation_policy: what produces the locality of "
+                "Fig. 8? ===\n");
+    std::printf("(share of the comm-bound app's 3000 tasks executed by "
+                "the top 10%% of workers; uniform would be 0.10)\n");
+
+    const Variant variants[] = {
+        {"bandwidth-centric + harmonic bw",
+         MwPolicy::BandwidthCentric, BwEstimate::Harmonic},
+        {"bandwidth-centric + bottleneck bw",
+         MwPolicy::BandwidthCentric, BwEstimate::Bottleneck},
+        {"FIFO + harmonic bw", MwPolicy::Fifo, BwEstimate::Harmonic},
+    };
+
+    double shares[3] = {0, 0, 0};
+    std::printf("%-38s %14s\n", "variant", "top-decile");
+    for (std::size_t i = 0; i < 3; ++i) {
+        shares[i] = runVariant(variants[i]);
+        std::printf("%-38s %13.0f%%\n", variants[i].label,
+                    100.0 * shares[i]);
+    }
+
+    std::printf("=> ablation [%s]: the paper's locality needs BOTH the "
+                "priority policy and a distance-aware bandwidth "
+                "estimate\n",
+                (shares[0] > shares[1] + 0.05 &&
+                 shares[0] > shares[2] + 0.05)
+                    ? "OK"
+                    : "FAILED");
+    return 0;
+}

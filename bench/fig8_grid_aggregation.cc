@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 8: four levels of spatial aggregation of the Grid'5000
+ * platform (2170 hosts / clusters / sites / whole grid), correlating
+ * host power, the resource usage of both master-worker applications,
+ * and the network topology, for one fixed time slice.
+ *
+ * The paper's claims, checked here:
+ *  (1) the CPU-bound application achieves better overall resource
+ *      usage than the communication-bound one;
+ *  (2) the communication-bound application exhibits locality (it
+ *      concentrates on high-bandwidth workers near its master);
+ *  (3) the two applications interfere on computing resources;
+ *  and, crucially, none of this is readable at host level -- it
+ *  becomes visible at cluster/site level, which is why multi-scale
+ *  aggregation matters. The bench quantifies "readability" as the
+ *  number of nodes the analyst faces at each level.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "grid_common.hh"
+#include "layout/metrics.hh"
+
+int
+main()
+{
+    std::filesystem::create_directories("bench_out");
+    std::printf(
+        "=== fig8: multi-scale views of Grid'5000 (2170 hosts) ===\n");
+
+    bench::GridOutcome o =
+        bench::runGridScenario(viva::workload::MwPolicy::BandwidthCentric);
+    std::printf("simulation: %.0f s virtual, %zu fair-share solves\n",
+                o.makespan, o.solves);
+
+    viva::agg::TimeSlice slice = o.trace.span();
+    viva::app::Session session(std::move(o.trace));
+
+    // --- the four aggregation levels -----------------------------------
+    std::printf("%-10s %8s %8s %12s %12s\n", "level", "nodes", "edges",
+                "layout[ms]", "iters");
+    struct Level { const char *name; int depth; } levels[] = {
+        {"grid", 1}, {"site", 2}, {"cluster", 3}, {"host", -1}};
+    for (const auto &level : levels) {
+        if (level.depth < 0)
+            session.resetAggregation();
+        else
+            session.aggregateToDepth(std::uint16_t(level.depth));
+        auto t0 = std::chrono::steady_clock::now();
+        std::size_t iters =
+            session.stabilizeLayout(level.depth < 0 ? 120 : 300);
+        auto t1 = std::chrono::steady_clock::now();
+        double ms = std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+        std::printf("%-10s %8zu %8zu %12.1f %12zu\n", level.name,
+                    session.cut().visibleCount(),
+                    session.layoutGraph().edgeCount(), ms, iters);
+        session.renderSvg(std::string("bench_out/fig8_") + level.name +
+                              ".svg",
+                          std::string("Fig. 8: ") + level.name +
+                              " level");
+    }
+
+    // --- claim (1): overall resource usage ------------------------------
+    auto root_sites = bench::siteContainers(session.trace());
+    double use1 = 0.0, use2 = 0.0;
+    for (auto s : root_sites) {
+        use1 += bench::appUsage(session.trace(), s, "power_used:cpubound",
+                                slice);
+        use2 += bench::appUsage(session.trace(), s, "power_used:netbound",
+                                slice);
+    }
+    std::printf("grid-wide mean compute usage: cpubound %.0f MFlop/s, "
+                "netbound %.0f MFlop/s\n",
+                use1, use2);
+    std::printf("=> claim 1 [%s]: CPU-bound app uses more resources\n",
+                use1 > use2 ? "OK" : "FAILED");
+
+    // --- claim (2): locality of the netbound app -------------------------
+    std::printf("%-12s %14s %14s\n", "site", "cpubound", "netbound");
+    double net_total = 0.0, net_best = 0.0;
+    std::size_t net_active = 0;
+    std::size_t cpu_active = 0;
+    for (auto s : root_sites) {
+        double u1 = bench::appUsage(session.trace(), s,
+                                    "power_used:cpubound", slice);
+        double u2 = bench::appUsage(session.trace(), s,
+                                    "power_used:netbound", slice);
+        std::printf("%-12s %14.0f %14.0f\n",
+                    session.trace().container(s).name.c_str(), u1, u2);
+        net_total += u2;
+        net_best = std::max(net_best, u2);
+        if (u2 > 1.0)
+            ++net_active;
+        if (u1 > 1.0)
+            ++cpu_active;
+    }
+    std::printf("=> claim 2 [%s]: netbound concentrated (top site holds "
+                ">60%% of its usage, %zu/%zu sites active) while "
+                "cpubound spreads (%zu sites)\n",
+                (net_best > 0.6 * net_total && cpu_active > net_active)
+                    ? "OK"
+                    : "FAILED",
+                net_active, root_sites.size(), cpu_active);
+
+    // --- claim (3): interference on shared hosts -------------------------
+    std::size_t shared_sites = 0;
+    for (auto s : root_sites) {
+        double u1 = bench::appUsage(session.trace(), s,
+                                    "power_used:cpubound", slice);
+        double u2 = bench::appUsage(session.trace(), s,
+                                    "power_used:netbound", slice);
+        if (u1 > 1.0 && u2 > 1.0)
+            ++shared_sites;
+    }
+    std::printf("=> claim 3 [%s]: the apps share compute resources on "
+                "%zu site(s)\n",
+                shared_sites >= 1 ? "OK" : "FAILED", shared_sites);
+
+    std::printf("SVGs in bench_out/fig8_*.svg\n");
+    return 0;
+}

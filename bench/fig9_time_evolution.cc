@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Figure 9: evolution of platform usage across time at different
+ * scales. The paper animates the site-level view over consecutive time
+ * slices t0..t3 and observes that the bandwidth-centric strategy fills
+ * some sites early (site "B") while others wait (site "C" only starts
+ * at t2) -- whereas a simple FIFO strategy "would not exhibit such
+ * locality and would exhibit an (inefficient) uniform resource usage".
+ *
+ * Prints the site x time-slice usage matrix of the CPU-bound
+ * application for both strategies and renders the four animation
+ * frames.
+ */
+
+#include <algorithm>
+#include <filesystem>
+
+#include "grid_common.hh"
+
+namespace
+{
+
+/**
+ * The cpubound application's own active window [0, last activity).
+ * The netbound app drags on long after the CPU-bound one is done, so
+ * slicing the whole span would squash all the diffusion into t0; the
+ * analyst would narrow the slice interactively, which this mimics.
+ */
+viva::agg::TimeSlice
+cpuboundWindow(const viva::trace::Trace &trace)
+{
+    auto m = trace.findMetric("power_used:cpubound");
+    double end = 0.0;
+    for (auto h : trace.containersOfKind(viva::trace::ContainerKind::Host))
+        if (const viva::trace::Variable *v = trace.findVariable(h, m))
+            end = std::max(end, v->lastTime());
+    return {0.0, std::max(end, 1e-9)};
+}
+
+/** Per-site usage of the cpubound app over each of four slices. */
+std::vector<std::vector<double>>
+usageMatrix(const viva::trace::Trace &trace)
+{
+    viva::agg::TimeSlice span = cpuboundWindow(trace);
+    std::vector<std::vector<double>> matrix;
+    for (auto site : bench::siteContainers(trace)) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < 4; ++i)
+            row.push_back(bench::appUsage(trace, site,
+                                          "power_used:cpubound",
+                                          viva::agg::sliceAt(span, i, 4)));
+        matrix.push_back(std::move(row));
+        (void)site;
+    }
+    return matrix;
+}
+
+void
+printMatrix(const viva::trace::Trace &trace,
+            const std::vector<std::vector<double>> &matrix)
+{
+    std::printf("%-12s %10s %10s %10s %10s\n", "site", "t0", "t1", "t2",
+                "t3");
+    auto sites = bench::siteContainers(trace);
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+        std::printf("%-12s %10.0f %10.0f %10.0f %10.0f\n",
+                    trace.container(sites[s]).name.c_str(),
+                    matrix[s][0], matrix[s][1], matrix[s][2],
+                    matrix[s][3]);
+    }
+}
+
+/** Sites active (usage > threshold) in a slice column. */
+std::size_t
+activeSites(const std::vector<std::vector<double>> &matrix,
+            std::size_t column)
+{
+    std::size_t n = 0;
+    for (const auto &row : matrix)
+        if (row[column] > 1.0)
+            ++n;
+    return n;
+}
+
+/** Index of the first slice in which a site is active; 4 when never. */
+std::size_t
+firstActiveSlice(const std::vector<double> &row)
+{
+    for (std::size_t i = 0; i < row.size(); ++i)
+        if (row[i] > 1.0)
+            return i;
+    return row.size();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::filesystem::create_directories("bench_out");
+    std::printf("=== fig9: workload diffusion across time slices ===\n");
+
+    std::printf("-- bandwidth-centric strategy --\n");
+    bench::GridOutcome bc =
+        bench::runGridScenario(viva::workload::MwPolicy::BandwidthCentric);
+    auto m_bc = usageMatrix(bc.trace);
+    printMatrix(bc.trace, m_bc);
+
+    std::printf("active sites: t0=%zu t1=%zu t2=%zu t3=%zu\n",
+                activeSites(m_bc, 0), activeSites(m_bc, 1),
+                activeSites(m_bc, 2), activeSites(m_bc, 3));
+
+    // The paper's reading: "site B is filled quickly in [t0, t2]
+    // whereas site C has to wait until t2 before starting to receive
+    // work units" -- i.e. the bandwidth-centric strategy staggers the
+    // *start* of each site's activity.
+    auto sites_bc = bench::siteContainers(bc.trace);
+    const char *site_b = nullptr;
+    const char *site_c = nullptr;
+    for (std::size_t s = 0; s < m_bc.size(); ++s) {
+        std::size_t first = firstActiveSlice(m_bc[s]);
+        if (first == 0 && !site_b)
+            site_b = bc.trace.container(sites_bc[s]).name.c_str();
+        if (first >= 1 && first < 4 && !site_c)
+            site_c = bc.trace.container(sites_bc[s]).name.c_str();
+    }
+    std::printf("site \"B\" (filled from t0): %s; site \"C\" (starts "
+                "late): %s\n",
+                site_b ? site_b : "-", site_c ? site_c : "-");
+    std::printf("=> shape check [%s]: some sites receive work "
+                "immediately while others wait for a later slice\n",
+                (site_b && site_c) ? "OK" : "FAILED");
+
+    std::printf("-- FIFO baseline --\n");
+    bench::GridOutcome fifo =
+        bench::runGridScenario(viva::workload::MwPolicy::Fifo);
+    auto m_fifo = usageMatrix(fifo.trace);
+    printMatrix(fifo.trace, m_fifo);
+
+    // Uniformity: coefficient of variation of per-site usage at t0.
+    auto cv = [](const std::vector<std::vector<double>> &m,
+                 std::size_t col) {
+        viva::support::Samples s;
+        for (const auto &row : m)
+            s.add(row[col]);
+        return s.mean() > 0 ? s.stddev() / s.mean() : 0.0;
+    };
+    double cv_bc = cv(m_bc, 0);
+    double cv_fifo = cv(m_fifo, 0);
+    std::printf("early-slice imbalance (cv of site usage at t0): "
+                "bandwidth-centric %.2f vs FIFO %.2f\n",
+                cv_bc, cv_fifo);
+    std::printf("=> shape check [%s]: FIFO spreads work more uniformly "
+                "than bandwidth-centric\n",
+                cv_fifo <= cv_bc ? "OK" : "FAILED");
+
+    // --- the animation frames -------------------------------------------
+    viva::app::Session session(std::move(bc.trace));
+    session.aggregateToDepth(2);  // site level
+    session.stabilizeLayout(400);
+    session.animate(4, "bench_out", "fig9_t", 150);
+    std::printf("animation frames in bench_out/fig9_t00*.svg\n");
+    return 0;
+}

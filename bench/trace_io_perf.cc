@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Throughput of the trace substrate's serialization paths on a
+ * realistic payload: the full Fig. 6 NAS-DT trace (56 containers,
+ * ~1400 change points, 200 states) and the mirrored 2170-host
+ * Grid'5000 skeleton, in both the native viva format and the Paje
+ * format. Postmortem analysis lives and dies by trace load time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "platform/builders.hh"
+#include "sim/tracer.hh"
+#include "trace/io.hh"
+#include "trace/paje.hh"
+#include "workload/nasdt.hh"
+
+namespace
+{
+
+const viva::trace::Trace &
+nasdtTrace()
+{
+    static viva::trace::Trace trace = [] {
+        viva::platform::Platform plat =
+            viva::platform::makeTwoClusterPlatform();
+        viva::sim::SimulationRun run(plat);
+        viva::workload::DtParams params;
+        params.cycles = 20;
+        params.recordStates = true;
+        viva::workload::runNasDtWhiteHole(
+            run, params,
+            viva::workload::sequentialDeployment(plat, params));
+        return std::move(run.trace);
+    }();
+    return trace;
+}
+
+const viva::trace::Trace &
+gridTrace()
+{
+    static viva::trace::Trace trace = [] {
+        viva::platform::Platform p = viva::platform::makeGrid5000();
+        viva::trace::Trace t;
+        viva::platform::mirrorPlatform(p, t);
+        return t;
+    }();
+    return trace;
+}
+
+void
+BM_WriteViva(benchmark::State &state)
+{
+    const auto &trace =
+        state.range(0) == 0 ? nasdtTrace() : gridTrace();
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::ostringstream out;
+        viva::trace::writeTrace(trace, out);
+        bytes = out.str().size();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["bytes"] = double(bytes);
+}
+
+void
+BM_ReadViva(benchmark::State &state)
+{
+    const auto &trace =
+        state.range(0) == 0 ? nasdtTrace() : gridTrace();
+    std::ostringstream out;
+    viva::trace::writeTrace(trace, out);
+    std::string text = out.str();
+    for (auto _ : state) {
+        std::istringstream in(text);
+        std::string error;
+        auto result = viva::trace::readTrace(in, error);
+        benchmark::DoNotOptimize(result->containerCount());
+    }
+}
+
+void
+BM_WritePaje(benchmark::State &state)
+{
+    const auto &trace =
+        state.range(0) == 0 ? nasdtTrace() : gridTrace();
+    for (auto _ : state) {
+        std::ostringstream out;
+        viva::trace::writePajeTrace(trace, out);
+        benchmark::DoNotOptimize(out.str().size());
+    }
+}
+
+void
+BM_ReadPaje(benchmark::State &state)
+{
+    const auto &trace =
+        state.range(0) == 0 ? nasdtTrace() : gridTrace();
+    std::ostringstream out;
+    viva::trace::writePajeTrace(trace, out);
+    std::string text = out.str();
+    for (auto _ : state) {
+        std::istringstream in(text);
+        std::string error;
+        auto result = viva::trace::readPajeTrace(in, error);
+        benchmark::DoNotOptimize(result->trace.containerCount());
+    }
+}
+
+} // namespace
+
+// 0 = the NAS-DT trace, 1 = the Grid'5000 skeleton.
+BENCHMARK(BM_WriteViva)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadViva)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WritePaje)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadPaje)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Case study 2 (Section 5.2): two non-cooperative master-worker
+ * applications competing on the Grid'5000 model (2170 hosts).
+ *
+ * Application 1 is CPU-bound; application 2 has a higher communication
+ * to computation ratio. Both use the bandwidth-centric strategy with a
+ * 3-task prefetch buffer. The example reproduces the analyst workflow
+ * of Figs. 8-9: the four spatial aggregation levels (host / cluster /
+ * site / grid) and an animation through time at the site level.
+ *
+ *   ./gridmw_analysis [output-dir] [tasks-per-app]
+ *       defaults: viva_out 6000 (enough work that the bandwidth-centric
+ *       diffusion reaches most of the grid, as in Fig. 9)
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "app/session.hh"
+#include "platform/builders.hh"
+#include "sim/tracer.hh"
+#include "workload/masterworker.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string out_dir = argc > 1 ? argv[1] : "viva_out";
+    std::size_t tasks = argc > 2 ? std::stoul(argv[2]) : 6000;
+    std::filesystem::create_directories(out_dir);
+
+    std::printf("building the Grid'5000 model...\n");
+    viva::platform::Platform grid = viva::platform::makeGrid5000();
+    std::printf("  %zu hosts, %zu links, %zu groups\n", grid.hostCount(),
+                grid.linkCount(), grid.groupCount());
+
+    viva::sim::SimulationRun run(grid, {"cpubound", "netbound"});
+
+    // The two applications originate from different sites.
+    viva::workload::MwParams app1;
+    app1.name = "cpubound";
+    app1.master = grid.findHost("adonis-1");       // grenoble
+    app1.taskInputMbits = 4.0;
+    app1.taskMflop = 60000.0;
+    app1.totalTasks = tasks;
+
+    viva::workload::MwParams app2;
+    app2.name = "netbound";
+    app2.master = grid.findHost("sagittaire-1");   // lyon
+    app2.taskInputMbits = 60.0;                    // higher comm/comp
+    app2.taskMflop = 6000.0;
+    app2.totalTasks = tasks;
+
+    app1.workers = app2.workers = viva::workload::allHostsExcept(
+        grid, {app1.master, app2.master});
+
+    viva::workload::MasterWorkerApp a1(run, app1, 1);
+    viva::workload::MasterWorkerApp a2(run, app2, 2);
+
+    std::printf("simulating %zu + %zu tasks...\n", tasks, tasks);
+    a1.start();
+    a2.start();
+    run.engine.run();
+    std::printf("  done at t=%.1f s (%zu fair-share solves)\n",
+                run.engine.now(), run.engine.fairShareRuns());
+    std::printf("  app1 finished: %s, app2 finished: %s\n",
+                a1.finished() ? "yes" : "no",
+                a2.finished() ? "yes" : "no");
+
+    // --- the Fig. 8 multi-scale walk -----------------------------------
+    viva::app::Session session(std::move(run.trace));
+
+    struct Level { const char *name; int depth; } levels[] = {
+        {"grid", 1}, {"site", 2}, {"cluster", 3}, {"host", -1}};
+    for (const auto &level : levels) {
+        if (level.depth < 0)
+            session.resetAggregation();
+        else
+            session.aggregateToDepth(std::uint16_t(level.depth));
+        std::printf("  %s level: %zu visible nodes, %zu edges\n",
+                    level.name, session.cut().visibleCount(),
+                    session.layoutGraph().edgeCount());
+        // The host-level layout of 2170+ nodes relaxes with Barnes-Hut.
+        session.stabilizeLayout(level.depth < 0 ? 120 : 300);
+        session.renderSvg(out_dir + "/fig8_" + level.name + ".svg",
+                          std::string("Fig. 8: ") + level.name +
+                              " level");
+    }
+
+    // --- per-site resource shares of the two applications --------------
+    session.aggregateToDepth(2);
+    auto m1 = session.trace().findMetric("power_used:cpubound");
+    auto m2 = session.trace().findMetric("power_used:netbound");
+    viva::agg::Aggregator agg(session.trace());
+    viva::agg::TimeSlice whole = session.span();
+    std::printf("per-site compute usage (MFlop/s averaged over run):\n");
+    std::printf("  %-12s %12s %12s\n", "site", "cpubound", "netbound");
+    for (auto id : session.cut().visibleNodes()) {
+        if (session.trace().container(id).kind !=
+            viva::trace::ContainerKind::Site)
+            continue;
+        std::printf("  %-12s %12.0f %12.0f\n",
+                    session.trace().container(id).name.c_str(),
+                    agg.value(id, m1, whole),
+                    agg.value(id, m2, whole));
+    }
+
+    // --- composition pies: each site's per-application share -------------
+    // (the paper's pie-chart extension: both projects on one glyph)
+    viva::viz::CompositionRule comp;
+    comp.parts = {m1, m2};
+    comp.total = session.trace().findMetric("power");
+    session.mapping().setComposition(comp);
+    session.aggregateToDepth(2);
+    session.stabilizeLayout(200);
+    session.renderSvg(out_dir + "/fig8_sites_perapp.svg",
+                      "per-application shares (pie glyphs)");
+    session.mapping().clearComposition();
+
+    // --- treemap of compute power across the grid ------------------------
+    session.renderTreemap(out_dir + "/grid_treemap_power.svg", "power",
+                          3);
+
+    // --- the Fig. 9 animation at site level ------------------------------
+    std::printf("rendering the Fig. 9 animation (site level)...\n");
+    session.aggregateToDepth(2);
+    session.animate(4, out_dir, "fig9_t", 150);
+
+    std::printf("done; SVGs in %s/\n", out_dir.c_str());
+    return 0;
+}

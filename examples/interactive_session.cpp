@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The scripted-interactivity stand-in for the paper's GUI: load a trace
+ * (or the built-in demo platform), then execute analysis commands from
+ * a script file or standard input.
+ *
+ *   ./interactive_session                      demo trace, read stdin
+ *   ./interactive_session trace.viva           load a trace file
+ *   ./interactive_session trace.paje           load a Paje trace
+ *   ./interactive_session trace.viva script    replay a command script
+ *   ./interactive_session --demo script        demo trace + script
+ *
+ * Try:  echo -e "info\ndepth 3\nstabilize\nascii\nnodes" | \
+ *           ./interactive_session --demo
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "app/commands.hh"
+#include "app/session.hh"
+#include "platform/builders.hh"
+#include "platform/platform_trace.hh"
+#include "support/strings.hh"
+#include "trace/io.hh"
+#include "trace/paje.hh"
+
+namespace
+{
+
+/** The demo trace: the mirrored two-cluster platform (no simulation). */
+viva::trace::Trace
+demoTrace()
+{
+    viva::platform::Platform p =
+        viva::platform::makeTwoClusterPlatform();
+    viva::trace::Trace t;
+    viva::platform::mirrorPlatform(p, t);
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string source = argc > 1 ? argv[1] : "--demo";
+    viva::trace::Trace trace =
+        source == "--demo"
+            ? demoTrace()
+            : (viva::support::endsWith(source, ".paje")
+                   ? viva::trace::readPajeTraceFile(source).trace
+                   : viva::trace::readTraceFile(source));
+
+    viva::app::Session session(std::move(trace));
+    viva::app::CommandInterpreter cli(session);
+
+    std::printf("viva interactive session -- %zu containers, span "
+                "[%g, %g); type 'help' for commands\n",
+                session.trace().containerCount(), session.span().begin,
+                session.span().end);
+
+    if (argc > 2) {
+        std::ifstream script(argv[2]);
+        if (!script) {
+            std::fprintf(stderr, "cannot open script '%s'\n", argv[2]);
+            return 1;
+        }
+        std::size_t done = cli.executeScript(script, std::cout);
+        std::printf("%zu command(s) executed\n", done);
+        return 0;
+    }
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        cli.execute(line, std::cout);
+        std::cout.flush();
+    }
+    return 0;
+}

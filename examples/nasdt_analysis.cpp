@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Case study 1 (Section 5.1): the NAS-DT class A White Hole benchmark
+ * on two interconnected 11-host clusters.
+ *
+ * Runs the benchmark with the ordinary sequential host file and with
+ * the locality-aware host file, regenerates the eight topology-based
+ * views of Figs. 6-7 (whole run + beginning/middle/end slices for each
+ * deployment), and reports the deployment improvement the analysis
+ * leads to.
+ *
+ *   ./nasdt_analysis [output-dir]     (default: viva_out)
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "app/session.hh"
+#include "platform/builders.hh"
+#include "sim/tracer.hh"
+#include "workload/nasdt.hh"
+
+namespace
+{
+
+struct RunOutcome
+{
+    viva::trace::Trace trace;
+    double makespan;
+};
+
+RunOutcome
+simulate(bool locality)
+{
+    viva::platform::Platform platform =
+        viva::platform::makeTwoClusterPlatform();
+    viva::sim::SimulationRun run(platform);
+
+    viva::workload::DtParams params;  // class A WH: 21 processes
+    params.cycles = 20;
+    params.recordStates = true;       // feeds the Gantt baseline view
+
+    viva::workload::Deployment deployment =
+        locality ? viva::workload::localityDeployment(platform, params)
+                 : viva::workload::sequentialDeployment(platform, params);
+
+    viva::workload::DtResult result =
+        viva::workload::runNasDtWhiteHole(run, params, deployment);
+    return {std::move(run.trace), result.makespanS};
+}
+
+/** The analyst's four views of Fig. 6 / Fig. 7 for one run. */
+void
+renderViews(viva::app::Session &session, const std::string &out_dir,
+            const std::string &tag)
+{
+    // Start from the topology at host level and settle the layout.
+    session.stabilizeLayout(600);
+
+    auto bw_used = session.trace().findMetric("bandwidth_used");
+    auto bw = session.trace().findMetric("bandwidth");
+    auto backbone = session.trace().findByName("backbone");
+
+    // Whole-run view.
+    session.setTimeSlice(session.span());
+    viva::agg::View whole = session.view();
+    std::printf("  [%s] whole run: backbone %.0f%% utilized\n",
+                tag.c_str(),
+                100.0 * whole.valueOf(backbone, bw_used) /
+                    whole.valueOf(backbone, bw));
+    session.renderSvg(out_dir + "/" + tag + "_whole.svg",
+                      tag + ": whole execution");
+
+    // Beginning / middle / end slices.
+    static const char *names[3] = {"begin", "middle", "end"};
+    for (std::size_t i = 0; i < 3; ++i) {
+        session.setSliceOf(i, 3);
+        viva::agg::View v = session.view();
+        std::printf("  [%s] %s slice: backbone %.0f%% utilized\n",
+                    tag.c_str(), names[i],
+                    100.0 * v.valueOf(backbone, bw_used) /
+                        v.valueOf(backbone, bw));
+        session.renderSvg(
+            out_dir + "/" + tag + "_" + names[i] + ".svg",
+            tag + ": " + names[i] + " of execution");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_dir = argc > 1 ? argv[1] : "viva_out";
+    std::filesystem::create_directories(out_dir);
+
+    std::printf("NAS-DT class A White Hole, 2 clusters x 11 hosts\n");
+
+    std::printf("running with the ordinary (sequential) host file...\n");
+    RunOutcome seq = simulate(false);
+    std::printf("  makespan: %.2f s\n", seq.makespan);
+
+    viva::app::Session seq_session(std::move(seq.trace));
+    renderViews(seq_session, out_dir, "fig6_sequential");
+
+    std::printf(
+        "running with the locality-aware host file (Fig. 7)...\n");
+    RunOutcome loc = simulate(true);
+    std::printf("  makespan: %.2f s\n", loc.makespan);
+
+    viva::app::Session loc_session(std::move(loc.trace));
+    renderViews(loc_session, out_dir, "fig7_locality");
+
+    double gain = 100.0 * (seq.makespan - loc.makespan) / seq.makespan;
+    std::printf(
+        "deployment improvement: %.1f%% (the paper reports ~20%%)\n",
+        gain);
+
+    // Let the anomaly detectors point at the bottleneck before any
+    // eyeballing: the backbone's utilization stands out among its
+    // sibling links.
+    seq_session.setTimeSlice(seq_session.span());
+    std::printf("automatic anomaly scan (bandwidth_used):\n");
+    for (const std::string &finding :
+         seq_session.findAnomalies("bandwidth_used", 2.5))
+        std::printf("  %s\n", finding.c_str());
+
+    // The classical baseline the paper argues against: the Gantt chart
+    // shows each process forwarding/consuming, but cannot show that
+    // the slowdown's *cause* is the saturated inter-cluster link --
+    // that is precisely what the topology-based views above add.
+    std::size_t rows =
+        seq_session.renderGantt(out_dir + "/fig6_gantt_baseline.svg");
+    std::printf("gantt baseline rendered (%zu process rows) -- note it "
+                "cannot show the network cause\n",
+                rows);
+
+    // When does the backbone saturate? The statistical-chart companion
+    // answers directly.
+    seq_session.renderChart(out_dir + "/fig6_backbone_chart.svg",
+                            "bandwidth_used", {"backbone"});
+
+    // The sibling multiscale view: a treemap of network traffic makes
+    // the backbone's share of all moved bits directly visible.
+    seq_session.renderTreemap(out_dir + "/fig6_treemap_bw.svg",
+                              "bandwidth_used");
+    std::printf("done; SVGs in %s/\n", out_dir.c_str());
+    return 0;
+}

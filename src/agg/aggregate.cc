@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Implementation of spatial/temporal aggregation.
+ */
+
+#include "agg/aggregate.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace viva::agg
+{
+
+using trace::ContainerId;
+using trace::MetricId;
+
+namespace
+{
+
+/** The temporal reduction of one variable over a slice. */
+double
+reduce(const trace::Variable &var, const TimeSlice &slice, TemporalOp top)
+{
+    switch (top) {
+      case TemporalOp::Average:
+        return var.average(slice);
+      case TemporalOp::Max:
+        return var.maxOver(slice.begin, slice.end);
+      case TemporalOp::Min:
+        return var.minOver(slice.begin, slice.end);
+      case TemporalOp::Integral:
+        return var.integrate(slice);
+    }
+    return 0.0;
+}
+
+} // namespace
+
+double
+Aggregator::value(ContainerId node, MetricId m, const TimeSlice &slice,
+                  SpatialOp op, TemporalOp top) const
+{
+    bool any = false;
+    double acc = 0.0;
+    std::size_t count = 0;
+    // Every container in the subtree that carries the variable
+    // contributes -- not just leaves, since traces may attach
+    // measurements at any level (hosts with process children, say).
+    for (ContainerId leaf : tr->subtree(node)) {
+        const trace::Variable *var = tr->findVariable(leaf, m);
+        if (!var || var->empty())
+            continue;
+        double v = reduce(*var, slice, top);
+        ++count;
+        if (!any) {
+            acc = v;
+            any = true;
+            continue;
+        }
+        switch (op) {
+          case SpatialOp::Sum:
+          case SpatialOp::Average:
+            acc += v;
+            break;
+          case SpatialOp::Max:
+            acc = std::max(acc, v);
+            break;
+          case SpatialOp::Min:
+            acc = std::min(acc, v);
+            break;
+        }
+    }
+    if (!any)
+        return 0.0;
+    if (op == SpatialOp::Average)
+        acc /= double(count);
+    return acc;
+}
+
+support::Samples
+Aggregator::distribution(ContainerId node, MetricId m,
+                         const TimeSlice &slice, TemporalOp top) const
+{
+    support::Samples samples;
+    for (ContainerId leaf : tr->subtree(node)) {
+        const trace::Variable *var = tr->findVariable(leaf, m);
+        if (var && !var->empty())
+            samples.add(reduce(*var, slice, top));
+    }
+    return samples;
+}
+
+std::vector<ViewEdge>
+visibleEdges(const trace::Trace &trace, const HierarchyCut &cut)
+{
+    std::vector<ViewEdge> edges;
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    for (const trace::Trace::Relation &r : trace.relations()) {
+        ContainerId a = cut.representative(r.a);
+        ContainerId b = cut.representative(r.b);
+        if (a == b)
+            continue;  // contracted inside one aggregated node
+        ContainerId lo = std::min(a, b);
+        ContainerId hi = std::max(a, b);
+        std::uint64_t key = (std::uint64_t(lo) << 32) | hi;
+        auto it = index.find(key);
+        if (it == index.end()) {
+            index.emplace(key, edges.size());
+            edges.push_back({lo, hi, 1});
+        } else {
+            ++edges[it->second].multiplicity;
+        }
+    }
+    return edges;
+}
+
+std::size_t
+View::indexOf(ContainerId id) const
+{
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i].id == id)
+            return i;
+    return npos;
+}
+
+double
+View::valueOf(ContainerId id, MetricId m) const
+{
+    std::size_t node = indexOf(id);
+    if (node == npos)
+        return 0.0;
+    for (std::size_t k = 0; k < metrics.size(); ++k)
+        if (metrics[k] == m)
+            return nodes[node].values[k];
+    return 0.0;
+}
+
+View
+buildView(const trace::Trace &trace, const HierarchyCut &cut,
+          const TimeSlice &slice,
+          const std::vector<MetricRequest> &requests, bool with_stats)
+{
+    View view;
+    view.slice = slice;
+    view.requests = requests;
+    view.metrics.reserve(requests.size());
+    for (const MetricRequest &r : requests)
+        view.metrics.push_back(r.metric);
+
+    Aggregator agg(trace);
+    for (ContainerId id : cut.visibleNodes()) {
+        ViewNode node;
+        node.id = id;
+        node.aggregated = !trace.container(id).leaf();
+        node.leafCount = node.aggregated ? trace.leavesUnder(id).size() : 1;
+        node.values.reserve(requests.size());
+        for (const MetricRequest &r : requests) {
+            if (with_stats) {
+                support::Samples s =
+                    agg.distribution(id, r.metric, slice, r.temporal);
+                double v = 0.0;
+                switch (r.spatial) {
+                  case SpatialOp::Sum: v = s.sum(); break;
+                  case SpatialOp::Average: v = s.mean(); break;
+                  case SpatialOp::Max: v = s.max(); break;
+                  case SpatialOp::Min: v = s.min(); break;
+                }
+                node.values.push_back(v);
+                node.stats.push_back({s.variance(), s.median(), s.min(),
+                                      s.max()});
+            } else {
+                node.values.push_back(
+                    agg.value(id, r.metric, slice, r.spatial,
+                              r.temporal));
+            }
+        }
+        view.nodes.push_back(std::move(node));
+    }
+
+    view.edges = visibleEdges(trace, cut);
+    return view;
+}
+
+View
+buildView(const trace::Trace &trace, const HierarchyCut &cut,
+          const TimeSlice &slice,
+          const std::vector<trace::MetricId> &metrics, SpatialOp op,
+          bool with_stats)
+{
+    std::vector<MetricRequest> requests;
+    requests.reserve(metrics.size());
+    for (trace::MetricId m : metrics)
+        requests.emplace_back(m, op);
+    return buildView(trace, cut, slice, requests, with_stats);
+}
+
+void
+writeViewCsv(const View &view, const trace::Trace &trace,
+             std::ostream &out)
+{
+    using support::formatDouble;
+
+    bool with_stats =
+        !view.nodes.empty() && !view.nodes[0].stats.empty();
+
+    out << "container,kind,aggregated,leaves,slice_begin,slice_end";
+    for (trace::MetricId m : view.metrics) {
+        const std::string &name = trace.metric(m).name;
+        out << ',' << name;
+        if (with_stats)
+            out << ',' << name << "_variance," << name << "_median,"
+                << name << "_min," << name << "_max";
+    }
+    out << '\n';
+
+    for (const ViewNode &node : view.nodes) {
+        const trace::Container &c = trace.container(node.id);
+        out << '"' << trace.fullName(node.id) << "\","
+            << containerKindName(c.kind) << ','
+            << (node.aggregated ? 1 : 0) << ',' << node.leafCount << ','
+            << formatDouble(view.slice.begin) << ','
+            << formatDouble(view.slice.end);
+        for (std::size_t k = 0; k < node.values.size(); ++k) {
+            out << ',' << formatDouble(node.values[k]);
+            if (with_stats) {
+                const ValueStats &s = node.stats[k];
+                out << ',' << formatDouble(s.variance) << ','
+                    << formatDouble(s.median) << ','
+                    << formatDouble(s.min) << ',' << formatDouble(s.max);
+            }
+        }
+        out << '\n';
+    }
+}
+
+} // namespace viva::agg

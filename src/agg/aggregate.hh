@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Data aggregation over space and time -- Equation 1 of the paper.
+ *
+ * The measured quantity rho(r, t) is a trace Variable; the temporal
+ * neighbourhood is a TimeSlice, the spatial neighbourhood a collapsed
+ * subtree of a HierarchyCut. An aggregated node's value is the
+ * combination (sum by default) of the time-averages of every leaf below
+ * it, so a cluster node's "power" is the cluster's total power and its
+ * "power_used" the cluster's total consumption -- directly comparable as
+ * size and proportional fill.
+ *
+ * The statistical indicators (variance, median, extrema) implement the
+ * paper's stated future-work extension: they flag aggregated nodes whose
+ * single value hides wildly heterogeneous behaviour.
+ */
+
+#ifndef VIVA_AGG_AGGREGATE_HH
+#define VIVA_AGG_AGGREGATE_HH
+
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/hierarchy_cut.hh"
+#include "agg/timeslice.hh"
+#include "support/stats.hh"
+#include "trace/trace.hh"
+
+namespace viva::agg
+{
+
+/** How leaf values combine into an aggregated node's value. */
+enum class SpatialOp { Sum, Average, Max, Min };
+
+/**
+ * How a leaf's variable reduces over the time slice before the spatial
+ * combination: the time-average of Equation 1, the peak (for "was it
+ * ever saturated?" questions), the minimum, or the raw integral
+ * (work done, in metric-unit-seconds).
+ */
+enum class TemporalOp { Average, Max, Min, Integral };
+
+/**
+ * One metric requested from a view, with its reduction operators.
+ *
+ * The default (time-average then sum) is Equation 1. The paper's
+ * limitations section notes that *summing* link utilizations across a
+ * group is questionable because flows span several links; requesting
+ * links with SpatialOp::Average or Max is the corresponding remedy.
+ */
+struct MetricRequest
+{
+    trace::MetricId metric = trace::kNoMetric;
+    SpatialOp spatial = SpatialOp::Sum;
+    TemporalOp temporal = TemporalOp::Average;
+
+    MetricRequest() = default;
+
+    // explicit so brace-lists of plain MetricIds keep selecting the
+    // convenience buildView overload unambiguously.
+    explicit MetricRequest(trace::MetricId m,
+                           SpatialOp s = SpatialOp::Sum,
+                           TemporalOp t = TemporalOp::Average)
+        : metric(m), spatial(s), temporal(t)
+    {
+    }
+};
+
+/**
+ * Computes aggregated values against one trace. Stateless apart from
+ * the borrowed trace; cheap to construct.
+ */
+class Aggregator
+{
+  public:
+    explicit Aggregator(const trace::Trace &trace) : tr(&trace) {}
+
+    /**
+     * Equation 1 for a single container: combine the temporal
+     * reductions over `slice` of metric `m` across every leaf under
+     * `node` that carries the variable. A leaf container aggregates to
+     * its own reduction.
+     */
+    double value(trace::ContainerId node, trace::MetricId m,
+                 const TimeSlice &slice, SpatialOp op = SpatialOp::Sum,
+                 TemporalOp top = TemporalOp::Average) const;
+
+    /**
+     * The per-leaf temporal reductions under a node (the distribution
+     * an aggregated value summarizes). Leaves without the variable are
+     * skipped.
+     */
+    support::Samples distribution(
+        trace::ContainerId node, trace::MetricId m,
+        const TimeSlice &slice,
+        TemporalOp top = TemporalOp::Average) const;
+
+  private:
+    const trace::Trace *tr;
+};
+
+/** An edge between two visible nodes of an aggregated view. */
+struct ViewEdge
+{
+    trace::ContainerId a;
+    trace::ContainerId b;
+    /** Number of underlying relations contracted into this edge. */
+    std::size_t multiplicity = 1;
+};
+
+/**
+ * Project the trace's relations onto a cut: each underlying relation is
+ * rewired to the representatives of its endpoints; edges inside one
+ * aggregated node disappear; parallel edges merge with a multiplicity.
+ */
+std::vector<ViewEdge> visibleEdges(const trace::Trace &trace,
+                                   const HierarchyCut &cut);
+
+/** Per-metric statistical indicators of an aggregated value. */
+struct ValueStats
+{
+    double variance = 0.0;
+    double median = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** One visible node with its aggregated values. */
+struct ViewNode
+{
+    trace::ContainerId id = trace::kNoContainer;
+    bool aggregated = false;     ///< true when it stands for a subtree
+    std::size_t leafCount = 0;   ///< leaves it covers (1 for a leaf)
+    /** Aggregated value per requested metric, metric order of the view. */
+    std::vector<double> values;
+    /** Indicators per requested metric (filled when requested). */
+    std::vector<ValueStats> stats;
+};
+
+/**
+ * A complete aggregated view: what the topology-based representation
+ * displays for one cut and one time slice.
+ */
+struct View
+{
+    TimeSlice slice;
+    /** What was requested, operators included. */
+    std::vector<MetricRequest> requests;
+    /** requests[k].metric, kept flat for fast lookups. */
+    std::vector<trace::MetricId> metrics;
+    std::vector<ViewNode> nodes;
+    std::vector<ViewEdge> edges;
+
+    /** Index of a node in `nodes`, or npos. */
+    std::size_t indexOf(trace::ContainerId id) const;
+
+    /** Value of a metric on a node; 0 when absent. */
+    double valueOf(trace::ContainerId id, trace::MetricId m) const;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/**
+ * Build the aggregated view for a cut and a time slice.
+ *
+ * @param trace the trace to aggregate
+ * @param cut the spatial scale
+ * @param slice the temporal scale
+ * @param requests the metrics to aggregate, each with its operators
+ * @param with_stats also compute the statistical indicators
+ */
+View buildView(const trace::Trace &trace, const HierarchyCut &cut,
+               const TimeSlice &slice,
+               const std::vector<MetricRequest> &requests,
+               bool with_stats = false);
+
+/** Convenience overload: Equation-1 defaults (or `op`) per metric. */
+View buildView(const trace::Trace &trace, const HierarchyCut &cut,
+               const TimeSlice &slice,
+               const std::vector<trace::MetricId> &metrics,
+               SpatialOp op = SpatialOp::Sum, bool with_stats = false);
+
+/**
+ * Write a view as CSV (one row per node, one column per metric, plus
+ * stats columns when present) -- for the ggplot-style post-processing
+ * workflow the paper's conclusion gestures at.
+ */
+void writeViewCsv(const View &view, const trace::Trace &trace,
+                  std::ostream &out);
+
+} // namespace viva::agg
+
+#endif // VIVA_AGG_AGGREGATE_HH

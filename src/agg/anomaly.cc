@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Implementation of the anomaly detectors.
+ */
+
+#include "agg/anomaly.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <sstream>
+
+#include "agg/timeslice.hh"
+#include "support/stats.hh"
+
+namespace viva::agg
+{
+
+namespace
+{
+
+/**
+ * Robust z-score of x against a sample: (x - median) / (1.4826 * MAD).
+ * When more than half the sample is identical the MAD collapses to
+ * zero; the scaled mean absolute deviation about the median steps in
+ * (it only collapses when the whole sample is constant, in which case
+ * there is genuinely nothing to flag).
+ */
+double
+robustZ(double x, const std::vector<double> &sample)
+{
+    support::Samples values;
+    for (double v : sample)
+        values.add(v);
+    double median = values.median();
+
+    support::Samples deviations;
+    for (double v : sample)
+        deviations.add(std::abs(v - median));
+    double spread = 1.4826 * deviations.median();
+    if (spread < 1e-12)
+        spread = 1.2533 * deviations.mean();
+    if (spread < 1e-12)
+        return 0.0;
+    return (x - median) / spread;
+}
+
+double
+medianOf(const std::vector<double> &sample)
+{
+    support::Samples values;
+    for (double v : sample)
+        values.add(v);
+    return values.median();
+}
+
+} // namespace
+
+std::vector<Anomaly>
+findSpatialAnomalies(const trace::Trace &trace, const HierarchyCut &cut,
+                     trace::MetricId metric, const TimeSlice &slice,
+                     const AnomalyOptions &options)
+{
+    Aggregator agg(trace);
+
+    // Comparison groups of similar entities: same kind and depth
+    // (optionally same parent), never mixing hosts with links or
+    // routers -- those trivially differ.
+    std::map<std::tuple<trace::ContainerId, trace::ContainerKind,
+                        std::uint16_t>,
+             std::vector<trace::ContainerId>>
+        groups;
+    for (trace::ContainerId id : cut.visibleNodes()) {
+        const trace::Container &c = trace.container(id);
+        trace::ContainerId parent_key =
+            options.perParent ? c.parent : trace::ContainerId(0);
+        groups[{parent_key, c.kind, c.depth}].push_back(id);
+    }
+
+    std::vector<Anomaly> findings;
+    for (const auto &[key, members] : groups) {
+        if (members.size() < options.minSiblings)
+            continue;
+        std::vector<double> values;
+        values.reserve(members.size());
+        for (trace::ContainerId id : members)
+            values.push_back(agg.value(id, metric, slice));
+
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            double z = robustZ(values[i], values);
+            if (std::abs(z) < options.threshold)
+                continue;
+            Anomaly a;
+            a.node = members[i];
+            a.when = slice;
+            a.value = values[i];
+            a.expected = medianOf(values);
+            a.score = z;
+            a.kind = Anomaly::Kind::Spatial;
+            findings.push_back(a);
+        }
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+                  return std::abs(a.score) > std::abs(b.score);
+              });
+    return findings;
+}
+
+std::vector<Anomaly>
+findTemporalAnomalies(const trace::Trace &trace, const HierarchyCut &cut,
+                      trace::MetricId metric, const TimeSlice &period,
+                      const AnomalyOptions &options)
+{
+    Aggregator agg(trace);
+    std::vector<TimeSlice> slices =
+        uniformSlices(period, std::max<std::size_t>(options.slices, 2));
+
+    std::vector<Anomaly> findings;
+    for (trace::ContainerId id : cut.visibleNodes()) {
+        std::vector<double> history;
+        history.reserve(slices.size());
+        for (const TimeSlice &s : slices)
+            history.push_back(agg.value(id, metric, s));
+
+        for (std::size_t i = 0; i < slices.size(); ++i) {
+            double z = robustZ(history[i], history);
+            if (std::abs(z) < options.threshold)
+                continue;
+            Anomaly a;
+            a.node = id;
+            a.when = slices[i];
+            a.value = history[i];
+            a.expected = medianOf(history);
+            a.score = z;
+            a.kind = Anomaly::Kind::Temporal;
+            findings.push_back(a);
+        }
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+                  return std::abs(a.score) > std::abs(b.score);
+              });
+    return findings;
+}
+
+std::string
+describeAnomaly(const trace::Trace &trace, const Anomaly &anomaly,
+                trace::MetricId metric)
+{
+    std::ostringstream os;
+    os << (anomaly.kind == Anomaly::Kind::Spatial ? "spatial"
+                                                  : "temporal")
+       << " anomaly: " << trace.fullName(anomaly.node) << ' '
+       << trace.metric(metric).name << " = " << anomaly.value
+       << " (expected ~" << anomaly.expected << ", score "
+       << anomaly.score << ") in [" << anomaly.when.begin << ", "
+       << anomaly.when.end << ")";
+    return os.str();
+}
+
+} // namespace viva::agg

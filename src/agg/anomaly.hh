@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Resource-usage anomaly detection over the multi-scale aggregation,
+ * after the companion technique the paper cites for its time-slice
+ * freedom ("a better detection of anomalies and unexpected behavior
+ * [33] by showing information that would be otherwise unavailable
+ * without time aggregation").
+ *
+ * Two detectors, both built on Equation-1 values:
+ *
+ *  - *spatial*: a visible node whose value deviates from its siblings'
+ *    distribution at the same cut (the "one cluster is idle while its
+ *    site computes" case);
+ *  - *temporal*: a container whose value in one time slice deviates
+ *    from its own history across the observation period (the "this
+ *    link saturates only in the middle third" case).
+ *
+ * Scores are robust z-scores (median / MAD), so a single huge outlier
+ * does not mask the others.
+ */
+
+#ifndef VIVA_AGG_ANOMALY_HH
+#define VIVA_AGG_ANOMALY_HH
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.hh"
+#include "agg/hierarchy_cut.hh"
+
+namespace viva::agg
+{
+
+/** One flagged deviation. */
+struct Anomaly
+{
+    trace::ContainerId node = trace::kNoContainer;
+    TimeSlice when;
+    double value = 0.0;      ///< the node's aggregated value
+    double expected = 0.0;   ///< the reference median
+    double score = 0.0;      ///< robust z-score (signed)
+
+    enum class Kind { Spatial, Temporal };
+    Kind kind = Kind::Spatial;
+};
+
+/** Detector parameters. */
+struct AnomalyOptions
+{
+    /** Robust z-score magnitude above which a value is anomalous. */
+    double threshold = 3.0;
+    /** Spatial: minimum comparison group size worth testing. */
+    std::size_t minSiblings = 4;
+    /** Temporal: number of equal slices forming the history. */
+    std::size_t slices = 16;
+    /**
+     * Spatial grouping: false (default) compares *similar entities* --
+     * all visible nodes of the same kind at the same hierarchy depth,
+     * across the whole platform (a cluster against every other
+     * cluster); true restricts the comparison to siblings under one
+     * parent.
+     */
+    bool perParent = false;
+};
+
+/**
+ * Spatial detector: for every comparison group of visible nodes (same
+ * kind and depth, optionally same parent), flag members whose
+ * aggregated value robust-z-scores beyond the threshold against the
+ * group. Kinds never mix: a cluster is only ever compared to clusters.
+ */
+std::vector<Anomaly> findSpatialAnomalies(
+    const trace::Trace &trace, const HierarchyCut &cut,
+    trace::MetricId metric, const TimeSlice &slice,
+    const AnomalyOptions &options = AnomalyOptions());
+
+/**
+ * Temporal detector: split the period into equal slices and flag the
+ * (node, slice) pairs whose value deviates from the node's own
+ * distribution across slices. Tested for every visible node of the
+ * cut.
+ */
+std::vector<Anomaly> findTemporalAnomalies(
+    const trace::Trace &trace, const HierarchyCut &cut,
+    trace::MetricId metric, const TimeSlice &period,
+    const AnomalyOptions &options = AnomalyOptions());
+
+/** Human-readable one-liner for a finding. */
+std::string describeAnomaly(const trace::Trace &trace,
+                            const Anomaly &anomaly,
+                            trace::MetricId metric);
+
+} // namespace viva::agg
+
+#endif // VIVA_AGG_ANOMALY_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Implementation of the hierarchy cut.
+ */
+
+#include "agg/hierarchy_cut.hh"
+
+#include "support/logging.hh"
+
+namespace viva::agg
+{
+
+using trace::ContainerId;
+
+HierarchyCut::HierarchyCut(const trace::Trace &trace) : tr(&trace)
+{
+    collapsed.assign(tr->containerCount(), 0);
+}
+
+void
+HierarchyCut::aggregate(ContainerId group)
+{
+    VIVA_ASSERT(group < tr->containerCount(), "bad container ", group);
+    if (tr->container(group).leaf())
+        return;
+    collapsed[group] = 1;
+}
+
+void
+HierarchyCut::disaggregate(ContainerId group)
+{
+    VIVA_ASSERT(group < tr->containerCount(), "bad container ", group);
+    if (!collapsed[group])
+        return;
+    collapsed[group] = 0;
+    for (ContainerId child : tr->container(group).children) {
+        if (!tr->container(child).leaf())
+            collapsed[child] = 1;
+    }
+}
+
+void
+HierarchyCut::aggregateToDepth(std::uint16_t depth)
+{
+    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
+        const trace::Container &c = tr->container(id);
+        collapsed[id] = (!c.leaf() && c.depth == depth) ? 1 : 0;
+    }
+}
+
+void
+HierarchyCut::focus(const std::vector<ContainerId> &targets)
+{
+    // expanded = on a root->target path, or inside a target's subtree.
+    std::vector<std::uint8_t> expanded(tr->containerCount(), 0);
+    for (ContainerId target : targets) {
+        VIVA_ASSERT(target < tr->containerCount(), "bad container ",
+                    target);
+        ContainerId cur = target;
+        while (true) {
+            expanded[cur] = 1;
+            if (cur == tr->root())
+                break;
+            cur = tr->container(cur).parent;
+        }
+        for (ContainerId inside : tr->subtree(target))
+            expanded[inside] = 1;
+    }
+    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
+        collapsed[id] =
+            (!tr->container(id).leaf() && !expanded[id]) ? 1 : 0;
+    }
+}
+
+void
+HierarchyCut::reset()
+{
+    std::fill(collapsed.begin(), collapsed.end(), 0);
+}
+
+bool
+HierarchyCut::isCollapsed(ContainerId id) const
+{
+    VIVA_ASSERT(id < collapsed.size(), "bad container ", id);
+    return collapsed[id] != 0;
+}
+
+bool
+HierarchyCut::isVisible(ContainerId id) const
+{
+    VIVA_ASSERT(id < tr->containerCount(), "bad container ", id);
+    if (!collapsed[id] && !tr->container(id).leaf())
+        return false;
+    // Visible unless a strict ancestor is collapsed.
+    ContainerId cur = id;
+    while (cur != tr->root()) {
+        cur = tr->container(cur).parent;
+        if (collapsed[cur])
+            return false;
+    }
+    return true;
+}
+
+ContainerId
+HierarchyCut::representative(ContainerId id) const
+{
+    VIVA_ASSERT(id < tr->containerCount(), "bad container ", id);
+    ContainerId top = id;
+    ContainerId cur = id;
+    if (collapsed[cur])
+        top = cur;
+    while (cur != tr->root()) {
+        cur = tr->container(cur).parent;
+        if (collapsed[cur])
+            top = cur;
+    }
+    return top;
+}
+
+std::vector<ContainerId>
+HierarchyCut::visibleNodes() const
+{
+    std::vector<ContainerId> out;
+    std::vector<ContainerId> stack{tr->root()};
+    while (!stack.empty()) {
+        ContainerId cur = stack.back();
+        stack.pop_back();
+        const trace::Container &c = tr->container(cur);
+        if (collapsed[cur] || (c.leaf() && cur != tr->root())) {
+            out.push_back(cur);
+            continue;
+        }
+        for (auto it = c.children.rbegin(); it != c.children.rend(); ++it)
+            stack.push_back(*it);
+    }
+    return out;
+}
+
+std::size_t
+HierarchyCut::visibleCount() const
+{
+    return visibleNodes().size();
+}
+
+} // namespace viva::agg

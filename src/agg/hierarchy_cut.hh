@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The analyst's spatial scale: a *cut* through the container hierarchy.
+ *
+ * Every container is either expanded (its children are inspected
+ * individually) or collapsed (the whole subtree is one aggregated node).
+ * The visible nodes of the representation are the collapsed containers
+ * plus every leaf not hidden under one -- exactly the interactive
+ * aggregate/disaggregate operations of Section 3.2.2 and Fig. 3/8.
+ */
+
+#ifndef VIVA_AGG_HIERARCHY_CUT_HH
+#define VIVA_AGG_HIERARCHY_CUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace viva::agg
+{
+
+/**
+ * Tracks which subtrees are collapsed. Starts fully disaggregated
+ * (every leaf visible). Cheap to copy; the trace must outlive it.
+ */
+class HierarchyCut
+{
+  public:
+    explicit HierarchyCut(const trace::Trace &trace);
+
+    /** The trace this cut refers to. */
+    const trace::Trace &trace() const { return *tr; }
+
+    // --- operations -------------------------------------------------------
+
+    /**
+     * Collapse a subtree into a single aggregated node (a no-op on
+     * leaves, which are already single nodes).
+     */
+    void aggregate(trace::ContainerId group);
+
+    /**
+     * Expand a collapsed node one level: each internal child becomes a
+     * collapsed node, each leaf child becomes visible. Expanding an
+     * already-expanded node is a no-op.
+     */
+    void disaggregate(trace::ContainerId group);
+
+    /**
+     * Set the whole-tree scale: every internal container at `depth`
+     * becomes collapsed, everything shallower expanded. Leaves above
+     * that depth stay visible. aggregateToDepth(1) on a platform trace
+     * is the "Grid" view of Fig. 8; deeper values give site, cluster,
+     * and host (reset()) views.
+     */
+    void aggregateToDepth(std::uint16_t depth);
+
+    /**
+     * Focus the view on some containers: their subtrees stay fully
+     * disaggregated and everything along the paths from the root stays
+     * expanded, while every other sibling subtree collapses into one
+     * aggregated node. This is the paper's "group similar entities to
+     * focus on outliers" gesture: full detail where the analyst looks,
+     * one summary node per everything else.
+     */
+    void focus(const std::vector<trace::ContainerId> &targets);
+
+    /** Fully disaggregate (every leaf visible). */
+    void reset();
+
+    // --- queries ------------------------------------------------------------
+
+    /** True when the container is collapsed (an aggregated node). */
+    bool isCollapsed(trace::ContainerId id) const;
+
+    /** True when the container is a visible node of the representation. */
+    bool isVisible(trace::ContainerId id) const;
+
+    /**
+     * The visible node covering a container: its topmost collapsed
+     * ancestor, or the container itself when nothing above it is
+     * collapsed.
+     */
+    trace::ContainerId representative(trace::ContainerId id) const;
+
+    /** All visible nodes, in preorder (stable across equal cuts). */
+    std::vector<trace::ContainerId> visibleNodes() const;
+
+    /** Number of visible nodes (what layout scalability depends on). */
+    std::size_t visibleCount() const;
+
+  private:
+    const trace::Trace *tr;
+    std::vector<std::uint8_t> collapsed;  ///< per container
+};
+
+} // namespace viva::agg
+
+#endif // VIVA_AGG_HIERARCHY_CUT_HH

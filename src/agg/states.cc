@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of state aggregation.
+ */
+
+#include "agg/states.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace viva::agg
+{
+
+namespace
+{
+
+/** Overlap of a state record with a slice, in seconds. */
+double
+overlap(const trace::Trace::StateRecord &record, const TimeSlice &slice)
+{
+    double b = std::max(record.begin, slice.begin);
+    double e = std::min(record.end, slice.end);
+    return std::max(0.0, e - b);
+}
+
+} // namespace
+
+std::vector<StateShare>
+stateShares(const trace::Trace &trace, trace::ContainerId node,
+            const TimeSlice &slice)
+{
+    std::map<std::string, double> seconds;
+    double total = 0.0;
+    for (const trace::Trace::StateRecord &record : trace.states()) {
+        if (!trace.isAncestorOrSelf(node, record.container))
+            continue;
+        double t = overlap(record, slice);
+        if (t <= 0.0)
+            continue;
+        seconds[record.state] += t;
+        total += t;
+    }
+
+    std::vector<StateShare> shares;
+    shares.reserve(seconds.size());
+    for (const auto &[state, secs] : seconds)
+        shares.push_back({state, secs, total > 0 ? secs / total : 0.0});
+    std::sort(shares.begin(), shares.end(),
+              [](const StateShare &a, const StateShare &b) {
+                  if (a.fraction != b.fraction)
+                      return a.fraction > b.fraction;
+                  return a.state < b.state;
+              });
+    return shares;
+}
+
+double
+observedStateTime(const trace::Trace &trace, trace::ContainerId node,
+                  const TimeSlice &slice)
+{
+    double total = 0.0;
+    for (const trace::Trace::StateRecord &record : trace.states()) {
+        if (trace.isAncestorOrSelf(node, record.container))
+            total += overlap(record, slice);
+    }
+    return total;
+}
+
+} // namespace viva::agg

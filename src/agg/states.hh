@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aggregation of process states over space and time. The paper lists
+ * displaying "other kind of information like process states" as a
+ * desired extension of the graphical vocabulary; this module computes
+ * the data side: for any subtree of the hierarchy and any time slice,
+ * the share of observed time spent in each state -- ready to be drawn
+ * as a pie glyph by the scene composer.
+ */
+
+#ifndef VIVA_AGG_STATES_HH
+#define VIVA_AGG_STATES_HH
+
+#include <string>
+#include <vector>
+
+#include "agg/timeslice.hh"
+#include "trace/trace.hh"
+
+namespace viva::agg
+{
+
+/** One state's share of an aggregated node's observed time. */
+struct StateShare
+{
+    std::string state;
+    double seconds = 0.0;   ///< state-time inside the slice, summed
+    double fraction = 0.0;  ///< share of the total observed state-time
+};
+
+/**
+ * The state mix of a subtree over a slice.
+ *
+ * Every state record of every container under `node` contributes its
+ * overlap with the slice; fractions are relative to the total observed
+ * state-time (they sum to 1 when any state was observed). Sorted by
+ * descending fraction, ties by name.
+ */
+std::vector<StateShare> stateShares(const trace::Trace &trace,
+                                    trace::ContainerId node,
+                                    const TimeSlice &slice);
+
+/**
+ * Total time under `node` covered by state records inside the slice
+ * (the denominator of stateShares' fractions).
+ */
+double observedStateTime(const trace::Trace &trace,
+                         trace::ContainerId node, const TimeSlice &slice);
+
+} // namespace viva::agg
+
+#endif // VIVA_AGG_STATES_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Time-slice helpers: the temporal neighbourhood Delta of Equation 1 is
+ * an Interval; these utilities carve an observation period into the
+ * slices the analyst steps through (Fig. 6 sub-slices, Fig. 9 frames).
+ */
+
+#ifndef VIVA_AGG_TIMESLICE_HH
+#define VIVA_AGG_TIMESLICE_HH
+
+#include <vector>
+
+#include "support/interval.hh"
+
+namespace viva::agg
+{
+
+using TimeSlice = support::Interval;
+
+/** Split a period into n equal consecutive slices. */
+inline std::vector<TimeSlice>
+uniformSlices(const TimeSlice &span, std::size_t n)
+{
+    VIVA_ASSERT(n > 0, "need at least one slice");
+    std::vector<TimeSlice> out;
+    out.reserve(n);
+    double width = span.length() / double(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double b = span.begin + width * double(i);
+        double e = (i + 1 == n) ? span.end : b + width;
+        out.emplace_back(b, e);
+    }
+    return out;
+}
+
+/** The i-th of n equal slices of a period. */
+inline TimeSlice
+sliceAt(const TimeSlice &span, std::size_t i, std::size_t n)
+{
+    VIVA_ASSERT(i < n, "slice index ", i, " out of ", n);
+    return uniformSlices(span, n)[i];
+}
+
+/**
+ * Sliding windows of the given width advancing by `step` (an animation
+ * through time, Section 3.2.1: "shifting the corresponding frame").
+ */
+inline std::vector<TimeSlice>
+slidingSlices(const TimeSlice &span, double width, double step)
+{
+    VIVA_ASSERT(width > 0 && step > 0, "bad sliding window parameters");
+    std::vector<TimeSlice> out;
+    for (double b = span.begin; b < span.end; b += step)
+        out.emplace_back(b, std::min(b + width, span.end));
+    return out;
+}
+
+} // namespace viva::agg
+
+#endif // VIVA_AGG_TIMESLICE_HH

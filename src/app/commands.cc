@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Implementation of the command interpreter.
+ */
+
+#include "app/commands.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "support/strings.hh"
+
+namespace viva::app
+{
+
+using support::parseDouble;
+using support::parseSize;
+using support::splitWhitespace;
+using support::trim;
+
+bool
+CommandInterpreter::execute(const std::string &line, std::ostream &out)
+{
+    std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#')
+        return true;
+
+    std::vector<std::string> args = splitWhitespace(stripped);
+    const std::string &cmd = args[0];
+    auto argc = args.size() - 1;
+
+    auto need = [&](std::size_t n) {
+        if (argc >= n)
+            return true;
+        out << "error: '" << cmd << "' needs " << n << " argument(s)\n";
+        return false;
+    };
+    auto num = [&](std::size_t i, double &v) {
+        if (parseDouble(args[i], v))
+            return true;
+        out << "error: '" << args[i] << "' is not a number\n";
+        return false;
+    };
+    auto count = [&](std::size_t i, std::size_t &v) {
+        if (parseSize(args[i], v))
+            return true;
+        out << "error: '" << args[i] << "' is not a count\n";
+        return false;
+    };
+
+    if (cmd == "slice") {
+        double b, e;
+        if (!need(2) || !num(1, b) || !num(2, e))
+            return false;
+        if (b > e) {
+            out << "error: reversed slice\n";
+            return false;
+        }
+        sess.setTimeSlice({b, e});
+        out << "slice [" << b << ", " << e << ")\n";
+        return true;
+    }
+    if (cmd == "slice-of") {
+        std::size_t i, n;
+        if (!need(2) || !count(1, i) || !count(2, n))
+            return false;
+        if (n == 0 || i >= n) {
+            out << "error: slice-of " << i << " " << n << " is invalid\n";
+            return false;
+        }
+        sess.setSliceOf(i, n);
+        out << "slice [" << sess.timeSlice().begin << ", "
+            << sess.timeSlice().end << ")\n";
+        return true;
+    }
+    if (cmd == "aggregate") {
+        if (!need(1))
+            return false;
+        if (!sess.aggregate(args[1])) {
+            out << "error: unknown container '" << args[1] << "'\n";
+            return false;
+        }
+        out << "aggregated " << args[1] << " ("
+            << sess.cut().visibleCount() << " visible nodes)\n";
+        return true;
+    }
+    if (cmd == "disaggregate") {
+        if (!need(1))
+            return false;
+        if (!sess.disaggregate(args[1])) {
+            out << "error: unknown container '" << args[1] << "'\n";
+            return false;
+        }
+        out << "disaggregated " << args[1] << " ("
+            << sess.cut().visibleCount() << " visible nodes)\n";
+        return true;
+    }
+    if (cmd == "focus") {
+        if (!need(1))
+            return false;
+        if (!sess.focus(args[1])) {
+            out << "error: unknown container '" << args[1] << "'\n";
+            return false;
+        }
+        out << "focused on " << args[1] << " ("
+            << sess.cut().visibleCount() << " visible nodes)\n";
+        return true;
+    }
+    if (cmd == "depth") {
+        std::size_t d;
+        if (!need(1) || !count(1, d))
+            return false;
+        sess.aggregateToDepth(std::uint16_t(d));
+        out << "depth " << d << " (" << sess.cut().visibleCount()
+            << " visible nodes)\n";
+        return true;
+    }
+    if (cmd == "reset") {
+        sess.resetAggregation();
+        out << "reset (" << sess.cut().visibleCount()
+            << " visible nodes)\n";
+        return true;
+    }
+    if (cmd == "charge" || cmd == "spring" || cmd == "damping") {
+        double v;
+        if (!need(1) || !num(1, v))
+            return false;
+        if (cmd == "charge")
+            sess.forceParams().charge = v;
+        else if (cmd == "spring")
+            sess.forceParams().spring = v;
+        else
+            sess.forceParams().damping = v;
+        out << cmd << " = " << v << "\n";
+        return true;
+    }
+    if (cmd == "scale") {
+        double v;
+        if (!need(2) || !num(2, v))
+            return false;
+        trace::MetricId m = sess.trace().findMetric(args[1]);
+        if (m == trace::kNoMetric) {
+            out << "error: unknown metric '" << args[1] << "'\n";
+            return false;
+        }
+        sess.scaling().setSlider(m, v);
+        out << "scale " << args[1] << " = " << v << "\n";
+        return true;
+    }
+    if (cmd == "stabilize") {
+        std::size_t iters = 300;
+        if (argc >= 1 && !count(1, iters))
+            return false;
+        std::size_t done = sess.stabilizeLayout(iters);
+        out << "stabilized in " << done << " iteration(s)\n";
+        return true;
+    }
+    if (cmd == "move") {
+        double x, y;
+        if (!need(3) || !num(2, x) || !num(3, y))
+            return false;
+        if (!sess.moveNode(args[1], x, y)) {
+            out << "error: '" << args[1] << "' is not a visible node\n";
+            return false;
+        }
+        out << "moved " << args[1] << " to (" << x << ", " << y << ")\n";
+        return true;
+    }
+    if (cmd == "pin" || cmd == "unpin") {
+        if (!need(1))
+            return false;
+        if (!sess.pinNode(args[1], cmd == "pin")) {
+            out << "error: '" << args[1] << "' is not a visible node\n";
+            return false;
+        }
+        out << cmd << " " << args[1] << "\n";
+        return true;
+    }
+    if (cmd == "render") {
+        if (!need(1))
+            return false;
+        std::string title;
+        for (std::size_t i = 2; i < args.size(); ++i) {
+            if (!title.empty())
+                title += ' ';
+            title += args[i];
+        }
+        sess.renderSvg(args[1], title);
+        out << "rendered " << args[1] << "\n";
+        return true;
+    }
+    if (cmd == "chart") {
+        if (!need(2))
+            return false;
+        std::vector<std::string> containers(args.begin() + 3,
+                                            args.end());
+        if (!sess.renderChart(args[2], args[1], containers)) {
+            out << "error: unknown metric or container\n";
+            return false;
+        }
+        out << "chart of " << args[1] << " rendered to " << args[2]
+            << "\n";
+        return true;
+    }
+    if (cmd == "save") {
+        if (!need(1))
+            return false;
+        sess.saveTrace(args[1]);
+        out << "trace saved to " << args[1] << "\n";
+        return true;
+    }
+    if (cmd == "export-csv") {
+        if (!need(1))
+            return false;
+        sess.exportCsv(args[1]);
+        out << "view exported to " << args[1] << "\n";
+        return true;
+    }
+    if (cmd == "anomalies") {
+        if (!need(1))
+            return false;
+        double threshold = 3.0;
+        if (argc >= 2 && !num(2, threshold))
+            return false;
+        std::vector<std::string> findings =
+            sess.findAnomalies(args[1], threshold);
+        if (findings.size() == 1 &&
+            findings[0].rfind("error:", 0) == 0) {
+            out << findings[0] << "\n";
+            return false;
+        }
+        if (findings.empty())
+            out << "no anomalies above threshold " << threshold << "\n";
+        for (const std::string &f : findings)
+            out << f << "\n";
+        return true;
+    }
+    if (cmd == "treemap") {
+        if (!need(2))
+            return false;
+        if (!sess.renderTreemap(args[2], args[1])) {
+            out << "error: unknown metric '" << args[1] << "'\n";
+            return false;
+        }
+        out << "treemap of " << args[1] << " rendered to " << args[2]
+            << "\n";
+        return true;
+    }
+    if (cmd == "gantt") {
+        if (!need(1))
+            return false;
+        std::size_t rows = sess.renderGantt(args[1]);
+        out << "gantt with " << rows << " row(s) rendered to " << args[1]
+            << "\n";
+        return true;
+    }
+    if (cmd == "ascii") {
+        out << sess.renderAscii();
+        return true;
+    }
+    if (cmd == "info") {
+        support::Interval s = sess.span();
+        out << "span [" << s.begin << ", " << s.end << ") slice ["
+            << sess.timeSlice().begin << ", " << sess.timeSlice().end
+            << ") visible " << sess.cut().visibleCount() << " nodes "
+            << sess.layoutGraph().edgeCount() << " edges\n";
+        return true;
+    }
+    if (cmd == "nodes") {
+        agg::View v = sess.view();
+        for (const agg::ViewNode &n : v.nodes) {
+            out << (n.aggregated ? "* " : "  ")
+                << sess.trace().fullName(n.id);
+            for (std::size_t k = 0; k < v.metrics.size(); ++k) {
+                out << ' ' << sess.trace().metric(v.metrics[k]).name
+                    << '=' << n.values[k];
+            }
+            out << "\n";
+        }
+        return true;
+    }
+    if (cmd == "help") {
+        out << "commands: slice slice-of aggregate disaggregate depth "
+               "focus reset charge spring damping scale stabilize move pin "
+               "unpin render treemap gantt chart anomalies export-csv save "
+               "ascii info nodes help\n";
+        return true;
+    }
+
+    out << "error: unknown command '" << cmd << "'\n";
+    return false;
+}
+
+std::size_t
+CommandInterpreter::executeScript(std::istream &in, std::ostream &out)
+{
+    std::size_t ok = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!execute(line, out))
+            return ok;
+        ++ok;
+    }
+    return ok;
+}
+
+} // namespace viva::app

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A line-oriented command language over a Session -- the scripted
+ * stand-in for the paper's GUI interactivity (Section 4). Every slider,
+ * aggregation gesture and render action is a command, so analyses can
+ * be replayed from files and exercised in tests.
+ *
+ * Commands:
+ *   slice <begin> <end>        set the time slice
+ *   slice-of <i> <n>           i-th of n equal slices of the span
+ *   aggregate <path|name>      collapse a group
+ *   disaggregate <path|name>   expand a group one level
+ *   depth <d>                  collapse everything at depth d
+ *   focus <path|name>          full detail there, aggregates elsewhere
+ *   reset                      fully disaggregate
+ *   charge <v>                 the Charge slider
+ *   spring <v>                 the Spring slider
+ *   damping <v>                the Damping slider
+ *   scale <metric> <mult>      a per-type size slider
+ *   stabilize [iters]          relax the layout
+ *   move <path> <x> <y>        drag a node
+ *   pin <path> | unpin <path>  hold / release a node
+ *   render <file.svg> [title]  write the current scene
+ *   treemap <metric> <file>    write a treemap of the hierarchy
+ *   gantt <file.svg>           write the state timeline (Gantt) view
+ *   anomalies <metric> [thr]   run the anomaly detectors
+ *   export-csv <file>          dump the current view as CSV
+ *   chart <metric> <file> [c...] line chart of a metric over time
+ *   save <file[.paje]>         save the trace (native or Paje format)
+ *   ascii                      print the current scene as text
+ *   info                       one-line summary of the session state
+ *   nodes                      list visible nodes with values
+ *   help                       list commands
+ *   # ...                      comment (ignored)
+ */
+
+#ifndef VIVA_APP_COMMANDS_HH
+#define VIVA_APP_COMMANDS_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "app/session.hh"
+
+namespace viva::app
+{
+
+/** Executes the command language against one session. */
+class CommandInterpreter
+{
+  public:
+    explicit CommandInterpreter(Session &session) : sess(session) {}
+
+    /**
+     * Execute one command line.
+     * @param line the command
+     * @param out receives the command's textual output
+     * @retval false on an unknown command or bad arguments (an error
+     *         message is written to `out`)
+     */
+    bool execute(const std::string &line, std::ostream &out);
+
+    /**
+     * Execute a script, one command per line, stopping at the first
+     * failing command.
+     * @return number of commands executed successfully
+     */
+    std::size_t executeScript(std::istream &in, std::ostream &out);
+
+  private:
+    Session &sess;
+};
+
+} // namespace viva::app
+
+#endif // VIVA_APP_COMMANDS_HH

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Implementation of the analysis session.
+ */
+
+#include "app/session.hh"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "agg/anomaly.hh"
+#include "layout/metrics.hh"
+#include "support/logging.hh"
+#include "viz/ascii.hh"
+#include "viz/chart.hh"
+#include "viz/gantt.hh"
+#include "viz/svg.hh"
+#include "viz/treemap.hh"
+#include "support/strings.hh"
+#include "trace/io.hh"
+#include "trace/paje.hh"
+
+namespace viva::app
+{
+
+using trace::ContainerId;
+
+namespace
+{
+
+/** Deterministic fan-out offset for the i-th new child of a parent. */
+layout::Vec2
+fanOffset(std::size_t i, double radius)
+{
+    // Golden-angle spiral: children of one parent never overlap.
+    constexpr double golden = 2.399963229728653;
+    double angle = golden * double(i + 1);
+    double r = radius * (1.0 + 0.15 * double(i));
+    return {r * std::cos(angle), r * std::sin(angle)};
+}
+
+} // namespace
+
+Session::Session(trace::Trace trace_in)
+    : tr(std::move(trace_in)), hierCut(tr), slice(tr.span()),
+      visMapping(viz::VisualMapping::defaults(tr)), typeScaling(),
+      graph(), force(graph)
+{
+    syncLayout();
+}
+
+void
+Session::setTimeSlice(const agg::TimeSlice &s)
+{
+    slice = s;
+}
+
+void
+Session::setSliceOf(std::size_t i, std::size_t n)
+{
+    slice = agg::sliceAt(span(), i, n);
+}
+
+bool
+Session::aggregate(const std::string &path)
+{
+    ContainerId id = tr.findByPath(path);
+    if (id == trace::kNoContainer)
+        id = tr.findByName(path);
+    if (id == trace::kNoContainer)
+        return false;
+    hierCut.aggregate(id);
+    syncLayout();
+    return true;
+}
+
+bool
+Session::disaggregate(const std::string &path)
+{
+    ContainerId id = tr.findByPath(path);
+    if (id == trace::kNoContainer)
+        id = tr.findByName(path);
+    if (id == trace::kNoContainer)
+        return false;
+    hierCut.disaggregate(id);
+    syncLayout();
+    return true;
+}
+
+void
+Session::aggregateToDepth(std::uint16_t depth)
+{
+    hierCut.aggregateToDepth(depth);
+    syncLayout();
+}
+
+bool
+Session::focus(const std::string &path)
+{
+    ContainerId id = tr.findByPath(path);
+    if (id == trace::kNoContainer)
+        id = tr.findByName(path);
+    if (id == trace::kNoContainer)
+        return false;
+    hierCut.focus({id});
+    syncLayout();
+    return true;
+}
+
+void
+Session::resetAggregation()
+{
+    hierCut.reset();
+    syncLayout();
+}
+
+void
+Session::syncLayout()
+{
+    std::vector<ContainerId> desired = hierCut.visibleNodes();
+    std::unordered_set<std::uint64_t> desired_set(desired.begin(),
+                                                  desired.end());
+
+    // Current nodes by container id.
+    layout::Snapshot current = layout::snapshotPositions(graph);
+
+    // Positions for incoming nodes, decided before removals.
+    std::vector<std::pair<ContainerId, layout::Vec2>> to_add;
+    std::size_t ring_index = 0;
+    std::unordered_map<std::uint64_t, std::size_t> child_index;
+
+    for (ContainerId id : desired) {
+        if (current.count(id))
+            continue;
+
+        // Aggregation: absorb the centroid of current descendants.
+        layout::Vec2 centroid;
+        std::size_t absorbed = 0;
+        for (ContainerId d : tr.subtree(id)) {
+            auto it = current.find(d);
+            if (it != current.end() && d != id) {
+                centroid += it->second;
+                ++absorbed;
+            }
+        }
+        if (absorbed > 0) {
+            to_add.emplace_back(id, centroid / double(absorbed));
+            continue;
+        }
+
+        // Disaggregation: fan out around the nearest present ancestor.
+        ContainerId anc = id;
+        bool placed = false;
+        while (anc != tr.root()) {
+            anc = tr.container(anc).parent;
+            auto it = current.find(anc);
+            if (it != current.end()) {
+                std::size_t k = child_index[anc]++;
+                double radius =
+                    std::max(force.params().restLength * 0.5, 10.0);
+                to_add.emplace_back(id,
+                                    it->second + fanOffset(k, radius));
+                placed = true;
+                break;
+            }
+        }
+        if (placed)
+            continue;
+
+        // Fresh node (initial build): deterministic ring placement.
+        double n = double(desired.size());
+        double radius = std::max(force.params().restLength, 20.0) *
+                        std::sqrt(n) * 0.5;
+        double angle = 2.0 * M_PI * double(ring_index) /
+                       std::max(n, 1.0);
+        // Stagger radius a little so rings of equal size do not alias.
+        double r = radius * (0.8 + 0.2 * ((ring_index % 7) / 7.0));
+        to_add.emplace_back(
+            id, layout::Vec2{r * std::cos(angle), r * std::sin(angle)});
+        ++ring_index;
+    }
+
+    // Remove nodes that left the view.
+    for (const auto &[key, pos] : current) {
+        if (!desired_set.count(key))
+            graph.removeNode(graph.findKey(key));
+    }
+
+    // Insert the new nodes.
+    for (const auto &[id, pos] : to_add) {
+        double charge = double(
+            std::max<std::size_t>(tr.leavesUnder(id).size(), 1));
+        graph.addNode(id, pos, charge);
+    }
+
+    // Refresh charges of surviving aggregates (cut may have changed the
+    // leaves they cover) and rebuild the visible edges.
+    graph.clearEdges();
+    for (ContainerId id : desired) {
+        layout::NodeId n = graph.findKey(id);
+        graph.setCharge(n, double(std::max<std::size_t>(
+                               tr.leavesUnder(id).size(), 1)));
+    }
+    for (const agg::ViewEdge &e : agg::visibleEdges(tr, hierCut)) {
+        layout::NodeId a = graph.findKey(e.a);
+        layout::NodeId b = graph.findKey(e.b);
+        VIVA_ASSERT(a != layout::kNoNode && b != layout::kNoNode,
+                    "visible edge endpoint missing from layout");
+        double strength = 1.0 + std::log2(double(e.multiplicity));
+        graph.addEdge(a, b, strength);
+    }
+}
+
+std::size_t
+Session::stabilizeLayout(std::size_t max_iters)
+{
+    return force.stabilize(max_iters);
+}
+
+void
+Session::stepLayout(std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        force.step();
+}
+
+layout::NodeId
+Session::nodeOf(const std::string &path) const
+{
+    ContainerId id = tr.findByPath(path);
+    if (id == trace::kNoContainer)
+        id = tr.findByName(path);
+    if (id == trace::kNoContainer)
+        return layout::kNoNode;
+    return graph.findKey(id);
+}
+
+bool
+Session::moveNode(const std::string &path, double x, double y)
+{
+    layout::NodeId n = nodeOf(path);
+    if (n == layout::kNoNode)
+        return false;
+    force.dragNode(n, {x, y});
+    force.stabilize(40);
+    force.releaseNode(n);
+    return true;
+}
+
+bool
+Session::pinNode(const std::string &path, bool pinned)
+{
+    layout::NodeId n = nodeOf(path);
+    if (n == layout::kNoNode)
+        return false;
+    graph.setPinned(n, pinned);
+    return true;
+}
+
+agg::View
+Session::view(bool with_stats) const
+{
+    return agg::buildView(tr, hierCut, slice,
+                          visMapping.referencedMetrics(),
+                          agg::SpatialOp::Sum, with_stats);
+}
+
+viz::Scene
+Session::scene(const viz::SceneOptions &options, bool with_stats)
+{
+    agg::View v = view(with_stats);
+    layout::Snapshot positions = layout::snapshotPositions(graph);
+    return viz::composeScene(v, tr, positions, visMapping, typeScaling,
+                             options);
+}
+
+void
+Session::renderSvg(const std::string &path, const std::string &title)
+{
+    viz::SvgOptions options;
+    options.title = title;
+    viz::writeSvgFile(scene(), path, options);
+}
+
+std::string
+Session::renderAscii()
+{
+    return viz::renderAscii(scene());
+}
+
+bool
+Session::renderTreemap(const std::string &path,
+                       const std::string &metric_name,
+                       std::uint16_t max_depth)
+{
+    trace::MetricId m = tr.findMetric(metric_name);
+    if (m == trace::kNoMetric)
+        return false;
+    viz::TreemapOptions options;
+    options.maxDepth = max_depth;
+    viz::Treemap map = viz::buildTreemap(tr, m, slice, options);
+    viz::writeTreemapSvgFile(map, path,
+                             "treemap of " + metric_name);
+    return true;
+}
+
+std::size_t
+Session::renderGantt(const std::string &path, std::size_t max_rows)
+{
+    viz::GanttOptions options;
+    options.maxRows = max_rows;
+    viz::GanttChart chart = viz::buildGantt(tr, slice, options);
+    viz::GanttSvgOptions svg;
+    svg.title = "state timeline";
+    viz::writeGanttSvgFile(chart, path, svg);
+    return chart.rows.size();
+}
+
+bool
+Session::renderChart(const std::string &path,
+                     const std::string &metric_name,
+                     const std::vector<std::string> &containers)
+{
+    trace::MetricId m = tr.findMetric(metric_name);
+    if (m == trace::kNoMetric)
+        return false;
+
+    std::vector<ContainerId> nodes;
+    if (containers.empty()) {
+        nodes.push_back(tr.root());
+    } else {
+        for (const std::string &ref : containers) {
+            ContainerId id = tr.findByPath(ref);
+            if (id == trace::kNoContainer)
+                id = tr.findByName(ref);
+            if (id == trace::kNoContainer)
+                return false;
+            nodes.push_back(id);
+        }
+    }
+
+    std::vector<viz::ChartSeries> series;
+    for (ContainerId id : nodes)
+        series.push_back(viz::sampleSeries(tr, id, m, span()));
+
+    viz::ChartOptions options;
+    options.title = metric_name + " over time";
+    options.yLabel = tr.metric(m).unit;
+    viz::writeChartSvgFile(series, path, options);
+    return true;
+}
+
+void
+Session::exportCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        support::fatal("Session::exportCsv", "cannot open '", path, "'");
+    agg::View v = view(/*with_stats=*/true);
+    agg::writeViewCsv(v, tr, out);
+}
+
+std::vector<std::string>
+Session::findAnomalies(const std::string &metric_name,
+                       double threshold) const
+{
+    trace::MetricId m = tr.findMetric(metric_name);
+    if (m == trace::kNoMetric)
+        return {"error: unknown metric '" + metric_name + "'"};
+
+    agg::AnomalyOptions options;
+    options.threshold = threshold;
+
+    std::vector<std::string> out;
+    for (const agg::Anomaly &a :
+         agg::findSpatialAnomalies(tr, hierCut, m, slice, options))
+        out.push_back(agg::describeAnomaly(tr, a, m));
+    for (const agg::Anomaly &a :
+         agg::findTemporalAnomalies(tr, hierCut, m, span(), options))
+        out.push_back(agg::describeAnomaly(tr, a, m));
+    return out;
+}
+
+void
+Session::saveTrace(const std::string &path) const
+{
+    if (support::endsWith(path, ".paje"))
+        trace::writePajeTraceFile(tr, path);
+    else
+        trace::writeTraceFile(tr, path);
+}
+
+std::size_t
+Session::animate(std::size_t frames, const std::string &dir,
+                 const std::string &prefix, std::size_t iters_per_frame)
+{
+    VIVA_ASSERT(frames > 0, "need at least one frame");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+
+    std::vector<agg::TimeSlice> slices = agg::uniformSlices(span(), frames);
+    for (std::size_t f = 0; f < frames; ++f) {
+        setTimeSlice(slices[f]);
+        force.stabilize(iters_per_frame);
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s%03zu.svg", prefix.c_str(),
+                      f);
+        renderSvg(dir + "/" + name,
+                  prefix + " frame " + std::to_string(f));
+    }
+    return frames;
+}
+
+} // namespace viva::app

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The analyst's session: one trace, one spatial cut, one time slice,
+ * one visual mapping, one evolving layout. Every interactive operation
+ * the paper's GUI exposes -- choosing time slices, aggregating and
+ * disaggregating groups, moving nodes, turning the charge / spring /
+ * damping and per-type size sliders -- is a method here, so analyses
+ * can be scripted, tested and benchmarked headlessly.
+ *
+ * The layout is kept warm across operations: when the cut changes, new
+ * aggregated nodes appear at the centroid of what they absorb and
+ * disaggregated children fan out around their parent's old position,
+ * then the force-directed algorithm smoothly relaxes -- the paper's
+ * "smooth evolution of nodes position".
+ */
+
+#ifndef VIVA_APP_SESSION_HH
+#define VIVA_APP_SESSION_HH
+
+#include <string>
+
+#include "agg/aggregate.hh"
+#include "agg/hierarchy_cut.hh"
+#include "agg/timeslice.hh"
+#include "layout/force.hh"
+#include "layout/graph.hh"
+#include "trace/trace.hh"
+#include "viz/mapping.hh"
+#include "viz/scaling.hh"
+#include "viz/scene.hh"
+
+namespace viva::app
+{
+
+/** The interactive analysis façade. */
+class Session
+{
+  public:
+    /**
+     * Take ownership of a trace and start a session over it: the cut is
+     * fully disaggregated, the slice covers the whole observation
+     * period, mapping and scaling are the defaults.
+     */
+    explicit Session(trace::Trace trace);
+
+    /** The trace under analysis. */
+    const trace::Trace &trace() const { return tr; }
+
+    /** The whole observation period. */
+    support::Interval span() const { return tr.span(); }
+
+    // --- the temporal scale -----------------------------------------------
+
+    /** Set the time slice. */
+    void setTimeSlice(const agg::TimeSlice &slice);
+
+    /** Set the slice to the i-th of n equal parts of the span. */
+    void setSliceOf(std::size_t i, std::size_t n);
+
+    /** The current time slice. */
+    const agg::TimeSlice &timeSlice() const { return slice; }
+
+    // --- the spatial scale -------------------------------------------------
+
+    /**
+     * Collapse the container at this path (or unique simple name) into
+     * one aggregated node.
+     * @retval false when no such container exists
+     */
+    bool aggregate(const std::string &path);
+
+    /** Expand an aggregated node one level. @retval false if unknown */
+    bool disaggregate(const std::string &path);
+
+    /** Collapse every internal container at this depth (Fig. 8 levels). */
+    void aggregateToDepth(std::uint16_t depth);
+
+    /**
+     * Focus on one container: full detail inside it, one aggregated
+     * node per other sibling subtree (the outlier-hunting gesture).
+     * @retval false when no such container exists
+     */
+    bool focus(const std::string &path);
+
+    /** Fully disaggregate. */
+    void resetAggregation();
+
+    /** The current cut (read-only; mutate through the methods above). */
+    const agg::HierarchyCut &cut() const { return hierCut; }
+
+    // --- appearance -----------------------------------------------------
+
+    /** The visual mapping rules (mutable: remapping mid-analysis). */
+    viz::VisualMapping &mapping() { return visMapping; }
+
+    /** The per-type scaling and its sliders. */
+    viz::TypeScaling &scaling() { return typeScaling; }
+
+    /** The force parameters (the charge/spring/damping sliders). */
+    layout::ForceParams &forceParams() { return force.params(); }
+
+    // --- the layout -------------------------------------------------------
+
+    /**
+     * Run the force-directed algorithm until it settles (or the
+     * iteration budget runs out). @return iterations performed
+     */
+    std::size_t stabilizeLayout(std::size_t max_iters = 300);
+
+    /** Advance exactly n iterations. */
+    void stepLayout(std::size_t n = 1);
+
+    /**
+     * Drag the named node to a position; its neighbours follow through
+     * the springs while it is held, then it is released.
+     * @retval false when the container is not a visible node
+     */
+    bool moveNode(const std::string &path, double x, double y);
+
+    /** Pin a visible node in place (true) or release it (false). */
+    bool pinNode(const std::string &path, bool pinned);
+
+    /** The layout graph (read access for metrics and tests). */
+    const layout::LayoutGraph &layoutGraph() const { return graph; }
+
+    /**
+     * Mutable layout graph, for advanced uses (custom placements,
+     * benchmarks). Node/edge membership is owned by the session --
+     * only positions, pins and charges should be touched.
+     */
+    layout::LayoutGraph &mutableLayoutGraph() { return graph; }
+
+    /** The layout engine. */
+    const layout::ForceLayout &layoutEngine() const { return force; }
+
+    // --- output -----------------------------------------------------------
+
+    /** The aggregated view for the current cut and slice. */
+    agg::View view(bool with_stats = false) const;
+
+    /**
+     * Compose the current scene.
+     * @param options canvas / labelling / pie options
+     * @param with_stats build the view with statistical indicators so
+     *        heterogeneous aggregates get flagged in the rendering
+     */
+    viz::Scene scene(const viz::SceneOptions &options = {},
+                     bool with_stats = false);
+
+    /** Render the current scene to an SVG file. */
+    void renderSvg(const std::string &path, const std::string &title = "");
+
+    /** Render the current scene as ASCII art. */
+    std::string renderAscii();
+
+    /**
+     * Render a treemap of the hierarchy weighted by a metric over the
+     * current time slice (the sibling multiscale view).
+     * @retval false when the metric does not exist
+     */
+    bool renderTreemap(const std::string &path,
+                       const std::string &metric_name,
+                       std::uint16_t max_depth = 0);
+
+    /**
+     * Render the Gantt chart of the trace's state records over the
+     * current time slice (the classical timeline baseline).
+     * @return number of rows drawn
+     */
+    std::size_t renderGantt(const std::string &path,
+                            std::size_t max_rows = 64);
+
+    /**
+     * Write the current view (with statistics) as CSV, for external
+     * plotting tools.
+     */
+    void exportCsv(const std::string &path) const;
+
+    /**
+     * Render a line chart of a metric over the whole span for the
+     * given containers (paths or unique names); an empty list charts
+     * the whole platform as one series.
+     * @retval false when the metric or any container is unknown
+     */
+    bool renderChart(const std::string &path,
+                     const std::string &metric_name,
+                     const std::vector<std::string> &containers = {});
+
+    /**
+     * Run both anomaly detectors for a metric: the spatial one on the
+     * current cut and slice, the temporal one on the current cut over
+     * the whole span. Human-readable findings, strongest first.
+     * @retval empty-and-one-error-line vector when the metric is bad
+     */
+    std::vector<std::string> findAnomalies(
+        const std::string &metric_name, double threshold = 3.0) const;
+
+    /**
+     * Save the trace under analysis to a file, in the native format or
+     * (path ending in ".paje") the Paje format.
+     */
+    void saveTrace(const std::string &path) const;
+
+    /**
+     * Animate through time (Fig. 9): split the span into `frames` equal
+     * slices and render each to `<dir>/<prefix>NNN.svg`, relaxing the
+     * layout between frames. The slice is left at the last frame.
+     * @return number of frames written
+     */
+    std::size_t animate(std::size_t frames, const std::string &dir,
+                        const std::string &prefix = "frame",
+                        std::size_t iters_per_frame = 60);
+
+  private:
+    /**
+     * Reconcile the layout graph with the current cut: carry positions
+     * of surviving nodes, place aggregates at absorbed centroids,
+     * fan disaggregated children around their parent, rebuild edges.
+     */
+    void syncLayout();
+
+    /** Layout node of a container path; kNoNode when not visible. */
+    layout::NodeId nodeOf(const std::string &path) const;
+
+    trace::Trace tr;
+    agg::HierarchyCut hierCut;
+    agg::TimeSlice slice;
+    viz::VisualMapping visMapping;
+    viz::TypeScaling typeScaling;
+    layout::LayoutGraph graph;
+    layout::ForceLayout force;
+};
+
+} // namespace viva::app
+
+#endif // VIVA_APP_SESSION_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Implementation of the force-directed stepper.
+ */
+
+#include "layout/force.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace viva::layout
+{
+
+ForceLayout::ForceLayout(LayoutGraph &graph, ForceParams params)
+    : g(graph), prm(params)
+{
+}
+
+double
+ForceLayout::step(double timestep_scale)
+{
+    const double dt = prm.timestep * timestep_scale;
+    std::vector<Node> &nodes = g.mutableNodes();
+    std::vector<Vec2> force(nodes.size());
+
+    // --- repulsion ------------------------------------------------------
+    if (prm.useBarnesHut && g.nodeCount() > 1) {
+        // Bounding box, padded so the tree never degenerates.
+        Vec2 lo{1e300, 1e300}, hi{-1e300, -1e300};
+        for (const Node &n : nodes) {
+            if (!n.alive)
+                continue;
+            lo.x = std::min(lo.x, n.position.x);
+            lo.y = std::min(lo.y, n.position.y);
+            hi.x = std::max(hi.x, n.position.x);
+            hi.y = std::max(hi.y, n.position.y);
+        }
+        double pad = std::max({hi.x - lo.x, hi.y - lo.y, 1.0}) * 0.05;
+        QuadTree tree({lo.x - pad, lo.y - pad}, {hi.x + pad, hi.y + pad});
+        for (const Node &n : nodes)
+            if (n.alive)
+                tree.insert(n.position, n.charge);
+        for (const Node &n : nodes) {
+            if (!n.alive)
+                continue;
+            // forceAt excludes the coincident self charge; the result is
+            // the field, scale by this node's own charge.
+            Vec2 field = tree.forceAt(n.position, prm.theta);
+            force[n.id] += field * (prm.charge * n.charge);
+        }
+    } else {
+        for (const Node &a : nodes) {
+            if (!a.alive)
+                continue;
+            for (const Node &b : nodes) {
+                if (!b.alive || b.id == a.id)
+                    continue;
+                Vec2 d = a.position - b.position;
+                double dist = d.norm();
+                if (dist < 1e-9)
+                    continue;
+                force[a.id] += d * (prm.charge * a.charge * b.charge /
+                                    (dist * dist * dist));
+            }
+        }
+    }
+
+    // --- springs ----------------------------------------------------------
+    for (const Edge &e : g.rawEdges()) {
+        if (!e.alive || !nodes[e.a].alive || !nodes[e.b].alive)
+            continue;
+        Vec2 d = nodes[e.b].position - nodes[e.a].position;
+        double dist = d.norm();
+        if (dist < 1e-9)
+            continue;
+        double stretch = dist - prm.restLength;
+        Vec2 pull = d * (prm.spring * e.strength * stretch / dist);
+        force[e.a] += pull;
+        force[e.b] -= pull;
+    }
+
+    // --- integration -------------------------------------------------------
+    double energy = 0.0;
+    for (Node &n : nodes) {
+        if (!n.alive || n.pinned)
+            continue;
+        n.velocity = (n.velocity + force[n.id] * dt) * prm.damping;
+        Vec2 move = n.velocity * dt;
+        double len = move.norm();
+        if (len > prm.maxDisplacement) {
+            move = move * (prm.maxDisplacement / len);
+            n.velocity = move / dt;
+        }
+        n.position += move;
+        energy += n.velocity.norm2();
+    }
+    ++iters;
+    return energy;
+}
+
+std::size_t
+ForceLayout::stabilize(std::size_t max_iters, double energy_per_node)
+{
+    std::size_t done = 0;
+    std::size_t n = std::max<std::size_t>(g.nodeCount(), 1);
+    double cooling = 1.0;
+    double prev = std::numeric_limits<double>::infinity();
+    while (done < max_iters) {
+        double energy = step(cooling);
+        ++done;
+        if (energy / double(n) < energy_per_node)
+            break;
+        // Cool when the energy stops decreasing: kills the residual
+        // oscillation a fixed timestep would sustain forever.
+        if (energy >= prev * 0.999)
+            cooling = std::max(cooling * 0.95, 1e-4);
+        prev = energy;
+    }
+    return done;
+}
+
+double
+ForceLayout::kineticEnergy() const
+{
+    double energy = 0.0;
+    for (const Node &n : g.rawNodes())
+        if (n.alive)
+            energy += n.velocity.norm2();
+    return energy;
+}
+
+void
+ForceLayout::dragNode(NodeId id, Vec2 position)
+{
+    g.setPosition(id, position);
+    g.setPinned(id, true);
+}
+
+void
+ForceLayout::releaseNode(NodeId id)
+{
+    g.setPinned(id, false);
+}
+
+} // namespace viva::layout

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Implementation of the layout graph.
+ */
+
+#include "layout/graph.hh"
+
+#include "support/logging.hh"
+
+namespace viva::layout
+{
+
+NodeId
+LayoutGraph::addNode(std::uint64_t key, Vec2 position, double charge)
+{
+    VIVA_ASSERT(charge > 0, "node charge must be positive, got ", charge);
+    VIVA_ASSERT(keyIndex.find(key) == keyIndex.end(),
+                "duplicate layout key ", key);
+    Node n;
+    n.id = NodeId(nodes.size());
+    n.key = key;
+    n.position = position;
+    n.charge = charge;
+    nodes.push_back(n);
+    keyIndex.emplace(key, n.id);
+    ++liveNodes;
+    return n.id;
+}
+
+void
+LayoutGraph::removeNode(NodeId id)
+{
+    VIVA_ASSERT(alive(id), "removing dead node ", id);
+    nodes[id].alive = false;
+    keyIndex.erase(nodes[id].key);
+    --liveNodes;
+    for (Edge &e : edges) {
+        if (e.alive && (e.a == id || e.b == id)) {
+            e.alive = false;
+            --liveEdges;
+        }
+    }
+}
+
+void
+LayoutGraph::addEdge(NodeId a, NodeId b, double strength)
+{
+    VIVA_ASSERT(alive(a) && alive(b), "edge endpoints must be live");
+    VIVA_ASSERT(a != b, "self-loop on node ", a);
+    edges.push_back({a, b, strength, true});
+    ++liveEdges;
+}
+
+void
+LayoutGraph::clearEdges()
+{
+    edges.clear();
+    liveEdges = 0;
+}
+
+bool
+LayoutGraph::alive(NodeId id) const
+{
+    return id < nodes.size() && nodes[id].alive;
+}
+
+const Node &
+LayoutGraph::node(NodeId id) const
+{
+    VIVA_ASSERT(alive(id), "dead or bad node ", id);
+    return nodes[id];
+}
+
+NodeId
+LayoutGraph::findKey(std::uint64_t key) const
+{
+    auto it = keyIndex.find(key);
+    return it == keyIndex.end() ? kNoNode : it->second;
+}
+
+void
+LayoutGraph::setPosition(NodeId id, Vec2 position)
+{
+    VIVA_ASSERT(alive(id), "dead or bad node ", id);
+    nodes[id].position = position;
+    nodes[id].velocity = {0.0, 0.0};
+}
+
+void
+LayoutGraph::setPinned(NodeId id, bool pinned)
+{
+    VIVA_ASSERT(alive(id), "dead or bad node ", id);
+    nodes[id].pinned = pinned;
+    if (pinned)
+        nodes[id].velocity = {0.0, 0.0};
+}
+
+void
+LayoutGraph::setCharge(NodeId id, double charge)
+{
+    VIVA_ASSERT(alive(id), "dead or bad node ", id);
+    VIVA_ASSERT(charge > 0, "node charge must be positive");
+    nodes[id].charge = charge;
+}
+
+std::vector<NodeId>
+LayoutGraph::liveNodeIds() const
+{
+    std::vector<NodeId> out;
+    out.reserve(liveNodes);
+    for (const Node &n : nodes)
+        if (n.alive)
+            out.push_back(n.id);
+    return out;
+}
+
+std::vector<NodeId>
+LayoutGraph::neighbors(NodeId id) const
+{
+    VIVA_ASSERT(alive(id), "dead or bad node ", id);
+    std::vector<NodeId> out;
+    for (const Edge &e : edges) {
+        if (!e.alive)
+            continue;
+        if (e.a == id && nodes[e.b].alive)
+            out.push_back(e.b);
+        else if (e.b == id && nodes[e.a].alive)
+            out.push_back(e.a);
+    }
+    return out;
+}
+
+Vec2
+LayoutGraph::centroid() const
+{
+    if (liveNodes == 0)
+        return {0.0, 0.0};
+    Vec2 sum;
+    for (const Node &n : nodes)
+        if (n.alive)
+            sum += n.position;
+    return sum / double(liveNodes);
+}
+
+} // namespace viva::layout

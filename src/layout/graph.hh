@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The layout graph: the nodes and edges whose positions the
+ * force-directed algorithm evolves. Supports the dynamic operations the
+ * paper's interactivity needs -- adding and removing nodes while others
+ * keep their positions (aggregation/disaggregation), pinning (the
+ * analyst dragging a node), and per-node charge (an aggregated node
+ * carries the summed charge of everything it groups, Section 4.2).
+ */
+
+#ifndef VIVA_LAYOUT_GRAPH_HH
+#define VIVA_LAYOUT_GRAPH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "layout/vec2.hh"
+
+namespace viva::layout
+{
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+/** One layout node. */
+struct Node
+{
+    NodeId id = kNoNode;
+    std::uint64_t key = 0;   ///< caller's identifier (e.g. ContainerId)
+    Vec2 position;
+    Vec2 velocity;
+    double charge = 1.0;     ///< Coulomb repulsion strength
+    bool pinned = false;     ///< dragged / fixed by the analyst
+    bool alive = true;
+};
+
+/** One spring between two nodes. */
+struct Edge
+{
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;
+    double strength = 1.0;   ///< Hooke stiffness multiplier
+    bool alive = true;
+};
+
+/**
+ * Mutable graph with stable node ids (slots are never reused within one
+ * graph's lifetime, so external references cannot dangle silently).
+ */
+class LayoutGraph
+{
+  public:
+    /** Add a node at a position. @return its id */
+    NodeId addNode(std::uint64_t key, Vec2 position, double charge = 1.0);
+
+    /** Remove a node and every edge touching it. */
+    void removeNode(NodeId id);
+
+    /** Add a spring between two live nodes. */
+    void addEdge(NodeId a, NodeId b, double strength = 1.0);
+
+    /** Drop every edge (positions are untouched); used when a cut
+     * change re-derives the visible edges from scratch. */
+    void clearEdges();
+
+    /** True when the id refers to a live node. */
+    bool alive(NodeId id) const;
+
+    /** Access a live node. */
+    const Node &node(NodeId id) const;
+
+    /** Node id carrying the caller key, or kNoNode. */
+    NodeId findKey(std::uint64_t key) const;
+
+    /** Mutate a node's position (velocity reset). */
+    void setPosition(NodeId id, Vec2 position);
+
+    /** Pin (true) or release (false) a node. */
+    void setPinned(NodeId id, bool pinned);
+
+    /** Update a node's charge (e.g. after re-aggregation). */
+    void setCharge(NodeId id, double charge);
+
+    /** Live node count. */
+    std::size_t nodeCount() const { return liveNodes; }
+
+    /** Live edge count. */
+    std::size_t edgeCount() const { return liveEdges; }
+
+    /** All slots, dead included: callers filter on alive. */
+    const std::vector<Node> &rawNodes() const { return nodes; }
+    const std::vector<Edge> &rawEdges() const { return edges; }
+
+    /** Ids of live nodes, ascending. */
+    std::vector<NodeId> liveNodeIds() const;
+
+    /** Ids of live neighbours of a node. */
+    std::vector<NodeId> neighbors(NodeId id) const;
+
+    /** Centroid of the live nodes (origin when empty). */
+    Vec2 centroid() const;
+
+    // Internal mutable access for the force stepper.
+    std::vector<Node> &mutableNodes() { return nodes; }
+
+  private:
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+    std::unordered_map<std::uint64_t, NodeId> keyIndex;
+    std::size_t liveNodes = 0;
+    std::size_t liveEdges = 0;
+};
+
+} // namespace viva::layout
+
+#endif // VIVA_LAYOUT_GRAPH_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of the Barnes-Hut quadtree.
+ */
+
+#include "layout/quadtree.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace viva::layout
+{
+
+namespace
+{
+
+/** Two points closer than this are the same point for repulsion. */
+constexpr double kCoincidenceEps = 1e-9;
+
+} // namespace
+
+QuadTree::QuadTree(Vec2 lo, Vec2 hi)
+{
+    VIVA_ASSERT(lo.x < hi.x && lo.y < hi.y, "degenerate quadtree box");
+    Cell root;
+    root.lo = lo;
+    root.hi = hi;
+    cells.push_back(root);
+}
+
+int
+QuadTree::quadrant(const Cell &cell, Vec2 p)
+{
+    double mx = 0.5 * (cell.lo.x + cell.hi.x);
+    double my = 0.5 * (cell.lo.y + cell.hi.y);
+    int q = 0;
+    if (p.x >= mx)
+        q |= 1;
+    if (p.y >= my)
+        q |= 2;
+    return q;
+}
+
+void
+QuadTree::subdivide(std::int32_t cell)
+{
+    double mx = 0.5 * (cells[cell].lo.x + cells[cell].hi.x);
+    double my = 0.5 * (cells[cell].lo.y + cells[cell].hi.y);
+    Vec2 lo = cells[cell].lo;
+    Vec2 hi = cells[cell].hi;
+    const Vec2 corner[4][2] = {
+        {{lo.x, lo.y}, {mx, my}},
+        {{mx, lo.y}, {hi.x, my}},
+        {{lo.x, my}, {mx, hi.y}},
+        {{mx, my}, {hi.x, hi.y}},
+    };
+    for (int q = 0; q < 4; ++q) {
+        Cell child;
+        child.lo = corner[q][0];
+        child.hi = corner[q][1];
+        cells[cell].child[q] = std::int32_t(cells.size());
+        cells.push_back(child);
+    }
+    cells[cell].isLeaf = false;
+}
+
+void
+QuadTree::insert(Vec2 position, double charge)
+{
+    VIVA_ASSERT(charge > 0, "charge must be positive");
+    // Clamp into the box so callers need not grow it exactly.
+    position.x = std::clamp(position.x, cells[0].lo.x, cells[0].hi.x);
+    position.y = std::clamp(position.y, cells[0].lo.y, cells[0].hi.y);
+    insertInto(0, position, charge, 0);
+    ++inserted;
+}
+
+void
+QuadTree::insertInto(std::int32_t cell, Vec2 p, double charge, int depth)
+{
+    while (true) {
+        Cell &c = cells[cell];
+        // Update the aggregate first.
+        double total = c.charge + charge;
+        c.barycentre = (c.barycentre * c.charge + p * charge) / total;
+        c.charge = total;
+
+        if (c.isLeaf) {
+            if (!c.hasPoint) {
+                c.point = p;
+                c.pointCharge = charge;
+                c.hasPoint = true;
+                return;
+            }
+            // Merge coincident points instead of splitting forever.
+            if (depth >= kMaxDepth ||
+                distance(c.point, p) < kCoincidenceEps) {
+                c.pointCharge += charge;
+                return;
+            }
+            // Split: push the resident point down, then continue with p.
+            Vec2 old_p = c.point;
+            double old_q = c.pointCharge;
+            c.hasPoint = false;
+            c.pointCharge = 0.0;
+            subdivide(cell);
+            Cell &c2 = cells[cell];  // subdivide may reallocate
+            std::int32_t down = c2.child[quadrant(c2, old_p)];
+            // Re-seed the child leaf with the old point (its aggregate
+            // must reflect the point too).
+            Cell &child = cells[down];
+            child.point = old_p;
+            child.pointCharge = old_q;
+            child.hasPoint = true;
+            child.charge = old_q;
+            child.barycentre = old_p;
+            // Fall through: re-dispatch p on this (now internal) cell.
+        }
+        Cell &c3 = cells[cell];
+        cell = c3.child[quadrant(c3, p)];
+        ++depth;
+    }
+}
+
+Vec2
+QuadTree::forceAt(Vec2 position, double theta) const
+{
+    Vec2 total;
+    if (inserted == 0)
+        return total;
+
+    // Explicit stack to avoid recursion on deep trees.
+    std::vector<std::int32_t> stack{0};
+    while (!stack.empty()) {
+        const Cell &c = cells[stack.back()];
+        stack.pop_back();
+        if (c.charge <= 0.0)
+            continue;
+
+        if (c.isLeaf) {
+            if (!c.hasPoint)
+                continue;
+            Vec2 d = position - c.point;
+            double dist = d.norm();
+            if (dist < kCoincidenceEps)
+                continue;  // self or coincident: no direction, skip
+            total += d * (c.pointCharge / (dist * dist * dist));
+            continue;
+        }
+
+        Vec2 d = position - c.barycentre;
+        double dist = d.norm();
+        double size = std::max(c.hi.x - c.lo.x, c.hi.y - c.lo.y);
+        if (dist > kCoincidenceEps && size / dist < theta) {
+            total += d * (c.charge / (dist * dist * dist));
+            continue;
+        }
+        for (int q = 0; q < 4; ++q)
+            if (c.child[q] >= 0)
+                stack.push_back(c.child[q]);
+    }
+    return total;
+}
+
+} // namespace viva::layout

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Barnes-Hut quadtree [3]: the O(n log n) approximation of the all-pairs
+ * Coulomb repulsion that makes the layout scale to large views
+ * (Section 3.3: "we adopt the scalable Barnes-Hut algorithm").
+ */
+
+#ifndef VIVA_LAYOUT_QUADTREE_HH
+#define VIVA_LAYOUT_QUADTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/vec2.hh"
+
+namespace viva::layout
+{
+
+/**
+ * A quadtree over charged 2-D points. Build once per iteration with
+ * insert(), then query the approximate repulsive field with forceAt().
+ */
+class QuadTree
+{
+  public:
+    /**
+     * @param lo lower-left corner of the bounding box
+     * @param hi upper-right corner (must strictly contain all inserts)
+     */
+    QuadTree(Vec2 lo, Vec2 hi);
+
+    /** Insert one charged point. Points outside the box are clamped. */
+    void insert(Vec2 position, double charge);
+
+    /**
+     * The repulsive field at a position: sum over inserted charges q_j
+     * of q_j * (p - p_j) / |p - p_j|^3, with cells treated as a single
+     * charge at their barycentre when (cell size / distance) < theta.
+     * A query at an inserted point skips near-coincident charges
+     * (distance below a small epsilon) rather than dividing by zero.
+     *
+     * @param position query point
+     * @param theta opening angle; 0 degenerates to the exact sum
+     */
+    Vec2 forceAt(Vec2 position, double theta) const;
+
+    /** Number of inserted points. */
+    std::size_t pointCount() const { return inserted; }
+
+    /** Number of allocated tree cells (memory metric). */
+    std::size_t cellCount() const { return cells.size(); }
+
+  private:
+    struct Cell
+    {
+        Vec2 lo;                ///< cell bounds
+        Vec2 hi;
+        Vec2 barycentre;        ///< charge-weighted centre
+        double charge = 0.0;    ///< total charge inside
+        std::int32_t child[4] = {-1, -1, -1, -1};
+        bool isLeaf = true;
+        Vec2 point;             ///< the single point of a leaf
+        double pointCharge = 0.0;
+        bool hasPoint = false;
+    };
+
+    /** Index of the quadrant of `cell` containing p. */
+    static int quadrant(const Cell &cell, Vec2 p);
+
+    /** Create the 4 children of a cell. */
+    void subdivide(std::int32_t cell);
+
+    void insertInto(std::int32_t cell, Vec2 p, double charge, int depth);
+
+    std::vector<Cell> cells;
+    std::size_t inserted = 0;
+
+    /** Coincident points merge below this depth. */
+    static constexpr int kMaxDepth = 48;
+};
+
+} // namespace viva::layout
+
+#endif // VIVA_LAYOUT_QUADTREE_HH

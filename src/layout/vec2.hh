@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal 2-D vector used by the layout engine.
+ */
+
+#ifndef VIVA_LAYOUT_VEC2_HH
+#define VIVA_LAYOUT_VEC2_HH
+
+#include <cmath>
+
+namespace viva::layout
+{
+
+/** A 2-D point / displacement. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+    Vec2 operator/(double s) const { return {x / s, y / s}; }
+
+    Vec2 &
+    operator+=(const Vec2 &o)
+    {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+
+    Vec2 &
+    operator-=(const Vec2 &o)
+    {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+
+    /** Squared Euclidean norm. */
+    double norm2() const { return x * x + y * y; }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(norm2()); }
+
+    bool operator==(const Vec2 &o) const = default;
+};
+
+/** Euclidean distance. */
+inline double
+distance(const Vec2 &a, const Vec2 &b)
+{
+    return (a - b).norm();
+}
+
+} // namespace viva::layout
+
+#endif // VIVA_LAYOUT_VEC2_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Implementation of the canned platform builders.
+ */
+
+#include "platform/builders.hh"
+
+#include "support/logging.hh"
+
+namespace viva::platform
+{
+
+GroupId
+buildCluster(Platform &p, GroupId site, const ClusterSpec &spec,
+             VertexId parent_vertex, GroupId uplink_group)
+{
+    GroupId cluster = p.addCluster(spec.name, site);
+    RouterId sw = p.addRouter(spec.name + "-switch", cluster);
+    VertexId sw_vertex = p.router(sw).vertex;
+
+    LinkId uplink = p.addLink(spec.name + "-uplink", spec.uplinkMbps,
+                              spec.uplinkLatencyS, uplink_group);
+    p.connect(sw_vertex, parent_vertex, uplink);
+
+    for (std::size_t i = 0; i < spec.hostCount; ++i) {
+        std::string host_name = spec.name + "-" + std::to_string(i + 1);
+        HostId h = p.addHost(host_name, spec.hostPowerMflops, cluster);
+        LinkId l = p.addLink(host_name + "-link", spec.hostLinkMbps,
+                             spec.hostLinkLatencyS, cluster);
+        p.connect(p.host(h).vertex, sw_vertex, l);
+    }
+    return cluster;
+}
+
+Platform
+makeTwoClusterPlatform()
+{
+    Platform p("hpc");
+
+    GroupId site = p.addSite("testbed");
+    RouterId left = p.addRouter("router-left", site);
+    RouterId right = p.addRouter("router-right", site);
+
+    // The inter-cluster backbone: 22 1-Gbit/s host uplinks funnel
+    // through 1.5 Gbit/s. Calibrated so the sequential WH deployment
+    // saturates it while the locality-aware one improves the makespan
+    // by ~20-25%, the band the paper reports.
+    LinkId backbone = p.addLink("backbone", 1500.0, 500e-6, site);
+    p.connect(p.router(left).vertex, p.router(right).vertex, backbone);
+
+    ClusterSpec adonis;
+    adonis.name = "adonis";
+    adonis.hostCount = 11;
+    adonis.hostPowerMflops = 10000.0;
+    buildCluster(p, site, adonis, p.router(left).vertex, site);
+
+    ClusterSpec griffon;
+    griffon.name = "griffon";
+    griffon.hostCount = 11;
+    griffon.hostPowerMflops = 8000.0;
+    buildCluster(p, site, griffon, p.router(right).vertex, site);
+
+    VIVA_ASSERT(p.hostCount() == kTwoClusterHosts,
+                "two-cluster platform host count drifted");
+    return p;
+}
+
+namespace
+{
+
+/** One Grid'5000 site: name and its clusters (name, hosts, MFlops). */
+struct SiteSpec
+{
+    const char *name;
+    struct { const char *name; std::size_t hosts; double mflops; }
+        clusters[5];
+    std::size_t clusterCount;
+};
+
+// Host counts sum to exactly 2170 (asserted below); per-cluster powers
+// span the heterogeneity of the real testbed (3.2 to 11.8 GFlops/host).
+const SiteSpec grid5000Sites[] = {
+    {"grenoble",
+     {{"adonis", 12, 11800.0}, {"edel", 72, 9500.0}, {"genepi", 34, 8800.0}},
+     3},
+    {"bordeaux",
+     {{"bordeblade", 51, 5200.0}, {"bordeplage", 51, 5000.0},
+      {"bordereau", 93, 6400.0}},
+     3},
+    {"lille",
+     {{"chicon", 26, 7900.0}, {"chinqchint", 46, 8300.0},
+      {"chirloute", 8, 9900.0}, {"chuque", 53, 4700.0}},
+     4},
+    {"luxembourg", {{"granduc", 22, 7500.0}, {"petitprince", 16, 8600.0}}, 2},
+    {"lyon", {{"capricorne", 56, 4200.0}, {"sagittaire", 79, 4600.0}}, 2},
+    {"nancy",
+     {{"graphene", 144, 9100.0}, {"griffon", 92, 8700.0},
+      {"grelon", 120, 3900.0}},
+     3},
+    {"orsay", {{"gdx", 310, 3200.0}, {"netgdx", 30, 3400.0}}, 2},
+    {"rennes",
+     {{"paradent", 64, 8500.0}, {"parapide", 25, 11200.0},
+      {"parapluie", 40, 9300.0}, {"paravance", 72, 10400.0},
+      {"paramount", 100, 5600.0}},
+     5},
+    {"sophia",
+     {{"helios", 56, 4400.0}, {"sol", 50, 5300.0}, {"suno", 45, 9000.0},
+      {"azur", 114, 3600.0}},
+     4},
+    {"toulouse", {{"pastel", 140, 5800.0}, {"violette", 57, 4100.0}}, 2},
+    {"reims", {{"stremi", 44, 7300.0}}, 1},
+    {"nantes", {{"ecotype", 48, 10900.0}}, 1},
+};
+
+} // namespace
+
+Platform
+makeGrid5000()
+{
+    Platform p("grid5000");
+
+    constexpr std::size_t n_sites =
+        sizeof(grid5000Sites) / sizeof(grid5000Sites[0]);
+
+    std::vector<VertexId> site_router(n_sites);
+    std::vector<GroupId> site_group(n_sites);
+
+    for (std::size_t s = 0; s < n_sites; ++s) {
+        const SiteSpec &spec = grid5000Sites[s];
+        GroupId site = p.addSite(spec.name);
+        site_group[s] = site;
+        RouterId router = p.addRouter(std::string(spec.name) + "-router",
+                                      site);
+        site_router[s] = p.router(router).vertex;
+
+        for (std::size_t c = 0; c < spec.clusterCount; ++c) {
+            ClusterSpec cluster;
+            cluster.name = spec.clusters[c].name;
+            cluster.hostCount = spec.clusters[c].hosts;
+            cluster.hostPowerMflops = spec.clusters[c].mflops;
+            cluster.hostLinkMbps = 1000.0;
+            cluster.uplinkMbps = 10000.0;
+            buildCluster(p, site, cluster, site_router[s], site);
+        }
+    }
+
+    // Renater-like national backbone: a ring over the sites plus chords
+    // between large sites so paths do not all share one bottleneck.
+    auto backbone = [&](std::size_t a, std::size_t b) {
+        std::string name = std::string("renater-") + grid5000Sites[a].name +
+                           "-" + grid5000Sites[b].name;
+        LinkId l = p.addLink(name, 10000.0, 2e-3, p.grid());
+        p.connect(site_router[a], site_router[b], l);
+    };
+    for (std::size_t s = 0; s < n_sites; ++s)
+        backbone(s, (s + 1) % n_sites);
+    backbone(0, 4);   // grenoble - lyon
+    backbone(4, 9);   // lyon - toulouse
+    backbone(6, 11);  // orsay - nantes
+    backbone(5, 10);  // nancy - reims
+
+    VIVA_ASSERT(p.hostCount() == kGrid5000Hosts,
+                "grid5000 host count is ", p.hostCount(), ", expected ",
+                kGrid5000Hosts);
+    return p;
+}
+
+Platform
+makeSyntheticGrid(std::size_t sites, std::size_t clusters_per_site,
+                  std::size_t hosts_per_cluster, support::Rng &rng)
+{
+    VIVA_ASSERT(sites > 0 && clusters_per_site > 0 && hosts_per_cluster > 0,
+                "synthetic grid dimensions must be positive");
+    Platform p("synthetic");
+    std::vector<VertexId> site_router(sites);
+
+    for (std::size_t s = 0; s < sites; ++s) {
+        std::string site_name = "site" + std::to_string(s);
+        GroupId site = p.addSite(site_name);
+        RouterId router = p.addRouter(site_name + "-router", site);
+        site_router[s] = p.router(router).vertex;
+
+        for (std::size_t c = 0; c < clusters_per_site; ++c) {
+            ClusterSpec cluster;
+            cluster.name = site_name + "-c" + std::to_string(c);
+            cluster.hostCount = hosts_per_cluster;
+            cluster.hostPowerMflops = rng.uniform(3000.0, 12000.0);
+            buildCluster(p, site, cluster, site_router[s], site);
+        }
+    }
+
+    for (std::size_t s = 0; s < sites && sites > 1; ++s) {
+        LinkId l = p.addLink("bb" + std::to_string(s), 10000.0, 2e-3,
+                             p.grid());
+        p.connect(site_router[s], site_router[(s + 1) % sites], l);
+    }
+    return p;
+}
+
+} // namespace viva::platform

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Canned platforms for the paper's two case studies plus generic
+ * synthetic generators used by tests and scalability benchmarks.
+ */
+
+#ifndef VIVA_PLATFORM_BUILDERS_HH
+#define VIVA_PLATFORM_BUILDERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hh"
+#include "support/random.hh"
+
+namespace viva::platform
+{
+
+/** Per-cluster construction parameters. */
+struct ClusterSpec
+{
+    std::string name;
+    std::size_t hostCount = 0;
+    double hostPowerMflops = 8000.0;   ///< per-host compute rate
+    double hostLinkMbps = 1000.0;      ///< host-to-switch uplink
+    double hostLinkLatencyS = 50e-6;
+    double uplinkMbps = 10000.0;       ///< switch-to-parent uplink
+    double uplinkLatencyS = 100e-6;
+};
+
+/**
+ * Build a cluster under `parent_vertex` (typically a site router):
+ * one switch, one uplink from the switch to the parent vertex, and one
+ * private link per host to the switch.
+ * @return the cluster group id
+ */
+GroupId buildCluster(Platform &p, GroupId site, const ClusterSpec &spec,
+                     VertexId parent_vertex, GroupId uplink_group);
+
+/**
+ * The Section 5.1 platform: two homogeneous 11-host clusters, Adonis and
+ * Griffon, joined by a backbone whose capacity is of the same order as a
+ * single host uplink -- so that non-local communication saturates it,
+ * exactly the Fig. 6 phenomenon.
+ *
+ * Topology: host -(1G)- cluster switch -(10G)- site router, and the two
+ * site routers joined by a 1G inter-cluster backbone.
+ */
+Platform makeTwoClusterPlatform();
+
+/** Host count of the two-cluster platform (11 + 11). */
+inline constexpr std::size_t kTwoClusterHosts = 22;
+
+/**
+ * The Section 5.2 platform: a realistic model of Grid'5000 with exactly
+ * 2170 hosts spread over 12 sites and 30 clusters, heterogeneous host
+ * power (cluster-dependent), 1G host uplinks, 10G cluster uplinks, and a
+ * 10G national backbone ring with chords (Renater-like).
+ */
+Platform makeGrid5000();
+
+/** Host count of the Grid'5000 model. */
+inline constexpr std::size_t kGrid5000Hosts = 2170;
+
+/**
+ * A synthetic platform for scalability tests: `sites` sites, each with
+ * `clusters_per_site` clusters of `hosts_per_cluster` hosts; backbone is
+ * a ring over site routers.
+ */
+Platform makeSyntheticGrid(std::size_t sites, std::size_t clusters_per_site,
+                           std::size_t hosts_per_cluster,
+                           support::Rng &rng);
+
+} // namespace viva::platform
+
+#endif // VIVA_PLATFORM_BUILDERS_HH

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Implementation of the platform model and its BFS routing.
+ */
+
+#include "platform/platform.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+
+namespace viva::platform
+{
+
+Platform::Platform(const std::string &grid_name)
+{
+    Group grid_group;
+    grid_group.id = 0;
+    grid_group.name = grid_name;
+    grid_group.kind = GroupKind::Grid;
+    groups.push_back(std::move(grid_group));
+    groupByName.emplace(grid_name, 0);
+}
+
+GroupId
+Platform::addSite(const std::string &name)
+{
+    Group g;
+    g.id = GroupId(groups.size());
+    g.name = name;
+    g.kind = GroupKind::Site;
+    g.parent = grid();
+    groups.push_back(g);
+    groups[grid()].children.push_back(g.id);
+    VIVA_ASSERT(groupByName.emplace(name, g.id).second,
+                "duplicate group name '", name, "'");
+    return g.id;
+}
+
+GroupId
+Platform::addCluster(const std::string &name, GroupId parent)
+{
+    VIVA_ASSERT(parent < groups.size(), "bad parent group ", parent);
+    Group g;
+    g.id = GroupId(groups.size());
+    g.name = name;
+    g.kind = GroupKind::Cluster;
+    g.parent = parent;
+    groups.push_back(g);
+    groups[parent].children.push_back(g.id);
+    VIVA_ASSERT(groupByName.emplace(name, g.id).second,
+                "duplicate group name '", name, "'");
+    return g.id;
+}
+
+VertexId
+Platform::newVertex(bool is_host, std::uint32_t index)
+{
+    VertexId v = VertexId(vertexInfo.size());
+    vertexInfo.push_back({is_host, index});
+    adjacency.emplace_back();
+    return v;
+}
+
+HostId
+Platform::addHost(const std::string &name, double power_mflops,
+                  GroupId group_id)
+{
+    VIVA_ASSERT(group_id < groups.size(), "bad group ", group_id);
+    VIVA_ASSERT(power_mflops > 0, "host '", name, "' needs positive power");
+    Host h;
+    h.id = HostId(hosts.size());
+    h.name = name;
+    h.powerMflops = power_mflops;
+    h.group = group_id;
+    h.vertex = newVertex(true, h.id);
+    VIVA_ASSERT(hostByName.emplace(name, h.id).second,
+                "duplicate host name '", name, "'");
+    hosts.push_back(std::move(h));
+    return HostId(hosts.size() - 1);
+}
+
+RouterId
+Platform::addRouter(const std::string &name, GroupId group_id)
+{
+    VIVA_ASSERT(group_id < groups.size(), "bad group ", group_id);
+    Router r;
+    r.id = RouterId(routers.size());
+    r.name = name;
+    r.group = group_id;
+    r.vertex = newVertex(false, r.id);
+    routers.push_back(std::move(r));
+    return RouterId(routers.size() - 1);
+}
+
+LinkId
+Platform::addLink(const std::string &name, double bandwidth_mbps,
+                  double latency_s, GroupId group_id)
+{
+    VIVA_ASSERT(group_id < groups.size(), "bad group ", group_id);
+    VIVA_ASSERT(bandwidth_mbps > 0, "link '", name,
+                "' needs positive bandwidth");
+    VIVA_ASSERT(latency_s >= 0, "link '", name, "' has negative latency");
+    Link l;
+    l.id = LinkId(links.size());
+    l.name = name;
+    l.bandwidthMbps = bandwidth_mbps;
+    l.latencyS = latency_s;
+    l.group = group_id;
+    links.push_back(std::move(l));
+    return LinkId(links.size() - 1);
+}
+
+void
+Platform::connect(VertexId a, VertexId b, LinkId link_id)
+{
+    VIVA_ASSERT(a < adjacency.size() && b < adjacency.size(),
+                "bad vertices ", a, ", ", b);
+    VIVA_ASSERT(link_id < links.size(), "bad link ", link_id);
+    VIVA_ASSERT(a != b, "self-loop on vertex ", a);
+    adjacency[a].emplace_back(b, link_id);
+    adjacency[b].emplace_back(a, link_id);
+    routeCache.clear();
+}
+
+const Group &
+Platform::group(GroupId id) const
+{
+    VIVA_ASSERT(id < groups.size(), "bad group id ", id);
+    return groups[id];
+}
+
+const Host &
+Platform::host(HostId id) const
+{
+    VIVA_ASSERT(id < hosts.size(), "bad host id ", id);
+    return hosts[id];
+}
+
+const Link &
+Platform::link(LinkId id) const
+{
+    VIVA_ASSERT(id < links.size(), "bad link id ", id);
+    return links[id];
+}
+
+const Router &
+Platform::router(RouterId id) const
+{
+    VIVA_ASSERT(id < routers.size(), "bad router id ", id);
+    return routers[id];
+}
+
+HostId
+Platform::findHost(const std::string &name) const
+{
+    auto it = hostByName.find(name);
+    return it == hostByName.end() ? kNoId : it->second;
+}
+
+GroupId
+Platform::findGroup(const std::string &name) const
+{
+    auto it = groupByName.find(name);
+    return it == groupByName.end() ? kNoId : it->second;
+}
+
+bool
+Platform::groupIsUnder(GroupId descendant, GroupId ancestor) const
+{
+    VIVA_ASSERT(descendant < groups.size() && ancestor < groups.size(),
+                "bad group ids");
+    GroupId cur = descendant;
+    while (true) {
+        if (cur == ancestor)
+            return true;
+        if (cur == grid())
+            return false;
+        cur = groups[cur].parent;
+    }
+}
+
+std::vector<HostId>
+Platform::hostsUnder(GroupId id) const
+{
+    std::vector<HostId> out;
+    for (const Host &h : hosts)
+        if (groupIsUnder(h.group, id))
+            out.push_back(h.id);
+    return out;
+}
+
+std::string
+Platform::groupPath(GroupId id) const
+{
+    VIVA_ASSERT(id < groups.size(), "bad group id ", id);
+    std::vector<const std::string *> parts;
+    GroupId cur = id;
+    while (true) {
+        parts.push_back(&groups[cur].name);
+        if (cur == grid())
+            break;
+        cur = groups[cur].parent;
+    }
+    std::string out;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        if (!out.empty())
+            out += '/';
+        out += **it;
+    }
+    return out;
+}
+
+const std::vector<std::pair<VertexId, LinkId>> &
+Platform::edges(VertexId v) const
+{
+    VIVA_ASSERT(v < adjacency.size(), "bad vertex ", v);
+    return adjacency[v];
+}
+
+HostId
+Platform::vertexHost(VertexId v) const
+{
+    VIVA_ASSERT(v < vertexInfo.size(), "bad vertex ", v);
+    return vertexInfo[v].isHost ? vertexInfo[v].index : kNoId;
+}
+
+RouterId
+Platform::vertexRouter(VertexId v) const
+{
+    VIVA_ASSERT(v < vertexInfo.size(), "bad vertex ", v);
+    return vertexInfo[v].isHost ? kNoId : vertexInfo[v].index;
+}
+
+const std::string &
+Platform::vertexName(VertexId v) const
+{
+    VIVA_ASSERT(v < vertexInfo.size(), "bad vertex ", v);
+    return vertexInfo[v].isHost ? hosts[vertexInfo[v].index].name
+                                : routers[vertexInfo[v].index].name;
+}
+
+const Route &
+Platform::route(HostId src, HostId dst) const
+{
+    VIVA_ASSERT(src < hosts.size() && dst < hosts.size(),
+                "bad route endpoints ", src, ", ", dst);
+    std::uint64_t key = (std::uint64_t(src) << 32) | dst;
+    auto it = routeCache.find(key);
+    if (it != routeCache.end())
+        return it->second;
+
+    Route result;
+    if (src == dst) {
+        result.latencyS = 0.0;
+        return routeCache.emplace(key, std::move(result)).first->second;
+    }
+
+    // Plain BFS over vertices, remembering the (vertex, link) we came by.
+    VertexId start = hosts[src].vertex;
+    VertexId goal = hosts[dst].vertex;
+    std::vector<std::pair<VertexId, LinkId>> pred(
+        adjacency.size(), {kNoId, kNoId});
+    std::deque<VertexId> queue{start};
+    pred[start] = {start, kNoId};
+    bool found = false;
+    while (!queue.empty() && !found) {
+        VertexId cur = queue.front();
+        queue.pop_front();
+        for (const auto &[next, l] : adjacency[cur]) {
+            if (pred[next].first != kNoId)
+                continue;
+            pred[next] = {cur, l};
+            if (next == goal) {
+                found = true;
+                break;
+            }
+            queue.push_back(next);
+        }
+    }
+    if (!found) {
+        support::panic("Platform::route", "hosts '", hosts[src].name,
+                       "' and '", hosts[dst].name, "' are disconnected");
+    }
+
+    for (VertexId cur = goal; cur != start; cur = pred[cur].first) {
+        LinkId l = pred[cur].second;
+        result.links.push_back(l);
+        result.latencyS += links[l].latencyS;
+    }
+    std::reverse(result.links.begin(), result.links.end());
+    return routeCache.emplace(key, std::move(result)).first->second;
+}
+
+void
+Platform::invalidateRoutes() const
+{
+    routeCache.clear();
+}
+
+} // namespace viva::platform

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Platform description: hosts with compute power, links with bandwidth
+ * and latency, routers, a hierarchical grouping (grid / site / cluster),
+ * and hop-count routing between hosts. This is the substrate the
+ * simulator executes on and the source of the topology edges the
+ * visualization draws.
+ */
+
+#ifndef VIVA_PLATFORM_PLATFORM_HH
+#define VIVA_PLATFORM_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace viva::platform
+{
+
+using HostId = std::uint32_t;
+using LinkId = std::uint32_t;
+using RouterId = std::uint32_t;
+using GroupId = std::uint32_t;
+using VertexId = std::uint32_t;
+
+inline constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+/** Level of a grouping node in the platform hierarchy. */
+enum class GroupKind : std::uint8_t { Grid, Site, Cluster };
+
+/** A grouping node (grid contains sites, sites contain clusters). */
+struct Group
+{
+    GroupId id = kNoId;
+    std::string name;
+    GroupKind kind = GroupKind::Grid;
+    GroupId parent = kNoId;   ///< kNoId for the top-level grid
+    std::vector<GroupId> children;
+};
+
+/** A processing node. */
+struct Host
+{
+    HostId id = kNoId;
+    std::string name;
+    double powerMflops = 0.0;  ///< peak compute rate
+    GroupId group = kNoId;     ///< innermost enclosing group
+    VertexId vertex = kNoId;   ///< this host's vertex in the graph
+};
+
+/** A network link; capacity is shared by all flows crossing it. */
+struct Link
+{
+    LinkId id = kNoId;
+    std::string name;
+    double bandwidthMbps = 0.0;  ///< capacity in Mbit/s
+    double latencyS = 0.0;       ///< one-way latency in seconds
+    GroupId group = kNoId;       ///< innermost group it belongs to
+};
+
+/** A switch/router: a pure interconnection vertex, no compute power. */
+struct Router
+{
+    RouterId id = kNoId;
+    std::string name;
+    GroupId group = kNoId;
+    VertexId vertex = kNoId;
+};
+
+/** An end-to-end path: the links crossed and the summed latency. */
+struct Route
+{
+    std::vector<LinkId> links;
+    double latencyS = 0.0;
+
+    bool valid() const { return !links.empty() || latencyS >= 0.0; }
+};
+
+/**
+ * The whole platform. Hosts and routers are vertices of an undirected
+ * multigraph whose edges are the links; routes are shortest paths by hop
+ * count, computed on demand and cached.
+ */
+class Platform
+{
+  public:
+    /** Create a platform whose top-level grid group has this name. */
+    explicit Platform(const std::string &grid_name = "grid");
+
+    // --- construction ----------------------------------------------------
+
+    /** Add a site under the grid. */
+    GroupId addSite(const std::string &name);
+
+    /** Add a cluster under a site (or directly under the grid). */
+    GroupId addCluster(const std::string &name, GroupId parent);
+
+    /**
+     * Add a host.
+     * @param name globally unique host name
+     * @param power_mflops peak compute rate
+     * @param group innermost enclosing group
+     */
+    HostId addHost(const std::string &name, double power_mflops,
+                   GroupId group);
+
+    /** Add a router to a group. */
+    RouterId addRouter(const std::string &name, GroupId group);
+
+    /**
+     * Add a link.
+     * @param bandwidth_mbps shared capacity in Mbit/s
+     * @param latency_s one-way latency in seconds
+     */
+    LinkId addLink(const std::string &name, double bandwidth_mbps,
+                   double latency_s, GroupId group);
+
+    /** Connect two vertices through a link (undirected). */
+    void connect(VertexId a, VertexId b, LinkId link);
+
+    // --- lookup ------------------------------------------------------------
+
+    const Group &group(GroupId id) const;
+    const Host &host(HostId id) const;
+    const Link &link(LinkId id) const;
+    const Router &router(RouterId id) const;
+
+    std::size_t groupCount() const { return groups.size(); }
+    std::size_t hostCount() const { return hosts.size(); }
+    std::size_t linkCount() const { return links.size(); }
+    std::size_t routerCount() const { return routers.size(); }
+    std::size_t vertexCount() const { return adjacency.size(); }
+
+    /** The top-level grid group (id 0). */
+    GroupId grid() const { return 0; }
+
+    /** Host id by name, or kNoId. */
+    HostId findHost(const std::string &name) const;
+
+    /** Group id by name (unique across kinds assumed), or kNoId. */
+    GroupId findGroup(const std::string &name) const;
+
+    /** All hosts whose innermost group lies under this group. */
+    std::vector<HostId> hostsUnder(GroupId id) const;
+
+    /** True when descendant equals ancestor or lies beneath it. */
+    bool groupIsUnder(GroupId descendant, GroupId ancestor) const;
+
+    /** Slash-separated path of a group from the grid, grid included. */
+    std::string groupPath(GroupId id) const;
+
+    // --- topology ---------------------------------------------------------
+
+    /** Edges incident to a vertex: (neighbour vertex, link). */
+    const std::vector<std::pair<VertexId, LinkId>> &
+    edges(VertexId v) const;
+
+    /** What a vertex is: a host (returns id) or kNoId if a router. */
+    HostId vertexHost(VertexId v) const;
+
+    /** What a vertex is: a router (returns id) or kNoId if a host. */
+    RouterId vertexRouter(VertexId v) const;
+
+    /** Display name of a vertex (host or router name). */
+    const std::string &vertexName(VertexId v) const;
+
+    // --- routing ----------------------------------------------------------
+
+    /**
+     * Shortest path (hop count) between two hosts. Cached. Panics when
+     * the hosts are disconnected -- a platform construction error.
+     * A host-to-itself route is empty with zero latency.
+     */
+    const Route &route(HostId src, HostId dst) const;
+
+    /** Drop the route cache (after topology edits). */
+    void invalidateRoutes() const;
+
+  private:
+    VertexId newVertex(bool is_host, std::uint32_t index);
+
+    std::vector<Group> groups;
+    std::vector<Host> hosts;
+    std::vector<Link> links;
+    std::vector<Router> routers;
+
+    /** vertex -> (is_host, host/router index) */
+    struct VertexInfo
+    {
+        bool isHost;
+        std::uint32_t index;
+    };
+    std::vector<VertexInfo> vertexInfo;
+    std::vector<std::vector<std::pair<VertexId, LinkId>>> adjacency;
+
+    std::unordered_map<std::string, HostId> hostByName;
+    std::unordered_map<std::string, GroupId> groupByName;
+
+    mutable std::unordered_map<std::uint64_t, Route> routeCache;
+};
+
+} // namespace viva::platform
+
+#endif // VIVA_PLATFORM_PLATFORM_HH

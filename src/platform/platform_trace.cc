@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the platform-to-trace mirror.
+ */
+
+#include "platform/platform_trace.hh"
+
+#include "support/logging.hh"
+
+namespace viva::platform
+{
+
+using trace::ContainerKind;
+using trace::MetricNature;
+
+namespace
+{
+
+ContainerKind
+kindOfGroup(GroupKind kind)
+{
+    switch (kind) {
+      case GroupKind::Grid: return ContainerKind::Grid;
+      case GroupKind::Site: return ContainerKind::Site;
+      case GroupKind::Cluster: return ContainerKind::Cluster;
+    }
+    return ContainerKind::Custom;
+}
+
+} // namespace
+
+TraceMirror
+mirrorPlatform(const Platform &p, trace::Trace &out)
+{
+    VIVA_ASSERT(out.container(out.root()).children.empty(),
+                "mirrorPlatform needs an empty trace");
+
+    TraceMirror m;
+    m.power = out.addMetric("power", "MFlops", MetricNature::Capacity);
+    m.powerUsed = out.addMetric("power_used", "MFlops",
+                                MetricNature::Utilization, m.power);
+    m.bandwidth = out.addMetric("bandwidth", "Mbit/s",
+                                MetricNature::Capacity);
+    m.bandwidthUsed = out.addMetric("bandwidth_used", "Mbit/s",
+                                    MetricNature::Utilization, m.bandwidth);
+
+    // Groups, in id order (parents have smaller ids than children).
+    m.groupContainer.resize(p.groupCount());
+    for (GroupId g = 0; g < p.groupCount(); ++g) {
+        const Group &grp = p.group(g);
+        trace::ContainerId parent =
+            grp.parent == kNoId ? out.root() : m.groupContainer[grp.parent];
+        m.groupContainer[g] =
+            out.addContainer(grp.name, kindOfGroup(grp.kind), parent);
+    }
+
+    m.hostContainer.resize(p.hostCount());
+    for (HostId h = 0; h < p.hostCount(); ++h) {
+        const Host &host = p.host(h);
+        m.hostContainer[h] = out.addContainer(
+            host.name, ContainerKind::Host, m.groupContainer[host.group]);
+        out.variable(m.hostContainer[h], m.power)
+            .set(0.0, host.powerMflops);
+    }
+
+    m.routerContainer.resize(p.routerCount());
+    for (RouterId r = 0; r < p.routerCount(); ++r) {
+        const Router &router = p.router(r);
+        m.routerContainer[r] = out.addContainer(
+            router.name, ContainerKind::Router,
+            m.groupContainer[router.group]);
+    }
+
+    m.linkContainer.resize(p.linkCount());
+    for (LinkId l = 0; l < p.linkCount(); ++l) {
+        const Link &link = p.link(l);
+        m.linkContainer[l] = out.addContainer(
+            link.name, ContainerKind::Link, m.groupContainer[link.group]);
+        out.variable(m.linkContainer[l], m.bandwidth)
+            .set(0.0, link.bandwidthMbps);
+    }
+
+    // Topology edges: vertex -- link -- vertex becomes two relations.
+    for (VertexId v = 0; v < p.vertexCount(); ++v) {
+        for (const auto &[other, l] : p.edges(v)) {
+            out.addRelation(m.vertexContainer(p, v), m.linkContainer[l]);
+            out.addRelation(m.linkContainer[l],
+                            m.vertexContainer(p, other));
+        }
+    }
+
+    return m;
+}
+
+} // namespace viva::platform

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Mirror a Platform into a Trace: the group hierarchy becomes the
+ * container hierarchy (the spatial-aggregation tree), hosts/links/routers
+ * become containers, topology edges become relations, and capacities
+ * become t=0 variable values. The simulator's tracer then appends
+ * utilization on top of this skeleton.
+ */
+
+#ifndef VIVA_PLATFORM_PLATFORM_TRACE_HH
+#define VIVA_PLATFORM_PLATFORM_TRACE_HH
+
+#include <vector>
+
+#include "platform/platform.hh"
+#include "trace/trace.hh"
+
+namespace viva::platform
+{
+
+/** The id mapping produced by mirrorPlatform(). */
+struct TraceMirror
+{
+    std::vector<trace::ContainerId> hostContainer;    ///< by HostId
+    std::vector<trace::ContainerId> linkContainer;    ///< by LinkId
+    std::vector<trace::ContainerId> routerContainer;  ///< by RouterId
+    std::vector<trace::ContainerId> groupContainer;   ///< by GroupId
+
+    trace::MetricId power = trace::kNoMetric;          ///< MFlops
+    trace::MetricId powerUsed = trace::kNoMetric;      ///< MFlops
+    trace::MetricId bandwidth = trace::kNoMetric;      ///< Mbit/s
+    trace::MetricId bandwidthUsed = trace::kNoMetric;  ///< Mbit/s
+
+    /** Container of the vertex (host or router). */
+    trace::ContainerId
+    vertexContainer(const Platform &p, VertexId v) const
+    {
+        HostId h = p.vertexHost(v);
+        if (h != kNoId)
+            return hostContainer[h];
+        return routerContainer[p.vertexRouter(v)];
+    }
+};
+
+/**
+ * Populate `out` with the platform's structure.
+ *
+ * Capacities (host power, link bandwidth) are recorded at time 0; no
+ * utilization points are written (the tracer owns those). Must be called
+ * on a trace whose root has no children yet.
+ */
+TraceMirror mirrorPlatform(const Platform &p, trace::Trace &out);
+
+} // namespace viva::platform
+
+#endif // VIVA_PLATFORM_PLATFORM_TRACE_HH

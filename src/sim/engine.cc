@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Implementation of the simulation engine.
+ */
+
+#include "sim/engine.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace viva::sim
+{
+
+namespace
+{
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/** Work below this is considered finished (MFlop / Mbit). */
+constexpr double kWorkEps = 1e-9;
+
+/** Tolerance for "event in the past" clock checks. */
+constexpr double kTimeEps = 1e-9;
+
+} // namespace
+
+Engine::Engine(const platform::Platform &platform,
+               const std::vector<std::string> &tags)
+    : plat(platform)
+{
+    capacities.reserve(plat.hostCount() + plat.linkCount());
+    for (platform::HostId h = 0; h < plat.hostCount(); ++h)
+        capacities.push_back(plat.host(h).powerMflops);
+    for (platform::LinkId l = 0; l < plat.linkCount(); ++l)
+        capacities.push_back(plat.link(l).bandwidthMbps);
+    hostUsage.assign(plat.hostCount(), 0.0);
+    linkUsage.assign(plat.linkCount(), 0.0);
+    hostUsageByTag.assign(1, std::vector<double>(plat.hostCount(), 0.0));
+    linkUsageByTag.assign(1, std::vector<double>(plat.linkCount(), 0.0));
+    for (const std::string &t : tags)
+        registerTag(t);
+}
+
+TagId
+Engine::registerTag(const std::string &name)
+{
+    VIVA_ASSERT(!started, "tags must be registered before activities");
+    VIVA_ASSERT(tagNames.size() < 255, "too many tags");
+    tagNames.push_back(name);
+    hostUsageByTag.emplace_back(plat.hostCount(), 0.0);
+    linkUsageByTag.emplace_back(plat.linkCount(), 0.0);
+    return TagId(tagNames.size() - 1);
+}
+
+const std::string &
+Engine::tagName(TagId tag) const
+{
+    VIVA_ASSERT(tag < tagNames.size(), "bad tag ", int(tag));
+    return tagNames[tag];
+}
+
+std::uint32_t
+Engine::hostResource(platform::HostId h) const
+{
+    VIVA_ASSERT(h < plat.hostCount(), "bad host id ", h);
+    return h;
+}
+
+std::uint32_t
+Engine::linkResource(platform::LinkId l) const
+{
+    VIVA_ASSERT(l < plat.linkCount(), "bad link id ", l);
+    return std::uint32_t(plat.hostCount()) + l;
+}
+
+void
+Engine::at(double time, Callback cb)
+{
+    VIVA_ASSERT(time >= clock - kTimeEps, "event at ", time,
+                " is in the past (now ", clock, ")");
+    VIVA_ASSERT(cb, "null event callback");
+    eventQueue.push({std::max(time, clock), nextSeq++, std::move(cb)});
+}
+
+void
+Engine::after(double dt, Callback cb)
+{
+    VIVA_ASSERT(dt >= 0, "negative delay ", dt);
+    at(clock + dt, std::move(cb));
+}
+
+ActivityId
+Engine::addActivity(std::vector<std::uint32_t> resources, double work,
+                    double extra_delay, Callback done, TagId tag)
+{
+    VIVA_ASSERT(tag < tagNames.size(), "unregistered tag ", int(tag));
+    started = true;
+    advanceTo(clock);
+
+    Activity act;
+    act.id = nextActivityId++;
+    act.resources = std::move(resources);
+    act.remaining = work;
+    act.rate = 0.0;
+    act.done = std::move(done);
+    act.extraDelay = extra_delay;
+    act.tag = tag;
+
+    activityIndex.emplace(act.id, activities.size());
+    activities.push_back(std::move(act));
+    ratesDirty = true;
+    return activities.back().id;
+}
+
+ActivityId
+Engine::startCompute(platform::HostId host, double mflop, Callback done,
+                     TagId tag)
+{
+    VIVA_ASSERT(host < plat.hostCount(), "bad host id ", host);
+    VIVA_ASSERT(done, "compute needs a completion callback");
+    if (mflop <= 0.0) {
+        after(0.0, std::move(done));
+        return kNoActivity;
+    }
+    return addActivity({hostResource(host)}, mflop, 0.0, std::move(done),
+                       tag);
+}
+
+ActivityId
+Engine::startComm(platform::HostId src, platform::HostId dst, double mbits,
+                  Callback done, TagId tag)
+{
+    VIVA_ASSERT(src < plat.hostCount() && dst < plat.hostCount(),
+                "bad comm endpoints ", src, ", ", dst);
+    VIVA_ASSERT(done, "comm needs a completion callback");
+
+    const platform::Route &route = plat.route(src, dst);
+    if (mbits <= 0.0 || src == dst) {
+        after(route.latencyS, std::move(done));
+        return kNoActivity;
+    }
+
+    std::vector<std::uint32_t> resources;
+    resources.reserve(route.links.size());
+    for (platform::LinkId l : route.links)
+        resources.push_back(linkResource(l));
+    return addActivity(std::move(resources), mbits, route.latencyS,
+                       std::move(done), tag);
+}
+
+bool
+Engine::activityRunning(ActivityId id) const
+{
+    return activityIndex.count(id) != 0;
+}
+
+double
+Engine::activityRemaining(ActivityId id) const
+{
+    ensureRates();
+    auto it = activityIndex.find(id);
+    VIVA_ASSERT(it != activityIndex.end(), "activity ", id,
+                " is not running");
+    const Activity &act = activities[it->second];
+    double elapsed = clock - lastAdvance;
+    return std::max(0.0, act.remaining - act.rate * elapsed);
+}
+
+double
+Engine::activityRate(ActivityId id) const
+{
+    ensureRates();
+    auto it = activityIndex.find(id);
+    VIVA_ASSERT(it != activityIndex.end(), "activity ", id,
+                " is not running");
+    return activities[it->second].rate;
+}
+
+void
+Engine::advanceTo(double t)
+{
+    VIVA_ASSERT(t >= lastAdvance - kTimeEps, "advancing backwards to ", t);
+    double dt = t - lastAdvance;
+    if (dt > 0) {
+        for (Activity &act : activities)
+            act.remaining = std::max(0.0, act.remaining - act.rate * dt);
+    }
+    lastAdvance = std::max(lastAdvance, t);
+    clock = std::max(clock, t);
+}
+
+void
+Engine::recompute()
+{
+    ++recomputes;
+
+    flowPtrs.clear();
+    flowPtrs.reserve(activities.size());
+    for (const Activity &act : activities)
+        flowPtrs.push_back(&act.resources);
+    solver.solve(capacities, flowPtrs, flowRates);
+    const std::vector<double> &rates = flowRates;
+
+    std::fill(hostUsage.begin(), hostUsage.end(), 0.0);
+    std::fill(linkUsage.begin(), linkUsage.end(), 0.0);
+    for (auto &v : hostUsageByTag)
+        std::fill(v.begin(), v.end(), 0.0);
+    for (auto &v : linkUsageByTag)
+        std::fill(v.begin(), v.end(), 0.0);
+    nextCompletion = inf;
+
+    for (std::size_t i = 0; i < activities.size(); ++i) {
+        Activity &act = activities[i];
+        act.rate = rates[i];
+        VIVA_ASSERT(act.rate > 0, "activity ", act.id, " got zero rate");
+        for (std::uint32_t r : act.resources) {
+            if (r < plat.hostCount()) {
+                hostUsage[r] += act.rate;
+                hostUsageByTag[act.tag][r] += act.rate;
+            } else {
+                std::uint32_t l = r - std::uint32_t(plat.hostCount());
+                linkUsage[l] += act.rate;
+                linkUsageByTag[act.tag][l] += act.rate;
+            }
+        }
+        nextCompletion =
+            std::min(nextCompletion, clock + act.remaining / act.rate);
+    }
+
+    if (observer) {
+        RateSnapshot snapshot{hostUsage, linkUsage, hostUsageByTag,
+                              linkUsageByTag};
+        observer->onRates(clock, snapshot);
+    }
+    ratesDirty = false;
+}
+
+void
+Engine::ensureRates() const
+{
+    // Lazily re-solving from const accessors keeps the public API
+    // const-correct while the cached rates stay an implementation
+    // detail.
+    if (ratesDirty)
+        const_cast<Engine *>(this)->recompute();
+}
+
+void
+Engine::run(double until)
+{
+    while (true) {
+        ensureRates();
+        double te = eventQueue.empty() ? inf : eventQueue.top().time;
+        double tc = activities.empty() ? inf : nextCompletion;
+        double tnext = std::min(te, tc);
+
+        if (tnext == inf)
+            break;
+        if (tnext > until) {
+            advanceTo(until);
+            recompute();
+            break;
+        }
+
+        if (tc <= te) {
+            advanceTo(tc);
+
+            // Collect every activity finished at this instant.
+            std::vector<std::pair<Callback, double>> finished;
+            for (std::size_t i = 0; i < activities.size();) {
+                if (activities[i].remaining <= kWorkEps) {
+                    finished.emplace_back(std::move(activities[i].done),
+                                          activities[i].extraDelay);
+                    activityIndex.erase(activities[i].id);
+                    if (i + 1 != activities.size()) {
+                        activities[i] = std::move(activities.back());
+                        activityIndex[activities[i].id] = i;
+                    }
+                    activities.pop_back();
+                } else {
+                    ++i;
+                }
+            }
+            VIVA_ASSERT(!finished.empty(),
+                        "completion time reached but nothing finished");
+            ratesDirty = true;
+
+            // Completion callbacks run as events so that ordering with
+            // other same-instant events is by insertion sequence.
+            for (auto &[cb, delay] : finished)
+                after(delay, std::move(cb));
+        } else {
+            advanceTo(te);
+            // Fire exactly the events scheduled at this instant; events
+            // they insert at the same time still fire in this pass.
+            while (!eventQueue.empty() &&
+                   eventQueue.top().time <= clock + kTimeEps) {
+                Callback cb = std::move(
+                    const_cast<TimedEvent &>(eventQueue.top()).cb);
+                eventQueue.pop();
+                ++fired;
+                cb();
+            }
+        }
+    }
+}
+
+bool
+Engine::idle() const
+{
+    return eventQueue.empty() && activities.empty();
+}
+
+void
+Engine::setRateObserver(RateObserver *obs)
+{
+    observer = obs;
+}
+
+double
+Engine::hostRate(platform::HostId id) const
+{
+    ensureRates();
+    VIVA_ASSERT(id < hostUsage.size(), "bad host id ", id);
+    return hostUsage[id];
+}
+
+double
+Engine::linkRate(platform::LinkId id) const
+{
+    ensureRates();
+    VIVA_ASSERT(id < linkUsage.size(), "bad link id ", id);
+    return linkUsage[id];
+}
+
+double
+Engine::hostRate(platform::HostId id, TagId tag) const
+{
+    ensureRates();
+    VIVA_ASSERT(id < hostUsage.size(), "bad host id ", id);
+    VIVA_ASSERT(tag < tagCount(), "bad tag ", int(tag));
+    return hostUsageByTag[tag][id];
+}
+
+double
+Engine::linkRate(platform::LinkId id, TagId tag) const
+{
+    ensureRates();
+    VIVA_ASSERT(id < linkUsage.size(), "bad link id ", id);
+    VIVA_ASSERT(tag < tagCount(), "bad tag ", int(tag));
+    return linkUsageByTag[tag][id];
+}
+
+} // namespace viva::sim

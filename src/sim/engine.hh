@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The flow-level discrete-event simulation engine.
+ *
+ * Two things advance virtual time: timed events (plain callbacks at a
+ * chosen instant) and fluid activities (computations and end-to-end
+ * communications whose rates come from the max-min fair-share solver and
+ * change whenever an activity starts or finishes). The engine drives a
+ * RateObserver after every rate change so the tracer can record
+ * piecewise-constant utilization -- exactly the shape of trace the
+ * visualization consumes.
+ *
+ * Activities may carry a *tag* identifying the application they belong
+ * to; usage is accounted both in total and per tag, which is what lets
+ * the Fig. 8 analysis correlate "the amount of computing power allocated
+ * to a given project on resource r at time t" (Section 3.2).
+ *
+ * Units: compute work in MFlop against host power in MFlops (MFlop/s);
+ * communication payloads in Mbit against link capacity in Mbit/s.
+ */
+
+#ifndef VIVA_SIM_ENGINE_HH
+#define VIVA_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/platform.hh"
+#include "sim/fairshare.hh"
+
+namespace viva::sim
+{
+
+using Callback = std::function<void()>;
+using ActivityId = std::uint64_t;
+using TagId = std::uint8_t;
+
+/** Sentinel for "no activity" (returned for zero-work requests). */
+inline constexpr ActivityId kNoActivity = 0;
+
+/** The implicit tag of untagged activities. */
+inline constexpr TagId kDefaultTag = 0;
+
+/** A consistent snapshot of resource usage, passed to observers. */
+struct RateSnapshot
+{
+    /** Per-host compute usage, MFlop/s, indexed by HostId. */
+    const std::vector<double> &hostTotal;
+    /** Per-link traffic, Mbit/s, indexed by LinkId. */
+    const std::vector<double> &linkTotal;
+    /** hostByTag[tag][host]: usage of one tag; size == tagCount(). */
+    const std::vector<std::vector<double>> &hostByTag;
+    /** linkByTag[tag][link]: traffic of one tag; size == tagCount(). */
+    const std::vector<std::vector<double>> &linkByTag;
+};
+
+/** Receives the global resource usage after every rate recomputation. */
+class RateObserver
+{
+  public:
+    virtual ~RateObserver() = default;
+
+    /** @param time current virtual time */
+    virtual void onRates(double time, const RateSnapshot &rates) = 0;
+};
+
+/**
+ * The simulation engine. Owns virtual time; borrows the platform, which
+ * must be fully constructed beforehand (capacities are snapshotted).
+ */
+class Engine
+{
+  public:
+    /**
+     * @param platform the fully-built platform to simulate
+     * @param tags application tag names to register (tag ids 1, 2, ...)
+     */
+    explicit Engine(const platform::Platform &platform,
+                    const std::vector<std::string> &tags = {});
+
+    /** The platform this engine simulates. */
+    const platform::Platform &platform() const { return plat; }
+
+    /** Current virtual time in seconds. */
+    double now() const { return clock; }
+
+    // --- tags -------------------------------------------------------------
+
+    /**
+     * Register an application tag; per-tag usage is tracked for it.
+     * Must be called before the first activity starts.
+     */
+    TagId registerTag(const std::string &name);
+
+    /** Name of a tag (tag 0 is "default"). */
+    const std::string &tagName(TagId tag) const;
+
+    /** Number of tags, the implicit default included. */
+    std::size_t tagCount() const { return tagNames.size(); }
+
+    // --- timed events ------------------------------------------------------
+
+    /** Run a callback at an absolute virtual time (>= now). */
+    void at(double time, Callback cb);
+
+    /** Run a callback dt seconds from now. */
+    void after(double dt, Callback cb);
+
+    // --- fluid activities ---------------------------------------------------
+
+    /**
+     * Start a computation of `mflop` MFlop on a host. Concurrent
+     * computations on one host share its power max-min fairly.
+     * @param done invoked (at completion time) when the work is finished
+     * @return the activity id, or kNoActivity when mflop <= 0 (then
+     *         `done` is scheduled immediately)
+     */
+    ActivityId startCompute(platform::HostId host, double mflop,
+                            Callback done, TagId tag = kDefaultTag);
+
+    /**
+     * Start a communication of `mbits` Mbit from src to dst along the
+     * platform route. The payload transfer shares every crossed link
+     * max-min fairly; `done` fires one route latency after the last bit
+     * leaves (a latency-then-deliver model). Local (src == dst) or empty
+     * payloads only incur the latency.
+     * @return the activity id, or kNoActivity for latency-only sends
+     */
+    ActivityId startComm(platform::HostId src, platform::HostId dst,
+                         double mbits, Callback done,
+                         TagId tag = kDefaultTag);
+
+    /** True while the activity is still running. */
+    bool activityRunning(ActivityId id) const;
+
+    /** Remaining work (MFlop or Mbit) of a running activity. */
+    double activityRemaining(ActivityId id) const;
+
+    /** Current rate of a running activity. */
+    double activityRate(ActivityId id) const;
+
+    // --- execution -------------------------------------------------------
+
+    /**
+     * Process events and activities until none remain or until the given
+     * virtual time. The clock ends at the completion time of the last
+     * processed item (or at `until` when stopping early with work left).
+     */
+    void run(double until = std::numeric_limits<double>::infinity());
+
+    /** True when no event and no activity is pending. */
+    bool idle() const;
+
+    // --- observation --------------------------------------------------------
+
+    /** Install the observer notified after every rate change. */
+    void setRateObserver(RateObserver *observer);
+
+    /** Total compute usage of a host right now (MFlop/s). */
+    double hostRate(platform::HostId id) const;
+
+    /** Total traffic on a link right now (Mbit/s). */
+    double linkRate(platform::LinkId id) const;
+
+    /** Compute usage of one tag on a host right now. */
+    double hostRate(platform::HostId id, TagId tag) const;
+
+    /** Traffic of one tag on a link right now. */
+    double linkRate(platform::LinkId id, TagId tag) const;
+
+    /** Number of running fluid activities. */
+    std::size_t activeActivityCount() const { return activities.size(); }
+
+    /** How many times the fair-share solver ran (cost metric). */
+    std::size_t fairShareRuns() const { return recomputes; }
+
+    /** How many timed events have fired. */
+    std::size_t firedEvents() const { return fired; }
+
+  private:
+    struct Activity
+    {
+        ActivityId id;
+        std::vector<std::uint32_t> resources;  ///< solver indices
+        double remaining;  ///< MFlop or Mbit left
+        double rate;       ///< current MFlop/s or Mbit/s
+        Callback done;
+        double extraDelay; ///< latency appended after the transfer
+        TagId tag;
+    };
+
+    struct TimedEvent
+    {
+        double time;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct EventOrder
+    {
+        bool
+        operator()(const TimedEvent &a, const TimedEvent &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Solver resource index for a host CPU. */
+    std::uint32_t hostResource(platform::HostId h) const;
+
+    /** Solver resource index for a link. */
+    std::uint32_t linkResource(platform::LinkId l) const;
+
+    /** Move every activity's remaining work forward to time t. */
+    void advanceTo(double t);
+
+    /** Re-solve rates, refresh usage totals, notify, find completion. */
+    void recompute();
+
+    /**
+     * Re-solve only if the activity set changed since the last solve.
+     * Activity insertions and removals mark the rates dirty instead of
+     * re-solving eagerly, so a burst of starts at one instant (e.g.
+     * thousands of initial requests) costs a single solve.
+     */
+    void ensureRates() const;
+
+    /** Insert an activity and re-solve. */
+    ActivityId addActivity(std::vector<std::uint32_t> resources,
+                           double work, double extra_delay, Callback done,
+                           TagId tag);
+
+    const platform::Platform &plat;
+
+    double clock = 0.0;
+    double lastAdvance = 0.0;
+    std::uint64_t nextSeq = 1;
+    std::uint64_t nextActivityId = 1;
+
+    std::priority_queue<TimedEvent, std::vector<TimedEvent>, EventOrder>
+        eventQueue;
+
+    std::vector<Activity> activities;
+    std::unordered_map<ActivityId, std::size_t> activityIndex;
+
+    std::vector<double> capacities;  ///< hosts then links
+    std::vector<double> hostUsage;
+    std::vector<double> linkUsage;
+    std::vector<std::vector<double>> hostUsageByTag;
+    std::vector<std::vector<double>> linkUsageByTag;
+    std::vector<std::string> tagNames{"default"};
+    bool started = false;
+
+    double nextCompletion = std::numeric_limits<double>::infinity();
+    bool ratesDirty = false;
+
+    FairShareSolver solver;
+    std::vector<const std::vector<std::uint32_t> *> flowPtrs;
+    std::vector<double> flowRates;
+
+    RateObserver *observer = nullptr;
+    std::size_t recomputes = 0;
+    std::size_t fired = 0;
+};
+
+} // namespace viva::sim
+
+#endif // VIVA_SIM_ENGINE_HH

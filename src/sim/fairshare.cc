@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Water-filling max-min fairness with a lazy priority queue.
+ *
+ * All unfrozen flows grow at the same rate (the "water level"). A
+ * resource r with u unfrozen users and remaining capacity c saturates
+ * when the level reaches level + c/u; the next saturation is found with
+ * a min-heap of projected levels. Entries go stale when a user count
+ * changes; staleness is detected with per-resource version counters and
+ * stale entries are skipped.
+ */
+
+#include "sim/fairshare.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace viva::sim
+{
+
+void
+FairShareSolver::solve(
+    const std::vector<double> &capacity,
+    const std::vector<const std::vector<std::uint32_t> *> &flows,
+    std::vector<double> &rates_out)
+{
+    rates_out.assign(flows.size(), 0.0);
+    if (flows.empty())
+        return;
+
+    // --- build the dense resource table (stamped, no clearing) ---------
+    if (denseOf.size() < capacity.size()) {
+        denseOf.resize(capacity.size());
+        stamp.resize(capacity.size(), 0);
+    }
+    ++epoch;
+
+    avail.clear();
+    lastLevel.clear();
+    users.clear();
+    version.clear();
+    saturated.clear();
+    usedGlobal.clear();
+
+    std::size_t incidences = 0;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        VIVA_ASSERT(flows[f] && !flows[f]->empty(),
+                    "flow ", f, " consumes no resource");
+        incidences += flows[f]->size();
+        for (std::uint32_t r : *flows[f]) {
+            VIVA_ASSERT(r < capacity.size(), "bad resource index ", r);
+            if (stamp[r] != epoch) {
+                VIVA_ASSERT(capacity[r] > 0, "resource ", r,
+                            " has non-positive capacity");
+                stamp[r] = epoch;
+                denseOf[r] = std::uint32_t(avail.size());
+                avail.push_back(capacity[r]);
+                lastLevel.push_back(0.0);
+                users.push_back(0);
+                version.push_back(0);
+                saturated.push_back(false);
+                usedGlobal.push_back(r);
+            }
+            ++users[denseOf[r]];
+        }
+    }
+    std::size_t used = avail.size();
+
+    // --- CSR adjacency: resource -> flows crossing it --------------------
+    resFlowOffset.assign(used + 1, 0);
+    for (std::size_t f = 0; f < flows.size(); ++f)
+        for (std::uint32_t r : *flows[f])
+            ++resFlowOffset[denseOf[r] + 1];
+    for (std::size_t r = 0; r < used; ++r)
+        resFlowOffset[r + 1] += resFlowOffset[r];
+    resFlowData.resize(incidences);
+    fillCursor.assign(resFlowOffset.begin(), resFlowOffset.end() - 1);
+    for (std::size_t f = 0; f < flows.size(); ++f)
+        for (std::uint32_t r : *flows[f])
+            resFlowData[fillCursor[denseOf[r]]++] = std::uint32_t(f);
+
+    // --- the lazy heap of projected saturation levels -------------------
+    auto greater = [](const HeapEntry &a, const HeapEntry &b) {
+        return a.level > b.level;
+    };
+    heap.clear();
+    heap.reserve(used + incidences);
+    for (std::uint32_t r = 0; r < used; ++r)
+        heap.push_back({avail[r] / double(users[r]), r, 0});
+    std::make_heap(heap.begin(), heap.end(), greater);
+
+    frozen.assign(flows.size(), false);
+    std::size_t remaining = flows.size();
+    double level = 0.0;
+
+    auto advance = [&](std::uint32_t r) {
+        avail[r] -= double(users[r]) * (level - lastLevel[r]);
+        if (avail[r] < 0.0)
+            avail[r] = 0.0;
+        lastLevel[r] = level;
+    };
+
+    while (remaining > 0) {
+        VIVA_ASSERT(!heap.empty(), "active flows but empty heap");
+        std::pop_heap(heap.begin(), heap.end(), greater);
+        HeapEntry top = heap.back();
+        heap.pop_back();
+        std::uint32_t sat = top.resource;
+        if (top.version != version[sat] || saturated[sat])
+            continue;  // stale projection
+        if (users[sat] == 0) {
+            saturated[sat] = true;
+            continue;
+        }
+
+        level = top.level;
+        advance(sat);
+        saturated[sat] = true;
+
+        // Freeze every still-active flow crossing the saturated
+        // resource, releasing its share everywhere else.
+        for (std::uint32_t k = resFlowOffset[sat];
+             k < resFlowOffset[sat + 1]; ++k) {
+            std::uint32_t f = resFlowData[k];
+            if (frozen[f])
+                continue;
+            frozen[f] = true;
+            rates_out[f] = level;
+            --remaining;
+            for (std::uint32_t global_r : *flows[f]) {
+                std::uint32_t r = denseOf[global_r];
+                if (saturated[r]) {
+                    --users[r];
+                    continue;
+                }
+                advance(r);
+                --users[r];
+                ++version[r];
+                if (users[r] > 0) {
+                    heap.push_back({level + avail[r] / double(users[r]),
+                                    r, version[r]});
+                    std::push_heap(heap.begin(), heap.end(), greater);
+                }
+            }
+        }
+    }
+}
+
+std::vector<double>
+maxMinFairShare(const std::vector<double> &capacity,
+                const std::vector<FlowSpec> &flows)
+{
+    FairShareSolver solver;
+    std::vector<const std::vector<std::uint32_t> *> ptrs;
+    ptrs.reserve(flows.size());
+    for (const FlowSpec &f : flows)
+        ptrs.push_back(&f.resources);
+    std::vector<double> rates;
+    solver.solve(capacity, ptrs, rates);
+    return rates;
+}
+
+} // namespace viva::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Max-min fair bandwidth sharing -- the fluid network model at the heart
+ * of the simulation substrate (the same class of model SimGrid uses, so
+ * contention and saturation phenomena match the paper's traces).
+ *
+ * Given resources with capacities and flows each consuming a set of
+ * resources, all unfrozen flows grow at a common rate; whenever a
+ * resource saturates, the flows crossing it freeze at the current rate.
+ * The result is the unique max-min allocation: no flow's rate can grow
+ * without shrinking a smaller one.
+ */
+
+#ifndef VIVA_SIM_FAIRSHARE_HH
+#define VIVA_SIM_FAIRSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace viva::sim
+{
+
+/** A flow is described by the resource indices it consumes. */
+struct FlowSpec
+{
+    std::vector<std::uint32_t> resources;
+};
+
+/**
+ * Reusable water-filling solver. One instance amortizes every internal
+ * buffer across calls, so a solve allocates nothing in steady state --
+ * the engine re-solves on every activity change, so this matters.
+ *
+ * Complexity per solve: O(I log R) with I the flow-resource incidence
+ * count and R the number of *used* resources (platform size does not
+ * appear). Not thread-safe; use one solver per engine.
+ */
+class FairShareSolver
+{
+  public:
+    /**
+     * Compute the max-min allocation.
+     *
+     * @param capacity capacity of each resource (> 0 where used)
+     * @param flows one resource-index list per flow (none may be empty)
+     * @param rates_out resized to flows.size(); receives the rates
+     */
+    void solve(const std::vector<double> &capacity,
+               const std::vector<const std::vector<std::uint32_t> *>
+                   &flows,
+               std::vector<double> &rates_out);
+
+  private:
+    struct HeapEntry
+    {
+        double level;
+        std::uint32_t resource;  ///< dense index
+        std::uint32_t version;
+    };
+
+    // Stamped dense mapping from global resource id to solver slot.
+    std::vector<std::uint32_t> denseOf;
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t epoch = 0;
+
+    // Per-used-resource state (struct-of-arrays, reused).
+    std::vector<double> avail;
+    std::vector<double> lastLevel;
+    std::vector<std::uint32_t> users;
+    std::vector<std::uint32_t> version;
+    std::vector<bool> saturated;
+    std::vector<std::uint32_t> usedGlobal;
+
+    // CSR adjacency resource -> flows (reused).
+    std::vector<std::uint32_t> resFlowOffset;
+    std::vector<std::uint32_t> resFlowData;
+    std::vector<std::uint32_t> fillCursor;
+
+    std::vector<HeapEntry> heap;
+    std::vector<bool> frozen;
+};
+
+/**
+ * One-shot convenience wrapper around FairShareSolver.
+ * @return the rate of each flow, same order as `flows`
+ */
+std::vector<double> maxMinFairShare(const std::vector<double> &capacity,
+                                    const std::vector<FlowSpec> &flows);
+
+} // namespace viva::sim
+
+#endif // VIVA_SIM_FAIRSHARE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Implementation of the simulation tracer.
+ */
+
+#include "sim/tracer.hh"
+
+#include "support/logging.hh"
+
+namespace viva::sim
+{
+
+Tracer::Tracer(const Engine &engine, trace::Trace &out,
+               const platform::TraceMirror &mirror)
+    : eng(engine), traceOut(out), ids(mirror)
+{
+    const platform::Platform &plat = eng.platform();
+    VIVA_ASSERT(ids.hostContainer.size() == plat.hostCount(),
+                "mirror does not match platform (hosts)");
+    VIVA_ASSERT(ids.linkContainer.size() == plat.linkCount(),
+                "mirror does not match platform (links)");
+
+    lastHost.assign(plat.hostCount(), 0.0);
+    lastLink.assign(plat.linkCount(), 0.0);
+
+    // Only applications (tags >= 1) get dedicated metrics; with a single
+    // default tag the totals already tell the whole story.
+    perTag = eng.tagCount() > 1;
+    if (perTag) {
+        tagHostMetric.resize(eng.tagCount(), trace::kNoMetric);
+        tagLinkMetric.resize(eng.tagCount(), trace::kNoMetric);
+        lastHostByTag.assign(eng.tagCount(),
+                             std::vector<double>(plat.hostCount(), 0.0));
+        lastLinkByTag.assign(eng.tagCount(),
+                             std::vector<double>(plat.linkCount(), 0.0));
+        for (TagId t = 1; t < eng.tagCount(); ++t) {
+            tagHostMetric[t] = traceOut.addMetric(
+                "power_used:" + eng.tagName(t), "MFlops",
+                trace::MetricNature::Utilization, ids.power);
+            tagLinkMetric[t] = traceOut.addMetric(
+                "bandwidth_used:" + eng.tagName(t), "Mbit/s",
+                trace::MetricNature::Utilization, ids.bandwidth);
+        }
+    }
+}
+
+trace::MetricId
+Tracer::hostMetricForTag(TagId tag) const
+{
+    VIVA_ASSERT(perTag && tag >= 1 && tag < tagHostMetric.size(),
+                "no per-tag metric for tag ", int(tag));
+    return tagHostMetric[tag];
+}
+
+trace::MetricId
+Tracer::linkMetricForTag(TagId tag) const
+{
+    VIVA_ASSERT(perTag && tag >= 1 && tag < tagLinkMetric.size(),
+                "no per-tag metric for tag ", int(tag));
+    return tagLinkMetric[tag];
+}
+
+void
+Tracer::emit(trace::ContainerId c, trace::MetricId m, double time, double v,
+             double &last)
+{
+    if (!first && v == last)
+        return;
+    traceOut.variable(c, m).set(time, v);
+    last = v;
+    ++written;
+}
+
+void
+Tracer::onRates(double time, const RateSnapshot &rates)
+{
+    VIVA_ASSERT(rates.hostTotal.size() == lastHost.size() &&
+                    rates.linkTotal.size() == lastLink.size(),
+                "rate report does not match platform");
+
+    for (platform::HostId h = 0; h < rates.hostTotal.size(); ++h)
+        emit(ids.hostContainer[h], ids.powerUsed, time,
+             rates.hostTotal[h], lastHost[h]);
+    for (platform::LinkId l = 0; l < rates.linkTotal.size(); ++l)
+        emit(ids.linkContainer[l], ids.bandwidthUsed, time,
+             rates.linkTotal[l], lastLink[l]);
+
+    if (perTag) {
+        for (TagId t = 1; t < rates.hostByTag.size(); ++t) {
+            for (platform::HostId h = 0; h < rates.hostByTag[t].size();
+                 ++h) {
+                emit(ids.hostContainer[h], tagHostMetric[t], time,
+                     rates.hostByTag[t][h], lastHostByTag[t][h]);
+            }
+            for (platform::LinkId l = 0; l < rates.linkByTag[t].size();
+                 ++l) {
+                emit(ids.linkContainer[l], tagLinkMetric[t], time,
+                     rates.linkByTag[t][l], lastLinkByTag[t][l]);
+            }
+        }
+    }
+    first = false;
+}
+
+} // namespace viva::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The bridge between simulation and visualization: a RateObserver that
+ * records per-host compute usage and per-link traffic into a Trace as
+ * piecewise-constant variables, against the skeleton produced by
+ * platform::mirrorPlatform(). The result is exactly the kind of trace
+ * (resource availability + utilization over time) that Section 3.1 maps
+ * onto the topology-based representation.
+ *
+ * When the engine has registered application tags, the tracer also emits
+ * per-application metrics ("power_used:app", "bandwidth_used:app") so
+ * the analyst can correlate each project's share of every resource --
+ * the quantity the Fig. 8 case study visualizes.
+ */
+
+#ifndef VIVA_SIM_TRACER_HH
+#define VIVA_SIM_TRACER_HH
+
+#include <vector>
+
+#include "platform/platform_trace.hh"
+#include "sim/engine.hh"
+#include "trace/trace.hh"
+
+namespace viva::sim
+{
+
+/**
+ * Records utilization change points, skipping repeats so the trace stays
+ * proportional to the number of actual rate changes.
+ */
+class Tracer : public RateObserver
+{
+  public:
+    /**
+     * @param engine the engine to observe (tags must be registered)
+     * @param out    trace to append to; must already contain the mirror
+     *               skeleton
+     * @param mirror id mapping from mirrorPlatform()
+     */
+    Tracer(const Engine &engine, trace::Trace &out,
+           const platform::TraceMirror &mirror);
+
+    void onRates(double time, const RateSnapshot &rates) override;
+
+    /** Number of change points written so far. */
+    std::size_t pointsWritten() const { return written; }
+
+    /** The per-tag host-usage metric for a tag ("power_used:<name>"). */
+    trace::MetricId hostMetricForTag(TagId tag) const;
+
+    /** The per-tag link-usage metric for a tag ("bandwidth_used:<name>"). */
+    trace::MetricId linkMetricForTag(TagId tag) const;
+
+  private:
+    /** Write v at `time` for (container, metric) unless it is a repeat. */
+    void emit(trace::ContainerId c, trace::MetricId m, double time,
+              double v, double &last);
+
+    const Engine &eng;
+    trace::Trace &traceOut;
+    const platform::TraceMirror &ids;
+
+    /** Per-tag metric ids; entry 0 unused unless tags were registered. */
+    std::vector<trace::MetricId> tagHostMetric;
+    std::vector<trace::MetricId> tagLinkMetric;
+    bool perTag = false;
+
+    std::vector<double> lastHost;
+    std::vector<double> lastLink;
+    std::vector<std::vector<double>> lastHostByTag;
+    std::vector<std::vector<double>> lastLinkByTag;
+    bool first = true;
+    std::size_t written = 0;
+};
+
+/**
+ * Convenience bundle: a trace, its platform mirror, an engine and a
+ * tracer already wired together. Tags passed here are registered before
+ * the tracer attaches. This is the one-liner entry point:
+ *
+ *   SimulationRun run(platform, {"app1", "app2"});
+ *   ... start activities on run.engine (tag 1 = "app1", ...) ...
+ *   run.engine.run();
+ *   // run.trace now holds the full execution trace
+ */
+struct SimulationRun
+{
+    explicit SimulationRun(const platform::Platform &platform,
+                           const std::vector<std::string> &tags = {})
+        : trace(), mirror(platform::mirrorPlatform(platform, trace)),
+          engine(platform, tags), tracer(engine, trace, mirror)
+    {
+        engine.setRateObserver(&tracer);
+    }
+
+    trace::Trace trace;
+    platform::TraceMirror mirror;
+    Engine engine;
+    Tracer tracer;
+};
+
+} // namespace viva::sim
+
+#endif // VIVA_SIM_TRACER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A closed-open time interval [begin, end). The fundamental temporal
+ * neighbourhood of Equation 1: the analyst's "time slice".
+ */
+
+#ifndef VIVA_SUPPORT_INTERVAL_HH
+#define VIVA_SUPPORT_INTERVAL_HH
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace viva::support
+{
+
+/** A time interval [begin, end) with begin <= end. */
+struct Interval
+{
+    double begin = 0.0;
+    double end = 0.0;
+
+    Interval() = default;
+
+    Interval(double b, double e) : begin(b), end(e)
+    {
+        VIVA_ASSERT(b <= e, "interval [", b, ", ", e, ") is reversed");
+    }
+
+    /** Duration of the interval. */
+    double length() const { return end - begin; }
+
+    /** True when the interval has zero duration. */
+    bool empty() const { return end <= begin; }
+
+    /** True when t lies inside [begin, end). */
+    bool contains(double t) const { return t >= begin && t < end; }
+
+    /** Intersection with another interval (possibly empty). */
+    Interval
+    intersect(const Interval &other) const
+    {
+        double b = std::max(begin, other.begin);
+        double e = std::min(end, other.end);
+        return b <= e ? Interval(b, e) : Interval(b, b);
+    }
+
+    /** True when the two intervals share a positive-length overlap. */
+    bool
+    overlaps(const Interval &other) const
+    {
+        return std::max(begin, other.begin) < std::min(end, other.end);
+    }
+
+    /** Translate the interval by dt (the Fig. 9 animation shift). */
+    Interval
+    shifted(double dt) const
+    {
+        return Interval(begin + dt, end + dt);
+    }
+
+    bool operator==(const Interval &other) const = default;
+};
+
+} // namespace viva::support
+
+#endif // VIVA_SUPPORT_INTERVAL_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace viva::support
+{
+
+namespace
+{
+
+std::atomic<std::size_t> warnings{0};
+std::atomic<bool> quiet{false};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &where,
+           const std::string &message)
+{
+    if (level == LogLevel::Warn)
+        warnings.fetch_add(1, std::memory_order_relaxed);
+
+    bool is_error = level == LogLevel::Fatal || level == LogLevel::Panic;
+    if (is_error || !quiet.load(std::memory_order_relaxed)) {
+        std::fprintf(is_error ? stderr : stdout, "[%s] %s: %s\n",
+                     levelTag(level), where.c_str(), message.c_str());
+    }
+
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+std::size_t
+warnCount()
+{
+    return warnings.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool q)
+{
+    quiet.store(q, std::memory_order_relaxed);
+}
+
+} // namespace viva::support

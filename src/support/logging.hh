@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Status and error reporting helpers, modeled after gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a library bug); aborts.
+ * fatal()  -- the user asked for something impossible (bad configuration,
+ *             malformed trace file, ...); exits with an error code.
+ * warn()   -- something is probably not what the user intended, but the
+ *             computation can continue.
+ * inform() -- plain status information.
+ */
+
+#ifndef VIVA_SUPPORT_LOGGING_HH
+#define VIVA_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace viva::support
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Report a message at the given level.
+ *
+ * Fatal exits the process with code 1; Panic calls std::abort(). Both are
+ * marked [[noreturn]] through the convenience wrappers below.
+ *
+ * @param level severity
+ * @param where short context string (usually function or module name)
+ * @param message the text to report
+ */
+void logMessage(LogLevel level, const std::string &where,
+                const std::string &message);
+
+/** Number of warnings emitted so far (useful in tests). */
+std::size_t warnCount();
+
+/** Suppress (true) or restore (false) Info/Warn console output. */
+void setQuiet(bool quiet);
+
+namespace detail
+{
+
+/** Fold a pack of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort: an internal invariant does not hold. */
+template <typename... Args>
+[[noreturn]] void
+panic(const std::string &where, Args &&...args)
+{
+    logMessage(LogLevel::Panic, where,
+               detail::concat(std::forward<Args>(args)...));
+    __builtin_unreachable();
+}
+
+/** Exit: the input or configuration makes continuing impossible. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const std::string &where, Args &&...args)
+{
+    logMessage(LogLevel::Fatal, where,
+               detail::concat(std::forward<Args>(args)...));
+    __builtin_unreachable();
+}
+
+/** Warn and continue. */
+template <typename... Args>
+void
+warn(const std::string &where, Args &&...args)
+{
+    logMessage(LogLevel::Warn, where,
+               detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational message. */
+template <typename... Args>
+void
+inform(const std::string &where, Args &&...args)
+{
+    logMessage(LogLevel::Info, where,
+               detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace viva::support
+
+/**
+ * Assert an invariant with a formatted message; compiled in all build
+ * types because simulator correctness matters more than the cycles.
+ */
+#define VIVA_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::viva::support::panic(__func__, "assertion '", #cond,          \
+                                   "' failed: ", __VA_ARGS__);              \
+        }                                                                    \
+    } while (0)
+
+#endif // VIVA_SUPPORT_LOGGING_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component of the library (platform generators, synthetic
+ * workloads, layout jitter) takes an explicit Rng so runs are reproducible
+ * from a single seed.
+ */
+
+#ifndef VIVA_SUPPORT_RANDOM_HH
+#define VIVA_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace viva::support
+{
+
+/**
+ * A seedable pseudo-random generator with the handful of distributions the
+ * library needs. Thin wrapper over std::mt19937_64 so the engine choice is
+ * a single-line change.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed; the default seed is fixed, not time-based. */
+    explicit Rng(std::uint64_t seed = 0x5EEDBEEFULL) : engine(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        VIVA_ASSERT(lo <= hi, "bad range [", lo, ", ", hi, ")");
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        VIVA_ASSERT(lo <= hi, "bad range [", lo, ", ", hi, "]");
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine);
+    }
+
+    /** Exponential with the given rate (mean 1/rate). */
+    double
+    exponential(double rate)
+    {
+        VIVA_ASSERT(rate > 0, "rate must be positive, got ", rate);
+        return std::exponential_distribution<double>(rate)(engine);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine);
+    }
+
+    /** Pick an index in [0, n) uniformly. */
+    std::size_t
+    index(std::size_t n)
+    {
+        VIVA_ASSERT(n > 0, "cannot pick from an empty range");
+        return static_cast<std::size_t>(uniformInt(0, std::int64_t(n) - 1));
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (std::size_t i = values.size(); i > 1; --i)
+            std::swap(values[i - 1], values[index(i)]);
+    }
+
+    /** Access to the raw engine for std distributions not wrapped here. */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace viva::support
+
+#endif // VIVA_SUPPORT_RANDOM_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Implementation of the statistics helpers.
+ */
+
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace viva::support
+{
+
+void
+RunningStats::add(double value)
+{
+    if (n == 0) {
+        lo = hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    ++n;
+    total += value;
+    double delta = value - m;
+    m += delta / double(n);
+    m2 += delta * (value - m);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.m - m;
+    std::size_t combined = n + other.n;
+    m2 += other.m2 +
+          delta * delta * double(n) * double(other.n) / double(combined);
+    m = (m * double(n) + other.m * double(other.n)) / double(combined);
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    total += other.total;
+    n = combined;
+}
+
+double
+RunningStats::variance() const
+{
+    return n >= 2 ? m2 / double(n) : 0.0;
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    return n >= 2 ? m2 / double(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Samples::add(double value)
+{
+    values.push_back(value);
+    moments.add(value);
+    dirty = true;
+}
+
+void
+Samples::sortIfNeeded() const
+{
+    if (dirty || sorted.size() != values.size()) {
+        sorted = values;
+        std::sort(sorted.begin(), sorted.end());
+        dirty = false;
+    }
+}
+
+double
+Samples::median() const
+{
+    return quantile(0.5);
+}
+
+double
+Samples::quantile(double q) const
+{
+    VIVA_ASSERT(q >= 0.0 && q <= 1.0, "quantile ", q, " out of [0,1]");
+    if (values.empty())
+        return 0.0;
+    sortIfNeeded();
+    if (sorted.size() == 1)
+        return sorted[0];
+    double rank = q * double(sorted.size() - 1);
+    std::size_t below = static_cast<std::size_t>(rank);
+    if (below + 1 >= sorted.size())
+        return sorted.back();
+    double frac = rank - double(below);
+    return sorted[below] * (1.0 - frac) + sorted[below + 1] * frac;
+}
+
+} // namespace viva::support

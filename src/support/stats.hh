@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Statistics helpers: constant-memory running moments (Welford) and a
+ * sample container with order statistics. Used by the aggregation module's
+ * statistical indicators (the paper's future-work extension) and by the
+ * benchmark harnesses.
+ */
+
+#ifndef VIVA_SUPPORT_STATS_HH
+#define VIVA_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace viva::support
+{
+
+/**
+ * Online mean / variance / extrema via Welford's algorithm.
+ * O(1) memory; numerically stable.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double value);
+
+    /** Merge another accumulator (parallel-friendly Chan formula). */
+    void merge(const RunningStats &other);
+
+    /** Number of observations. */
+    std::size_t count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 observations. */
+    double variance() const;
+
+    /** Sample (n-1) variance; 0 with fewer than 2 observations. */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of observations. */
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;   // running mean
+    double m2 = 0.0;  // sum of squared deviations
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Stores every observation to provide order statistics on top of the
+ * running moments.
+ */
+class Samples
+{
+  public:
+    /** Append one observation. */
+    void add(double value);
+
+    /** Number of observations. */
+    std::size_t count() const { return values.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return moments.mean(); }
+
+    /** Population variance. */
+    double variance() const { return moments.variance(); }
+
+    /** Population standard deviation. */
+    double stddev() const { return moments.stddev(); }
+
+    double min() const { return moments.min(); }
+    double max() const { return moments.max(); }
+    double sum() const { return moments.sum(); }
+
+    /** Median (average of the two middle values for even counts). */
+    double median() const;
+
+    /**
+     * Quantile by linear interpolation between closest ranks.
+     * @param q in [0, 1]; q=0 is the min, q=1 the max.
+     */
+    double quantile(double q) const;
+
+    /** The raw observations, in insertion order. */
+    const std::vector<double> &data() const { return values; }
+
+  private:
+    /** Ensure the sorted cache is up to date. */
+    void sortIfNeeded() const;
+
+    std::vector<double> values;
+    RunningStats moments;
+    mutable std::vector<double> sorted;
+    mutable bool dirty = false;
+};
+
+} // namespace viva::support
+
+#endif // VIVA_SUPPORT_STATS_HH

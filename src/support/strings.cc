@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Implementation of string utilities.
+ */
+
+#include "support/strings.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace viva::support
+{
+
+std::vector<std::string>
+split(std::string_view text, char delim)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = text.find(delim, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            return fields;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view text)
+{
+    std::vector<std::string> fields;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && std::isspace((unsigned char)text[i]))
+            ++i;
+        std::size_t start = i;
+        while (i < text.size() && !std::isspace((unsigned char)text[i]))
+            ++i;
+        if (i > start)
+            fields.emplace_back(text.substr(start, i - start));
+    }
+    return fields;
+}
+
+std::string
+trim(std::string_view text)
+{
+    std::size_t b = 0;
+    std::size_t e = text.size();
+    while (b < e && std::isspace((unsigned char)text[b]))
+        ++b;
+    while (e > b && std::isspace((unsigned char)text[e - 1]))
+        --e;
+    return std::string(text.substr(b, e - b));
+}
+
+std::string
+join(const std::vector<std::string> &pieces, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i)
+            out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = char(std::tolower((unsigned char)c));
+    return out;
+}
+
+bool
+parseDouble(std::string_view text, double &out)
+{
+    // std::from_chars for double is available in libstdc++ >= 11.
+    std::string s = trim(text);
+    if (s.empty())
+        return false;
+    const char *begin = s.c_str();
+    char *end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end != begin + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseSize(std::string_view text, std::size_t &out)
+{
+    std::string s = trim(text);
+    if (s.empty())
+        return false;
+    std::size_t v = 0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    // %.17g is the smallest precision guaranteed to round-trip a binary64.
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+humanize(double value)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T", "P"};
+    double v = value;
+    std::size_t s = 0;
+    double sign = 1.0;
+    if (v < 0) {
+        sign = -1.0;
+        v = -v;
+    }
+    while (v >= 1000.0 && s + 1 < sizeof(suffixes) / sizeof(suffixes[0])) {
+        v /= 1000.0;
+        ++s;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g%s", sign * v, suffixes[s]);
+    return buf;
+}
+
+std::string
+xmlEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          case '\'': out += "&apos;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace viva::support

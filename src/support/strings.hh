@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small string utilities used by the trace reader/writer and the command
+ * interpreter.
+ */
+
+#ifndef VIVA_SUPPORT_STRINGS_HH
+#define VIVA_SUPPORT_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace viva::support
+{
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view text);
+
+/** Join pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 std::string_view sep);
+
+/** True if text begins with prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True if text ends with suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/**
+ * Parse a double, reporting success.
+ *
+ * @param text the field to parse
+ * @param out receives the value on success
+ * @retval true if the entire field parsed as a number
+ */
+bool parseDouble(std::string_view text, double &out);
+
+/** Parse a non-negative integer, reporting success. */
+bool parseSize(std::string_view text, std::size_t &out);
+
+/** Format a double compactly (shortest round-trippable form, capped). */
+std::string formatDouble(double value);
+
+/** Render a quantity with an SI-style suffix (1.5K, 2.3M, ...). */
+std::string humanize(double value);
+
+/** Escape the five XML special characters (for SVG text/titles). */
+std::string xmlEscape(std::string_view text);
+
+} // namespace viva::support
+
+#endif // VIVA_SUPPORT_STRINGS_HH

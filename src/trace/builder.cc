@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Implementation of the trace builder and the Figure 1 fixture.
+ */
+
+#include "trace/builder.hh"
+
+#include "support/logging.hh"
+
+namespace viva::trace
+{
+
+TraceBuilder::TraceBuilder()
+{
+    parentStack.push_back(result.root());
+}
+
+TraceBuilder &
+TraceBuilder::beginGroup(const std::string &name, ContainerKind kind)
+{
+    ContainerId id = result.addContainer(name, kind, parentStack.back());
+    parentStack.push_back(id);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::endGroup()
+{
+    VIVA_ASSERT(parentStack.size() > 1, "endGroup without beginGroup");
+    parentStack.pop_back();
+    return *this;
+}
+
+ContainerId
+TraceBuilder::host(const std::string &name)
+{
+    return result.addContainer(name, ContainerKind::Host,
+                               parentStack.back());
+}
+
+ContainerId
+TraceBuilder::link(const std::string &name)
+{
+    return result.addContainer(name, ContainerKind::Link,
+                               parentStack.back());
+}
+
+ContainerId
+TraceBuilder::router(const std::string &name)
+{
+    return result.addContainer(name, ContainerKind::Router,
+                               parentStack.back());
+}
+
+TraceBuilder &
+TraceBuilder::relate(ContainerId a, ContainerId b)
+{
+    result.addRelation(a, b);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::set(ContainerId c, const std::string &metric_name, double t,
+                  double v)
+{
+    MetricId m = result.findMetric(metric_name);
+    if (m == kNoMetric)
+        m = result.addMetric(metric_name, "", MetricNature::Gauge);
+    result.variable(c, m).set(t, v);
+    return *this;
+}
+
+MetricId
+TraceBuilder::powerMetric()
+{
+    return result.addMetric("power", "MFlops", MetricNature::Capacity);
+}
+
+MetricId
+TraceBuilder::powerUsedMetric()
+{
+    MetricId cap = powerMetric();
+    return result.addMetric("power_used", "MFlops",
+                            MetricNature::Utilization, cap);
+}
+
+MetricId
+TraceBuilder::bandwidthMetric()
+{
+    return result.addMetric("bandwidth", "Mbit/s", MetricNature::Capacity);
+}
+
+MetricId
+TraceBuilder::bandwidthUsedMetric()
+{
+    MetricId cap = bandwidthMetric();
+    return result.addMetric("bandwidth_used", "Mbit/s",
+                            MetricNature::Utilization, cap);
+}
+
+Trace
+makeFigure1Trace()
+{
+    TraceBuilder b;
+    MetricId power = b.powerMetric();
+    MetricId power_used = b.powerUsedMetric();
+    MetricId bw = b.bandwidthMetric();
+    MetricId bw_used = b.bandwidthUsedMetric();
+
+    ContainerId host_a = b.host("HostA");
+    ContainerId host_b = b.host("HostB");
+    ContainerId link_a = b.link("LinkA");
+    b.relate(host_a, link_a).relate(link_a, host_b);
+
+    Trace &t = b.trace();
+
+    // HostA availability and utilization.
+    t.variable(host_a, power).set(0.0, 100.0);
+    t.variable(host_a, power).set(4.0, 10.0);
+    t.variable(host_a, power).set(8.0, 100.0);
+    t.variable(host_a, power_used).set(0.0, 50.0);
+    t.variable(host_a, power_used).set(4.0, 10.0);
+    t.variable(host_a, power_used).set(8.0, 25.0);
+
+    // HostB availability and utilization.
+    t.variable(host_b, power).set(0.0, 25.0);
+    t.variable(host_b, power).set(4.0, 40.0);
+    t.variable(host_b, power_used).set(0.0, 5.0);
+    t.variable(host_b, power_used).set(4.0, 40.0);
+    t.variable(host_b, power_used).set(8.0, 20.0);
+
+    // LinkA: constant capacity, varying utilization.
+    t.variable(link_a, bw).set(0.0, 10000.0);
+    t.variable(link_a, bw_used).set(0.0, 2000.0);
+    t.variable(link_a, bw_used).set(4.0, 9500.0);
+    t.variable(link_a, bw_used).set(8.0, 1000.0);
+
+    // Mark the end of observation so span() covers [0, 12).
+    t.variable(host_a, power).set(12.0, 100.0);
+
+    return b.take();
+}
+
+} // namespace viva::trace

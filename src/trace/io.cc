@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Implementation of trace serialization.
+ */
+
+#include "trace/io.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace viva::trace
+{
+
+using support::formatDouble;
+using support::parseDouble;
+using support::parseSize;
+using support::split;
+using support::trim;
+
+void
+writeTrace(const Trace &trace, std::ostream &out)
+{
+    out << "viva-trace 1\n";
+
+    for (ContainerId id = 1; id < trace.containerCount(); ++id) {
+        const Container &c = trace.container(id);
+        out << "container " << id << ' ';
+        if (c.parent == trace.root())
+            out << '-';
+        else
+            out << c.parent;
+        out << ' ' << containerKindName(c.kind) << ' ' << c.name << '\n';
+    }
+
+    for (MetricId id = 0; id < trace.metricCount(); ++id) {
+        const Metric &m = trace.metric(id);
+        out << "metric " << id << ' ' << metricNatureName(m.nature) << ' ';
+        if (m.capacityOf == kNoMetric)
+            out << '-';
+        else
+            out << m.capacityOf;
+        out << ' ' << (m.unit.empty() ? "-" : m.unit) << ' ' << m.name
+            << '\n';
+    }
+
+    for (const Trace::Relation &r : trace.relations())
+        out << "rel " << r.a << ' ' << r.b << '\n';
+
+    for (ContainerId c = 0; c < trace.containerCount(); ++c) {
+        for (MetricId m = 0; m < trace.metricCount(); ++m) {
+            const Variable *var = trace.findVariable(c, m);
+            if (!var)
+                continue;
+            for (const Variable::Point &p : var->changePoints()) {
+                out << "p " << c << ' ' << m << ' ' << formatDouble(p.time)
+                    << ' ' << formatDouble(p.value) << '\n';
+            }
+        }
+    }
+
+    for (const Trace::StateRecord &s : trace.states()) {
+        out << "state " << s.container << ' ' << formatDouble(s.begin)
+            << ' ' << formatDouble(s.end) << ' ' << s.state << '\n';
+    }
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        support::fatal("writeTraceFile", "cannot open '", path, "'");
+    writeTrace(trace, out);
+    if (!out)
+        support::fatal("writeTraceFile", "write failed for '", path, "'");
+}
+
+namespace
+{
+
+/** Split off the first n whitespace fields; the remainder is the name. */
+bool
+splitFields(const std::string &line, std::size_t n,
+            std::vector<std::string> &fields, std::string &rest)
+{
+    fields.clear();
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+        while (i < line.size() && std::isspace((unsigned char)line[i]))
+            ++i;
+    };
+    for (std::size_t f = 0; f < n; ++f) {
+        skip_ws();
+        std::size_t start = i;
+        while (i < line.size() && !std::isspace((unsigned char)line[i]))
+            ++i;
+        if (i == start)
+            return false;
+        fields.emplace_back(line.substr(start, i - start));
+    }
+    skip_ws();
+    rest = line.substr(i);
+    // Trim trailing whitespace (e.g. CR from DOS files).
+    rest = trim(rest);
+    return true;
+}
+
+} // namespace
+
+std::optional<Trace>
+readTrace(std::istream &in, std::string &error)
+{
+    auto fail = [&](std::size_t line_no, const std::string &msg)
+        -> std::optional<Trace> {
+        std::ostringstream os;
+        os << "line " << line_no << ": " << msg;
+        error = os.str();
+        return std::nullopt;
+    };
+
+    std::string line;
+    std::size_t line_no = 0;
+
+    if (!std::getline(in, line))
+        return fail(0, "empty input");
+    ++line_no;
+    if (trim(line) != "viva-trace 1")
+        return fail(line_no, "missing 'viva-trace 1' header");
+
+    Trace trace;
+    std::vector<std::string> fields;
+    std::string rest;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#')
+            continue;
+
+        std::size_t sp = stripped.find(' ');
+        std::string verb = sp == std::string::npos
+                               ? stripped
+                               : stripped.substr(0, sp);
+        std::string body = sp == std::string::npos
+                               ? std::string()
+                               : stripped.substr(sp + 1);
+
+        if (verb == "container") {
+            if (!splitFields(body, 3, fields, rest) || rest.empty())
+                return fail(line_no, "malformed container record");
+            std::size_t id = 0;
+            if (!parseSize(fields[0], id))
+                return fail(line_no, "bad container id");
+            ContainerId parent = trace.root();
+            if (fields[1] != "-") {
+                std::size_t p = 0;
+                if (!parseSize(fields[1], p) || p >= trace.containerCount())
+                    return fail(line_no, "bad parent id");
+                parent = ContainerId(p);
+            }
+            ContainerKind kind = containerKindFromName(fields[2]);
+            if (trace.findChild(parent, rest) != kNoContainer)
+                return fail(line_no, "duplicate container '" + rest + "'");
+            ContainerId got = trace.addContainer(rest, kind, parent);
+            if (got != id)
+                return fail(line_no, "container ids must be dense");
+        } else if (verb == "metric") {
+            if (!splitFields(body, 4, fields, rest) || rest.empty())
+                return fail(line_no, "malformed metric record");
+            std::size_t id = 0;
+            if (!parseSize(fields[0], id))
+                return fail(line_no, "bad metric id");
+            MetricNature nature = metricNatureFromName(fields[1]);
+            MetricId cap = kNoMetric;
+            if (fields[2] != "-") {
+                std::size_t c = 0;
+                if (!parseSize(fields[2], c) || c >= trace.metricCount())
+                    return fail(line_no, "bad capacityOf id");
+                cap = MetricId(c);
+            }
+            std::string unit = fields[3] == "-" ? "" : fields[3];
+            if (trace.findMetric(rest) != kNoMetric)
+                return fail(line_no, "duplicate metric '" + rest + "'");
+            MetricId got = trace.addMetric(rest, unit, nature, cap);
+            if (got != id)
+                return fail(line_no, "metric ids must be dense");
+        } else if (verb == "rel") {
+            if (!splitFields(body, 2, fields, rest) || !rest.empty())
+                return fail(line_no, "malformed rel record");
+            std::size_t a = 0, b = 0;
+            if (!parseSize(fields[0], a) || !parseSize(fields[1], b) ||
+                a >= trace.containerCount() || b >= trace.containerCount())
+                return fail(line_no, "bad rel endpoints");
+            trace.addRelation(ContainerId(a), ContainerId(b));
+        } else if (verb == "p") {
+            if (!splitFields(body, 4, fields, rest) || !rest.empty())
+                return fail(line_no, "malformed point record");
+            std::size_t c = 0, m = 0;
+            double t = 0, v = 0;
+            if (!parseSize(fields[0], c) || !parseSize(fields[1], m) ||
+                !parseDouble(fields[2], t) || !parseDouble(fields[3], v))
+                return fail(line_no, "bad point fields");
+            if (c >= trace.containerCount() || m >= trace.metricCount())
+                return fail(line_no, "point references unknown ids");
+            trace.variable(ContainerId(c), MetricId(m)).set(t, v);
+        } else if (verb == "state") {
+            if (!splitFields(body, 3, fields, rest) || rest.empty())
+                return fail(line_no, "malformed state record");
+            std::size_t c = 0;
+            double b = 0, e = 0;
+            if (!parseSize(fields[0], c) || !parseDouble(fields[1], b) ||
+                !parseDouble(fields[2], e) || c >= trace.containerCount())
+                return fail(line_no, "bad state fields");
+            if (b > e)
+                return fail(line_no, "reversed state interval");
+            trace.addState(ContainerId(c), b, e, rest);
+        } else {
+            return fail(line_no, "unknown record '" + verb + "'");
+        }
+    }
+
+    error.clear();
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        support::fatal("readTraceFile", "cannot open '", path, "'");
+    std::string error;
+    std::optional<Trace> trace = readTrace(in, error);
+    if (!trace)
+        support::fatal("readTraceFile", path, ": ", error);
+    return std::move(*trace);
+}
+
+} // namespace viva::trace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text serialization of traces. The format is line-based so traces can be
+ * produced by external tools, diffed, and checked into test fixtures:
+ *
+ *   viva-trace 1
+ *   container <id> <parent|-> <kind> <name>
+ *   metric <id> <nature> <capacityOf|-> <unit> <name>
+ *   rel <a> <b>
+ *   p <container> <metric> <time> <value>
+ *   state <container> <begin> <end> <name>
+ *
+ * Ids are dense and must appear in increasing order; the root container
+ * (id 0) is implicit and never written. Names extend to the end of the
+ * line and may contain spaces.
+ */
+
+#ifndef VIVA_TRACE_IO_HH
+#define VIVA_TRACE_IO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace viva::trace
+{
+
+/** Serialize a trace to a stream. */
+void writeTrace(const Trace &trace, std::ostream &out);
+
+/** Serialize a trace to a file; fatal on I/O failure. */
+void writeTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a trace from a stream.
+ * @param in the stream to read
+ * @param error receives a line-numbered message on failure
+ * @return the trace, or nullopt on malformed input
+ */
+std::optional<Trace> readTrace(std::istream &in, std::string &error);
+
+/** Parse a trace from a file; fatal on I/O or parse failure. */
+Trace readTraceFile(const std::string &path);
+
+} // namespace viva::trace
+
+#endif // VIVA_TRACE_IO_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Import/export of the Paje trace format -- the lingua franca of the
+ * tool ecosystem the paper belongs to (Paje, ViTE, Triva, VIVA all
+ * speak it, and SimGrid/SMPI emit it). Supporting it makes this
+ * library a drop-in analysis backend for existing traces.
+ *
+ * The implemented subset covers the self-defined header (%EventDef
+ * blocks) and the events the visualization needs:
+ *
+ *   PajeDefineContainerType  -> container kinds
+ *   PajeDefineVariableType   -> metrics
+ *   PajeDefineStateType      -> state types (names only)
+ *   PajeCreateContainer      -> containers
+ *   PajeDestroyContainer     -> accepted, recorded as a no-op
+ *   PajeSetVariable          -> variable change points
+ *   PajeAddVariable          -> relative +delta change points
+ *   PajeSubVariable          -> relative -delta change points
+ *   PajeSetState             -> state intervals (closing the previous)
+ *   PajePushState/PopState   -> nested states (a per-container stack)
+ *   PajeStartLink/PajeEndLink-> relations between the two endpoints
+ *
+ * Unknown event kinds defined in the header are skipped with a
+ * warning, so traces carrying extra event types still load.
+ */
+
+#ifndef VIVA_TRACE_PAJE_HH
+#define VIVA_TRACE_PAJE_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace viva::trace
+{
+
+/** Outcome of a Paje import. */
+struct PajeImport
+{
+    Trace trace;
+    std::size_t eventCount = 0;          ///< data lines applied
+    std::vector<std::string> warnings;   ///< skipped/odd constructs
+};
+
+/**
+ * Parse a Paje trace.
+ * @param in the stream
+ * @param error receives a line-numbered message on a hard error
+ * @return the import, or nullopt on malformed input
+ */
+std::optional<PajeImport> readPajeTrace(std::istream &in,
+                                        std::string &error);
+
+/** Parse a Paje file; fatal on I/O or parse failure. */
+PajeImport readPajeTraceFile(const std::string &path);
+
+/**
+ * Serialize a trace as a Paje trace: a canonical header followed by
+ * the definition and event lines. Variables become SetVariable events,
+ * states SetState events, relations zero-duration Start/EndLink pairs.
+ * readPajeTrace() round-trips the result.
+ */
+void writePajeTrace(const Trace &trace, std::ostream &out);
+
+/** Serialize to a file; fatal on I/O failure. */
+void writePajeTraceFile(const Trace &trace, const std::string &path);
+
+} // namespace viva::trace
+
+#endif // VIVA_TRACE_PAJE_HH

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Implementation of the Trace.
+ */
+
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace viva::trace
+{
+
+const char *
+containerKindName(ContainerKind kind)
+{
+    switch (kind) {
+      case ContainerKind::Root: return "root";
+      case ContainerKind::Grid: return "grid";
+      case ContainerKind::Site: return "site";
+      case ContainerKind::Cluster: return "cluster";
+      case ContainerKind::Host: return "host";
+      case ContainerKind::Link: return "link";
+      case ContainerKind::Router: return "router";
+      case ContainerKind::Process: return "process";
+      case ContainerKind::Custom: return "custom";
+    }
+    return "custom";
+}
+
+ContainerKind
+containerKindFromName(const std::string &name)
+{
+    static const std::pair<const char *, ContainerKind> table[] = {
+        {"root", ContainerKind::Root},       {"grid", ContainerKind::Grid},
+        {"site", ContainerKind::Site},       {"cluster", ContainerKind::Cluster},
+        {"host", ContainerKind::Host},       {"link", ContainerKind::Link},
+        {"router", ContainerKind::Router},   {"process", ContainerKind::Process},
+        {"custom", ContainerKind::Custom},
+    };
+    for (const auto &[key, kind] : table)
+        if (name == key)
+            return kind;
+    return ContainerKind::Custom;
+}
+
+const char *
+metricNatureName(MetricNature nature)
+{
+    switch (nature) {
+      case MetricNature::Capacity: return "capacity";
+      case MetricNature::Utilization: return "utilization";
+      case MetricNature::Gauge: return "gauge";
+      case MetricNature::Counter: return "counter";
+    }
+    return "gauge";
+}
+
+MetricNature
+metricNatureFromName(const std::string &name)
+{
+    if (name == "capacity")
+        return MetricNature::Capacity;
+    if (name == "utilization")
+        return MetricNature::Utilization;
+    if (name == "counter")
+        return MetricNature::Counter;
+    return MetricNature::Gauge;
+}
+
+Trace::Trace()
+{
+    Container root_node;
+    root_node.id = 0;
+    root_node.name = "root";
+    root_node.kind = ContainerKind::Root;
+    root_node.parent = kNoContainer;
+    root_node.depth = 0;
+    nodes.push_back(std::move(root_node));
+}
+
+ContainerId
+Trace::addContainer(const std::string &name, ContainerKind kind,
+                    ContainerId parent)
+{
+    VIVA_ASSERT(parent < nodes.size(), "bad parent container id ", parent);
+    VIVA_ASSERT(!name.empty(), "container name must not be empty");
+    VIVA_ASSERT(name.find('/') == std::string::npos,
+                "container name '", name, "' must not contain '/'");
+    if (findChild(parent, name) != kNoContainer) {
+        support::fatal("Trace::addContainer", "duplicate container '", name,
+                       "' under '", fullName(parent), "'");
+    }
+
+    Container node;
+    node.id = ContainerId(nodes.size());
+    node.name = name;
+    node.kind = kind;
+    node.parent = parent;
+    node.depth = std::uint16_t(nodes[parent].depth + 1);
+    nodes.push_back(std::move(node));
+    nodes[parent].children.push_back(ContainerId(nodes.size() - 1));
+    return ContainerId(nodes.size() - 1);
+}
+
+const Container &
+Trace::container(ContainerId id) const
+{
+    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    return nodes[id];
+}
+
+ContainerId
+Trace::findChild(ContainerId parent, const std::string &name) const
+{
+    VIVA_ASSERT(parent < nodes.size(), "bad parent container id ", parent);
+    for (ContainerId child : nodes[parent].children)
+        if (nodes[child].name == name)
+            return child;
+    return kNoContainer;
+}
+
+ContainerId
+Trace::findByPath(const std::string &path) const
+{
+    ContainerId cur = root();
+    if (path.empty())
+        return cur;
+    for (const std::string &part : support::split(path, '/')) {
+        cur = findChild(cur, part);
+        if (cur == kNoContainer)
+            return kNoContainer;
+    }
+    return cur;
+}
+
+ContainerId
+Trace::findByName(const std::string &name) const
+{
+    ContainerId found = kNoContainer;
+    for (const Container &node : nodes) {
+        if (node.name == name) {
+            if (found != kNoContainer)
+                return kNoContainer;  // ambiguous
+            found = node.id;
+        }
+    }
+    return found;
+}
+
+std::string
+Trace::fullName(ContainerId id) const
+{
+    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    if (id == root())
+        return "";
+    std::vector<const std::string *> parts;
+    for (ContainerId cur = id; cur != root(); cur = nodes[cur].parent)
+        parts.push_back(&nodes[cur].name);
+    std::string out;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        if (!out.empty())
+            out += '/';
+        out += **it;
+    }
+    return out;
+}
+
+std::vector<ContainerId>
+Trace::containersOfKind(ContainerKind kind) const
+{
+    std::vector<ContainerId> out;
+    for (const Container &node : nodes)
+        if (node.kind == kind)
+            out.push_back(node.id);
+    return out;
+}
+
+std::vector<ContainerId>
+Trace::leavesUnder(ContainerId id) const
+{
+    std::vector<ContainerId> out;
+    for (ContainerId c : subtree(id))
+        if (nodes[c].leaf())
+            out.push_back(c);
+    return out;
+}
+
+std::vector<ContainerId>
+Trace::subtree(ContainerId id) const
+{
+    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    std::vector<ContainerId> out;
+    std::vector<ContainerId> stack{id};
+    while (!stack.empty()) {
+        ContainerId cur = stack.back();
+        stack.pop_back();
+        out.push_back(cur);
+        const auto &children = nodes[cur].children;
+        for (auto it = children.rbegin(); it != children.rend(); ++it)
+            stack.push_back(*it);
+    }
+    return out;
+}
+
+bool
+Trace::isAncestorOrSelf(ContainerId anc, ContainerId id) const
+{
+    VIVA_ASSERT(anc < nodes.size() && id < nodes.size(),
+                "bad container id ", anc, " or ", id);
+    ContainerId cur = id;
+    while (true) {
+        if (cur == anc)
+            return true;
+        if (cur == root())
+            return false;
+        cur = nodes[cur].parent;
+    }
+}
+
+ContainerId
+Trace::ancestorAtDepth(ContainerId id, std::uint16_t depth) const
+{
+    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    ContainerId cur = id;
+    while (nodes[cur].depth > depth)
+        cur = nodes[cur].parent;
+    return cur;
+}
+
+MetricId
+Trace::addMetric(const std::string &name, const std::string &unit,
+                 MetricNature nature, MetricId capacity_of)
+{
+    auto it = metricByName.find(name);
+    if (it != metricByName.end())
+        return it->second;
+    VIVA_ASSERT(capacity_of == kNoMetric || capacity_of < metricTable.size(),
+                "bad capacity metric id ", capacity_of);
+    Metric m;
+    m.id = MetricId(metricTable.size());
+    m.name = name;
+    m.unit = unit;
+    m.nature = nature;
+    m.capacityOf = capacity_of;
+    metricTable.push_back(m);
+    metricByName.emplace(name, m.id);
+    return m.id;
+}
+
+MetricId
+Trace::findMetric(const std::string &name) const
+{
+    auto it = metricByName.find(name);
+    return it == metricByName.end() ? kNoMetric : it->second;
+}
+
+const Metric &
+Trace::metric(MetricId id) const
+{
+    VIVA_ASSERT(id < metricTable.size(), "bad metric id ", id);
+    return metricTable[id];
+}
+
+Variable &
+Trace::variable(ContainerId c, MetricId m)
+{
+    VIVA_ASSERT(c < nodes.size(), "bad container id ", c);
+    VIVA_ASSERT(m < metricTable.size(), "bad metric id ", m);
+    return vars[varKey(c, m)];
+}
+
+const Variable *
+Trace::findVariable(ContainerId c, MetricId m) const
+{
+    auto it = vars.find(varKey(c, m));
+    return it == vars.end() ? nullptr : &it->second;
+}
+
+bool
+Trace::hasVariable(ContainerId c, MetricId m) const
+{
+    const Variable *v = findVariable(c, m);
+    return v && !v->empty();
+}
+
+std::size_t
+Trace::pointCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, var] : vars)
+        n += var.pointCount();
+    return n;
+}
+
+void
+Trace::addRelation(ContainerId a, ContainerId b)
+{
+    VIVA_ASSERT(a < nodes.size() && b < nodes.size(),
+                "bad relation endpoints ", a, ", ", b);
+    if (a == b)
+        return;
+    if (!relSet.insert(relKey(a, b)).second)
+        return;
+    rels.push_back({a, b});
+}
+
+std::vector<ContainerId>
+Trace::neighbors(ContainerId id) const
+{
+    std::vector<ContainerId> out;
+    for (const Relation &r : rels) {
+        if (r.a == id)
+            out.push_back(r.b);
+        else if (r.b == id)
+            out.push_back(r.a);
+    }
+    return out;
+}
+
+void
+Trace::addState(ContainerId c, double begin, double end,
+                const std::string &state)
+{
+    VIVA_ASSERT(c < nodes.size(), "bad container id ", c);
+    VIVA_ASSERT(begin <= end, "reversed state interval");
+    stateLog.push_back({c, begin, end, state});
+}
+
+support::Interval
+Trace::span() const
+{
+    bool any = false;
+    double lo = 0.0;
+    double hi = 0.0;
+    auto fold = [&](double b, double e) {
+        if (!any) {
+            lo = b;
+            hi = e;
+            any = true;
+        } else {
+            lo = std::min(lo, b);
+            hi = std::max(hi, e);
+        }
+    };
+    for (const auto &[key, var] : vars)
+        if (!var.empty())
+            fold(var.firstTime(), var.lastTime());
+    for (const StateRecord &s : stateLog)
+        fold(s.begin, s.end);
+    return support::Interval(lo, hi);
+}
+
+} // namespace viva::trace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Implementation of the piecewise-constant variable.
+ */
+
+#include "trace/variable.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace viva::trace
+{
+
+namespace
+{
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+} // namespace
+
+std::size_t
+Variable::indexAt(double t) const
+{
+    // upper_bound returns the first point strictly after t.
+    auto it = std::upper_bound(points.begin(), points.end(), t,
+                               [](double lhs, const Point &p) {
+                                   return lhs < p.time;
+                               });
+    if (it == points.begin())
+        return npos;
+    return std::size_t(it - points.begin()) - 1;
+}
+
+void
+Variable::set(double t, double v)
+{
+    if (points.empty() || points.back().time < t) {
+        points.push_back({t, v});
+        return;
+    }
+    if (points.back().time == t) {
+        points.back().value = v;
+        return;
+    }
+    // Out-of-order insert.
+    auto it = std::lower_bound(points.begin(), points.end(), t,
+                               [](const Point &p, double rhs) {
+                                   return p.time < rhs;
+                               });
+    if (it != points.end() && it->time == t)
+        it->value = v;
+    else
+        points.insert(it, {t, v});
+}
+
+void
+Variable::add(double t, double dv)
+{
+    set(t, valueAt(t) + dv);
+}
+
+double
+Variable::valueAt(double t) const
+{
+    std::size_t i = indexAt(t);
+    return i == npos ? 0.0 : points[i].value;
+}
+
+double
+Variable::integrate(double a, double b) const
+{
+    VIVA_ASSERT(a <= b, "reversed integration bounds [", a, ", ", b, ")");
+    if (points.empty() || a == b)
+        return 0.0;
+
+    double total = 0.0;
+    std::size_t i = indexAt(a);
+    double cursor = a;
+    double current = i == npos ? 0.0 : points[i].value;
+    // Walk the change points inside (a, b).
+    std::size_t next = (i == npos) ? 0 : i + 1;
+    while (next < points.size() && points[next].time < b) {
+        double t = std::max(points[next].time, a);
+        total += current * (t - cursor);
+        cursor = t;
+        current = points[next].value;
+        ++next;
+    }
+    total += current * (b - cursor);
+    return total;
+}
+
+double
+Variable::average(double a, double b) const
+{
+    VIVA_ASSERT(a <= b, "reversed slice [", a, ", ", b, ")");
+    if (a == b)
+        return valueAt(a);
+    return integrate(a, b) / (b - a);
+}
+
+double
+Variable::maxOver(double a, double b) const
+{
+    double best = valueAt(a);
+    std::size_t i = indexAt(a);
+    std::size_t next = (i == npos) ? 0 : i + 1;
+    while (next < points.size() && points[next].time < b) {
+        best = std::max(best, points[next].value);
+        ++next;
+    }
+    return best;
+}
+
+double
+Variable::minOver(double a, double b) const
+{
+    double best = valueAt(a);
+    std::size_t i = indexAt(a);
+    std::size_t next = (i == npos) ? 0 : i + 1;
+    while (next < points.size() && points[next].time < b) {
+        best = std::min(best, points[next].value);
+        ++next;
+    }
+    return best;
+}
+
+double
+Variable::firstTime() const
+{
+    return points.empty() ? 0.0 : points.front().time;
+}
+
+double
+Variable::lastTime() const
+{
+    return points.empty() ? 0.0 : points.back().time;
+}
+
+std::size_t
+Variable::compact()
+{
+    if (points.size() < 2)
+        return 0;
+    std::size_t before = points.size();
+    std::vector<Point> kept;
+    kept.reserve(points.size());
+    for (const Point &p : points) {
+        if (!kept.empty() && kept.back().value == p.value)
+            continue;
+        kept.push_back(p);
+    }
+    points = std::move(kept);
+    return before - points.size();
+}
+
+} // namespace viva::trace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the ASCII renderer.
+ */
+
+#include "viz/ascii.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace viva::viz
+{
+
+namespace
+{
+
+char
+glyphFor(const SceneNode &n)
+{
+    bool full = n.fill >= 0.5;
+    switch (n.shape) {
+      case ShapeKind::Square: return full ? '#' : '+';
+      case ShapeKind::Circle: return full ? 'o' : '.';
+      case ShapeKind::Diamond: return full ? '*' : 'x';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::string
+renderAscii(const Scene &scene, const AsciiOptions &options)
+{
+    std::size_t cols = std::max<std::size_t>(options.columns, 10);
+    std::size_t rows = std::max<std::size_t>(options.rows, 5);
+    std::vector<std::string> grid(rows, std::string(cols, ' '));
+
+    auto to_cell = [&](double x, double y, std::size_t &cx,
+                       std::size_t &cy) {
+        double fx = scene.width > 0 ? x / scene.width : 0.0;
+        double fy = scene.height > 0 ? y / scene.height : 0.0;
+        cx = std::min(cols - 1,
+                      std::size_t(std::max(0.0, fx * double(cols))));
+        cy = std::min(rows - 1,
+                      std::size_t(std::max(0.0, fy * double(rows))));
+    };
+
+    if (options.drawEdges) {
+        for (const SceneEdge &e : scene.edges) {
+            const SceneNode &a = scene.nodes[e.a];
+            const SceneNode &b = scene.nodes[e.b];
+            // Sample along the segment.
+            int steps = 24;
+            for (int s = 1; s < steps; ++s) {
+                double t = double(s) / steps;
+                std::size_t cx, cy;
+                to_cell(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t, cx,
+                        cy);
+                if (grid[cy][cx] == ' ')
+                    grid[cy][cx] = '`';
+            }
+        }
+    }
+
+    for (const SceneNode &n : scene.nodes) {
+        std::size_t cx, cy;
+        to_cell(n.x, n.y, cx, cy);
+        grid[cy][cx] = glyphFor(n);
+    }
+
+    std::ostringstream out;
+    out << '+' << std::string(cols, '-') << "+\n";
+    for (const std::string &row : grid)
+        out << '|' << row << "|\n";
+    out << '+' << std::string(cols, '-') << "+\n";
+    return out.str();
+}
+
+void
+writeAscii(const Scene &scene, std::ostream &out,
+           const AsciiOptions &options)
+{
+    out << renderAscii(scene, options);
+}
+
+} // namespace viva::viz

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Terminal rasterization of a Scene: a character grid where each node
+ * is drawn with a glyph whose case/char encodes shape and fill. Meant
+ * for quick looks from examples and for renderer-independent tests.
+ */
+
+#ifndef VIVA_VIZ_ASCII_HH
+#define VIVA_VIZ_ASCII_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "viz/scene.hh"
+
+namespace viva::viz
+{
+
+/** ASCII rendering options. */
+struct AsciiOptions
+{
+    std::size_t columns = 100;
+    std::size_t rows = 32;
+    bool drawEdges = true;
+};
+
+/**
+ * Render the scene to text. Node glyphs: '#' square, 'o' circle, '*'
+ * diamond; lower-case variants ('+', '.', 'x') when the node's fill is
+ * below one half. Edges are drawn with light dots.
+ */
+std::string renderAscii(const Scene &scene,
+                        const AsciiOptions &options = AsciiOptions());
+
+/** Render directly to a stream. */
+void writeAscii(const Scene &scene, std::ostream &out,
+                const AsciiOptions &options = AsciiOptions());
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_ASCII_HH

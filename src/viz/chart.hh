@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Time-series line charts of aggregated values -- the "statistical"
+ * visualization category of the paper's related-work taxonomy,
+ * provided as a companion to the topology view: once the topology
+ * view has isolated an interesting node (say, the saturated backbone),
+ * the analyst charts its metric over time to see *when* it saturates.
+ *
+ * Series are built through the same Equation-1 machinery (a sliding
+ * sequence of time slices), so a chart of an aggregated node is exactly
+ * the evolution of the value its glyph would show.
+ */
+
+#ifndef VIVA_VIZ_CHART_HH
+#define VIVA_VIZ_CHART_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.hh"
+#include "trace/trace.hh"
+#include "viz/shape.hh"
+
+namespace viva::viz
+{
+
+/** One line of the chart. */
+struct ChartSeries
+{
+    std::string label;
+    Color color;
+    /** (time, value) samples, time-ascending. */
+    std::vector<std::pair<double, double>> points;
+};
+
+/** Chart construction and rendering options. */
+struct ChartOptions
+{
+    double width = 900.0;
+    double height = 360.0;
+    std::string title;
+    std::string yLabel;
+    /** Number of equal slices the period is sampled into. */
+    std::size_t samples = 120;
+};
+
+/**
+ * Sample the aggregated value of a container over a period: one point
+ * per slice, placed at the slice centre.
+ */
+ChartSeries sampleSeries(const trace::Trace &trace,
+                         trace::ContainerId node, trace::MetricId metric,
+                         const agg::TimeSlice &period,
+                         std::size_t samples = 120,
+                         agg::SpatialOp op = agg::SpatialOp::Sum);
+
+/** Render series as an SVG line chart with axes and a legend. */
+void writeChartSvg(const std::vector<ChartSeries> &series,
+                   std::ostream &out,
+                   const ChartOptions &options = ChartOptions());
+
+/** Render to a file; fatal on I/O failure. */
+void writeChartSvgFile(const std::vector<ChartSeries> &series,
+                       const std::string &path,
+                       const ChartOptions &options = ChartOptions());
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_CHART_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Timeline (Gantt-chart) rendering of trace states -- the classical
+ * behavioral visualization the paper's introduction starts from. It is
+ * provided both as a useful complement (fine-grain event causality)
+ * and as the baseline the topology-based view is contrasted with: a
+ * Gantt chart shows *when* processes wait, but cannot show that the
+ * cause is a saturated inter-cluster link, because "timelines have no
+ * way to depict topology together with application traces".
+ */
+
+#ifndef VIVA_VIZ_GANTT_HH
+#define VIVA_VIZ_GANTT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "agg/timeslice.hh"
+#include "trace/trace.hh"
+#include "viz/shape.hh"
+
+namespace viva::viz
+{
+
+/** One bar of a Gantt row. */
+struct GanttBar
+{
+    double begin = 0.0;   ///< trace time
+    double end = 0.0;
+    std::string state;
+    Color color;
+};
+
+/** One row: a container and its state bars, sorted by begin time. */
+struct GanttRow
+{
+    trace::ContainerId id = trace::kNoContainer;
+    std::string label;
+    std::vector<GanttBar> bars;
+};
+
+/** The assembled chart. */
+struct GanttChart
+{
+    agg::TimeSlice window;
+    std::vector<GanttRow> rows;   ///< sorted by container full name
+};
+
+/** Chart construction options. */
+struct GanttOptions
+{
+    /** Only containers under this subtree get rows (root = all). */
+    trace::ContainerId scope = 0;
+    /** Rows with no bar inside the window are dropped. */
+    bool dropEmptyRows = true;
+    /** Cap on rows (a Gantt chart's screen-height limit; 0 = none). */
+    std::size_t maxRows = 0;
+};
+
+/**
+ * Collect the state records of a trace into rows, clipped to the
+ * window. Colors are stable per state name.
+ */
+GanttChart buildGantt(const trace::Trace &trace,
+                      const agg::TimeSlice &window,
+                      const GanttOptions &options = GanttOptions());
+
+/** SVG rendering parameters. */
+struct GanttSvgOptions
+{
+    double width = 1200.0;
+    double rowHeight = 16.0;
+    double labelWidth = 180.0;
+    std::string title;
+};
+
+/** Render the chart as SVG. */
+void writeGanttSvg(const GanttChart &chart, std::ostream &out,
+                   const GanttSvgOptions &options = GanttSvgOptions());
+
+/** Render to a file; fatal on I/O failure. */
+void writeGanttSvgFile(const GanttChart &chart, const std::string &path,
+                       const GanttSvgOptions &options = GanttSvgOptions());
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_GANTT_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The trace-to-graph visual mapping of Section 3.1: which metric drives
+ * each node's size, which drives its proportional fill, which shape and
+ * colour each container kind uses. Mappings "can be dynamically changed
+ * at a given point of the analysis", so rules are plain mutable data.
+ */
+
+#ifndef VIVA_VIZ_MAPPING_HH
+#define VIVA_VIZ_MAPPING_HH
+
+#include <array>
+#include <optional>
+
+#include "trace/trace.hh"
+#include "viz/shape.hh"
+
+namespace viva::viz
+{
+
+/** How one container kind is drawn. */
+struct MappingRule
+{
+    ShapeKind shape = ShapeKind::Circle;
+    /** Metric that drives the glyph's size (usually a capacity). */
+    trace::MetricId sizeMetric = trace::kNoMetric;
+    /** Metric that drives the proportional fill (a utilization). */
+    trace::MetricId fillMetric = trace::kNoMetric;
+    Color color = palette::host;
+};
+
+/**
+ * A composition: how an aggregated value splits into parts, drawn as a
+ * pie glyph. The paper's future-work list asks for "pie-charts,
+ * histograms, ..." to display "other kind of information"; the obvious
+ * first use is the per-application share of a resource (Fig. 8's
+ * correlation of two competing projects).
+ */
+struct CompositionRule
+{
+    /** The part metrics (e.g. power_used:app1, power_used:app2). */
+    std::vector<trace::MetricId> parts;
+    /** One color per part (categorical defaults when empty). */
+    std::vector<Color> colors;
+    /** The whole the parts are fractions of (e.g. power). */
+    trace::MetricId total = trace::kNoMetric;
+};
+
+/**
+ * The rule table, indexed by ContainerKind. Aggregated nodes are drawn
+ * as a composite of the host rule (primary glyph) and link rule
+ * (secondary glyph), reproducing the square+diamond aggregates of
+ * Fig. 3.
+ */
+class VisualMapping
+{
+  public:
+    /** Set the rule for one container kind. */
+    void setRule(trace::ContainerKind kind, const MappingRule &rule);
+
+    /** The rule for a kind; nullopt when none was set. */
+    std::optional<MappingRule> rule(trace::ContainerKind kind) const;
+
+    /**
+     * The conventional mapping used throughout the paper's figures:
+     * hosts are squares sized by "power" and filled by "power_used";
+     * links are diamonds sized by "bandwidth" and filled by
+     * "bandwidth_used"; routers are small grey circles. Metrics missing
+     * from the trace leave the corresponding rule unset.
+     */
+    static VisualMapping defaults(const trace::Trace &trace);
+
+    /** All metrics referenced by any rule (the view's metric set). */
+    std::vector<trace::MetricId> referencedMetrics() const;
+
+    /** Install (or replace) the composition drawn on aggregated nodes. */
+    void setComposition(const CompositionRule &rule);
+
+    /** Remove the composition. */
+    void clearComposition();
+
+    /** The composition, if any. */
+    const std::optional<CompositionRule> &
+    composition() const
+    {
+        return compositionRule;
+    }
+
+  private:
+    static constexpr std::size_t kKinds = 9;
+    std::array<std::optional<MappingRule>, kKinds> rules;
+    std::optional<CompositionRule> compositionRule;
+};
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_MAPPING_HH

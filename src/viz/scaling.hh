@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-metric-type independent scaling (Section 4.1, Fig. 4).
+ *
+ * Computing power is in MFlops, bandwidth in Mbit/s: their magnitudes
+ * are not comparable, so each *size metric* gets its own scale. The
+ * automatic scale maps the largest value of that metric in the current
+ * view to the maximum pixel size; an interactive slider per metric then
+ * multiplies the automatic scale ("the analyst can interactively
+ * configure these sliders to focus the analysis on one type of
+ * objects").
+ */
+
+#ifndef VIVA_VIZ_SCALING_HH
+#define VIVA_VIZ_SCALING_HH
+
+#include <unordered_map>
+
+#include "agg/aggregate.hh"
+#include "trace/trace.hh"
+
+namespace viva::viz
+{
+
+/** The scaling configuration and its slider state. */
+class TypeScaling
+{
+  public:
+    /** @param max_pixel the size the largest object of each type gets */
+    explicit TypeScaling(double max_pixel = 60.0) : maxPixel(max_pixel) {}
+
+    /** The maximum glyph size in pixels. */
+    double maxPixelSize() const { return maxPixel; }
+
+    /** Change the maximum glyph size. */
+    void setMaxPixelSize(double px);
+
+    /**
+     * The slider for one metric: a multiplier on the automatic scale,
+     * clamped to [0.05, 20]. 1.0 (default) is the middle position of
+     * the Fig. 4 sliders.
+     */
+    void setSlider(trace::MetricId metric, double multiplier);
+
+    /** Current slider value (1.0 when untouched). */
+    double slider(trace::MetricId metric) const;
+
+    /**
+     * Recompute the automatic per-metric maxima from a view: for every
+     * metric, the largest aggregated value over the view's nodes.
+     */
+    void autoScale(const agg::View &view);
+
+    /** The current automatic maximum for a metric (0 when unseen). */
+    double autoMax(trace::MetricId metric) const;
+
+    /**
+     * Pixel size for a value of a metric:
+     * maxPixel * slider * value / autoMax, clamped to [0, maxPixel *
+     * slider]. Zero when the metric has no automatic maximum yet.
+     */
+    double pixelSize(trace::MetricId metric, double value) const;
+
+  private:
+    double maxPixel;
+    std::unordered_map<trace::MetricId, double> sliders;
+    std::unordered_map<trace::MetricId, double> maxima;
+};
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_SCALING_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Scene composition: an aggregated View (values), layout positions, a
+ * VisualMapping and a TypeScaling combine into a flat list of drawable
+ * primitives. The Scene is renderer-independent; svg.hh and ascii.hh
+ * rasterize it.
+ */
+
+#ifndef VIVA_VIZ_SCENE_HH
+#define VIVA_VIZ_SCENE_HH
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.hh"
+#include "layout/metrics.hh"
+#include "viz/mapping.hh"
+#include "viz/scaling.hh"
+
+namespace viva::viz
+{
+
+/** One drawable node. */
+struct SceneNode
+{
+    trace::ContainerId id = trace::kNoContainer;
+    std::string label;
+    bool aggregated = false;
+    std::size_t leafCount = 1;
+
+    double x = 0.0;           ///< canvas coordinates
+    double y = 0.0;
+
+    ShapeKind shape = ShapeKind::Circle;
+    double sizePx = 0.0;      ///< glyph size (edge length / diameter)
+    double fill = 0.0;        ///< proportional fill in [0, 1]
+    Color color;
+
+    /** Secondary glyph of composite aggregates (the Fig. 3 diamond). */
+    bool hasSecondary = false;
+    ShapeKind secondaryShape = ShapeKind::Diamond;
+    double secondarySizePx = 0.0;
+    double secondaryFill = 0.0;
+    Color secondaryColor;
+
+    /** One wedge of the node's pie glyph. */
+    struct PieSegment
+    {
+        double fraction = 0.0;  ///< of the whole pie, in [0, 1]
+        Color color;
+        std::string label;
+    };
+
+    /**
+     * Pie wedges (per-application shares or state mix); empty when the
+     * node has nothing to decompose. Fractions sum to <= 1; the
+     * remainder renders as unused (background).
+     */
+    std::vector<PieSegment> segments;
+
+    /**
+     * Heterogeneity of the aggregated size value: the coefficient of
+     * variation of the per-leaf distribution. Zero for leaves and for
+     * views built without statistics. High values flag aggregates
+     * whose single value hides wildly different members (the paper's
+     * statistical-indicator extension).
+     */
+    double heterogeneity = 0.0;
+};
+
+/** One drawable edge. */
+struct SceneEdge
+{
+    std::size_t a = 0;        ///< indices into Scene::nodes
+    std::size_t b = 0;
+    std::size_t multiplicity = 1;
+    double widthPx = 1.0;
+};
+
+/** Everything a renderer needs. */
+struct Scene
+{
+    double width = 0.0;
+    double height = 0.0;
+    agg::TimeSlice slice;
+    std::vector<SceneNode> nodes;
+    std::vector<SceneEdge> edges;
+};
+
+/** Canvas and labelling options. */
+struct SceneOptions
+{
+    double width = 1200.0;
+    double height = 800.0;
+    double margin = 60.0;
+
+    enum class Labels { None, AggregatedOnly, All };
+    Labels labels = Labels::AggregatedOnly;
+
+    /** Minimum glyph size so tiny values stay visible. */
+    double minPixelSize = 2.0;
+
+    /**
+     * Fill pie segments from the state mix of each node's subtree over
+     * the view's slice (requires the trace to carry state records).
+     * Takes precedence over the mapping's composition rule.
+     */
+    bool statePies = false;
+};
+
+/**
+ * Compose a scene.
+ *
+ * @param view      aggregated values for the visible nodes
+ * @param trace     the trace (for names and kinds)
+ * @param positions layout positions keyed by ContainerId
+ * @param mapping   the visual mapping rules
+ * @param scaling   per-type scaling; autoScale(view) is applied first
+ * @param options   canvas parameters
+ *
+ * Nodes without a position are skipped with a warning (the layout and
+ * the cut should be kept in sync by the caller; the Session does).
+ */
+Scene composeScene(const agg::View &view, const trace::Trace &trace,
+                   const layout::Snapshot &positions,
+                   const VisualMapping &mapping, TypeScaling &scaling,
+                   const SceneOptions &options = SceneOptions());
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_SCENE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SVG rasterization of a Scene. The proportional fill of Fig. 1-2 is
+ * drawn as an inner glyph whose area is proportional to the fill
+ * fraction inside the capacity outline.
+ */
+
+#ifndef VIVA_VIZ_SVG_HH
+#define VIVA_VIZ_SVG_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "viz/scene.hh"
+
+namespace viva::viz
+{
+
+/** Rendering options. */
+struct SvgOptions
+{
+    bool drawEdges = true;
+    bool drawLabels = true;
+    /** Labels only on aggregates (readable on dense views). */
+    bool labelsAggregatedOnly = true;
+    double fontSize = 11.0;
+    std::string title;
+
+    /**
+     * Aggregates whose heterogeneity (coefficient of variation of the
+     * per-leaf size values) exceeds this get a dashed warning ring --
+     * the paper's statistical-indicator extension. Scenes composed
+     * from views without statistics never trigger it.
+     */
+    double heterogeneityThreshold = 0.5;
+};
+
+/** Write a scene as an SVG document to a stream. */
+void writeSvg(const Scene &scene, std::ostream &out,
+              const SvgOptions &options = SvgOptions());
+
+/** Write a scene to a file; fatal on I/O failure. */
+void writeSvgFile(const Scene &scene, const std::string &path,
+                  const SvgOptions &options = SvgOptions());
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_SVG_HH

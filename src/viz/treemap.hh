@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Squarified treemaps over the container hierarchy. The paper puts its
+ * multiscale aggregation "in relation to what has been done for
+ * treemaps" (the authors' own hierarchical-aggregation work); this
+ * module provides that sibling view: every container is a nested
+ * rectangle whose area is its aggregated metric value over the time
+ * slice. Useful when the analyst cares about proportions rather than
+ * topology -- the graph view and the treemap share the same
+ * aggregation machinery.
+ */
+
+#ifndef VIVA_VIZ_TREEMAP_HH
+#define VIVA_VIZ_TREEMAP_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.hh"
+#include "trace/trace.hh"
+#include "viz/shape.hh"
+
+namespace viva::viz
+{
+
+/** One rectangle of the treemap. */
+struct TreemapCell
+{
+    trace::ContainerId id = trace::kNoContainer;
+    std::string label;
+    double x = 0.0;
+    double y = 0.0;
+    double width = 0.0;
+    double height = 0.0;
+    std::uint16_t depth = 0;  ///< container depth (root children = 1)
+    double value = 0.0;       ///< aggregated metric value
+    bool leaf = true;         ///< no rendered children inside
+    Color color;
+
+    double area() const { return width * height; }
+};
+
+/** Layout parameters. */
+struct TreemapOptions
+{
+    double width = 1200.0;
+    double height = 800.0;
+    /** Inset between a parent's border and its children. */
+    double padding = 2.0;
+    /**
+     * Deepest container level rendered; deeper subtrees aggregate into
+     * their ancestor's cell. 0 means no limit -- the space dimension
+     * analogue of the hierarchy cut.
+     */
+    std::uint16_t maxDepth = 0;
+};
+
+/** The laid-out treemap. */
+struct Treemap
+{
+    double width = 0.0;
+    double height = 0.0;
+    agg::TimeSlice slice;
+    std::vector<TreemapCell> cells;  ///< parents precede children
+};
+
+/**
+ * Build a squarified treemap of the hierarchy weighted by a metric.
+ *
+ * Cell areas are proportional to Equation-1 aggregated values (sum of
+ * leaf time-averages over the slice); containers whose subtree value
+ * is zero are dropped.
+ */
+Treemap buildTreemap(const trace::Trace &trace, trace::MetricId metric,
+                     const agg::TimeSlice &slice,
+                     const TreemapOptions &options = TreemapOptions());
+
+/** Render a treemap as SVG. */
+void writeTreemapSvg(const Treemap &treemap, std::ostream &out,
+                     const std::string &title = "");
+
+/** Render to a file; fatal on I/O failure. */
+void writeTreemapSvgFile(const Treemap &treemap, const std::string &path,
+                         const std::string &title = "");
+
+} // namespace viva::viz
+
+#endif // VIVA_VIZ_TREEMAP_HH

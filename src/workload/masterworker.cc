@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Implementation of the bandwidth-centric master-worker application.
+ */
+
+#include "workload/masterworker.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace viva::workload
+{
+
+using platform::HostId;
+using platform::Platform;
+
+MasterWorkerApp::MasterWorkerApp(sim::SimulationRun &run_bundle,
+                                 MwParams params, sim::TagId tag_id)
+    : run(run_bundle), params_(std::move(params)), tag(tag_id)
+{
+    VIVA_ASSERT(!params_.workers.empty(), "app '", params_.name,
+                "' has no workers");
+    VIVA_ASSERT(params_.prefetch >= 1, "prefetch must be >= 1");
+    VIVA_ASSERT(params_.maxConcurrentSends >= 1,
+                "need at least one send slot");
+
+    const Platform &plat = run.engine.platform();
+    effBandwidth.resize(params_.workers.size());
+    for (std::size_t w = 0; w < params_.workers.size(); ++w) {
+        const platform::Route &route =
+            plat.route(params_.master, params_.workers[w]);
+        // Effective bandwidth as the master would *measure* it. The
+        // harmonic capacity 1 / sum(1/bw_l) decreases with every extra
+        // hop, which is what makes nearby workers win ties and
+        // produces the locality the paper observes; the plain
+        // bottleneck min(bw_l) is kept as the ablation baseline.
+        if (params_.bwEstimate == BwEstimate::Harmonic) {
+            double inv = 0.0;
+            for (platform::LinkId l : route.links)
+                inv += 1.0 / plat.link(l).bandwidthMbps;
+            effBandwidth[w] = inv > 0.0 ? 1.0 / inv : 0.0;
+        } else {
+            double bw = 0.0;
+            for (platform::LinkId l : route.links) {
+                double b = plat.link(l).bandwidthMbps;
+                bw = bw == 0.0 ? b : std::min(bw, b);
+            }
+            effBandwidth[w] = bw;
+        }
+    }
+
+    computeStart.assign(params_.workers.size(), 0.0);
+    stateTarget.resize(params_.workers.size());
+    for (std::size_t w = 0; w < params_.workers.size(); ++w) {
+        stateTarget[w] = run.mirror.hostContainer[params_.workers[w]];
+        if (params_.createProcessContainers) {
+            stateTarget[w] = run.trace.addContainer(
+                "worker-" + params_.name,
+                trace::ContainerKind::Process, stateTarget[w]);
+        }
+    }
+    queued.assign(params_.workers.size(), 0);
+    computing.assign(params_.workers.size(), false);
+    done.assign(params_.workers.size(), 0);
+}
+
+double
+MasterWorkerApp::effectiveBandwidth(std::size_t worker_index) const
+{
+    VIVA_ASSERT(worker_index < effBandwidth.size(), "bad worker index");
+    return effBandwidth[worker_index];
+}
+
+void
+MasterWorkerApp::start()
+{
+    for (std::size_t w = 0; w < params_.workers.size(); ++w)
+        for (std::size_t i = 0; i < params_.prefetch; ++i)
+            sendRequest(w);
+}
+
+void
+MasterWorkerApp::sendRequest(std::size_t w)
+{
+    run.engine.startComm(params_.workers[w], params_.master,
+                         params_.requestMbits,
+                         [this, w] { onRequest(w); }, tag);
+}
+
+void
+MasterWorkerApp::onRequest(std::size_t w)
+{
+    if (assigned >= params_.totalTasks)
+        return;  // nothing left to hand out; the request dies here
+    if (params_.policy == MwPolicy::BandwidthCentric)
+        pendingBw.insert({-effBandwidth[w], arrivalSeq++, w});
+    else
+        pendingFifo.push_back(w);
+    tryServe();
+}
+
+void
+MasterWorkerApp::tryServe()
+{
+    while (activeSends < params_.maxConcurrentSends &&
+           assigned < params_.totalTasks) {
+        std::size_t w;
+        if (params_.policy == MwPolicy::BandwidthCentric) {
+            if (pendingBw.empty())
+                return;
+            auto it = pendingBw.begin();
+            w = std::get<2>(*it);
+            pendingBw.erase(it);
+        } else {
+            if (pendingFifo.empty())
+                return;
+            w = pendingFifo.front();
+            pendingFifo.pop_front();
+        }
+
+        ++activeSends;
+        ++assigned;
+        run.engine.startComm(params_.master, params_.workers[w],
+                             params_.taskInputMbits,
+                             [this, w] {
+                                 --activeSends;
+                                 onTaskArrive(w);
+                                 tryServe();
+                             },
+                             tag);
+    }
+}
+
+void
+MasterWorkerApp::onTaskArrive(std::size_t w)
+{
+    ++queued[w];
+    tryCompute(w);
+}
+
+void
+MasterWorkerApp::tryCompute(std::size_t w)
+{
+    if (computing[w] || queued[w] == 0)
+        return;
+    --queued[w];
+    computing[w] = true;
+    computeStart[w] = run.engine.now();
+    // Keep the prefetch buffer full: the consumed slot is re-requested
+    // the moment the task leaves the buffer.
+    sendRequest(w);
+    run.engine.startCompute(params_.workers[w], params_.taskMflop,
+                            [this, w] { onTaskDone(w); }, tag);
+}
+
+void
+MasterWorkerApp::onTaskDone(std::size_t w)
+{
+    if (params_.recordStates) {
+        run.trace.addState(stateTarget[w], computeStart[w],
+                           run.engine.now(),
+                           "compute:" + params_.name);
+    }
+    computing[w] = false;
+    ++done[w];
+    ++completed;
+    lastDoneTime = run.engine.now();
+    tryCompute(w);
+}
+
+MwResult
+MasterWorkerApp::result() const
+{
+    MwResult r;
+    r.makespanS = lastDoneTime;
+    r.tasksCompleted = completed;
+    r.tasksPerWorker = done;
+    r.totalMflop = double(completed) * params_.taskMflop;
+    return r;
+}
+
+std::vector<HostId>
+allHostsExcept(const Platform &platform,
+               const std::vector<HostId> &excluded)
+{
+    std::vector<HostId> out;
+    out.reserve(platform.hostCount());
+    for (HostId h = 0; h < platform.hostCount(); ++h)
+        if (std::find(excluded.begin(), excluded.end(), h) ==
+            excluded.end())
+            out.push_back(h);
+    return out;
+}
+
+} // namespace viva::workload

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Master-worker applications with the bandwidth-centric scheduling
+ * policy of Beaumont et al. [4] -- the Section 5.2 workload.
+ *
+ * Each worker keeps a prefetch buffer: it always has `prefetch` task
+ * requests or queued tasks outstanding so it never idles waiting for the
+ * master. The master serves pending requests one transfer at a time; the
+ * *policy* decides which requester is served next:
+ *
+ *  - BandwidthCentric: the worker with the largest effective bandwidth
+ *    (by default the harmonic capacity of the master->worker route, a
+ *    distance-aware stand-in for a measured throughput; see
+ *    BwEstimate), which is the paper's setup and produces the
+ *    locality/diffusion phenomena of Figs. 8-9;
+ *  - Fifo: first-come first-served, the baseline the paper contrasts
+ *    with ("a simple FIFO mechanism would exhibit an (inefficient)
+ *    uniform resource usage").
+ *
+ * Two applications can share one engine (distinct tags) to reproduce the
+ * non-cooperative resource competition of the case study.
+ */
+
+#ifndef VIVA_WORKLOAD_MASTERWORKER_HH
+#define VIVA_WORKLOAD_MASTERWORKER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "platform/platform.hh"
+#include "sim/tracer.hh"
+#include "trace/trace.hh"
+
+namespace viva::workload
+{
+
+/** How the master picks the next pending request to serve. */
+enum class MwPolicy { BandwidthCentric, Fifo };
+
+/**
+ * How the "effective bandwidth" of a worker is estimated (the
+ * bandwidth-centric ablation knob):
+ *  - Harmonic: 1 / sum(1/bw_l) over the route, which decreases with
+ *    hop count like a measured end-to-end throughput (default);
+ *  - Bottleneck: min(bw_l), the naive estimate -- on platforms with
+ *    uniform edge links it cannot distinguish near from far workers,
+ *    which erases the paper's locality phenomenon (see the
+ *    ablation_policy bench).
+ */
+enum class BwEstimate { Harmonic, Bottleneck };
+
+/** Parameters of one master-worker application. */
+struct MwParams
+{
+    std::string name = "app";
+    platform::HostId master = 0;
+    std::vector<platform::HostId> workers;
+
+    double taskInputMbits = 8.0;   ///< payload sent per task
+    double taskMflop = 60000.0;    ///< computation per task
+    double requestMbits = 0.008;   ///< worker->master request size
+
+    std::size_t totalTasks = 2000; ///< tasks the master hands out
+    std::size_t prefetch = 3;      ///< the paper's 3-deep worker buffer
+    MwPolicy policy = MwPolicy::BandwidthCentric;
+    BwEstimate bwEstimate = BwEstimate::Harmonic;
+
+    /** Parallel task transfers the master may keep in flight. */
+    std::size_t maxConcurrentSends = 1;
+
+    /**
+     * Record a "compute:<name>" state interval in the trace for every
+     * task execution (feeds the state-pie glyphs and the Gantt view).
+     */
+    bool recordStates = false;
+
+    /**
+     * Create one Process container ("worker-<name>") per worker host,
+     * nested under it; states then attach to the worker process.
+     */
+    bool createProcessContainers = false;
+};
+
+/** Aggregate outcome of one application. */
+struct MwResult
+{
+    double makespanS = 0.0;              ///< when the last task finished
+    std::size_t tasksCompleted = 0;
+    std::vector<std::size_t> tasksPerWorker;  ///< by index into workers
+    double totalMflop = 0.0;             ///< useful work performed
+};
+
+/**
+ * One master-worker application wired into a simulation. Construct,
+ * call start(), then run the engine (possibly alongside other apps);
+ * result() is meaningful once the engine has drained.
+ */
+class MasterWorkerApp
+{
+  public:
+    /**
+     * @param run shared simulation bundle
+     * @param params application parameters (workers must be non-empty)
+     * @param tag engine tag for this application's activities
+     */
+    MasterWorkerApp(sim::SimulationRun &run, MwParams params,
+                    sim::TagId tag);
+
+    MasterWorkerApp(const MasterWorkerApp &) = delete;
+    MasterWorkerApp &operator=(const MasterWorkerApp &) = delete;
+
+    /** Post the initial prefetch requests of every worker. */
+    void start();
+
+    /** True once every handed-out task has completed. */
+    bool finished() const { return completed == params_.totalTasks; }
+
+    /** The application's outcome (meaningful when finished()). */
+    MwResult result() const;
+
+    /** The parameters this app runs with. */
+    const MwParams &params() const { return params_; }
+
+    /**
+     * Effective bandwidth the master sees towards a worker: the
+     * harmonic capacity 1/sum(1/bw) of the route's links (Mbit/s),
+     * which decreases with hop count like a measured throughput would.
+     */
+    double effectiveBandwidth(std::size_t worker_index) const;
+
+  private:
+    /** A worker asked for work (request arrived at the master). */
+    void onRequest(std::size_t w);
+
+    /** Serve pending requests while send slots and tasks remain. */
+    void tryServe();
+
+    /** A task payload arrived at worker w. */
+    void onTaskArrive(std::size_t w);
+
+    /** Start computing on w if it has queued tasks and a free CPU slot. */
+    void tryCompute(std::size_t w);
+
+    /** Worker w finished computing one task. */
+    void onTaskDone(std::size_t w);
+
+    /** Send one request from w to the master. */
+    void sendRequest(std::size_t w);
+
+    sim::SimulationRun &run;
+    MwParams params_;
+    sim::TagId tag;
+
+    std::vector<double> effBandwidth;    ///< per worker index
+    std::vector<double> computeStart;    ///< state-record begin times
+    std::vector<trace::ContainerId> stateTarget;  ///< per worker
+    std::vector<std::size_t> queued;     ///< tasks waiting at the worker
+    std::vector<bool> computing;         ///< one task in execution
+    std::vector<std::size_t> done;       ///< completed per worker
+
+    /** BandwidthCentric pending set: (-bandwidth, arrival seq, worker). */
+    std::set<std::tuple<double, std::uint64_t, std::size_t>> pendingBw;
+    /** Fifo pending queue. */
+    std::deque<std::size_t> pendingFifo;
+    std::uint64_t arrivalSeq = 0;
+
+    std::size_t assigned = 0;    ///< tasks handed to the send pipeline
+    std::size_t activeSends = 0;
+    std::size_t completed = 0;
+    double lastDoneTime = 0.0;
+};
+
+/** All platform hosts except the listed ones (for worker pools). */
+std::vector<platform::HostId>
+allHostsExcept(const platform::Platform &platform,
+               const std::vector<platform::HostId> &excluded);
+
+} // namespace viva::workload
+
+#endif // VIVA_WORKLOAD_MASTERWORKER_HH

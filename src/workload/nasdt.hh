@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The NAS Data Traffic (DT) benchmark's White Hole communication graph,
+ * run on the flow-level simulator -- the Section 5.1 workload.
+ *
+ * The White Hole graph is a fan-out tree: one source process feeds
+ * `fanout` forwarder processes, each forwarder feeds `fanout` processes
+ * of the next layer, down to the leaf consumers. Class A WH uses a
+ * quaternary tree of depth 2: 1 + 4 + 16 = 21 processes, which is why
+ * the paper runs it on two 11-host clusters (22 hosts, sequential
+ * allocation).
+ *
+ * Each cycle, the source emits one message per forwarder; a process that
+ * receives a message performs some computation and (unless it is a leaf)
+ * forwards a message to each of its children. The source pipelines: it
+ * begins cycle i+1 as soon as its own sends of cycle i have completed.
+ */
+
+#ifndef VIVA_WORKLOAD_NASDT_HH
+#define VIVA_WORKLOAD_NASDT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hh"
+#include "sim/tracer.hh"
+
+namespace viva::workload
+{
+
+/** Tunable parameters of the DT White Hole run. */
+struct DtParams
+{
+    /** Children per tree node (4 reproduces the NAS quad graphs). */
+    std::size_t fanout = 4;
+
+    /** Layers below the source (2 gives the 21-process class A WH). */
+    std::size_t depth = 2;
+
+    /**
+     * Payload of one graph edge per cycle, in Mbit. Class A DT arrays
+     * are ~1.7M doubles, i.e. about 111 Mbit per message.
+     */
+    double messageMbits = 111.0;
+
+    /** Computation triggered by each received message, in MFlop. */
+    double computeMflop = 400.0;
+
+    /** Number of pipelined cycles through the graph. */
+    std::size_t cycles = 20;
+
+    /**
+     * Record "forward" / "consume" state intervals in the trace for
+     * every per-message computation (feeds state glyphs and Gantt).
+     */
+    bool recordStates = false;
+
+    /**
+     * Create one Process container per rank, nested under its host (as
+     * real MPI traces have); states then attach to the rank instead of
+     * the host, so the Gantt shows one row per process.
+     */
+    bool createProcessContainers = false;
+
+    /** Total number of processes in the tree. */
+    std::size_t processCount() const;
+
+    /** Number of leaf (consumer) processes. */
+    std::size_t leafCount() const;
+};
+
+/** Outcome of one DT run. */
+struct DtResult
+{
+    double makespanS = 0.0;        ///< virtual completion time
+    std::size_t processes = 0;     ///< tree size actually deployed
+    std::size_t messages = 0;      ///< point-to-point transfers performed
+};
+
+/**
+ * Rank -> host placement. Ranks follow breadth-first tree order: rank 0
+ * is the source, ranks 1..fanout the first forwarder layer, and so on.
+ */
+using Deployment = std::vector<platform::HostId>;
+
+/**
+ * The "ordinary host file" of Fig. 6: ranks laid out sequentially over
+ * the platform's hosts in id order (first cluster fills up first).
+ */
+Deployment sequentialDeployment(const platform::Platform &platform,
+                                const DtParams &params);
+
+/**
+ * The locality-aware host file of Fig. 7: forwarder subtrees are packed
+ * into clusters so that only the source's own sends cross the
+ * inter-cluster interconnect.
+ */
+Deployment localityDeployment(const platform::Platform &platform,
+                              const DtParams &params);
+
+/**
+ * Run the White Hole benchmark inside an existing simulation.
+ * Activities are tagged with `tag`. The engine is run to completion.
+ */
+DtResult runNasDtWhiteHole(sim::SimulationRun &run, const DtParams &params,
+                           const Deployment &deployment,
+                           sim::TagId tag = sim::kDefaultTag);
+
+} // namespace viva::workload
+
+#endif // VIVA_WORKLOAD_NASDT_HH

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the anomaly detectors and the CSV export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <algorithm>
+
+#include "agg/anomaly.hh"
+#include "app/commands.hh"
+#include "app/session.hh"
+#include "trace/builder.hh"
+
+namespace va = viva::agg;
+namespace vap = viva::app;
+namespace vt = viva::trace;
+
+namespace
+{
+
+/** A cluster of n hosts with uniform power, one deviant. */
+vt::Trace
+spatialFixture(std::size_t n, double normal, double deviant)
+{
+    vt::TraceBuilder b;
+    auto power = b.powerMetric();
+    b.beginGroup("c", vt::ContainerKind::Cluster);
+    std::vector<vt::ContainerId> hosts;
+    for (std::size_t i = 0; i < n; ++i)
+        hosts.push_back(b.host("h" + std::to_string(i)));
+    b.endGroup();
+    vt::Trace &t = b.trace();
+    for (std::size_t i = 0; i < n; ++i)
+        t.variable(hosts[i], power).set(0.0, i == 0 ? deviant : normal);
+    return b.take();
+}
+
+} // namespace
+
+TEST(SpatialAnomaly, FlagsTheDeviantSibling)
+{
+    vt::Trace trace = spatialFixture(10, 100.0, 1000.0);
+    va::HierarchyCut cut(trace);
+    auto power = trace.findMetric("power");
+
+    auto findings =
+        va::findSpatialAnomalies(trace, cut, power, {0.0, 1.0});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(trace.container(findings[0].node).name, "h0");
+    EXPECT_DOUBLE_EQ(findings[0].value, 1000.0);
+    EXPECT_DOUBLE_EQ(findings[0].expected, 100.0);
+    EXPECT_GT(findings[0].score, 3.0);
+    EXPECT_EQ(findings[0].kind, va::Anomaly::Kind::Spatial);
+}
+
+TEST(SpatialAnomaly, LowOutlierGetsNegativeScore)
+{
+    vt::Trace trace = spatialFixture(10, 100.0, 1.0);
+    va::HierarchyCut cut(trace);
+    auto findings = va::findSpatialAnomalies(
+        trace, cut, trace.findMetric("power"), {0.0, 1.0});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_LT(findings[0].score, -3.0);
+}
+
+TEST(SpatialAnomaly, UniformGroupIsClean)
+{
+    vt::Trace trace = spatialFixture(10, 100.0, 100.0);
+    va::HierarchyCut cut(trace);
+    EXPECT_TRUE(va::findSpatialAnomalies(trace, cut,
+                                         trace.findMetric("power"),
+                                         {0.0, 1.0})
+                    .empty());
+}
+
+TEST(SpatialAnomaly, SmallGroupsSkipped)
+{
+    vt::Trace trace = spatialFixture(3, 100.0, 1000.0);
+    va::HierarchyCut cut(trace);
+    va::AnomalyOptions options;
+    options.minSiblings = 4;
+    EXPECT_TRUE(va::findSpatialAnomalies(trace, cut,
+                                         trace.findMetric("power"),
+                                         {0.0, 1.0}, options)
+                    .empty());
+}
+
+TEST(SpatialAnomaly, RobustToASecondHugeOutlier)
+{
+    // Two extreme values: a plain z-score dilutes, a robust one holds.
+    vt::TraceBuilder b;
+    auto power = b.powerMetric();
+    b.beginGroup("c", vt::ContainerKind::Cluster);
+    std::vector<vt::ContainerId> hosts;
+    for (int i = 0; i < 12; ++i)
+        hosts.push_back(b.host("h" + std::to_string(i)));
+    b.endGroup();
+    vt::Trace &t = b.trace();
+    for (int i = 0; i < 12; ++i)
+        t.variable(hosts[i], power)
+            .set(0.0, i == 0 ? 5000.0 : (i == 1 ? 4000.0 : 100.0));
+    vt::Trace trace = b.take();
+
+    va::HierarchyCut cut(trace);
+    auto findings = va::findSpatialAnomalies(
+        trace, cut, trace.findMetric("power"), {0.0, 1.0});
+    EXPECT_EQ(findings.size(), 2u);  // both flagged, not masked
+}
+
+TEST(TemporalAnomaly, FlagsTheSpikeSlice)
+{
+    vt::TraceBuilder b;
+    auto used = b.powerUsedMetric();
+    auto h = b.host("h");
+    vt::Trace &t = b.trace();
+    // Flat at 10 over [0, 16) except a spike to 500 in [7, 8).
+    t.variable(h, used).set(0.0, 10.0);
+    t.variable(h, used).set(7.0, 500.0);
+    t.variable(h, used).set(8.0, 10.0);
+    t.variable(h, used).set(16.0, 10.0);
+    vt::Trace trace = b.take();
+
+    va::HierarchyCut cut(trace);
+    va::AnomalyOptions options;
+    options.slices = 16;
+    auto findings = va::findTemporalAnomalies(
+        trace, cut, used, {0.0, 16.0}, options);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_DOUBLE_EQ(findings[0].when.begin, 7.0);
+    EXPECT_DOUBLE_EQ(findings[0].when.end, 8.0);
+    EXPECT_EQ(findings[0].kind, va::Anomaly::Kind::Temporal);
+    EXPECT_GT(findings[0].score, 3.0);
+}
+
+TEST(TemporalAnomaly, ConstantSignalIsClean)
+{
+    vt::TraceBuilder b;
+    auto used = b.powerUsedMetric();
+    auto h = b.host("h");
+    b.trace().variable(h, used).set(0.0, 42.0);
+    b.trace().variable(h, used).set(16.0, 42.0);
+    vt::Trace trace = b.take();
+    va::HierarchyCut cut(trace);
+    EXPECT_TRUE(
+        va::findTemporalAnomalies(trace, cut, used, {0.0, 16.0})
+            .empty());
+}
+
+TEST(Anomaly, DescribeMentionsEverything)
+{
+    vt::Trace trace = spatialFixture(10, 100.0, 1000.0);
+    va::HierarchyCut cut(trace);
+    auto power = trace.findMetric("power");
+    auto findings =
+        va::findSpatialAnomalies(trace, cut, power, {0.0, 1.0});
+    ASSERT_FALSE(findings.empty());
+    std::string text = va::describeAnomaly(trace, findings[0], power);
+    EXPECT_NE(text.find("spatial"), std::string::npos);
+    EXPECT_NE(text.find("h0"), std::string::npos);
+    EXPECT_NE(text.find("power"), std::string::npos);
+}
+
+TEST(Anomaly, SortedByScoreMagnitude)
+{
+    vt::TraceBuilder b;
+    auto power = b.powerMetric();
+    b.beginGroup("c", vt::ContainerKind::Cluster);
+    std::vector<vt::ContainerId> hosts;
+    for (int i = 0; i < 12; ++i)
+        hosts.push_back(b.host("h" + std::to_string(i)));
+    b.endGroup();
+    vt::Trace &t = b.trace();
+    for (int i = 0; i < 12; ++i)
+        t.variable(hosts[i], power)
+            .set(0.0, i == 0 ? 2500.0 : (i == 1 ? 5000.0 : 100.0));
+    vt::Trace trace = b.take();
+    va::HierarchyCut cut(trace);
+    auto findings = va::findSpatialAnomalies(
+        trace, cut, trace.findMetric("power"), {0.0, 1.0});
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_GT(std::abs(findings[0].score), std::abs(findings[1].score));
+    EXPECT_EQ(trace.container(findings[0].node).name, "h1");
+}
+
+// --- session + command plumbing ------------------------------------------------
+
+TEST(SessionAnomalies, FindsAndDescribes)
+{
+    vap::Session session(spatialFixture(10, 100.0, 1000.0));
+    auto findings = session.findAnomalies("power");
+    ASSERT_FALSE(findings.empty());
+    EXPECT_NE(findings[0].find("h0"), std::string::npos);
+
+    auto bad = session.findAnomalies("nope");
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0].rfind("error:", 0), 0u);
+}
+
+TEST(CommandsAnomalies, ReportAndErrors)
+{
+    vap::Session session(spatialFixture(10, 100.0, 1000.0));
+    vap::CommandInterpreter cli(session);
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("anomalies power", out));
+    EXPECT_NE(out.str().find("h0"), std::string::npos);
+    EXPECT_FALSE(cli.execute("anomalies nope", out));
+
+    std::ostringstream out2;
+    EXPECT_TRUE(cli.execute("anomalies power 1000", out2));
+    EXPECT_NE(out2.str().find("no anomalies"), std::string::npos);
+}
+
+// --- CSV export -------------------------------------------------------------------
+
+TEST(CsvExport, HeaderAndRows)
+{
+    vt::Trace trace = vt::makeFigure1Trace();
+    va::HierarchyCut cut(trace);
+    auto power = trace.findMetric("power");
+    auto bw = trace.findMetric("bandwidth");
+    va::View view = va::buildView(trace, cut, {0.0, 4.0}, {power, bw},
+                                  va::SpatialOp::Sum, true);
+    std::ostringstream out;
+    va::writeViewCsv(view, trace, out);
+    std::string csv = out.str();
+
+    EXPECT_NE(csv.find("container,kind,aggregated,leaves"),
+              std::string::npos);
+    EXPECT_NE(csv.find("power_variance"), std::string::npos);
+    EXPECT_NE(csv.find("\"HostA\",host,0,1,0,4,100"),
+              std::string::npos);
+    // 1 header + 3 node rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(CsvExport, SessionWritesFile)
+{
+    vap::Session session(vt::makeFigure1Trace());
+    std::string path =
+        (std::filesystem::temp_directory_path() / "viva_view.csv")
+            .string();
+    session.exportCsv(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("container,kind"), std::string::npos);
+}
+
+TEST(CsvExport, CommandWorks)
+{
+    vap::Session session(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(session);
+    std::string path =
+        (std::filesystem::temp_directory_path() / "viva_cmd.csv")
+            .string();
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("export-csv " + path, out));
+    EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(SpatialAnomaly, ComparesOnlySimilarEntities)
+{
+    // Two sites, clusters of different power; routers and links must
+    // never enter the clusters' comparison group.
+    vt::TraceBuilder b;
+    auto power = b.powerMetric();
+    std::vector<vt::ContainerId> clusters;
+    for (int s = 0; s < 2; ++s) {
+        b.beginGroup("site" + std::to_string(s),
+                     vt::ContainerKind::Site);
+        b.router("r" + std::to_string(s));
+        for (int c = 0; c < 3; ++c) {
+            b.beginGroup("c" + std::to_string(s) + std::to_string(c),
+                         vt::ContainerKind::Cluster);
+            clusters.push_back(b.currentGroup());
+            auto h = b.host("h" + std::to_string(s) +
+                            std::to_string(c));
+            b.trace().variable(h, power).set(
+                0.0, (s == 1 && c == 2) ? 5.0 : 100.0);
+            b.endGroup();
+        }
+        b.endGroup();
+    }
+    vt::Trace trace = b.take();
+
+    va::HierarchyCut cut(trace);
+    cut.aggregateToDepth(2);  // all six clusters visible, cross-site
+    va::AnomalyOptions options;
+    options.minSiblings = 4;
+    auto findings = va::findSpatialAnomalies(
+        trace, cut, trace.findMetric("power"), {0.0, 1.0}, options);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(trace.container(findings[0].node).name, "c12");
+
+    // Per-parent grouping cannot see it (only 3 siblings per site).
+    options.perParent = true;
+    EXPECT_TRUE(va::findSpatialAnomalies(trace, cut,
+                                         trace.findMetric("power"),
+                                         {0.0, 1.0}, options)
+                    .empty());
+}

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the session façade and the command interpreter -- the
+ * headless equivalents of every GUI interaction the paper describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "app/commands.hh"
+#include "app/session.hh"
+#include "layout/metrics.hh"
+#include "platform/builders.hh"
+#include "platform/platform_trace.hh"
+#include "trace/builder.hh"
+
+namespace va = viva::agg;
+namespace vap = viva::app;
+namespace vl = viva::layout;
+namespace vp = viva::platform;
+namespace vt = viva::trace;
+
+namespace
+{
+
+/** A session over the mirrored two-cluster platform (no simulation). */
+vap::Session
+makePlatformSession()
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    vt::Trace t;
+    vp::mirrorPlatform(p, t);
+    return vap::Session(std::move(t));
+}
+
+std::string
+tempDir()
+{
+    auto dir = std::filesystem::temp_directory_path() / "viva_app_test";
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+} // namespace
+
+TEST(Session, InitialStateCoversWholeSpan)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    EXPECT_DOUBLE_EQ(s.timeSlice().begin, s.span().begin);
+    EXPECT_DOUBLE_EQ(s.timeSlice().end, s.span().end);
+    // Fig. 1 trace: three leaves visible, all in the layout.
+    EXPECT_EQ(s.cut().visibleCount(), 3u);
+    EXPECT_EQ(s.layoutGraph().nodeCount(), 3u);
+    EXPECT_EQ(s.layoutGraph().edgeCount(), 2u);
+}
+
+TEST(Session, SliceSelection)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    s.setSliceOf(1, 3);
+    EXPECT_DOUBLE_EQ(s.timeSlice().begin, 4.0);
+    EXPECT_DOUBLE_EQ(s.timeSlice().end, 8.0);
+    s.setTimeSlice({2.0, 6.0});
+    EXPECT_DOUBLE_EQ(s.timeSlice().begin, 2.0);
+}
+
+TEST(Session, ViewReflectsSlice)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    auto host_a = s.trace().findByPath("HostA");
+    auto power = s.trace().findMetric("power");
+
+    s.setTimeSlice({0.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.view().valueOf(host_a, power), 100.0);
+    s.setTimeSlice({4.0, 8.0});
+    EXPECT_DOUBLE_EQ(s.view().valueOf(host_a, power), 10.0);
+}
+
+TEST(Session, AggregateByNameAndPath)
+{
+    vap::Session s = makePlatformSession();
+    std::size_t before = s.cut().visibleCount();
+
+    ASSERT_TRUE(s.aggregate("adonis"));  // unique simple name
+    EXPECT_LT(s.cut().visibleCount(), before);
+    EXPECT_EQ(s.layoutGraph().nodeCount(), s.cut().visibleCount());
+
+    ASSERT_TRUE(s.aggregate("hpc/testbed/griffon"));  // full path
+    EXPECT_FALSE(s.aggregate("no-such-thing"));
+}
+
+TEST(Session, LayoutFollowsTheCut)
+{
+    vap::Session s = makePlatformSession();
+    s.aggregateToDepth(3);  // cluster level
+    EXPECT_EQ(s.layoutGraph().nodeCount(), s.cut().visibleCount());
+    s.resetAggregation();
+    EXPECT_EQ(s.layoutGraph().nodeCount(), s.cut().visibleCount());
+}
+
+TEST(Session, AggregationPlacesGroupAtCentroid)
+{
+    vap::Session s = makePlatformSession();
+    s.stabilizeLayout(200);
+
+    // Centroid of adonis members before the collapse.
+    auto adonis = s.trace().findByName("adonis");
+    ASSERT_NE(adonis, vt::kNoContainer);
+    vl::Vec2 centroid;
+    std::size_t count = 0;
+    for (auto id : s.trace().subtree(adonis)) {
+        vl::NodeId n = s.layoutGraph().findKey(id);
+        if (n != vl::kNoNode) {
+            centroid += s.layoutGraph().node(n).position;
+            ++count;
+        }
+    }
+    ASSERT_GT(count, 0u);
+    centroid = centroid / double(count);
+
+    ASSERT_TRUE(s.aggregate("adonis"));
+    vl::NodeId agg = s.layoutGraph().findKey(adonis);
+    ASSERT_NE(agg, vl::kNoNode);
+    EXPECT_NEAR(s.layoutGraph().node(agg).position.x, centroid.x, 1e-9);
+    EXPECT_NEAR(s.layoutGraph().node(agg).position.y, centroid.y, 1e-9);
+    // The aggregated node carries the summed charge of its leaves.
+    EXPECT_GT(s.layoutGraph().node(agg).charge, 10.0);
+}
+
+TEST(Session, SmoothTransitionAcrossScales)
+{
+    vap::Session s = makePlatformSession();
+    s.stabilizeLayout(400);
+    double extent =
+        std::sqrt(vl::boundingBoxArea(s.layoutGraph())) + 1e-9;
+    auto before = vl::snapshotPositions(s.layoutGraph());
+
+    s.aggregate("adonis");
+    s.stabilizeLayout(100);
+    auto after = vl::snapshotPositions(s.layoutGraph());
+
+    // Nodes surviving the transition barely move: the paper's smooth
+    // layout claim, quantified.
+    auto d = vl::displacement(before, after);
+    ASSERT_GT(d.count(), 0u);
+    EXPECT_LT(d.mean(), extent * 0.5);
+}
+
+TEST(Session, DisaggregationFansOutAroundParent)
+{
+    vap::Session s = makePlatformSession();
+    s.aggregate("adonis");
+    s.stabilizeLayout(100);
+    auto adonis = s.trace().findByName("adonis");
+    vl::Vec2 parent_pos =
+        s.layoutGraph().node(s.layoutGraph().findKey(adonis)).position;
+
+    ASSERT_TRUE(s.disaggregate("adonis"));
+    // Children spawned near the parent's last position.
+    for (auto id : s.trace().container(adonis).children) {
+        vl::NodeId n = s.layoutGraph().findKey(id);
+        if (n == vl::kNoNode)
+            continue;  // grandchildren case
+        EXPECT_LT(vl::distance(s.layoutGraph().node(n).position,
+                               parent_pos),
+                  200.0);
+    }
+}
+
+TEST(Session, MoveNodeDragsAndReleases)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    ASSERT_TRUE(s.moveNode("HostA", 500.0, 500.0));
+    auto id = s.trace().findByPath("HostA");
+    vl::NodeId n = s.layoutGraph().findKey(id);
+    // Released after the move: not pinned, but near the target.
+    EXPECT_FALSE(s.layoutGraph().node(n).pinned);
+    EXPECT_FALSE(s.moveNode("nope", 0, 0));
+}
+
+TEST(Session, PinNode)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    ASSERT_TRUE(s.pinNode("HostA", true));
+    auto id = s.trace().findByPath("HostA");
+    EXPECT_TRUE(s.layoutGraph().node(s.layoutGraph().findKey(id)).pinned);
+    ASSERT_TRUE(s.pinNode("HostA", false));
+    EXPECT_FALSE(
+        s.layoutGraph().node(s.layoutGraph().findKey(id)).pinned);
+}
+
+TEST(Session, SceneAndAsciiRender)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    s.stabilizeLayout(200);
+    viva::viz::Scene scene = s.scene();
+    EXPECT_EQ(scene.nodes.size(), 3u);
+    std::string text = s.renderAscii();
+    EXPECT_FALSE(text.empty());
+}
+
+TEST(Session, RenderSvgWritesFile)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    s.stabilizeLayout(100);
+    std::string path = tempDir() + "/fig1.svg";
+    s.renderSvg(path, "test render");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("</svg>"), std::string::npos);
+}
+
+TEST(Session, AnimateWritesFrames)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    std::string dir = tempDir() + "/anim";
+    EXPECT_EQ(s.animate(3, dir, "f", 20), 3u);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/f000.svg"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/f002.svg"));
+    // The slice is left at the last frame.
+    EXPECT_DOUBLE_EQ(s.timeSlice().end, s.span().end);
+}
+
+TEST(Session, StatsViewExposesIndicators)
+{
+    vap::Session s = makePlatformSession();
+    s.aggregateToDepth(3);
+    va::View v = s.view(/*with_stats=*/true);
+    bool found = false;
+    for (const auto &n : v.nodes) {
+        if (!n.aggregated)
+            continue;
+        ASSERT_EQ(n.stats.size(), v.metrics.size());
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+// --- command interpreter ---------------------------------------------------------
+
+TEST(Commands, SliceAndInfo)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(s);
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("slice 2 6", out));
+    EXPECT_DOUBLE_EQ(s.timeSlice().begin, 2.0);
+    EXPECT_TRUE(cli.execute("info", out));
+    EXPECT_NE(out.str().find("slice [2, 6)"), std::string::npos);
+}
+
+TEST(Commands, SliceOfValidation)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(s);
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("slice-of 1 4", out));
+    EXPECT_FALSE(cli.execute("slice-of 4 4", out));
+    EXPECT_FALSE(cli.execute("slice-of 1 0", out));
+    EXPECT_FALSE(cli.execute("slice 6 2", out));
+}
+
+TEST(Commands, AggregationRoundTrip)
+{
+    vap::Session s = makePlatformSession();
+    vap::CommandInterpreter cli(s);
+    std::ostringstream out;
+    std::size_t leaves = s.cut().visibleCount();
+    EXPECT_TRUE(cli.execute("aggregate adonis", out));
+    EXPECT_TRUE(cli.execute("disaggregate adonis", out));
+    EXPECT_EQ(s.cut().visibleCount(), leaves);
+    EXPECT_TRUE(cli.execute("depth 3", out));
+    EXPECT_TRUE(cli.execute("reset", out));
+    EXPECT_FALSE(cli.execute("aggregate bogus", out));
+}
+
+TEST(Commands, SlidersReachParams)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(s);
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("charge 1234", out));
+    EXPECT_TRUE(cli.execute("spring 0.5", out));
+    EXPECT_TRUE(cli.execute("damping 0.7", out));
+    EXPECT_DOUBLE_EQ(s.forceParams().charge, 1234.0);
+    EXPECT_DOUBLE_EQ(s.forceParams().spring, 0.5);
+    EXPECT_DOUBLE_EQ(s.forceParams().damping, 0.7);
+    EXPECT_TRUE(cli.execute("scale power 2.0", out));
+    EXPECT_DOUBLE_EQ(
+        s.scaling().slider(s.trace().findMetric("power")), 2.0);
+    EXPECT_FALSE(cli.execute("scale nope 2.0", out));
+}
+
+TEST(Commands, NodesListsValues)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(s);
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("nodes", out));
+    EXPECT_NE(out.str().find("HostA"), std::string::npos);
+    EXPECT_NE(out.str().find("power="), std::string::npos);
+}
+
+TEST(Commands, UnknownAndMalformed)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(s);
+    std::ostringstream out;
+    EXPECT_FALSE(cli.execute("frobnicate", out));
+    EXPECT_FALSE(cli.execute("slice 1", out));
+    EXPECT_FALSE(cli.execute("slice a b", out));
+    EXPECT_TRUE(cli.execute("", out));
+    EXPECT_TRUE(cli.execute("# comment", out));
+    EXPECT_TRUE(cli.execute("help", out));
+}
+
+TEST(Commands, ScriptExecution)
+{
+    vap::Session s = makePlatformSession();
+    vap::CommandInterpreter cli(s);
+    std::istringstream script(
+        "# an analysis script\n"
+        "slice-of 0 2\n"
+        "depth 3\n"
+        "stabilize 50\n"
+        "ascii\n"
+        "info\n");
+    std::ostringstream out;
+    EXPECT_EQ(cli.executeScript(script, out), 6u);
+}
+
+TEST(Commands, ScriptStopsAtFirstError)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(s);
+    std::istringstream script("info\nbogus\ninfo\n");
+    std::ostringstream out;
+    EXPECT_EQ(cli.executeScript(script, out), 1u);
+}
+
+TEST(Commands, RenderWritesSvg)
+{
+    vap::Session s(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(s);
+    std::string path = tempDir() + "/cmd.svg";
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("render " + path + " my title", out));
+    EXPECT_TRUE(std::filesystem::exists(path));
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the time-series chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "app/commands.hh"
+#include "app/session.hh"
+#include "trace/builder.hh"
+#include "viz/chart.hh"
+
+namespace va = viva::agg;
+namespace vap = viva::app;
+namespace vt = viva::trace;
+namespace vv = viva::viz;
+
+TEST(ChartSeries, SamplesEquationOneValues)
+{
+    vt::Trace trace = vt::makeFigure1Trace();
+    auto host_a = trace.findByName("HostA");
+    auto power = trace.findMetric("power");
+
+    vv::ChartSeries s =
+        vv::sampleSeries(trace, host_a, power, {0.0, 12.0}, 12);
+    ASSERT_EQ(s.points.size(), 12u);
+    EXPECT_EQ(s.label, "HostA");
+    // Sample 0 covers [0,1): value 100; sample 5 covers [5,6): 10.
+    EXPECT_DOUBLE_EQ(s.points[0].first, 0.5);
+    EXPECT_DOUBLE_EQ(s.points[0].second, 100.0);
+    EXPECT_DOUBLE_EQ(s.points[5].second, 10.0);
+    EXPECT_DOUBLE_EQ(s.points[11].second, 100.0);
+    // Time-ascending.
+    for (std::size_t i = 1; i < s.points.size(); ++i)
+        EXPECT_GT(s.points[i].first, s.points[i - 1].first);
+}
+
+TEST(ChartSeries, AggregatedNodeSeries)
+{
+    vt::Trace trace = vt::makeFigure1Trace();
+    auto power = trace.findMetric("power");
+    // The root series sums both hosts: 125 over [0,4).
+    vv::ChartSeries s =
+        vv::sampleSeries(trace, trace.root(), power, {0.0, 4.0}, 4);
+    EXPECT_EQ(s.label, "whole platform");
+    EXPECT_DOUBLE_EQ(s.points[0].second, 125.0);
+}
+
+TEST(ChartSvg, ContainsAxesLegendAndLines)
+{
+    vt::Trace trace = vt::makeFigure1Trace();
+    auto power = trace.findMetric("power");
+    std::vector<vv::ChartSeries> series{
+        vv::sampleSeries(trace, trace.findByName("HostA"), power,
+                         {0.0, 12.0}, 24),
+        vv::sampleSeries(trace, trace.findByName("HostB"), power,
+                         {0.0, 12.0}, 24)};
+
+    std::ostringstream out;
+    vv::ChartOptions options;
+    options.title = "power history";
+    options.yLabel = "MFlops";
+    vv::writeChartSvg(series, out, options);
+    std::string svg = out.str();
+    EXPECT_NE(svg.find("<polyline"), std::string::npos);
+    EXPECT_NE(svg.find("power history"), std::string::npos);
+    EXPECT_NE(svg.find("MFlops"), std::string::npos);
+    EXPECT_NE(svg.find("HostA"), std::string::npos);  // legend
+    EXPECT_NE(svg.find("HostB"), std::string::npos);
+}
+
+TEST(ChartSvg, EmptySeriesStillValid)
+{
+    std::ostringstream out;
+    vv::writeChartSvg({}, out);
+    EXPECT_NE(out.str().find("</svg>"), std::string::npos);
+}
+
+TEST(SessionChart, RendersAndValidates)
+{
+    vap::Session session(vt::makeFigure1Trace());
+    auto dir = std::filesystem::temp_directory_path() / "viva_chart";
+    std::filesystem::create_directories(dir);
+    std::string path = (dir / "c.svg").string();
+
+    EXPECT_TRUE(session.renderChart(path, "power", {"HostA", "HostB"}));
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_TRUE(session.renderChart(path, "power"));  // whole platform
+    EXPECT_FALSE(session.renderChart(path, "nope"));
+    EXPECT_FALSE(session.renderChart(path, "power", {"bogus"}));
+}
+
+TEST(CommandsChart, Works)
+{
+    vap::Session session(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(session);
+    auto dir = std::filesystem::temp_directory_path() / "viva_chart";
+    std::filesystem::create_directories(dir);
+    std::string path = (dir / "cmd.svg").string();
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("chart power " + path + " HostA", out));
+    EXPECT_FALSE(cli.execute("chart nope " + path, out));
+    EXPECT_TRUE(std::filesystem::exists(path));
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the simulation engine: event ordering, fluid activity
+ * timing under contention, latency handling, tags and run-until.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "sim/engine.hh"
+
+namespace vp = viva::platform;
+namespace vs = viva::sim;
+
+namespace
+{
+
+/** Two hosts joined by one 100 Mbit/s link with 10 ms latency. */
+vp::Platform
+makePair()
+{
+    vp::Platform p("t");
+    auto s = p.addSite("s");
+    auto h0 = p.addHost("h0", 1000.0, s);
+    auto h1 = p.addHost("h1", 500.0, s);
+    auto l = p.addLink("l", 100.0, 0.01, s);
+    p.connect(p.host(h0).vertex, p.host(h1).vertex, l);
+    return p;
+}
+
+} // namespace
+
+TEST(Engine, StartsAtTimeZero)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    EXPECT_DOUBLE_EQ(e.now(), 0.0);
+    EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, TimedEventsFireInOrder)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    std::vector<int> order;
+    e.at(2.0, [&] { order.push_back(2); });
+    e.at(1.0, [&] { order.push_back(1); });
+    e.at(2.0, [&] { order.push_back(3); });  // same time: FIFO by seq
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(e.now(), 2.0);
+    EXPECT_EQ(e.firedEvents(), 3u);
+}
+
+TEST(Engine, AfterIsRelative)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    double fired_at = -1.0;
+    e.at(5.0, [&] { e.after(2.5, [&] { fired_at = e.now(); }); });
+    e.run();
+    EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, SoloComputeTakesWorkOverPower)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    double done_at = -1.0;
+    // 2000 MFlop on a 1000 MFlops host: 2 seconds.
+    e.startCompute(0, 2000.0, [&] { done_at = e.now(); });
+    e.run();
+    EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(Engine, TwoComputesShareTheHost)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    double t1 = -1.0, t2 = -1.0;
+    // Both on h0 (1000 MFlops): each gets 500 until the first finishes.
+    e.startCompute(0, 500.0, [&] { t1 = e.now(); });
+    e.startCompute(0, 1000.0, [&] { t2 = e.now(); });
+    e.run();
+    // t1: 500 at rate 500 -> 1.0 s. Then the second has 500 left at
+    // full rate: finishes at 1.0 + 0.5 = 1.5 s.
+    EXPECT_NEAR(t1, 1.0, 1e-9);
+    EXPECT_NEAR(t2, 1.5, 1e-9);
+}
+
+TEST(Engine, CommTimeIsTransferPlusLatency)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    double done_at = -1.0;
+    // 50 Mbit over 100 Mbit/s = 0.5 s, plus 10 ms latency.
+    e.startComm(0, 1, 50.0, [&] { done_at = e.now(); });
+    e.run();
+    EXPECT_NEAR(done_at, 0.51, 1e-9);
+}
+
+TEST(Engine, TwoCommsShareTheLink)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    double t1 = -1.0, t2 = -1.0;
+    e.startComm(0, 1, 50.0, [&] { t1 = e.now(); });
+    e.startComm(0, 1, 50.0, [&] { t2 = e.now(); });
+    e.run();
+    // Equal share 50 each: both transfers end at 1.0, delivery +10 ms.
+    EXPECT_NEAR(t1, 1.01, 1e-9);
+    EXPECT_NEAR(t2, 1.01, 1e-9);
+}
+
+TEST(Engine, ZeroWorkCompletesViaEvent)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    bool done = false;
+    auto id = e.startCompute(0, 0.0, [&] { done = true; });
+    EXPECT_EQ(id, vs::kNoActivity);
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Engine, LocalCommOnlyLatency)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    double done_at = -1.0;
+    auto id = e.startComm(0, 0, 1000.0, [&] { done_at = e.now(); });
+    EXPECT_EQ(id, vs::kNoActivity);
+    e.run();
+    EXPECT_DOUBLE_EQ(done_at, 0.0);  // empty route: zero latency
+}
+
+TEST(Engine, ActivityIntrospection)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    auto id = e.startCompute(0, 1000.0, [] {});
+    EXPECT_TRUE(e.activityRunning(id));
+    EXPECT_DOUBLE_EQ(e.activityRemaining(id), 1000.0);
+    EXPECT_DOUBLE_EQ(e.activityRate(id), 1000.0);
+    e.run(0.25);
+    EXPECT_NEAR(e.activityRemaining(id), 750.0, 1e-6);
+    e.run();
+    EXPECT_FALSE(e.activityRunning(id));
+}
+
+TEST(Engine, RunUntilStopsEarly)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    bool done = false;
+    e.startCompute(0, 10000.0, [&] { done = true; });  // 10 s of work
+    e.run(3.0);
+    EXPECT_DOUBLE_EQ(e.now(), 3.0);
+    EXPECT_FALSE(done);
+    EXPECT_FALSE(e.idle());
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(e.now(), 10.0, 1e-9);
+}
+
+TEST(Engine, RatesObservable)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    e.startCompute(0, 1000.0, [] {});
+    e.startComm(0, 1, 100.0, [] {});
+    EXPECT_DOUBLE_EQ(e.hostRate(0), 1000.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(1), 0.0);
+    EXPECT_DOUBLE_EQ(e.linkRate(0), 100.0);
+    e.run();
+    EXPECT_DOUBLE_EQ(e.hostRate(0), 0.0);
+    EXPECT_DOUBLE_EQ(e.linkRate(0), 0.0);
+}
+
+TEST(Engine, TagsAccountSeparately)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p, {"app1", "app2"});
+    EXPECT_EQ(e.tagCount(), 3u);
+    EXPECT_EQ(e.tagName(1), "app1");
+
+    e.startCompute(0, 1000.0, [] {}, 1);
+    e.startCompute(0, 1000.0, [] {}, 2);
+    // Equal sharing: 500 each.
+    EXPECT_DOUBLE_EQ(e.hostRate(0), 1000.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(0, 1), 500.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(0, 2), 500.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(0, viva::sim::kDefaultTag), 0.0);
+    e.run();
+}
+
+TEST(Engine, ChainedActivitiesKeepVirtualTime)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    double second_done = -1.0;
+    e.startCompute(0, 1000.0, [&] {
+        e.startComm(0, 1, 100.0, [&] { second_done = e.now(); });
+    });
+    e.run();
+    // 1 s compute, then 1 s transfer + 10 ms latency.
+    EXPECT_NEAR(second_done, 2.01, 1e-9);
+}
+
+TEST(Engine, ManyParallelChainsDrain)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    int completions = 0;
+    for (int i = 0; i < 50; ++i) {
+        e.startCompute(i % 2, 100.0 * (i + 1), [&] { ++completions; });
+    }
+    e.run();
+    EXPECT_EQ(completions, 50);
+    EXPECT_TRUE(e.idle());
+    EXPECT_GT(e.fairShareRuns(), 50u);
+}
+
+TEST(EngineDeath, PastEventAsserts)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    e.at(5.0, [] {});
+    e.run();
+    EXPECT_DEATH(e.at(1.0, [] {}), "past");
+}
+
+TEST(EngineDeath, TagAfterStartAsserts)
+{
+    vp::Platform p = makePair();
+    vs::Engine e(p);
+    e.startCompute(0, 1.0, [] {});
+    EXPECT_DEATH(e.registerTag("late"), "before activities");
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the max-min fair-share solver, including parameterized
+ * property tests on random instances: feasibility (no resource over
+ * capacity), max-min optimality (every flow is blocked by a saturated
+ * resource), and scale invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fairshare.hh"
+#include "support/random.hh"
+
+using viva::sim::FlowSpec;
+using viva::sim::maxMinFairShare;
+
+namespace
+{
+
+std::vector<FlowSpec>
+flowsOf(std::initializer_list<std::vector<std::uint32_t>> specs)
+{
+    std::vector<FlowSpec> out;
+    for (const auto &s : specs)
+        out.push_back({s});
+    return out;
+}
+
+} // namespace
+
+TEST(FairShare, EmptyInstance)
+{
+    EXPECT_TRUE(maxMinFairShare({10.0}, {}).empty());
+}
+
+TEST(FairShare, SingleFlowGetsFullCapacity)
+{
+    auto rates = maxMinFairShare({10.0}, flowsOf({{0}}));
+    ASSERT_EQ(rates.size(), 1u);
+    EXPECT_DOUBLE_EQ(rates[0], 10.0);
+}
+
+TEST(FairShare, EqualSplitOnOneResource)
+{
+    auto rates = maxMinFairShare({12.0}, flowsOf({{0}, {0}, {0}}));
+    for (double r : rates)
+        EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(FairShare, MultiLinkFlowLimitedByBottleneck)
+{
+    // Flow 0 crosses both links; flow 1 only the big one.
+    auto rates = maxMinFairShare({10.0, 100.0}, flowsOf({{0, 1}, {1}}));
+    EXPECT_DOUBLE_EQ(rates[0], 10.0);   // capped by resource 0
+    EXPECT_DOUBLE_EQ(rates[1], 90.0);   // rest of resource 1
+}
+
+TEST(FairShare, ClassicThreeFlowExample)
+{
+    // Two links of capacity 1; flow A uses both, B uses link0, C link1.
+    // Max-min: A = B = C = 1/2.
+    auto rates = maxMinFairShare({1.0, 1.0}, flowsOf({{0, 1}, {0}, {1}}));
+    EXPECT_DOUBLE_EQ(rates[0], 0.5);
+    EXPECT_DOUBLE_EQ(rates[1], 0.5);
+    EXPECT_DOUBLE_EQ(rates[2], 0.5);
+}
+
+TEST(FairShare, AsymmetricBottlenecks)
+{
+    // link0 cap 2 shared by f0,f1; link1 cap 10 shared by f1,f2.
+    // f0 = f1 = 1 (link0 saturates), then f2 = 9.
+    auto rates = maxMinFairShare({2.0, 10.0}, flowsOf({{0}, {0, 1}, {1}}));
+    EXPECT_DOUBLE_EQ(rates[0], 1.0);
+    EXPECT_DOUBLE_EQ(rates[1], 1.0);
+    EXPECT_DOUBLE_EQ(rates[2], 9.0);
+}
+
+TEST(FairShare, UnusedResourceIgnored)
+{
+    auto rates = maxMinFairShare({5.0, 7.0}, flowsOf({{0}}));
+    EXPECT_DOUBLE_EQ(rates[0], 5.0);
+}
+
+TEST(FairShare, RepeatedResourceInOneFlow)
+{
+    // The same link twice in one flow spec counts twice (a flow that
+    // traverses a link twice consumes double).
+    auto rates = maxMinFairShare({10.0}, flowsOf({{0, 0}}));
+    EXPECT_DOUBLE_EQ(rates[0], 5.0);
+}
+
+TEST(FairShareDeath, FlowWithNoResourcesAsserts)
+{
+    EXPECT_DEATH(maxMinFairShare({1.0}, flowsOf({{}})), "no resource");
+}
+
+// --- property tests over random instances ------------------------------------
+
+struct RandomInstance
+{
+    std::vector<double> capacity;
+    std::vector<FlowSpec> flows;
+};
+
+class FairShareProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    RandomInstance
+    makeInstance(int seed)
+    {
+        viva::support::Rng rng(seed);
+        RandomInstance inst;
+        std::size_t resources = 2 + rng.index(12);
+        std::size_t flows = 1 + rng.index(24);
+        for (std::size_t r = 0; r < resources; ++r)
+            inst.capacity.push_back(rng.uniform(1.0, 100.0));
+        for (std::size_t f = 0; f < flows; ++f) {
+            FlowSpec spec;
+            std::size_t uses = 1 + rng.index(std::min<std::size_t>(
+                                       resources, 5));
+            for (std::size_t u = 0; u < uses; ++u)
+                spec.resources.push_back(
+                    std::uint32_t(rng.index(resources)));
+            inst.flows.push_back(std::move(spec));
+        }
+        return inst;
+    }
+};
+
+TEST_P(FairShareProperty, FeasibleAndMaxMin)
+{
+    RandomInstance inst = makeInstance(GetParam());
+    auto rates = maxMinFairShare(inst.capacity, inst.flows);
+    ASSERT_EQ(rates.size(), inst.flows.size());
+
+    // Load per resource.
+    std::vector<double> load(inst.capacity.size(), 0.0);
+    for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+        EXPECT_GT(rates[f], 0.0) << "flow " << f << " starved";
+        for (auto r : inst.flows[f].resources)
+            load[r] += rates[f];
+    }
+
+    // Feasibility: no resource above capacity (tolerance for fp).
+    for (std::size_t r = 0; r < load.size(); ++r)
+        EXPECT_LE(load[r], inst.capacity[r] * (1.0 + 1e-9))
+            << "resource " << r << " overloaded";
+
+    // Max-min optimality: every flow crosses at least one resource that
+    // is saturated (otherwise its rate could grow).
+    for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+        bool blocked = false;
+        for (auto r : inst.flows[f].resources) {
+            if (load[r] >= inst.capacity[r] * (1.0 - 1e-6)) {
+                blocked = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(blocked) << "flow " << f << " not max-min blocked";
+    }
+}
+
+TEST_P(FairShareProperty, ScaleInvariance)
+{
+    RandomInstance inst = makeInstance(GetParam());
+    auto rates = maxMinFairShare(inst.capacity, inst.flows);
+
+    std::vector<double> doubled = inst.capacity;
+    for (double &c : doubled)
+        c *= 2.0;
+    auto rates2 = maxMinFairShare(doubled, inst.flows);
+    for (std::size_t f = 0; f < rates.size(); ++f)
+        EXPECT_NEAR(rates2[f], 2.0 * rates[f],
+                    1e-9 * std::max(1.0, rates[f]));
+}
+
+TEST_P(FairShareProperty, PermutationEquivariance)
+{
+    RandomInstance inst = makeInstance(GetParam());
+    auto rates = maxMinFairShare(inst.capacity, inst.flows);
+
+    // Reverse the flow order: rates must follow their flows.
+    std::vector<FlowSpec> reversed(inst.flows.rbegin(), inst.flows.rend());
+    auto rates_rev = maxMinFairShare(inst.capacity, reversed);
+    for (std::size_t f = 0; f < rates.size(); ++f)
+        EXPECT_NEAR(rates_rev[rates.size() - 1 - f], rates[f], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FairShareProperty,
+                         ::testing::Range(1, 33));

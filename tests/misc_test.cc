@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Remaining edge-behavior coverage: engine tag accounting over
+ * multi-hop routes, renderer options, scaling configuration, Paje
+ * destroy events, and command-interpreter corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/commands.hh"
+#include "app/session.hh"
+#include "platform/builders.hh"
+#include "sim/tracer.hh"
+#include "trace/builder.hh"
+#include "trace/paje.hh"
+#include "viz/ascii.hh"
+#include "viz/scaling.hh"
+#include "viz/svg.hh"
+
+namespace vap = viva::app;
+namespace vp = viva::platform;
+namespace vs = viva::sim;
+namespace vt = viva::trace;
+namespace vv = viva::viz;
+
+// --- engine edge behavior -------------------------------------------------------
+
+TEST(EngineEdge, TagAccountingSpansEveryRouteLink)
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    vs::Engine e(p, {"app"});
+    auto src = p.findHost("adonis-1");
+    auto dst = p.findHost("griffon-1");
+    e.startComm(src, dst, 100.0, [] {}, 1);
+
+    const vp::Route &route = p.route(src, dst);
+    for (auto l : route.links) {
+        EXPECT_GT(e.linkRate(l), 0.0) << "link " << p.link(l).name;
+        EXPECT_DOUBLE_EQ(e.linkRate(l), e.linkRate(l, 1));
+    }
+    // An uninvolved link carries nothing.
+    auto other = p.findHost("adonis-2");
+    auto other_route = p.route(other, src);
+    EXPECT_DOUBLE_EQ(e.linkRate(other_route.links[0]), 0.0);
+    e.run();
+}
+
+TEST(EngineEdge, ObserverSeesFinalZeroAtRunUntilBoundary)
+{
+    struct Probe : vs::RateObserver
+    {
+        double lastTime = -1.0;
+        void
+        onRates(double time, const vs::RateSnapshot &) override
+        {
+            lastTime = time;
+        }
+    };
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    vs::Engine e(p);
+    Probe probe;
+    e.setRateObserver(&probe);
+    e.startCompute(0, 1e6, [] {});  // 100 s of work
+    e.run(2.5);
+    EXPECT_DOUBLE_EQ(probe.lastTime, 2.5);
+    EXPECT_DOUBLE_EQ(e.now(), 2.5);
+}
+
+TEST(EngineEdge, ManySimultaneousCompletionsAllFire)
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    vs::Engine e(p);
+    int done = 0;
+    // Identical work on distinct hosts: all complete at the same time.
+    for (vp::HostId h = 0; h < 11; ++h)
+        e.startCompute(h, 1000.0, [&] { ++done; });
+    e.run();
+    EXPECT_EQ(done, 11);
+    EXPECT_NEAR(e.now(), 0.1, 1e-9);  // 1000 MFlop at 10000 MFlops
+}
+
+// --- renderer options ------------------------------------------------------------
+
+TEST(RendererOptions, SvgWithoutEdgesOrLabels)
+{
+    vap::Session session(vt::makeFigure1Trace());
+    session.stabilizeLayout(100);
+    vv::Scene scene = session.scene();
+
+    vv::SvgOptions options;
+    options.drawEdges = false;
+    options.drawLabels = false;
+    std::ostringstream out;
+    vv::writeSvg(scene, out, options);
+    EXPECT_EQ(out.str().find("<line"), std::string::npos);
+    EXPECT_EQ(out.str().find("HostA"), std::string::npos);
+}
+
+TEST(RendererOptions, AsciiWithoutEdges)
+{
+    vap::Session session(vt::makeFigure1Trace());
+    session.stabilizeLayout(100);
+    std::string text =
+        vv::renderAscii(session.scene(), {60, 20, false});
+    EXPECT_EQ(text.find('`'), std::string::npos);
+}
+
+TEST(RendererOptions, ScalingMaxPixelConfigurable)
+{
+    vv::TypeScaling scaling(60.0);
+    scaling.setMaxPixelSize(100.0);
+    EXPECT_DOUBLE_EQ(scaling.maxPixelSize(), 100.0);
+    vt::Trace t = vt::makeFigure1Trace();
+    viva::agg::HierarchyCut cut(t);
+    auto power = t.findMetric("power");
+    viva::agg::View v = viva::agg::buildView(
+        t, cut, {0.0, 4.0}, std::vector<vt::MetricId>{power});
+    scaling.autoScale(v);
+    EXPECT_DOUBLE_EQ(scaling.pixelSize(power, 100.0), 100.0);
+}
+
+TEST(RendererOptions, HeterogeneityThresholdSuppressesRing)
+{
+    vt::TraceBuilder b;
+    auto power = b.powerMetric();
+    b.beginGroup("c", vt::ContainerKind::Cluster);
+    auto h1 = b.host("h1");
+    auto h2 = b.host("h2");
+    b.endGroup();
+    b.trace().variable(h1, power).set(0.0, 1.0);
+    b.trace().variable(h2, power).set(0.0, 99.0);
+    vap::Session session(b.take());
+    session.aggregateToDepth(1);
+
+    vv::Scene scene = session.scene({}, true);
+    std::ostringstream strict, lax;
+    vv::SvgOptions options;
+    options.heterogeneityThreshold = 100.0;  // nothing qualifies
+    vv::writeSvg(scene, strict, options);
+    EXPECT_EQ(strict.str().find("stroke-dasharray"), std::string::npos);
+    options.heterogeneityThreshold = 0.1;
+    vv::writeSvg(scene, lax, options);
+    EXPECT_NE(lax.str().find("stroke-dasharray"), std::string::npos);
+}
+
+// --- paje destroy + variable on internal container -------------------------------
+
+TEST(PajeEdge, DestroyContainerAccepted)
+{
+    std::string text = "%EventDef PajeDefineContainerType 0\n"
+                       "%  Alias string\n%  Type string\n%  Name string\n"
+                       "%EndEventDef\n"
+                       "%EventDef PajeCreateContainer 3\n"
+                       "%  Time date\n%  Alias string\n%  Type string\n"
+                       "%  Container string\n%  Name string\n"
+                       "%EndEventDef\n"
+                       "%EventDef PajeDestroyContainer 4\n"
+                       "%  Time date\n%  Type string\n%  Name string\n"
+                       "%EndEventDef\n"
+                       "0 H 0 \"Host\"\n"
+                       "3 0 h H 0 \"h\"\n"
+                       "4 5 H h\n";
+    std::istringstream in(text);
+    std::string error;
+    auto result = vt::readPajeTrace(in, error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_NE(result->trace.findByName("h"), vt::kNoContainer);
+}
+
+TEST(AggregationEdge, VariableOnInternalContainerCounts)
+{
+    // A cluster-level aggregate metric alongside host-level ones: the
+    // subtree aggregation must include both once.
+    vt::TraceBuilder b;
+    auto power = b.powerMetric();
+    b.beginGroup("c", vt::ContainerKind::Cluster);
+    auto cluster = b.currentGroup();
+    auto h = b.host("h");
+    b.endGroup();
+    vt::Trace &t = b.trace();
+    t.variable(h, power).set(0.0, 10.0);
+    t.variable(cluster, power).set(0.0, 5.0);  // cluster-level extra
+    vt::Trace trace = b.take();
+
+    viva::agg::Aggregator agg(trace);
+    EXPECT_DOUBLE_EQ(agg.value(cluster, power, {0.0, 1.0}), 15.0);
+    EXPECT_DOUBLE_EQ(agg.value(trace.root(), power, {0.0, 1.0}), 15.0);
+}
+
+// --- command corner cases ----------------------------------------------------------
+
+TEST(CommandCorners, NeedArgumentsMessages)
+{
+    vap::Session session(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(session);
+    std::ostringstream out;
+    EXPECT_FALSE(cli.execute("treemap", out));
+    EXPECT_FALSE(cli.execute("gantt", out));
+    EXPECT_FALSE(cli.execute("chart power", out));
+    EXPECT_FALSE(cli.execute("save", out));
+    EXPECT_FALSE(cli.execute("focus", out));
+    EXPECT_FALSE(cli.execute("anomalies", out));
+    EXPECT_FALSE(cli.execute("export-csv", out));
+    EXPECT_NE(out.str().find("needs"), std::string::npos);
+}
+
+TEST(CommandCorners, FocusCommandChangesCut)
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    vt::Trace t;
+    vp::mirrorPlatform(p, t);
+    vap::Session session(std::move(t));
+    vap::CommandInterpreter cli(session);
+    std::ostringstream out;
+    std::size_t before = session.cut().visibleCount();
+    EXPECT_TRUE(cli.execute("focus adonis", out));
+    EXPECT_LT(session.cut().visibleCount(), before);
+    EXPECT_FALSE(cli.execute("focus nothing-here", out));
+}

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for viva::platform: construction, routing, the canned
+ * platforms and the trace mirror.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/builders.hh"
+#include "platform/platform.hh"
+#include "platform/platform_trace.hh"
+#include "support/random.hh"
+
+namespace vp = viva::platform;
+namespace vt = viva::trace;
+
+namespace
+{
+
+/** A dumbbell: h0 - l0 - r0 - l2 - r1 - l1 - h1, plus h2 on r0. */
+vp::Platform
+makeDumbbell()
+{
+    vp::Platform p("test");
+    auto site = p.addSite("site");
+    auto r0 = p.addRouter("r0", site);
+    auto r1 = p.addRouter("r1", site);
+    auto h0 = p.addHost("h0", 1000.0, site);
+    auto h1 = p.addHost("h1", 2000.0, site);
+    auto h2 = p.addHost("h2", 3000.0, site);
+    auto l0 = p.addLink("l0", 100.0, 1e-3, site);
+    auto l1 = p.addLink("l1", 100.0, 1e-3, site);
+    auto l2 = p.addLink("l2", 50.0, 2e-3, site);
+    auto l3 = p.addLink("l3", 100.0, 1e-3, site);
+    p.connect(p.host(h0).vertex, p.router(r0).vertex, l0);
+    p.connect(p.host(h1).vertex, p.router(r1).vertex, l1);
+    p.connect(p.router(r0).vertex, p.router(r1).vertex, l2);
+    p.connect(p.host(h2).vertex, p.router(r0).vertex, l3);
+    return p;
+}
+
+} // namespace
+
+TEST(Platform, BasicCounts)
+{
+    vp::Platform p = makeDumbbell();
+    EXPECT_EQ(p.hostCount(), 3u);
+    EXPECT_EQ(p.routerCount(), 2u);
+    EXPECT_EQ(p.linkCount(), 4u);
+    EXPECT_EQ(p.groupCount(), 2u);  // grid + site
+    EXPECT_EQ(p.vertexCount(), 5u);
+}
+
+TEST(Platform, LookupByName)
+{
+    vp::Platform p = makeDumbbell();
+    EXPECT_EQ(p.findHost("h1"), 1u);
+    EXPECT_EQ(p.findHost("nope"), vp::kNoId);
+    EXPECT_EQ(p.findGroup("site"), 1u);
+    EXPECT_EQ(p.findGroup("test"), p.grid());
+}
+
+TEST(Platform, GroupHierarchy)
+{
+    vp::Platform p("g");
+    auto site = p.addSite("s");
+    auto cluster = p.addCluster("c", site);
+    EXPECT_TRUE(p.groupIsUnder(cluster, site));
+    EXPECT_TRUE(p.groupIsUnder(cluster, p.grid()));
+    EXPECT_FALSE(p.groupIsUnder(site, cluster));
+    EXPECT_EQ(p.groupPath(cluster), "g/s/c");
+}
+
+TEST(Platform, HostsUnder)
+{
+    vp::Platform p("g");
+    auto s1 = p.addSite("s1");
+    auto s2 = p.addSite("s2");
+    p.addHost("a", 1.0, s1);
+    p.addHost("b", 1.0, s1);
+    p.addHost("c", 1.0, s2);
+    EXPECT_EQ(p.hostsUnder(s1).size(), 2u);
+    EXPECT_EQ(p.hostsUnder(s2).size(), 1u);
+    EXPECT_EQ(p.hostsUnder(p.grid()).size(), 3u);
+}
+
+TEST(Platform, RouteShortestPath)
+{
+    vp::Platform p = makeDumbbell();
+    const vp::Route &r = p.route(0, 1);  // h0 -> h1
+    ASSERT_EQ(r.links.size(), 3u);
+    EXPECT_EQ(r.links[0], 0u);  // l0
+    EXPECT_EQ(r.links[1], 2u);  // l2
+    EXPECT_EQ(r.links[2], 1u);  // l1
+    EXPECT_DOUBLE_EQ(r.latencyS, 1e-3 + 2e-3 + 1e-3);
+}
+
+TEST(Platform, RouteSameSideSkipsBackbone)
+{
+    vp::Platform p = makeDumbbell();
+    const vp::Route &r = p.route(0, 2);  // h0 -> h2 via r0 only
+    ASSERT_EQ(r.links.size(), 2u);
+    EXPECT_EQ(r.links[0], 0u);
+    EXPECT_EQ(r.links[1], 3u);
+}
+
+TEST(Platform, RouteToSelfIsEmpty)
+{
+    vp::Platform p = makeDumbbell();
+    const vp::Route &r = p.route(1, 1);
+    EXPECT_TRUE(r.links.empty());
+    EXPECT_DOUBLE_EQ(r.latencyS, 0.0);
+}
+
+TEST(Platform, RouteIsCached)
+{
+    vp::Platform p = makeDumbbell();
+    const vp::Route &a = p.route(0, 1);
+    const vp::Route &b = p.route(0, 1);
+    EXPECT_EQ(&a, &b);  // same object: the cache hit
+}
+
+TEST(PlatformDeath, DisconnectedHostsPanic)
+{
+    vp::Platform p("g");
+    auto s = p.addSite("s");
+    p.addHost("a", 1.0, s);
+    p.addHost("b", 1.0, s);
+    EXPECT_DEATH((void)p.route(0, 1), "disconnected");
+}
+
+TEST(PlatformDeath, DuplicateHostNameAsserts)
+{
+    vp::Platform p("g");
+    auto s = p.addSite("s");
+    p.addHost("a", 1.0, s);
+    EXPECT_DEATH(p.addHost("a", 1.0, s), "duplicate");
+}
+
+// --- canned platforms ---------------------------------------------------------
+
+TEST(TwoClusterPlatform, Shape)
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    EXPECT_EQ(p.hostCount(), vp::kTwoClusterHosts);
+    EXPECT_NE(p.findGroup("adonis"), vp::kNoId);
+    EXPECT_NE(p.findGroup("griffon"), vp::kNoId);
+    EXPECT_EQ(p.hostsUnder(p.findGroup("adonis")).size(), 11u);
+    EXPECT_EQ(p.hostsUnder(p.findGroup("griffon")).size(), 11u);
+}
+
+TEST(TwoClusterPlatform, CrossTrafficUsesBackbone)
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    auto a = p.findHost("adonis-1");
+    auto g = p.findHost("griffon-1");
+    ASSERT_NE(a, vp::kNoId);
+    ASSERT_NE(g, vp::kNoId);
+
+    const vp::Route &cross = p.route(a, g);
+    bool uses_backbone = false;
+    for (auto l : cross.links)
+        if (p.link(l).name == "backbone")
+            uses_backbone = true;
+    EXPECT_TRUE(uses_backbone);
+
+    const vp::Route &local = p.route(a, p.findHost("adonis-2"));
+    for (auto l : local.links)
+        EXPECT_NE(p.link(l).name, "backbone");
+    EXPECT_EQ(local.links.size(), 2u);  // two host links via the switch
+}
+
+TEST(TwoClusterPlatform, BackboneIsSharedAndScarce)
+{
+    // Any single cross flow bottlenecks on its 1 Gbit/s host links, but
+    // the backbone (1.5 Gbit/s) is far below the 11 Gbit/s aggregate a
+    // cluster can inject: multiple cross flows saturate it (Fig. 6).
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    auto a = p.findHost("adonis-1");
+    auto g = p.findHost("griffon-1");
+    double backbone_bw = 0.0;
+    double min_bw = 1e18;
+    for (auto l : p.route(a, g).links) {
+        min_bw = std::min(min_bw, p.link(l).bandwidthMbps);
+        if (p.link(l).name == "backbone")
+            backbone_bw = p.link(l).bandwidthMbps;
+    }
+    EXPECT_DOUBLE_EQ(min_bw, 1000.0);
+    EXPECT_GT(backbone_bw, 0.0);
+    EXPECT_LT(backbone_bw, 11.0 * 1000.0);
+}
+
+TEST(Grid5000Platform, ExactHostCount)
+{
+    vp::Platform p = vp::makeGrid5000();
+    EXPECT_EQ(p.hostCount(), vp::kGrid5000Hosts);
+    EXPECT_EQ(p.hostCount(), 2170u);  // the paper's number
+}
+
+TEST(Grid5000Platform, TwelveSites)
+{
+    vp::Platform p = vp::makeGrid5000();
+    std::size_t sites = 0;
+    for (vp::GroupId g = 0; g < p.groupCount(); ++g)
+        if (p.group(g).kind == vp::GroupKind::Site)
+            ++sites;
+    EXPECT_EQ(sites, 12u);
+}
+
+TEST(Grid5000Platform, AllPairsRoutable)
+{
+    vp::Platform p = vp::makeGrid5000();
+    // Spot-check routes across the backbone ring.
+    auto a = p.findHost("adonis-1");
+    auto b = p.findHost("pastel-140");
+    auto c = p.findHost("gdx-200");
+    ASSERT_NE(a, vp::kNoId);
+    ASSERT_NE(b, vp::kNoId);
+    ASSERT_NE(c, vp::kNoId);
+    EXPECT_FALSE(p.route(a, b).links.empty());
+    EXPECT_FALSE(p.route(b, c).links.empty());
+    EXPECT_GT(p.route(a, b).latencyS, 0.0);
+}
+
+TEST(Grid5000Platform, HeterogeneousPower)
+{
+    vp::Platform p = vp::makeGrid5000();
+    double lo = 1e18, hi = 0.0;
+    for (vp::HostId h = 0; h < p.hostCount(); ++h) {
+        lo = std::min(lo, p.host(h).powerMflops);
+        hi = std::max(hi, p.host(h).powerMflops);
+    }
+    EXPECT_LT(lo, 4000.0);
+    EXPECT_GT(hi, 10000.0);
+}
+
+TEST(SyntheticGrid, Dimensions)
+{
+    viva::support::Rng rng(7);
+    vp::Platform p = vp::makeSyntheticGrid(3, 2, 5, rng);
+    EXPECT_EQ(p.hostCount(), 30u);
+    // 3 sites + 6 clusters + grid = 10 groups.
+    EXPECT_EQ(p.groupCount(), 10u);
+    EXPECT_FALSE(p.route(0, 29).links.empty());
+}
+
+// --- trace mirror ---------------------------------------------------------------
+
+TEST(TraceMirror, StructureMatches)
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    vt::Trace t;
+    vp::TraceMirror m = vp::mirrorPlatform(p, t);
+
+    EXPECT_EQ(m.hostContainer.size(), p.hostCount());
+    EXPECT_EQ(m.linkContainer.size(), p.linkCount());
+    EXPECT_EQ(m.routerContainer.size(), p.routerCount());
+    // 1 root + groups + hosts + routers + links.
+    EXPECT_EQ(t.containerCount(), 1 + p.groupCount() + p.hostCount() +
+                                      p.routerCount() + p.linkCount());
+
+    // Hierarchy mirrored: adonis-3 sits under hpc/testbed/adonis.
+    auto host = t.findByPath("hpc/testbed/adonis/adonis-3");
+    ASSERT_NE(host, vt::kNoContainer);
+    EXPECT_EQ(t.container(host).kind, vt::ContainerKind::Host);
+}
+
+TEST(TraceMirror, CapacitiesRecorded)
+{
+    vp::Platform p = vp::makeTwoClusterPlatform();
+    vt::Trace t;
+    vp::TraceMirror m = vp::mirrorPlatform(p, t);
+
+    auto h = p.findHost("adonis-1");
+    const vt::Variable *power = t.findVariable(m.hostContainer[h], m.power);
+    ASSERT_NE(power, nullptr);
+    EXPECT_DOUBLE_EQ(power->valueAt(0.0), 10000.0);
+
+    auto backbone_id = vp::kNoId;
+    for (vp::LinkId l = 0; l < p.linkCount(); ++l)
+        if (p.link(l).name == "backbone")
+            backbone_id = l;
+    ASSERT_NE(backbone_id, vp::kNoId);
+    const vt::Variable *bw =
+        t.findVariable(m.linkContainer[backbone_id], m.bandwidth);
+    ASSERT_NE(bw, nullptr);
+    EXPECT_DOUBLE_EQ(bw->valueAt(0.0),
+                     p.link(backbone_id).bandwidthMbps);
+}
+
+TEST(TraceMirror, RelationsFollowTopology)
+{
+    vp::Platform p = makeDumbbell();
+    vt::Trace t;
+    vp::TraceMirror m = vp::mirrorPlatform(p, t);
+
+    // h0 relates to l0 only; l2 relates to both routers.
+    auto n0 = t.neighbors(m.hostContainer[0]);
+    ASSERT_EQ(n0.size(), 1u);
+    EXPECT_EQ(n0[0], m.linkContainer[0]);
+
+    auto nl2 = t.neighbors(m.linkContainer[2]);
+    EXPECT_EQ(nl2.size(), 2u);
+}
+
+TEST(TraceMirrorDeath, RequiresEmptyTrace)
+{
+    vp::Platform p = makeDumbbell();
+    vt::Trace t;
+    t.addContainer("junk", vt::ContainerKind::Host, t.root());
+    EXPECT_DEATH(vp::mirrorPlatform(p, t), "empty trace");
+}

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for viva::support: strings, stats, intervals, rng, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/interval.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+
+namespace vs = viva::support;
+
+// --- strings ---------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto fields = vs::split("a,,b,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    auto fields = vs::split("abc", ',');
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties)
+{
+    auto fields = vs::splitWhitespace("  a \t b\nc  ");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Strings, SplitWhitespaceEmptyInput)
+{
+    EXPECT_TRUE(vs::splitWhitespace("").empty());
+    EXPECT_TRUE(vs::splitWhitespace("   \t ").empty());
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(vs::trim("  x y  "), "x y");
+    EXPECT_EQ(vs::trim(""), "");
+    EXPECT_EQ(vs::trim(" \t\r\n"), "");
+    EXPECT_EQ(vs::trim("abc"), "abc");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(vs::join({"a", "b", "c"}, "/"), "a/b/c");
+    EXPECT_EQ(vs::join({}, "/"), "");
+    EXPECT_EQ(vs::join({"x"}, ", "), "x");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(vs::startsWith("grid5000/lyon", "grid5000"));
+    EXPECT_FALSE(vs::startsWith("grid", "grid5000"));
+    EXPECT_TRUE(vs::endsWith("trace.viva", ".viva"));
+    EXPECT_FALSE(vs::endsWith("a", "ab"));
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(vs::toLower("MFlops"), "mflops");
+}
+
+TEST(Strings, ParseDouble)
+{
+    double v = 0;
+    EXPECT_TRUE(vs::parseDouble("3.5", v));
+    EXPECT_DOUBLE_EQ(v, 3.5);
+    EXPECT_TRUE(vs::parseDouble("  -1e3 ", v));
+    EXPECT_DOUBLE_EQ(v, -1000.0);
+    EXPECT_FALSE(vs::parseDouble("12x", v));
+    EXPECT_FALSE(vs::parseDouble("", v));
+    EXPECT_FALSE(vs::parseDouble("abc", v));
+}
+
+TEST(Strings, ParseSize)
+{
+    std::size_t v = 0;
+    EXPECT_TRUE(vs::parseSize("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_FALSE(vs::parseSize("-3", v));
+    EXPECT_FALSE(vs::parseSize("3.5", v));
+    EXPECT_FALSE(vs::parseSize("", v));
+}
+
+TEST(Strings, FormatDoubleRoundTrips)
+{
+    for (double x : {0.0, 1.5, -2.25, 1e-9, 123456789.0, 3.14159265358979}) {
+        double back = 0;
+        ASSERT_TRUE(vs::parseDouble(vs::formatDouble(x), back));
+        EXPECT_DOUBLE_EQ(back, x);
+    }
+}
+
+TEST(Strings, Humanize)
+{
+    EXPECT_EQ(vs::humanize(950.0), "950");
+    EXPECT_EQ(vs::humanize(1500.0), "1.5K");
+    EXPECT_EQ(vs::humanize(2.17e6), "2.17M");
+    EXPECT_EQ(vs::humanize(-1500.0), "-1.5K");
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(RunningStats, Empty)
+{
+    vs::RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    vs::RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    vs::RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i * 0.7) * 10.0;
+        (i < 20 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    vs::RunningStats a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Samples, MedianOddEven)
+{
+    vs::Samples s;
+    for (double x : {5.0, 1.0, 3.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.median(), 4.0);  // (3 + 5) / 2
+}
+
+TEST(Samples, Quantiles)
+{
+    vs::Samples s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 25.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 50.0);
+}
+
+TEST(Samples, QuantileAfterIncrementalAdds)
+{
+    vs::Samples s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    s.add(0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);  // cache must refresh
+}
+
+TEST(Samples, EmptyQuantileIsZero)
+{
+    vs::Samples s;
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+// --- interval ------------------------------------------------------------------
+
+TEST(Interval, Basics)
+{
+    vs::Interval i(2.0, 5.0);
+    EXPECT_DOUBLE_EQ(i.length(), 3.0);
+    EXPECT_FALSE(i.empty());
+    EXPECT_TRUE(i.contains(2.0));
+    EXPECT_TRUE(i.contains(4.999));
+    EXPECT_FALSE(i.contains(5.0));
+    EXPECT_FALSE(i.contains(1.999));
+}
+
+TEST(Interval, Intersect)
+{
+    vs::Interval a(0.0, 10.0), b(5.0, 15.0);
+    vs::Interval c = a.intersect(b);
+    EXPECT_DOUBLE_EQ(c.begin, 5.0);
+    EXPECT_DOUBLE_EQ(c.end, 10.0);
+    vs::Interval d(20.0, 30.0);
+    EXPECT_TRUE(a.intersect(d).empty());
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(d));
+}
+
+TEST(Interval, Shifted)
+{
+    vs::Interval a(1.0, 2.0);
+    vs::Interval b = a.shifted(10.0);
+    EXPECT_DOUBLE_EQ(b.begin, 11.0);
+    EXPECT_DOUBLE_EQ(b.end, 12.0);
+}
+
+// --- rng ------------------------------------------------------------------------
+
+TEST(Rng, Deterministic)
+{
+    vs::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange)
+{
+    vs::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(3.0, 7.0);
+        EXPECT_GE(v, 3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    vs::Rng rng(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    vs::Rng rng(3);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ExponentialPositive)
+{
+    vs::Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GT(rng.exponential(2.0), 0.0);
+}
+
+// --- logging ----------------------------------------------------------------------
+
+TEST(Logging, WarnCountIncrements)
+{
+    vs::setQuiet(true);
+    std::size_t before = vs::warnCount();
+    vs::warn("test", "something odd: ", 42);
+    EXPECT_EQ(vs::warnCount(), before + 1);
+    vs::setQuiet(false);
+}
+
+TEST(Logging, AssertFiresOnFalse)
+{
+    EXPECT_DEATH({ VIVA_ASSERT(1 == 2, "impossible ", 3); }, "assertion");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    VIVA_ASSERT(1 + 1 == 2, "math is broken");
+    SUCCEED();
+}

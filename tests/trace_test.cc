@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Unit tests for viva::trace: variables, the container hierarchy,
+ * metrics, relations, serialization and the builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/builder.hh"
+#include "trace/io.hh"
+#include "trace/trace.hh"
+#include "trace/variable.hh"
+
+namespace vt = viva::trace;
+
+// --- Variable ---------------------------------------------------------------
+
+TEST(Variable, EmptyIsZeroEverywhere)
+{
+    vt::Variable v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_DOUBLE_EQ(v.valueAt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(v.integrate(0.0, 10.0), 0.0);
+}
+
+TEST(Variable, ValueHoldsUntilNextChange)
+{
+    vt::Variable v;
+    v.set(1.0, 10.0);
+    v.set(5.0, 20.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(0.5), 0.0);   // before first point
+    EXPECT_DOUBLE_EQ(v.valueAt(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(4.999), 10.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(5.0), 20.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(1000.0), 20.0);
+}
+
+TEST(Variable, SetAtSameTimeOverwrites)
+{
+    vt::Variable v;
+    v.set(2.0, 5.0);
+    v.set(2.0, 7.0);
+    EXPECT_EQ(v.pointCount(), 1u);
+    EXPECT_DOUBLE_EQ(v.valueAt(2.0), 7.0);
+}
+
+TEST(Variable, OutOfOrderInsert)
+{
+    vt::Variable v;
+    v.set(10.0, 3.0);
+    v.set(5.0, 1.0);
+    v.set(7.5, 2.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(6.0), 1.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(8.0), 2.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(11.0), 3.0);
+    EXPECT_EQ(v.pointCount(), 3u);
+}
+
+TEST(Variable, AddIsRelative)
+{
+    vt::Variable v;
+    v.set(0.0, 10.0);
+    v.add(5.0, -3.0);
+    v.add(5.0, -2.0);  // stacking at the same instant
+    EXPECT_DOUBLE_EQ(v.valueAt(5.0), 5.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(4.0), 10.0);
+}
+
+TEST(Variable, IntegrateExactRectangles)
+{
+    vt::Variable v;
+    v.set(0.0, 2.0);
+    v.set(4.0, 6.0);
+    v.set(8.0, 0.0);
+    // [0,4): 2*4 = 8 ; [4,8): 6*4 = 24 ; [8,12): 0
+    EXPECT_DOUBLE_EQ(v.integrate(0.0, 12.0), 32.0);
+    EXPECT_DOUBLE_EQ(v.integrate(2.0, 6.0), 2.0 * 2 + 6.0 * 2);
+    EXPECT_DOUBLE_EQ(v.integrate(5.0, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(v.integrate(-4.0, 2.0), 2.0 * 2);  // zero before t=0
+}
+
+TEST(Variable, IntegrateIsAdditive)
+{
+    vt::Variable v;
+    v.set(0.0, 1.0);
+    v.set(1.5, 4.0);
+    v.set(3.25, 2.5);
+    v.set(9.0, 0.5);
+    double whole = v.integrate(0.0, 12.0);
+    double parts = v.integrate(0.0, 2.0) + v.integrate(2.0, 7.7) +
+                   v.integrate(7.7, 12.0);
+    EXPECT_NEAR(whole, parts, 1e-12);
+}
+
+TEST(Variable, AverageMatchesIntegral)
+{
+    vt::Variable v;
+    v.set(0.0, 10.0);
+    v.set(5.0, 0.0);
+    EXPECT_DOUBLE_EQ(v.average(0.0, 10.0), 5.0);
+    // Zero-length slice degenerates to the instantaneous value.
+    EXPECT_DOUBLE_EQ(v.average(3.0, 3.0), 10.0);
+}
+
+TEST(Variable, MinMaxOverWindow)
+{
+    vt::Variable v;
+    v.set(0.0, 5.0);
+    v.set(2.0, 9.0);
+    v.set(4.0, 1.0);
+    EXPECT_DOUBLE_EQ(v.maxOver(0.0, 10.0), 9.0);
+    EXPECT_DOUBLE_EQ(v.minOver(0.0, 10.0), 1.0);
+    EXPECT_DOUBLE_EQ(v.maxOver(0.0, 2.0), 5.0);  // change at 2 excluded
+    EXPECT_DOUBLE_EQ(v.maxOver(2.5, 3.5), 9.0);
+}
+
+TEST(Variable, CompactRemovesRepeats)
+{
+    vt::Variable v;
+    v.set(0.0, 1.0);
+    v.set(1.0, 1.0);
+    v.set(2.0, 2.0);
+    v.set(3.0, 2.0);
+    v.set(4.0, 1.0);
+    EXPECT_EQ(v.compact(), 2u);
+    EXPECT_EQ(v.pointCount(), 3u);
+    EXPECT_DOUBLE_EQ(v.valueAt(1.5), 1.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(3.5), 2.0);
+    EXPECT_DOUBLE_EQ(v.valueAt(4.5), 1.0);
+}
+
+TEST(Variable, FirstLastTime)
+{
+    vt::Variable v;
+    v.set(3.0, 1.0);
+    v.set(8.0, 2.0);
+    EXPECT_DOUBLE_EQ(v.firstTime(), 3.0);
+    EXPECT_DOUBLE_EQ(v.lastTime(), 8.0);
+}
+
+// --- Trace containers ------------------------------------------------------
+
+TEST(Trace, RootExists)
+{
+    vt::Trace t;
+    EXPECT_EQ(t.containerCount(), 1u);
+    EXPECT_EQ(t.container(t.root()).kind, vt::ContainerKind::Root);
+    EXPECT_EQ(t.container(t.root()).depth, 0);
+}
+
+TEST(Trace, HierarchyConstruction)
+{
+    vt::Trace t;
+    auto site = t.addContainer("lyon", vt::ContainerKind::Site, t.root());
+    auto cluster =
+        t.addContainer("sagittaire", vt::ContainerKind::Cluster, site);
+    auto host = t.addContainer("sagittaire-1", vt::ContainerKind::Host,
+                               cluster);
+    EXPECT_EQ(t.container(host).depth, 3);
+    EXPECT_EQ(t.container(host).parent, cluster);
+    EXPECT_EQ(t.fullName(host), "lyon/sagittaire/sagittaire-1");
+    EXPECT_EQ(t.findByPath("lyon/sagittaire/sagittaire-1"), host);
+    EXPECT_EQ(t.findByPath("lyon/nope"), vt::kNoContainer);
+    EXPECT_EQ(t.findByPath(""), t.root());
+    EXPECT_EQ(t.findChild(site, "sagittaire"), cluster);
+    EXPECT_EQ(t.findChild(site, "x"), vt::kNoContainer);
+}
+
+TEST(Trace, FindByNameUniqueAndAmbiguous)
+{
+    vt::Trace t;
+    auto a = t.addContainer("a", vt::ContainerKind::Site, t.root());
+    auto b = t.addContainer("b", vt::ContainerKind::Site, t.root());
+    t.addContainer("h", vt::ContainerKind::Host, a);
+    EXPECT_EQ(t.findByName("h"), t.findByPath("a/h"));
+    t.addContainer("h", vt::ContainerKind::Host, b);
+    EXPECT_EQ(t.findByName("h"), vt::kNoContainer);  // ambiguous now
+}
+
+TEST(TraceDeath, DuplicateSiblingIsFatal)
+{
+    vt::Trace t;
+    t.addContainer("x", vt::ContainerKind::Host, t.root());
+    EXPECT_DEATH(t.addContainer("x", vt::ContainerKind::Host, t.root()),
+                 "duplicate");
+}
+
+TEST(Trace, SubtreeAndLeaves)
+{
+    vt::Trace t;
+    auto s = t.addContainer("s", vt::ContainerKind::Site, t.root());
+    auto c1 = t.addContainer("c1", vt::ContainerKind::Cluster, s);
+    auto c2 = t.addContainer("c2", vt::ContainerKind::Cluster, s);
+    auto h1 = t.addContainer("h1", vt::ContainerKind::Host, c1);
+    auto h2 = t.addContainer("h2", vt::ContainerKind::Host, c1);
+    auto h3 = t.addContainer("h3", vt::ContainerKind::Host, c2);
+
+    auto sub = t.subtree(s);
+    EXPECT_EQ(sub.size(), 6u);
+    EXPECT_EQ(sub[0], s);  // preorder: s first
+
+    auto leaves = t.leavesUnder(s);
+    EXPECT_EQ(leaves, (std::vector<vt::ContainerId>{h1, h2, h3}));
+    EXPECT_EQ(t.leavesUnder(h1),
+              (std::vector<vt::ContainerId>{h1}));
+}
+
+TEST(Trace, AncestorQueries)
+{
+    vt::Trace t;
+    auto s = t.addContainer("s", vt::ContainerKind::Site, t.root());
+    auto c = t.addContainer("c", vt::ContainerKind::Cluster, s);
+    auto h = t.addContainer("h", vt::ContainerKind::Host, c);
+    EXPECT_TRUE(t.isAncestorOrSelf(s, h));
+    EXPECT_TRUE(t.isAncestorOrSelf(h, h));
+    EXPECT_FALSE(t.isAncestorOrSelf(h, s));
+    EXPECT_EQ(t.ancestorAtDepth(h, 0), t.root());
+    EXPECT_EQ(t.ancestorAtDepth(h, 1), s);
+    EXPECT_EQ(t.ancestorAtDepth(h, 2), c);
+    EXPECT_EQ(t.ancestorAtDepth(h, 3), h);
+    EXPECT_EQ(t.ancestorAtDepth(h, 9), h);
+}
+
+TEST(Trace, ContainersOfKind)
+{
+    vt::Trace t;
+    auto s = t.addContainer("s", vt::ContainerKind::Site, t.root());
+    t.addContainer("h1", vt::ContainerKind::Host, s);
+    t.addContainer("l1", vt::ContainerKind::Link, s);
+    t.addContainer("h2", vt::ContainerKind::Host, s);
+    EXPECT_EQ(t.containersOfKind(vt::ContainerKind::Host).size(), 2u);
+    EXPECT_EQ(t.containersOfKind(vt::ContainerKind::Link).size(), 1u);
+    EXPECT_EQ(t.containersOfKind(vt::ContainerKind::Router).size(), 0u);
+}
+
+// --- metrics and variables ----------------------------------------------------
+
+TEST(Trace, MetricRegistrationIsIdempotent)
+{
+    vt::Trace t;
+    auto power = t.addMetric("power", "MFlops",
+                             vt::MetricNature::Capacity);
+    auto again = t.addMetric("power", "ignored",
+                             vt::MetricNature::Gauge);
+    EXPECT_EQ(power, again);
+    EXPECT_EQ(t.metricCount(), 1u);
+    EXPECT_EQ(t.metric(power).unit, "MFlops");
+    EXPECT_EQ(t.metric(power).nature, vt::MetricNature::Capacity);
+    EXPECT_EQ(t.findMetric("power"), power);
+    EXPECT_EQ(t.findMetric("nope"), vt::kNoMetric);
+}
+
+TEST(Trace, UtilizationLinksToCapacity)
+{
+    vt::Trace t;
+    auto cap = t.addMetric("bandwidth", "Mbit/s",
+                           vt::MetricNature::Capacity);
+    auto used = t.addMetric("bandwidth_used", "Mbit/s",
+                            vt::MetricNature::Utilization, cap);
+    EXPECT_EQ(t.metric(used).capacityOf, cap);
+}
+
+TEST(Trace, VariablesCreatedOnDemand)
+{
+    vt::Trace t;
+    auto h = t.addContainer("h", vt::ContainerKind::Host, t.root());
+    auto m = t.addMetric("power", "MFlops", vt::MetricNature::Capacity);
+    EXPECT_EQ(t.findVariable(h, m), nullptr);
+    EXPECT_FALSE(t.hasVariable(h, m));
+    t.variable(h, m).set(0.0, 100.0);
+    EXPECT_TRUE(t.hasVariable(h, m));
+    EXPECT_DOUBLE_EQ(t.findVariable(h, m)->valueAt(1.0), 100.0);
+    EXPECT_EQ(t.variableCount(), 1u);
+    EXPECT_EQ(t.pointCount(), 1u);
+}
+
+// --- relations and states ---------------------------------------------------
+
+TEST(Trace, RelationsDeduplicateAndIgnoreSelf)
+{
+    vt::Trace t;
+    auto a = t.addContainer("a", vt::ContainerKind::Host, t.root());
+    auto b = t.addContainer("b", vt::ContainerKind::Host, t.root());
+    t.addRelation(a, b);
+    t.addRelation(b, a);  // same undirected edge
+    t.addRelation(a, a);  // self loop dropped
+    EXPECT_EQ(t.relations().size(), 1u);
+    EXPECT_EQ(t.neighbors(a), (std::vector<vt::ContainerId>{b}));
+    EXPECT_EQ(t.neighbors(b), (std::vector<vt::ContainerId>{a}));
+}
+
+TEST(Trace, StatesRecorded)
+{
+    vt::Trace t;
+    auto h = t.addContainer("h", vt::ContainerKind::Host, t.root());
+    t.addState(h, 0.0, 2.0, "compute");
+    t.addState(h, 2.0, 3.0, "wait");
+    ASSERT_EQ(t.states().size(), 2u);
+    EXPECT_EQ(t.states()[1].state, "wait");
+}
+
+TEST(Trace, SpanCoversVariablesAndStates)
+{
+    vt::Trace t;
+    auto h = t.addContainer("h", vt::ContainerKind::Host, t.root());
+    auto m = t.addMetric("power", "", vt::MetricNature::Capacity);
+    t.variable(h, m).set(2.0, 1.0);
+    t.variable(h, m).set(9.0, 2.0);
+    t.addState(h, 0.5, 3.0, "s");
+    EXPECT_DOUBLE_EQ(t.span().begin, 0.5);
+    EXPECT_DOUBLE_EQ(t.span().end, 9.0);
+}
+
+// --- io ----------------------------------------------------------------------
+
+TEST(TraceIo, RoundTrip)
+{
+    vt::Trace t = vt::makeFigure1Trace();
+    std::ostringstream out;
+    vt::writeTrace(t, out);
+
+    std::istringstream in(out.str());
+    std::string error;
+    auto back = vt::readTrace(in, error);
+    ASSERT_TRUE(back.has_value()) << error;
+
+    EXPECT_EQ(back->containerCount(), t.containerCount());
+    EXPECT_EQ(back->metricCount(), t.metricCount());
+    EXPECT_EQ(back->relations().size(), t.relations().size());
+    EXPECT_EQ(back->pointCount(), t.pointCount());
+
+    // Identical serialization is the strongest round-trip check.
+    std::ostringstream out2;
+    vt::writeTrace(*back, out2);
+    EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(TraceIo, NamesWithSpacesSurvive)
+{
+    vt::Trace t;
+    auto h = t.addContainer("my host 1", vt::ContainerKind::Host,
+                            t.root());
+    auto m = t.addMetric("power used now", "MFlops",
+                         vt::MetricNature::Gauge);
+    t.variable(h, m).set(1.0, 2.0);
+    t.addState(h, 0.0, 1.0, "waiting for data");
+
+    std::ostringstream out;
+    vt::writeTrace(t, out);
+    std::istringstream in(out.str());
+    std::string error;
+    auto back = vt::readTrace(in, error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_NE(back->findByPath("my host 1"), vt::kNoContainer);
+    EXPECT_NE(back->findMetric("power used now"), vt::kNoMetric);
+    EXPECT_EQ(back->states()[0].state, "waiting for data");
+}
+
+TEST(TraceIo, RejectsMissingHeader)
+{
+    std::istringstream in("container 1 - host h\n");
+    std::string error;
+    EXPECT_FALSE(vt::readTrace(in, error).has_value());
+    EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsBadParent)
+{
+    std::istringstream in("viva-trace 1\ncontainer 1 99 host h\n");
+    std::string error;
+    EXPECT_FALSE(vt::readTrace(in, error).has_value());
+    EXPECT_NE(error.find("parent"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsUnknownVerb)
+{
+    std::istringstream in("viva-trace 1\nfrobnicate 1 2\n");
+    std::string error;
+    EXPECT_FALSE(vt::readTrace(in, error).has_value());
+}
+
+TEST(TraceIo, RejectsPointWithUnknownIds)
+{
+    std::istringstream in("viva-trace 1\np 5 0 0 1\n");
+    std::string error;
+    EXPECT_FALSE(vt::readTrace(in, error).has_value());
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "viva-trace 1\n\n# a comment\ncontainer 1 - host h\n");
+    std::string error;
+    auto t = vt::readTrace(in, error);
+    ASSERT_TRUE(t.has_value()) << error;
+    EXPECT_EQ(t->containerCount(), 2u);
+}
+
+// --- builder -------------------------------------------------------------------
+
+TEST(TraceBuilder, GroupNesting)
+{
+    vt::TraceBuilder b;
+    b.beginGroup("site", vt::ContainerKind::Site);
+    b.beginGroup("cluster", vt::ContainerKind::Cluster);
+    auto h = b.host("h1");
+    b.endGroup();
+    b.endGroup();
+    EXPECT_EQ(b.trace().fullName(h), "site/cluster/h1");
+}
+
+TEST(TraceBuilder, ConventionalMetrics)
+{
+    vt::TraceBuilder b;
+    auto used = b.powerUsedMetric();
+    auto power = b.powerMetric();
+    EXPECT_EQ(b.trace().metric(used).capacityOf, power);
+    EXPECT_EQ(b.trace().metric(used).nature,
+              vt::MetricNature::Utilization);
+}
+
+TEST(Figure1Trace, MatchesThePaperScenario)
+{
+    vt::Trace t = vt::makeFigure1Trace();
+    auto host_a = t.findByPath("HostA");
+    auto host_b = t.findByPath("HostB");
+    auto link_a = t.findByPath("LinkA");
+    ASSERT_NE(host_a, vt::kNoContainer);
+    ASSERT_NE(host_b, vt::kNoContainer);
+    ASSERT_NE(link_a, vt::kNoContainer);
+
+    auto power = t.findMetric("power");
+    // Cursor A (t=1): HostA at 100, HostB at 25 (four-times smaller).
+    EXPECT_DOUBLE_EQ(t.findVariable(host_a, power)->valueAt(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(t.findVariable(host_b, power)->valueAt(1.0), 25.0);
+    // Cursor B (t=6): HostB (40) now bigger than HostA (10) -- Fig. 4 B.
+    EXPECT_DOUBLE_EQ(t.findVariable(host_a, power)->valueAt(6.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.findVariable(host_b, power)->valueAt(6.0), 40.0);
+    // The link is related to both hosts.
+    EXPECT_EQ(t.neighbors(link_a).size(), 2u);
+    EXPECT_DOUBLE_EQ(t.span().end, 12.0);
+}

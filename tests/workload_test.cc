@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the workloads: DT tree structure, deployments, and the
+ * master-worker scheduling policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/builders.hh"
+#include "workload/masterworker.hh"
+#include "workload/nasdt.hh"
+
+namespace vp = viva::platform;
+namespace vs = viva::sim;
+namespace vw = viva::workload;
+
+// --- DT parameters and deployments --------------------------------------------
+
+TEST(DtParams, ClassAWhiteHoleHas21Processes)
+{
+    vw::DtParams params;  // fanout 4, depth 2
+    EXPECT_EQ(params.processCount(), 21u);
+    EXPECT_EQ(params.leafCount(), 16u);
+}
+
+TEST(DtParams, OtherShapes)
+{
+    vw::DtParams p;
+    p.fanout = 2;
+    p.depth = 3;
+    EXPECT_EQ(p.processCount(), 15u);
+    EXPECT_EQ(p.leafCount(), 8u);
+    p.fanout = 1;
+    p.depth = 4;
+    EXPECT_EQ(p.processCount(), 5u);  // a chain
+    EXPECT_EQ(p.leafCount(), 1u);
+}
+
+TEST(DtDeployment, SequentialFillsFirstClusterFirst)
+{
+    vp::Platform plat = vp::makeTwoClusterPlatform();
+    vw::DtParams params;
+    vw::Deployment dep = vw::sequentialDeployment(plat, params);
+    ASSERT_EQ(dep.size(), 21u);
+
+    auto adonis = plat.findGroup("adonis");
+    // Ranks 0..10 land on adonis (the first 11 hosts by id).
+    for (std::size_t r = 0; r <= 10; ++r)
+        EXPECT_TRUE(plat.groupIsUnder(plat.host(dep[r]).group, adonis))
+            << "rank " << r;
+    // Ranks 11..20 land on griffon.
+    auto griffon = plat.findGroup("griffon");
+    for (std::size_t r = 11; r <= 20; ++r)
+        EXPECT_TRUE(plat.groupIsUnder(plat.host(dep[r]).group, griffon))
+            << "rank " << r;
+}
+
+TEST(DtDeployment, LocalityPacksSubtreesIntoClusters)
+{
+    vp::Platform plat = vp::makeTwoClusterPlatform();
+    vw::DtParams params;
+    vw::Deployment dep = vw::localityDeployment(plat, params);
+    ASSERT_EQ(dep.size(), 21u);
+
+    // All 21 processes on distinct hosts.
+    std::set<vp::HostId> distinct(dep.begin(), dep.end());
+    EXPECT_EQ(distinct.size(), 21u);
+
+    // Each forwarder (ranks 1-4) shares a cluster with all 4 children.
+    for (std::size_t f = 1; f <= 4; ++f) {
+        auto fwd_cluster = plat.host(dep[f]).group;
+        for (std::size_t c = 0; c < 4; ++c) {
+            std::size_t child = f * 4 + 1 + c;
+            EXPECT_EQ(plat.host(dep[child]).group, fwd_cluster)
+                << "forwarder " << f << " child " << child;
+        }
+    }
+}
+
+TEST(DtDeployment, SequentialWrapsWhenFewHosts)
+{
+    vp::Platform p("t");
+    auto s = p.addSite("s");
+    auto r = p.addRouter("r", s);
+    for (int i = 0; i < 5; ++i) {
+        auto h = p.addHost("h" + std::to_string(i), 1000.0, s);
+        auto l = p.addLink("l" + std::to_string(i), 100.0, 1e-4, s);
+        p.connect(p.host(h).vertex, p.router(r).vertex, l);
+    }
+    vw::DtParams params;
+    vw::Deployment dep = vw::sequentialDeployment(p, params);
+    EXPECT_EQ(dep[0], dep[5]);  // wraps modulo 5
+    EXPECT_EQ(dep[20], dep[0]);
+}
+
+// --- DT execution --------------------------------------------------------------
+
+TEST(DtRun, CompletesAndCountsMessages)
+{
+    vp::Platform plat = vp::makeTwoClusterPlatform();
+    vs::SimulationRun run(plat);
+    vw::DtParams params;
+    params.cycles = 3;
+    params.messageMbits = 10.0;
+    params.computeMflop = 100.0;
+
+    vw::DtResult result = vw::runNasDtWhiteHole(
+        run, params, vw::sequentialDeployment(plat, params));
+    EXPECT_GT(result.makespanS, 0.0);
+    EXPECT_EQ(result.processes, 21u);
+    // Per cycle: 4 source sends + 16 forwarder sends = 20 messages.
+    EXPECT_EQ(result.messages, 3u * 20u);
+    EXPECT_TRUE(run.engine.idle());
+}
+
+TEST(DtRun, LocalityBeatsSequential)
+{
+    vw::DtParams params;
+    params.cycles = 10;
+
+    vp::Platform plat1 = vp::makeTwoClusterPlatform();
+    vs::SimulationRun run1(plat1);
+    double seq = vw::runNasDtWhiteHole(
+                     run1, params, vw::sequentialDeployment(plat1, params))
+                     .makespanS;
+
+    vp::Platform plat2 = vp::makeTwoClusterPlatform();
+    vs::SimulationRun run2(plat2);
+    double loc = vw::runNasDtWhiteHole(
+                     run2, params, vw::localityDeployment(plat2, params))
+                     .makespanS;
+
+    // The paper reports ~20% improvement; require a clear win here.
+    EXPECT_LT(loc, seq * 0.95)
+        << "sequential " << seq << " vs locality " << loc;
+}
+
+TEST(DtRunDeath, WrongDeploymentSizeAsserts)
+{
+    vp::Platform plat = vp::makeTwoClusterPlatform();
+    vs::SimulationRun run(plat);
+    vw::DtParams params;
+    vw::Deployment dep(5, 0);
+    EXPECT_DEATH(vw::runNasDtWhiteHole(run, params, dep), "deployment");
+}
+
+// --- master-worker ---------------------------------------------------------------
+
+namespace
+{
+
+/** A star of `n` workers with per-worker bandwidth 100*(i+1) Mbit/s. */
+vp::Platform
+makeStar(std::size_t n)
+{
+    vp::Platform p("star");
+    auto s = p.addSite("s");
+    auto r = p.addRouter("hub", s);
+    auto m = p.addHost("master", 1000.0, s);
+    auto lm = p.addLink("master-link", 10000.0, 1e-4, s);
+    p.connect(p.host(m).vertex, p.router(r).vertex, lm);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto h = p.addHost("w" + std::to_string(i), 1000.0, s);
+        auto l = p.addLink("wl" + std::to_string(i),
+                           100.0 * double(i + 1), 1e-4, s);
+        p.connect(p.host(h).vertex, p.router(r).vertex, l);
+    }
+    return p;
+}
+
+} // namespace
+
+TEST(MasterWorker, AllTasksComplete)
+{
+    vp::Platform plat = makeStar(4);
+    vs::SimulationRun run(plat);
+    vw::MwParams params;
+    params.master = plat.findHost("master");
+    params.workers = vw::allHostsExcept(plat, {params.master});
+    params.totalTasks = 40;
+    params.taskMflop = 500.0;
+    params.taskInputMbits = 10.0;
+
+    vw::MasterWorkerApp app(run, params, vs::kDefaultTag);
+    app.start();
+    run.engine.run();
+
+    EXPECT_TRUE(app.finished());
+    vw::MwResult r = app.result();
+    EXPECT_EQ(r.tasksCompleted, 40u);
+    EXPECT_GT(r.makespanS, 0.0);
+    std::size_t sum = 0;
+    for (auto n : r.tasksPerWorker)
+        sum += n;
+    EXPECT_EQ(sum, 40u);
+}
+
+TEST(MasterWorker, EffectiveBandwidthIsHarmonicPathCapacity)
+{
+    vp::Platform plat = makeStar(3);
+    vs::SimulationRun run(plat);
+    vw::MwParams params;
+    params.master = plat.findHost("master");
+    params.workers = {plat.findHost("w0"), plat.findHost("w1"),
+                      plat.findHost("w2")};
+    vw::MasterWorkerApp app(run, params, vs::kDefaultTag);
+    // Route: master-link (10000) + worker link (100 * (i+1)).
+    EXPECT_NEAR(app.effectiveBandwidth(0),
+                1.0 / (1.0 / 10000.0 + 1.0 / 100.0), 1e-9);
+    EXPECT_NEAR(app.effectiveBandwidth(1),
+                1.0 / (1.0 / 10000.0 + 1.0 / 200.0), 1e-9);
+    // Ordering follows the worker links: faster worker, higher value.
+    EXPECT_GT(app.effectiveBandwidth(2), app.effectiveBandwidth(1));
+    EXPECT_GT(app.effectiveBandwidth(1), app.effectiveBandwidth(0));
+}
+
+TEST(MasterWorker, BandwidthCentricPrefersFastWorkers)
+{
+    // Communication-heavy tasks so the master's serving order dominates:
+    // the highest-bandwidth worker should receive clearly more tasks.
+    vp::Platform plat = makeStar(6);
+    vs::SimulationRun run(plat);
+    vw::MwParams params;
+    params.master = plat.findHost("master");
+    params.workers = vw::allHostsExcept(plat, {params.master});
+    params.totalTasks = 60;
+    params.taskInputMbits = 50.0;   // heavy input
+    params.taskMflop = 50.0;        // trivial compute
+    params.policy = vw::MwPolicy::BandwidthCentric;
+
+    vw::MasterWorkerApp app(run, params, vs::kDefaultTag);
+    app.start();
+    run.engine.run();
+    ASSERT_TRUE(app.finished());
+
+    vw::MwResult r = app.result();
+    // workers are ordered by host id == bandwidth order (w0 slowest).
+    EXPECT_GT(r.tasksPerWorker.back(), r.tasksPerWorker.front())
+        << "fastest worker should get more tasks than the slowest";
+}
+
+TEST(MasterWorker, FifoSpreadsMoreEvenlyThanBandwidthCentric)
+{
+    auto spread = [](vw::MwPolicy policy) {
+        vp::Platform plat = makeStar(6);
+        vs::SimulationRun run(plat);
+        vw::MwParams params;
+        params.master = plat.findHost("master");
+        params.workers = vw::allHostsExcept(plat, {params.master});
+        params.totalTasks = 60;
+        params.taskInputMbits = 50.0;
+        params.taskMflop = 50.0;
+        params.policy = policy;
+        vw::MasterWorkerApp app(run, params, vs::kDefaultTag);
+        app.start();
+        run.engine.run();
+        vw::MwResult r = app.result();
+        std::size_t lo = r.tasksPerWorker[0], hi = r.tasksPerWorker[0];
+        for (auto n : r.tasksPerWorker) {
+            lo = std::min(lo, n);
+            hi = std::max(hi, n);
+        }
+        return hi - lo;
+    };
+
+    EXPECT_LE(spread(vw::MwPolicy::Fifo),
+              spread(vw::MwPolicy::BandwidthCentric));
+}
+
+TEST(MasterWorker, TwoAppsInterfereOnSharedWorkers)
+{
+    vp::Platform plat = makeStar(4);
+    vs::SimulationRun run(plat, {"a", "b"});
+    vw::MwParams pa, pb;
+    pa.name = "a";
+    pb.name = "b";
+    pa.master = pb.master = plat.findHost("master");
+    pa.workers = pb.workers = vw::allHostsExcept(plat, {pa.master});
+    pa.totalTasks = pb.totalTasks = 20;
+    pa.taskMflop = pb.taskMflop = 2000.0;
+
+    vw::MasterWorkerApp app_a(run, pa, 1);
+    vw::MasterWorkerApp app_b(run, pb, 2);
+    app_a.start();
+    app_b.start();
+    run.engine.run();
+
+    EXPECT_TRUE(app_a.finished());
+    EXPECT_TRUE(app_b.finished());
+    // Both apps have per-tag traces on shared hosts.
+    auto m1 = run.trace.findMetric("power_used:a");
+    auto m2 = run.trace.findMetric("power_used:b");
+    ASSERT_NE(m1, viva::trace::kNoMetric);
+    ASSERT_NE(m2, viva::trace::kNoMetric);
+}
+
+TEST(MasterWorker, AllHostsExceptFilters)
+{
+    vp::Platform plat = makeStar(3);
+    auto m = plat.findHost("master");
+    auto workers = vw::allHostsExcept(plat, {m});
+    EXPECT_EQ(workers.size(), plat.hostCount() - 1);
+    for (auto w : workers)
+        EXPECT_NE(w, m);
+}
