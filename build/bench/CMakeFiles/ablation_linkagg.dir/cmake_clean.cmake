@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linkagg.dir/ablation_linkagg.cc.o"
+  "CMakeFiles/ablation_linkagg.dir/ablation_linkagg.cc.o.d"
+  "ablation_linkagg"
+  "ablation_linkagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linkagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

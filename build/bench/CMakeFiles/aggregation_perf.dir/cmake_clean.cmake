@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_perf.dir/aggregation_perf.cc.o"
+  "CMakeFiles/aggregation_perf.dir/aggregation_perf.cc.o.d"
+  "aggregation_perf"
+  "aggregation_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1to5_concepts.dir/fig1to5_concepts.cc.o"
+  "CMakeFiles/fig1to5_concepts.dir/fig1to5_concepts.cc.o.d"
+  "fig1to5_concepts"
+  "fig1to5_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1to5_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nasdt_sequential.dir/fig6_nasdt_sequential.cc.o"
+  "CMakeFiles/fig6_nasdt_sequential.dir/fig6_nasdt_sequential.cc.o.d"
+  "fig6_nasdt_sequential"
+  "fig6_nasdt_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nasdt_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nasdt_locality.dir/fig7_nasdt_locality.cc.o"
+  "CMakeFiles/fig7_nasdt_locality.dir/fig7_nasdt_locality.cc.o.d"
+  "fig7_nasdt_locality"
+  "fig7_nasdt_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nasdt_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_grid_aggregation.dir/fig8_grid_aggregation.cc.o"
+  "CMakeFiles/fig8_grid_aggregation.dir/fig8_grid_aggregation.cc.o.d"
+  "fig8_grid_aggregation"
+  "fig8_grid_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_grid_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_time_evolution.dir/fig9_time_evolution.cc.o"
+  "CMakeFiles/fig9_time_evolution.dir/fig9_time_evolution.cc.o.d"
+  "fig9_time_evolution"
+  "fig9_time_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_time_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

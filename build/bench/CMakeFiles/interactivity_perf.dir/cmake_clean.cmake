@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactivity_perf.dir/interactivity_perf.cc.o"
+  "CMakeFiles/interactivity_perf.dir/interactivity_perf.cc.o.d"
+  "interactivity_perf"
+  "interactivity_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactivity_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

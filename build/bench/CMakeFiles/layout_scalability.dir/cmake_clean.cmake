@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_scalability.dir/layout_scalability.cc.o"
+  "CMakeFiles/layout_scalability.dir/layout_scalability.cc.o.d"
+  "layout_scalability"
+  "layout_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_stability.dir/layout_stability.cc.o"
+  "CMakeFiles/layout_stability.dir/layout_stability.cc.o.d"
+  "layout_stability"
+  "layout_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

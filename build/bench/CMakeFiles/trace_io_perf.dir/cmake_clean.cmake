@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_io_perf.dir/trace_io_perf.cc.o"
+  "CMakeFiles/trace_io_perf.dir/trace_io_perf.cc.o.d"
+  "trace_io_perf"
+  "trace_io_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_io_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

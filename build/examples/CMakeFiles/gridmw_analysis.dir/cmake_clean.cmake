@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmw_analysis.dir/gridmw_analysis.cpp.o"
+  "CMakeFiles/gridmw_analysis.dir/gridmw_analysis.cpp.o.d"
+  "gridmw_analysis"
+  "gridmw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

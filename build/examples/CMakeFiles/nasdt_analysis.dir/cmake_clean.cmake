@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasdt_analysis.dir/nasdt_analysis.cpp.o"
+  "CMakeFiles/nasdt_analysis.dir/nasdt_analysis.cpp.o.d"
+  "nasdt_analysis"
+  "nasdt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasdt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

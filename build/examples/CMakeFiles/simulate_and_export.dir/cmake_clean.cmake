@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_and_export.dir/simulate_and_export.cpp.o"
+  "CMakeFiles/simulate_and_export.dir/simulate_and_export.cpp.o.d"
+  "simulate_and_export"
+  "simulate_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregate.cc" "src/agg/CMakeFiles/viva_agg.dir/aggregate.cc.o" "gcc" "src/agg/CMakeFiles/viva_agg.dir/aggregate.cc.o.d"
+  "/root/repo/src/agg/anomaly.cc" "src/agg/CMakeFiles/viva_agg.dir/anomaly.cc.o" "gcc" "src/agg/CMakeFiles/viva_agg.dir/anomaly.cc.o.d"
+  "/root/repo/src/agg/hierarchy_cut.cc" "src/agg/CMakeFiles/viva_agg.dir/hierarchy_cut.cc.o" "gcc" "src/agg/CMakeFiles/viva_agg.dir/hierarchy_cut.cc.o.d"
+  "/root/repo/src/agg/states.cc" "src/agg/CMakeFiles/viva_agg.dir/states.cc.o" "gcc" "src/agg/CMakeFiles/viva_agg.dir/states.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/viva_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/viva_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

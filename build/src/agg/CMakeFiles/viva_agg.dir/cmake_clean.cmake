@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_agg.dir/aggregate.cc.o"
+  "CMakeFiles/viva_agg.dir/aggregate.cc.o.d"
+  "CMakeFiles/viva_agg.dir/anomaly.cc.o"
+  "CMakeFiles/viva_agg.dir/anomaly.cc.o.d"
+  "CMakeFiles/viva_agg.dir/hierarchy_cut.cc.o"
+  "CMakeFiles/viva_agg.dir/hierarchy_cut.cc.o.d"
+  "CMakeFiles/viva_agg.dir/states.cc.o"
+  "CMakeFiles/viva_agg.dir/states.cc.o.d"
+  "libviva_agg.a"
+  "libviva_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_app.dir/commands.cc.o"
+  "CMakeFiles/viva_app.dir/commands.cc.o.d"
+  "CMakeFiles/viva_app.dir/session.cc.o"
+  "CMakeFiles/viva_app.dir/session.cc.o.d"
+  "libviva_app.a"
+  "libviva_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

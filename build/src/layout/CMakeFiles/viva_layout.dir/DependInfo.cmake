@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/force.cc" "src/layout/CMakeFiles/viva_layout.dir/force.cc.o" "gcc" "src/layout/CMakeFiles/viva_layout.dir/force.cc.o.d"
+  "/root/repo/src/layout/graph.cc" "src/layout/CMakeFiles/viva_layout.dir/graph.cc.o" "gcc" "src/layout/CMakeFiles/viva_layout.dir/graph.cc.o.d"
+  "/root/repo/src/layout/metrics.cc" "src/layout/CMakeFiles/viva_layout.dir/metrics.cc.o" "gcc" "src/layout/CMakeFiles/viva_layout.dir/metrics.cc.o.d"
+  "/root/repo/src/layout/quadtree.cc" "src/layout/CMakeFiles/viva_layout.dir/quadtree.cc.o" "gcc" "src/layout/CMakeFiles/viva_layout.dir/quadtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/viva_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_layout.dir/force.cc.o"
+  "CMakeFiles/viva_layout.dir/force.cc.o.d"
+  "CMakeFiles/viva_layout.dir/graph.cc.o"
+  "CMakeFiles/viva_layout.dir/graph.cc.o.d"
+  "CMakeFiles/viva_layout.dir/metrics.cc.o"
+  "CMakeFiles/viva_layout.dir/metrics.cc.o.d"
+  "CMakeFiles/viva_layout.dir/quadtree.cc.o"
+  "CMakeFiles/viva_layout.dir/quadtree.cc.o.d"
+  "libviva_layout.a"
+  "libviva_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

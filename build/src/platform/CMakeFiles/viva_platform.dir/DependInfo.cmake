@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/builders.cc" "src/platform/CMakeFiles/viva_platform.dir/builders.cc.o" "gcc" "src/platform/CMakeFiles/viva_platform.dir/builders.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/platform/CMakeFiles/viva_platform.dir/platform.cc.o" "gcc" "src/platform/CMakeFiles/viva_platform.dir/platform.cc.o.d"
+  "/root/repo/src/platform/platform_trace.cc" "src/platform/CMakeFiles/viva_platform.dir/platform_trace.cc.o" "gcc" "src/platform/CMakeFiles/viva_platform.dir/platform_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/viva_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/viva_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

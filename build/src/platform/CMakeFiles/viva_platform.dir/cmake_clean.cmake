@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_platform.dir/builders.cc.o"
+  "CMakeFiles/viva_platform.dir/builders.cc.o.d"
+  "CMakeFiles/viva_platform.dir/platform.cc.o"
+  "CMakeFiles/viva_platform.dir/platform.cc.o.d"
+  "CMakeFiles/viva_platform.dir/platform_trace.cc.o"
+  "CMakeFiles/viva_platform.dir/platform_trace.cc.o.d"
+  "libviva_platform.a"
+  "libviva_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_sim.dir/engine.cc.o"
+  "CMakeFiles/viva_sim.dir/engine.cc.o.d"
+  "CMakeFiles/viva_sim.dir/fairshare.cc.o"
+  "CMakeFiles/viva_sim.dir/fairshare.cc.o.d"
+  "CMakeFiles/viva_sim.dir/tracer.cc.o"
+  "CMakeFiles/viva_sim.dir/tracer.cc.o.d"
+  "libviva_sim.a"
+  "libviva_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_support.dir/logging.cc.o"
+  "CMakeFiles/viva_support.dir/logging.cc.o.d"
+  "CMakeFiles/viva_support.dir/stats.cc.o"
+  "CMakeFiles/viva_support.dir/stats.cc.o.d"
+  "CMakeFiles/viva_support.dir/strings.cc.o"
+  "CMakeFiles/viva_support.dir/strings.cc.o.d"
+  "libviva_support.a"
+  "libviva_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

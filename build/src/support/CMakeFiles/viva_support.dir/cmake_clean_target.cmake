@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libviva_support.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/builder.cc" "src/trace/CMakeFiles/viva_trace.dir/builder.cc.o" "gcc" "src/trace/CMakeFiles/viva_trace.dir/builder.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/viva_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/viva_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/paje.cc" "src/trace/CMakeFiles/viva_trace.dir/paje.cc.o" "gcc" "src/trace/CMakeFiles/viva_trace.dir/paje.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/viva_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/viva_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/variable.cc" "src/trace/CMakeFiles/viva_trace.dir/variable.cc.o" "gcc" "src/trace/CMakeFiles/viva_trace.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/viva_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

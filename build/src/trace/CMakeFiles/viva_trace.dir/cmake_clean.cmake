@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_trace.dir/builder.cc.o"
+  "CMakeFiles/viva_trace.dir/builder.cc.o.d"
+  "CMakeFiles/viva_trace.dir/io.cc.o"
+  "CMakeFiles/viva_trace.dir/io.cc.o.d"
+  "CMakeFiles/viva_trace.dir/paje.cc.o"
+  "CMakeFiles/viva_trace.dir/paje.cc.o.d"
+  "CMakeFiles/viva_trace.dir/trace.cc.o"
+  "CMakeFiles/viva_trace.dir/trace.cc.o.d"
+  "CMakeFiles/viva_trace.dir/variable.cc.o"
+  "CMakeFiles/viva_trace.dir/variable.cc.o.d"
+  "libviva_trace.a"
+  "libviva_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii.cc" "src/viz/CMakeFiles/viva_viz.dir/ascii.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/ascii.cc.o.d"
+  "/root/repo/src/viz/chart.cc" "src/viz/CMakeFiles/viva_viz.dir/chart.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/chart.cc.o.d"
+  "/root/repo/src/viz/gantt.cc" "src/viz/CMakeFiles/viva_viz.dir/gantt.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/gantt.cc.o.d"
+  "/root/repo/src/viz/mapping.cc" "src/viz/CMakeFiles/viva_viz.dir/mapping.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/mapping.cc.o.d"
+  "/root/repo/src/viz/scaling.cc" "src/viz/CMakeFiles/viva_viz.dir/scaling.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/scaling.cc.o.d"
+  "/root/repo/src/viz/scene.cc" "src/viz/CMakeFiles/viva_viz.dir/scene.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/scene.cc.o.d"
+  "/root/repo/src/viz/svg.cc" "src/viz/CMakeFiles/viva_viz.dir/svg.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/svg.cc.o.d"
+  "/root/repo/src/viz/treemap.cc" "src/viz/CMakeFiles/viva_viz.dir/treemap.cc.o" "gcc" "src/viz/CMakeFiles/viva_viz.dir/treemap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/viva_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/viva_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/viva_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/viva_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_viz.dir/ascii.cc.o"
+  "CMakeFiles/viva_viz.dir/ascii.cc.o.d"
+  "CMakeFiles/viva_viz.dir/chart.cc.o"
+  "CMakeFiles/viva_viz.dir/chart.cc.o.d"
+  "CMakeFiles/viva_viz.dir/gantt.cc.o"
+  "CMakeFiles/viva_viz.dir/gantt.cc.o.d"
+  "CMakeFiles/viva_viz.dir/mapping.cc.o"
+  "CMakeFiles/viva_viz.dir/mapping.cc.o.d"
+  "CMakeFiles/viva_viz.dir/scaling.cc.o"
+  "CMakeFiles/viva_viz.dir/scaling.cc.o.d"
+  "CMakeFiles/viva_viz.dir/scene.cc.o"
+  "CMakeFiles/viva_viz.dir/scene.cc.o.d"
+  "CMakeFiles/viva_viz.dir/svg.cc.o"
+  "CMakeFiles/viva_viz.dir/svg.cc.o.d"
+  "CMakeFiles/viva_viz.dir/treemap.cc.o"
+  "CMakeFiles/viva_viz.dir/treemap.cc.o.d"
+  "libviva_viz.a"
+  "libviva_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

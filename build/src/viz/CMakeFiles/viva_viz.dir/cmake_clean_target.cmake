@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libviva_viz.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/masterworker.cc" "src/workload/CMakeFiles/viva_workload.dir/masterworker.cc.o" "gcc" "src/workload/CMakeFiles/viva_workload.dir/masterworker.cc.o.d"
+  "/root/repo/src/workload/nasdt.cc" "src/workload/CMakeFiles/viva_workload.dir/nasdt.cc.o" "gcc" "src/workload/CMakeFiles/viva_workload.dir/nasdt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/viva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/viva_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/viva_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/viva_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

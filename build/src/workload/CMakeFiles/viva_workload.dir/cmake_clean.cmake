@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viva_workload.dir/masterworker.cc.o"
+  "CMakeFiles/viva_workload.dir/masterworker.cc.o.d"
+  "CMakeFiles/viva_workload.dir/nasdt.cc.o"
+  "CMakeFiles/viva_workload.dir/nasdt.cc.o.d"
+  "libviva_workload.a"
+  "libviva_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viva_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

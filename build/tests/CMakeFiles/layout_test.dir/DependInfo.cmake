@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/layout_test.cc" "tests/CMakeFiles/layout_test.dir/layout_test.cc.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/viva_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/viva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/viva_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/viva_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/viva_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/viva_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/viva_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/viva_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/viva_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paje_test.dir/paje_test.cc.o"
+  "CMakeFiles/paje_test.dir/paje_test.cc.o.d"
+  "paje_test"
+  "paje_test.pdb"
+  "paje_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paje_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
