@@ -106,6 +106,68 @@ BM_VisibleEdges(benchmark::State &state)
         benchmark::DoNotOptimize(va::visibleEdges(trace, cut));
 }
 
+/**
+ * A 10,000-host synthetic grid (10 sites x 10 clusters x 100 hosts)
+ * with a short piecewise-constant utilization history per host -- the
+ * input for the parallel-aggregation speedup benchmarks.
+ */
+const vt::Trace &
+bigTrace()
+{
+    static vt::Trace trace = [] {
+        viva::support::Rng rng(17);
+        viva::platform::Platform p =
+            viva::platform::makeSyntheticGrid(10, 10, 100, rng);
+        vt::Trace t;
+        auto mirror = viva::platform::mirrorPlatform(p, t);
+        viva::support::Rng vals(19);
+        for (auto c : mirror.hostContainer) {
+            vt::Variable &v = t.variable(c, mirror.powerUsed);
+            double time = 0.0;
+            for (int k = 0; k < 8; ++k) {
+                v.set(time, vals.uniform(0.0, 5000.0));
+                time += vals.uniform(0.5, 2.0);
+            }
+        }
+        return t;
+    }();
+    return trace;
+}
+
+void
+BM_BuildViewParallel(benchmark::State &state)
+{
+    // Full-detail view of the 10k-host trace: every leaf is a visible
+    // node, aggregated per-node in parallel. Bitwise identical to the
+    // serial build (the differential suite enforces it).
+    const vt::Trace &trace = bigTrace();
+    va::HierarchyCut cut(trace);
+    std::vector<vt::MetricId> metrics{trace.findMetric("power"),
+                                      trace.findMetric("power_used")};
+    std::size_t threads = std::size_t(state.range(0));
+    for (auto _ : state) {
+        va::View v = va::buildView(trace, cut, {0.0, 4.0}, metrics,
+                                   va::SpatialOp::Sum,
+                                   /*with_stats=*/true, threads);
+        benchmark::DoNotOptimize(v);
+    }
+    state.counters["threads"] = double(threads);
+}
+
+void
+BM_AggregateRootParallel(benchmark::State &state)
+{
+    // One Equation-1 value over all 10k leaves: the chunked ordered
+    // reduction fanned over N workers.
+    const vt::Trace &trace = bigTrace();
+    va::Aggregator agg(trace, std::size_t(state.range(0)));
+    vt::MetricId m = trace.findMetric("power_used");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            agg.value(trace.root(), m, {0.0, 8.0}));
+    state.counters["threads"] = double(state.range(0));
+}
+
 void
 BM_FairShareSolve(benchmark::State &state)
 {
@@ -151,6 +213,20 @@ BENCHMARK(BM_VisibleEdges)
     ->Arg(2)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildViewParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_AggregateRootParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_FairShareSolve)
     ->RangeMultiplier(4)
     ->Range(16, 4096)

@@ -90,6 +90,37 @@ BM_QuadTreeBuild(benchmark::State &state)
 }
 
 void
+BM_LayoutStepParallel(benchmark::State &state)
+{
+    // The tentpole speedup: one Barnes-Hut step on a 10k-node graph
+    // with the force-accumulation phase fanned over N workers. Results
+    // are bitwise identical to threads=1 (the differential tests hold
+    // that line); only the wall clock moves.
+    LayoutGraph g = makeGraph(10000);
+    ForceLayout layout(g);
+    layout.params().useBarnesHut = true;
+    layout.params().theta = 0.8;
+    layout.params().threads = std::size_t(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(layout.step());
+    state.counters["threads"] = double(state.range(0));
+}
+
+void
+BM_LayoutStepNaiveParallel(benchmark::State &state)
+{
+    // The exact O(n^2) sum parallelizes even better (no tree build in
+    // the serial fraction); 4096 nodes keeps one iteration sub-second.
+    LayoutGraph g = makeGraph(4096);
+    ForceLayout layout(g);
+    layout.params().useBarnesHut = false;
+    layout.params().threads = std::size_t(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(layout.step());
+    state.counters["threads"] = double(state.range(0));
+}
+
+void
 BM_BarnesHutAccuracy(benchmark::State &state)
 {
     // Not a speed benchmark: reports the mean relative force error for
@@ -120,6 +151,20 @@ BENCHMARK(BM_QuadTreeBuild)
     ->Range(256, 16384)
     ->Unit(benchmark::kMicrosecond)
     ->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_LayoutStepParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_LayoutStepNaiveParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_BarnesHutAccuracy)->DenseRange(3, 12, 3);
 
 BENCHMARK_MAIN();

@@ -11,6 +11,7 @@
 
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "support/threadpool.hh"
 
 namespace viva::agg
 {
@@ -20,6 +21,15 @@ using trace::MetricId;
 
 namespace
 {
+
+/**
+ * Leaves per reduction chunk. Fixed -- never derived from the thread
+ * count -- so the partial-combination order, and with it every
+ * floating-point result, is identical from 1 thread to N. Subtrees of
+ * up to kLeafChunk members reduce in one chunk, i.e. exactly the
+ * historical left-to-right order.
+ */
+constexpr std::size_t kLeafChunk = 64;
 
 /** The temporal reduction of one variable over a slice. */
 double
@@ -38,59 +48,105 @@ reduce(const trace::Variable &var, const TimeSlice &slice, TemporalOp top)
     return 0.0;
 }
 
+/** Partial spatial reduction of one chunk of subtree members. */
+struct Partial
+{
+    bool any = false;
+    double acc = 0.0;
+    std::size_t count = 0;
+};
+
+/** Fold one value into a partial (left-to-right within the chunk). */
+void
+fold(Partial &p, double v, SpatialOp op)
+{
+    ++p.count;
+    if (!p.any) {
+        p.acc = v;
+        p.any = true;
+        return;
+    }
+    switch (op) {
+      case SpatialOp::Sum:
+      case SpatialOp::Average:
+        p.acc += v;
+        break;
+      case SpatialOp::Max:
+        p.acc = std::max(p.acc, v);
+        break;
+      case SpatialOp::Min:
+        p.acc = std::min(p.acc, v);
+        break;
+    }
+}
+
 } // namespace
 
 double
 Aggregator::value(ContainerId node, MetricId m, const TimeSlice &slice,
                   SpatialOp op, TemporalOp top) const
 {
-    bool any = false;
-    double acc = 0.0;
-    std::size_t count = 0;
     // Every container in the subtree that carries the variable
     // contributes -- not just leaves, since traces may attach
     // measurements at any level (hosts with process children, say).
-    for (ContainerId leaf : tr->subtree(node)) {
-        const trace::Variable *var = tr->findVariable(leaf, m);
-        if (!var || var->empty())
-            continue;
-        double v = reduce(*var, slice, top);
-        ++count;
-        if (!any) {
-            acc = v;
-            any = true;
-            continue;
-        }
-        switch (op) {
-          case SpatialOp::Sum:
-          case SpatialOp::Average:
-            acc += v;
-            break;
-          case SpatialOp::Max:
-            acc = std::max(acc, v);
-            break;
-          case SpatialOp::Min:
-            acc = std::min(acc, v);
-            break;
-        }
-    }
-    if (!any)
+    std::vector<ContainerId> members = tr->subtree(node);
+    Partial total = support::ThreadPool::global().reduceOrdered<Partial>(
+        0, members.size(), kLeafChunk, nthreads, Partial{},
+        [&](std::size_t lo, std::size_t hi) {
+            Partial p;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const trace::Variable *var =
+                    tr->findVariable(members[i], m);
+                if (!var || var->empty())
+                    continue;
+                fold(p, reduce(*var, slice, top), op);
+            }
+            return p;
+        },
+        [op](Partial a, Partial b) {
+            if (!b.any)
+                return a;
+            if (!a.any)
+                return b;
+            fold(a, b.acc, op);
+            a.count += b.count - 1;  // fold counted b as one value
+            return a;
+        });
+    if (!total.any)
         return 0.0;
     if (op == SpatialOp::Average)
-        acc /= double(count);
-    return acc;
+        return total.acc / double(total.count);
+    return total.acc;
 }
 
 support::Samples
 Aggregator::distribution(ContainerId node, MetricId m,
                          const TimeSlice &slice, TemporalOp top) const
 {
+    std::vector<ContainerId> members = tr->subtree(node);
+    // Per-chunk sample vectors concatenated in chunk order: the sample
+    // sequence equals the serial traversal for every thread count.
+    std::vector<double> all =
+        support::ThreadPool::global().reduceOrdered<std::vector<double>>(
+            0, members.size(), kLeafChunk, nthreads,
+            std::vector<double>{},
+            [&](std::size_t lo, std::size_t hi) {
+                std::vector<double> part;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const trace::Variable *var =
+                        tr->findVariable(members[i], m);
+                    if (var && !var->empty())
+                        part.push_back(reduce(*var, slice, top));
+                }
+                return part;
+            },
+            [](std::vector<double> a, std::vector<double> b) {
+                a.insert(a.end(), b.begin(), b.end());
+                return a;
+            });
     support::Samples samples;
-    for (ContainerId leaf : tr->subtree(node)) {
-        const trace::Variable *var = tr->findVariable(leaf, m);
-        if (var && !var->empty())
-            samples.add(reduce(*var, slice, top));
-    }
+    for (double v : all)
+        samples.add(v);
     return samples;
 }
 
@@ -142,7 +198,8 @@ View::valueOf(ContainerId id, MetricId m) const
 View
 buildView(const trace::Trace &trace, const HierarchyCut &cut,
           const TimeSlice &slice,
-          const std::vector<MetricRequest> &requests, bool with_stats)
+          const std::vector<MetricRequest> &requests, bool with_stats,
+          std::size_t threads)
 {
     View view;
     view.slice = slice;
@@ -151,35 +208,47 @@ buildView(const trace::Trace &trace, const HierarchyCut &cut,
     for (const MetricRequest &r : requests)
         view.metrics.push_back(r.metric);
 
+    // One slot per visible node, filled by exactly one worker: the
+    // parallel build writes the same bits the serial one would, in the
+    // same node order, for every thread count. The per-subtree
+    // reduction below stays serial inside a worker (nested parallel
+    // calls run inline), so its chunk order is fixed as well.
+    std::vector<ContainerId> visible = cut.visibleNodes();
+    view.nodes.resize(visible.size());
     Aggregator agg(trace);
-    for (ContainerId id : cut.visibleNodes()) {
-        ViewNode node;
-        node.id = id;
-        node.aggregated = !trace.container(id).leaf();
-        node.leafCount = node.aggregated ? trace.leavesUnder(id).size() : 1;
-        node.values.reserve(requests.size());
-        for (const MetricRequest &r : requests) {
-            if (with_stats) {
-                support::Samples s =
-                    agg.distribution(id, r.metric, slice, r.temporal);
-                double v = 0.0;
-                switch (r.spatial) {
-                  case SpatialOp::Sum: v = s.sum(); break;
-                  case SpatialOp::Average: v = s.mean(); break;
-                  case SpatialOp::Max: v = s.max(); break;
-                  case SpatialOp::Min: v = s.min(); break;
+    support::ThreadPool::global().parallelFor(
+        0, visible.size(), 1, threads,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                ContainerId id = visible[i];
+                ViewNode &node = view.nodes[i];
+                node.id = id;
+                node.aggregated = !trace.container(id).leaf();
+                node.leafCount =
+                    node.aggregated ? trace.leavesUnder(id).size() : 1;
+                node.values.reserve(requests.size());
+                for (const MetricRequest &r : requests) {
+                    if (with_stats) {
+                        support::Samples s = agg.distribution(
+                            id, r.metric, slice, r.temporal);
+                        double v = 0.0;
+                        switch (r.spatial) {
+                          case SpatialOp::Sum: v = s.sum(); break;
+                          case SpatialOp::Average: v = s.mean(); break;
+                          case SpatialOp::Max: v = s.max(); break;
+                          case SpatialOp::Min: v = s.min(); break;
+                        }
+                        node.values.push_back(v);
+                        node.stats.push_back({s.variance(), s.median(),
+                                              s.min(), s.max()});
+                    } else {
+                        node.values.push_back(
+                            agg.value(id, r.metric, slice, r.spatial,
+                                      r.temporal));
+                    }
                 }
-                node.values.push_back(v);
-                node.stats.push_back({s.variance(), s.median(), s.min(),
-                                      s.max()});
-            } else {
-                node.values.push_back(
-                    agg.value(id, r.metric, slice, r.spatial,
-                              r.temporal));
             }
-        }
-        view.nodes.push_back(std::move(node));
-    }
+        });
 
     view.edges = visibleEdges(trace, cut);
     return view;
@@ -189,13 +258,13 @@ View
 buildView(const trace::Trace &trace, const HierarchyCut &cut,
           const TimeSlice &slice,
           const std::vector<trace::MetricId> &metrics, SpatialOp op,
-          bool with_stats)
+          bool with_stats, std::size_t threads)
 {
     std::vector<MetricRequest> requests;
     requests.reserve(metrics.size());
     for (trace::MetricId m : metrics)
         requests.emplace_back(m, op);
-    return buildView(trace, cut, slice, requests, with_stats);
+    return buildView(trace, cut, slice, requests, with_stats, threads);
 }
 
 void

@@ -69,12 +69,31 @@ struct MetricRequest
 
 /**
  * Computes aggregated values against one trace. Stateless apart from
- * the borrowed trace; cheap to construct.
+ * the borrowed trace and the thread knob; cheap to construct.
+ *
+ * Reductions over a subtree run over fixed-size leaf chunks whose
+ * partials combine in ascending chunk order, so the result is bitwise
+ * identical for every thread count (the chunk decomposition never
+ * depends on it).
  */
 class Aggregator
 {
   public:
-    explicit Aggregator(const trace::Trace &trace) : tr(&trace) {}
+    /**
+     * @param threads workers for the per-leaf reduction; 1 (default)
+     *        is serial, 0 means hardware_concurrency. Any value yields
+     *        bitwise-identical results.
+     */
+    explicit Aggregator(const trace::Trace &trace, std::size_t threads = 1)
+        : tr(&trace), nthreads(threads)
+    {
+    }
+
+    /** Change the worker count (same semantics as the constructor). */
+    void setThreads(std::size_t threads) { nthreads = threads; }
+
+    /** The configured worker count. */
+    std::size_t threads() const { return nthreads; }
 
     /**
      * Equation 1 for a single container: combine the temporal
@@ -98,6 +117,7 @@ class Aggregator
 
   private:
     const trace::Trace *tr;
+    std::size_t nthreads = 1;
 };
 
 /** An edge between two visible nodes of an aggregated view. */
@@ -164,22 +184,28 @@ struct View
 /**
  * Build the aggregated view for a cut and a time slice.
  *
+ * Visible nodes are aggregated in parallel when `threads > 1` (each
+ * worker fills its own node slots, so the view is bitwise identical to
+ * the serial build for every thread count).
+ *
  * @param trace the trace to aggregate
  * @param cut the spatial scale
  * @param slice the temporal scale
  * @param requests the metrics to aggregate, each with its operators
  * @param with_stats also compute the statistical indicators
+ * @param threads worker count; 1 serial, 0 hardware_concurrency
  */
 View buildView(const trace::Trace &trace, const HierarchyCut &cut,
                const TimeSlice &slice,
                const std::vector<MetricRequest> &requests,
-               bool with_stats = false);
+               bool with_stats = false, std::size_t threads = 1);
 
 /** Convenience overload: Equation-1 defaults (or `op`) per metric. */
 View buildView(const trace::Trace &trace, const HierarchyCut &cut,
                const TimeSlice &slice,
                const std::vector<trace::MetricId> &metrics,
-               SpatialOp op = SpatialOp::Sum, bool with_stats = false);
+               SpatialOp op = SpatialOp::Sum, bool with_stats = false,
+               std::size_t threads = 1);
 
 /**
  * Write a view as CSV (one row per node, one column per metric, plus

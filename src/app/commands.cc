@@ -134,6 +134,38 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
         out << cmd << " = " << v << "\n";
         return true;
     }
+    if (cmd == "set") {
+        if (!need(2))
+            return false;
+        if (args[1] == "threads") {
+            std::size_t n;
+            if (!count(2, n))
+                return false;
+            if (n == 0) {
+                out << "error: threads must be at least 1\n";
+                return false;
+            }
+            sess.setThreads(n);
+            out << "threads = " << sess.threads() << "\n";
+            return true;
+        }
+        out << "error: unknown setting '" << args[1]
+            << "' (try 'set threads N')\n";
+        return false;
+    }
+    if (cmd == "status") {
+        support::Interval s = sess.span();
+        out << "threads " << sess.threads() << "\n"
+            << "span [" << s.begin << ", " << s.end << ")\n"
+            << "slice [" << sess.timeSlice().begin << ", "
+            << sess.timeSlice().end << ")\n"
+            << "visible " << sess.cut().visibleCount() << " nodes, "
+            << sess.layoutGraph().edgeCount() << " edges\n"
+            << "layout " << sess.layoutEngine().iterations()
+            << " iteration(s), energy "
+            << sess.layoutEngine().kineticEnergy() << "\n";
+        return true;
+    }
     if (cmd == "scale") {
         double v;
         if (!need(2) || !num(2, v))
@@ -281,9 +313,9 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
     }
     if (cmd == "help") {
         out << "commands: slice slice-of aggregate disaggregate depth "
-               "focus reset charge spring damping scale stabilize move pin "
-               "unpin render treemap gantt chart anomalies export-csv save "
-               "ascii info nodes help\n";
+               "focus reset charge spring damping scale set stabilize move "
+               "pin unpin render treemap gantt chart anomalies export-csv "
+               "save ascii info nodes status help\n";
         return true;
     }
 

@@ -17,6 +17,7 @@
  *   spring <v>                 the Spring slider
  *   damping <v>                the Damping slider
  *   scale <metric> <mult>      a per-type size slider
+ *   set threads <n>            worker threads for layout + aggregation
  *   stabilize [iters]          relax the layout
  *   move <path> <x> <y>        drag a node
  *   pin <path> | unpin <path>  hold / release a node
@@ -29,6 +30,7 @@
  *   save <file[.paje]>         save the trace (native or Paje format)
  *   ascii                      print the current scene as text
  *   info                       one-line summary of the session state
+ *   status                     multi-line session state incl. threads
  *   nodes                      list visible nodes with values
  *   help                       list commands
  *   # ...                      comment (ignored)

@@ -13,6 +13,7 @@
 #include "agg/anomaly.hh"
 #include "layout/metrics.hh"
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 #include "viz/ascii.hh"
 #include "viz/chart.hh"
 #include "viz/gantt.hh"
@@ -46,9 +47,17 @@ fanOffset(std::size_t i, double radius)
 Session::Session(trace::Trace trace_in)
     : tr(std::move(trace_in)), hierCut(tr), slice(tr.span()),
       visMapping(viz::VisualMapping::defaults(tr)), typeScaling(),
-      graph(), force(graph)
+      graph(), force(graph), nThreads(support::defaultThreadCount())
 {
+    force.params().threads = nThreads;
     syncLayout();
+}
+
+void
+Session::setThreads(std::size_t n)
+{
+    nThreads = std::max<std::size_t>(n, 1);
+    force.params().threads = nThreads;
 }
 
 void
@@ -264,7 +273,7 @@ Session::view(bool with_stats) const
 {
     return agg::buildView(tr, hierCut, slice,
                           visMapping.referencedMetrics(),
-                          agg::SpatialOp::Sum, with_stats);
+                          agg::SpatialOp::Sum, with_stats, nThreads);
 }
 
 viz::Scene

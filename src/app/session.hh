@@ -99,6 +99,20 @@ class Session
     /** The force parameters (the charge/spring/damping sliders). */
     layout::ForceParams &forceParams() { return force.params(); }
 
+    // --- threading -------------------------------------------------------
+
+    /**
+     * Worker threads used by the layout force accumulation and by view
+     * aggregation (the `set threads` command). Defaults to
+     * hardware_concurrency. Purely a speed knob: layouts and aggregated
+     * values are bitwise identical for every setting.
+     * @param n clamped to at least 1
+     */
+    void setThreads(std::size_t n);
+
+    /** The current worker-thread count. */
+    std::size_t threads() const { return nThreads; }
+
     // --- the layout -------------------------------------------------------
 
     /**
@@ -229,6 +243,7 @@ class Session
     viz::TypeScaling typeScaling;
     layout::LayoutGraph graph;
     layout::ForceLayout force;
+    std::size_t nThreads;
 };
 
 } // namespace viva::app

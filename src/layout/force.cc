@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 
 namespace viva::layout
 {
@@ -24,6 +25,15 @@ ForceLayout::step(double timestep_scale)
     const double dt = prm.timestep * timestep_scale;
     std::vector<Node> &nodes = g.mutableNodes();
     std::vector<Vec2> force(nodes.size());
+
+    // The repulsion pass writes only force[i] from the chunk owning
+    // slot i, so fanning chunks over workers is race-free and bitwise
+    // identical to the serial loop regardless of thread count.
+    const std::size_t threads =
+        prm.threads ? prm.threads : support::defaultThreadCount();
+    support::ThreadPool &pool = support::ThreadPool::global();
+    const std::size_t grain = std::max<std::size_t>(
+        32, nodes.size() / std::max<std::size_t>(threads * 8, 1));
 
     // --- repulsion ------------------------------------------------------
     if (prm.useBarnesHut && g.nodeCount() > 1) {
@@ -42,29 +52,41 @@ ForceLayout::step(double timestep_scale)
         for (const Node &n : nodes)
             if (n.alive)
                 tree.insert(n.position, n.charge);
-        for (const Node &n : nodes) {
-            if (!n.alive)
-                continue;
-            // forceAt excludes the coincident self charge; the result is
-            // the field, scale by this node's own charge.
-            Vec2 field = tree.forceAt(n.position, prm.theta);
-            force[n.id] += field * (prm.charge * n.charge);
-        }
+        pool.parallelFor(
+            0, nodes.size(), grain, threads,
+            [&](std::size_t clo, std::size_t chi) {
+                for (std::size_t i = clo; i < chi; ++i) {
+                    const Node &n = nodes[i];
+                    if (!n.alive)
+                        continue;
+                    // forceAt excludes the coincident self charge; the
+                    // result is the field, scale by this node's own
+                    // charge.
+                    Vec2 field = tree.forceAt(n.position, prm.theta);
+                    force[n.id] += field * (prm.charge * n.charge);
+                }
+            });
     } else {
-        for (const Node &a : nodes) {
-            if (!a.alive)
-                continue;
-            for (const Node &b : nodes) {
-                if (!b.alive || b.id == a.id)
-                    continue;
-                Vec2 d = a.position - b.position;
-                double dist = d.norm();
-                if (dist < 1e-9)
-                    continue;
-                force[a.id] += d * (prm.charge * a.charge * b.charge /
-                                    (dist * dist * dist));
-            }
-        }
+        pool.parallelFor(
+            0, nodes.size(), grain, threads,
+            [&](std::size_t clo, std::size_t chi) {
+                for (std::size_t i = clo; i < chi; ++i) {
+                    const Node &a = nodes[i];
+                    if (!a.alive)
+                        continue;
+                    for (const Node &b : nodes) {
+                        if (!b.alive || b.id == a.id)
+                            continue;
+                        Vec2 d = a.position - b.position;
+                        double dist = d.norm();
+                        if (dist < 1e-9)
+                            continue;
+                        force[a.id] +=
+                            d * (prm.charge * a.charge * b.charge /
+                                 (dist * dist * dist));
+                    }
+                }
+            });
     }
 
     // --- springs ----------------------------------------------------------

@@ -52,6 +52,15 @@ struct ForceParams
 
     /** Use the Barnes-Hut tree (false: exact pairwise repulsion). */
     bool useBarnesHut = true;
+
+    /**
+     * Worker threads for the force-accumulation phase; 0 means
+     * hardware_concurrency. Results are bitwise identical for every
+     * value: the repulsion pass writes one slot per node and the spring
+     * and integration passes stay serial, so the thread count only
+     * changes wall-clock time, never positions.
+     */
+    std::size_t threads = 0;
 };
 
 /**

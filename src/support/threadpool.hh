@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A fixed worker pool with chunked parallel-for and ordered reduction,
+ * built so that parallel results are *bitwise identical* to serial ones:
+ *
+ *  - parallelFor() splits an index range into chunks and hands chunks to
+ *    at most `threads` concurrent runners (the calling thread is one of
+ *    them). Which runner executes which chunk is scheduling-dependent,
+ *    so chunk bodies must only write to per-index or per-chunk slots.
+ *  - reduceOrdered() maps fixed-size chunks to partial values and then
+ *    combines the partials on the calling thread in ascending chunk
+ *    order. The chunk decomposition depends only on the range and the
+ *    grain -- never on the thread count -- so the floating-point
+ *    reduction order (and therefore the result) is identical whether
+ *    the map phase ran on 1 thread or 16.
+ *
+ * Exceptions thrown by a chunk body are captured and rethrown on the
+ * calling thread after the whole batch has drained, leaving the pool
+ * reusable. Nested parallel calls (a chunk body calling back into the
+ * pool) run inline, so they can neither deadlock nor oversubscribe.
+ */
+
+#ifndef VIVA_SUPPORT_THREADPOOL_HH
+#define VIVA_SUPPORT_THREADPOOL_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace viva::support
+{
+
+/** Threads worth using on this machine (hardware_concurrency, min 1). */
+std::size_t defaultThreadCount();
+
+/**
+ * The worker pool. One process-wide instance (global()) is shared by the
+ * layout and aggregation hot paths; helper threads are spawned lazily on
+ * the first parallel call that wants them and joined at exit.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers helper threads to start immediately; the pool also
+     *        grows on demand up to the largest `threads - 1` any call
+     *        requests, so 0 (start none) is the normal choice.
+     */
+    explicit ThreadPool(std::size_t workers = 0);
+
+    /** Joins every worker; pending helper tasks are drained first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Helper threads currently alive (the caller is never counted). */
+    std::size_t workerCount() const;
+
+    /** Join all workers and restart with exactly `workers` helpers. */
+    void resize(std::size_t workers);
+
+    /** A chunk body: invoked with one [begin, end) sub-range. */
+    using ChunkFn = std::function<void(std::size_t, std::size_t)>;
+
+    /**
+     * Run `fn` over [begin, end) split into chunks of at most `grain`
+     * indices, with at most `threads` concurrent runners (the calling
+     * thread participates; `threads <= 1` runs everything inline).
+     * Blocks until every chunk has run; rethrows the first exception a
+     * chunk body threw. `threads == 0` means defaultThreadCount().
+     */
+    void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                     std::size_t threads, const ChunkFn &fn);
+
+    /**
+     * Deterministic parallel reduction: `map(lo, hi)` produces one
+     * partial per chunk (chunks of exactly `grain`, last one ragged),
+     * and `combine(acc, partial)` folds the partials left-to-right in
+     * chunk order on the calling thread. The decomposition is a pure
+     * function of (begin, end, grain), so the result is bitwise
+     * independent of `threads`.
+     */
+    template <typename T, typename MapFn, typename CombineFn>
+    T
+    reduceOrdered(std::size_t begin, std::size_t end, std::size_t grain,
+                  std::size_t threads, T init, MapFn &&map,
+                  CombineFn &&combine)
+    {
+        if (end <= begin)
+            return init;
+        grain = std::max<std::size_t>(grain, 1);
+        const std::size_t nchunks = (end - begin + grain - 1) / grain;
+        std::vector<T> parts(nchunks);
+        parallelFor(0, nchunks, 1, threads,
+                    [&](std::size_t clo, std::size_t chi) {
+                        for (std::size_t c = clo; c < chi; ++c) {
+                            std::size_t lo = begin + c * grain;
+                            std::size_t hi = std::min(end, lo + grain);
+                            parts[c] = map(lo, hi);
+                        }
+                    });
+        T acc = std::move(init);
+        for (std::size_t c = 0; c < nchunks; ++c)
+            acc = combine(std::move(acc), std::move(parts[c]));
+        return acc;
+    }
+
+    /** The process-wide pool shared by layout and aggregation. */
+    static ThreadPool &global();
+
+  private:
+    void workerMain();
+
+    /** Spawn helpers until at least `want` exist (lock held). */
+    void growLocked(std::size_t want);
+
+    mutable std::mutex mu;
+    std::condition_variable wake;
+    std::deque<std::function<void()>> tasks;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+
+    /** Helper-thread hard cap; far above any sane `set threads`. */
+    static constexpr std::size_t kMaxWorkers = 256;
+};
+
+} // namespace viva::support
+
+#endif // VIVA_SUPPORT_THREADPOOL_HH

@@ -10,6 +10,7 @@
 #include "agg/aggregate.hh"
 #include "agg/hierarchy_cut.hh"
 #include "agg/timeslice.hh"
+#include "support/random.hh"
 #include "trace/builder.hh"
 
 namespace va = viva::agg;
@@ -371,5 +372,138 @@ TEST(BuildView, StatsAgreeWithValuesForEveryOp)
                                        {f.power}, op, true);
         EXPECT_DOUBLE_EQ(plain.nodes[0].values[0],
                          stats.nodes[0].values[0]);
+    }
+}
+
+// --- randomized parallel-vs-serial stress ---------------------------------------
+
+namespace
+{
+
+/**
+ * A randomized container hierarchy: recursive groups with random
+ * fan-out, hosts (sometimes without the variable, to exercise the
+ * skip-missing path), and piecewise-constant histories with random
+ * change points. Everything derives from the seed, so a failure
+ * reproduces exactly.
+ */
+struct RandomTrace
+{
+    vt::Trace trace;
+    vt::MetricId metric = vt::kNoMetric;
+    std::vector<vt::ContainerId> groups;  ///< every internal container
+
+    explicit RandomTrace(std::uint64_t seed)
+    {
+        viva::support::Rng rng(seed);
+        vt::TraceBuilder b;
+        metric = b.powerUsedMetric();
+        groups.push_back(b.currentGroup());  // the root
+        buildLevel(b, rng, 0);
+        trace = b.take();
+    }
+
+  private:
+    void buildLevel(vt::TraceBuilder &b, viva::support::Rng &rng,
+                    int depth)
+    {
+        std::size_t nhosts = 1 + rng.index(6);
+        for (std::size_t i = 0; i < nhosts; ++i) {
+            vt::ContainerId h =
+                b.host("h" + std::to_string(depth) + "_" +
+                       std::to_string(i));
+            if (rng.uniform() < 0.85) {
+                vt::Variable &v = b.trace().variable(h, metric);
+                double t = 0.0;
+                std::size_t points = 1 + rng.index(5);
+                for (std::size_t k = 0; k < points; ++k) {
+                    v.set(t, rng.uniform(0.0, 100.0));
+                    t += rng.uniform(0.2, 3.0);
+                }
+            }
+        }
+        if (depth >= 3)
+            return;
+        std::size_t nsub = rng.index(4 - std::size_t(depth));
+        for (std::size_t i = 0; i < nsub; ++i) {
+            b.beginGroup("g" + std::to_string(depth) + "_" +
+                         std::to_string(i));
+            groups.push_back(b.currentGroup());
+            buildLevel(b, rng, depth + 1);
+            b.endGroup();
+        }
+    }
+};
+
+} // namespace
+
+/**
+ * Stress: on randomized hierarchies and random time slices, every
+ * Equation-1 combination computed with 2 and 8 workers must be bitwise
+ * identical to the serial value, for every group of the hierarchy.
+ */
+TEST(ParallelStress, RandomHierarchiesMatchSerialExhaustively)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        RandomTrace rt(seed);
+        viva::support::Rng rng(seed * 1000 + 1);
+        va::Aggregator serial(rt.trace, 1);
+        va::Aggregator par2(rt.trace, 2);
+        va::Aggregator par8(rt.trace, 8);
+        for (int s = 0; s < 4; ++s) {
+            double a = rng.uniform(0.0, 10.0);
+            double len = rng.uniform(0.1, 8.0);
+            va::TimeSlice slice{a, a + len};
+            for (vt::ContainerId g : rt.groups) {
+                for (auto sop :
+                     {va::SpatialOp::Sum, va::SpatialOp::Average,
+                      va::SpatialOp::Max, va::SpatialOp::Min}) {
+                    for (auto top :
+                         {va::TemporalOp::Average, va::TemporalOp::Max,
+                          va::TemporalOp::Min,
+                          va::TemporalOp::Integral}) {
+                        double v1 =
+                            serial.value(g, rt.metric, slice, sop, top);
+                        ASSERT_EQ(v1, par2.value(g, rt.metric, slice,
+                                                 sop, top))
+                            << "seed " << seed << " group " << g;
+                        ASSERT_EQ(v1, par8.value(g, rt.metric, slice,
+                                                 sop, top))
+                            << "seed " << seed << " group " << g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Stress: random cuts of random hierarchies, viewed in parallel, are
+ * bitwise identical to the serial build -- values and indicators.
+ */
+TEST(ParallelStress, RandomCutsViewIdentically)
+{
+    for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+        RandomTrace rt(seed);
+        viva::support::Rng rng(seed * 77);
+        va::HierarchyCut cut(rt.trace);
+        for (vt::ContainerId g : rt.groups)
+            if (rng.uniform() < 0.4)
+                cut.aggregate(g);
+        va::TimeSlice slice{rng.uniform(0.0, 2.0), rng.uniform(3.0, 9.0)};
+        std::vector<va::MetricRequest> req{
+            va::MetricRequest(rt.metric, va::SpatialOp::Average,
+                              va::TemporalOp::Integral)};
+        va::View v1 = va::buildView(rt.trace, cut, slice, req, true, 1);
+        va::View v8 = va::buildView(rt.trace, cut, slice, req, true, 8);
+        ASSERT_EQ(v1.nodes.size(), v8.nodes.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < v1.nodes.size(); ++i) {
+            ASSERT_EQ(v1.nodes[i].id, v8.nodes[i].id);
+            ASSERT_EQ(v1.nodes[i].values[0], v8.nodes[i].values[0]);
+            ASSERT_EQ(v1.nodes[i].stats[0].variance,
+                      v8.nodes[i].stats[0].variance);
+            ASSERT_EQ(v1.nodes[i].stats[0].median,
+                      v8.nodes[i].stats[0].median);
+        }
     }
 }

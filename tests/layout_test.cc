@@ -176,6 +176,61 @@ TEST_P(QuadTreeAccuracy, RelativeErrorBounded)
 INSTANTIATE_TEST_SUITE_P(Thetas, QuadTreeAccuracy,
                          ::testing::Values(0.3, 0.5, 0.8, 1.0, 1.2));
 
+namespace
+{
+
+/** A randomized charged graph, no edges (only repulsion matters here). */
+vl::LayoutGraph
+randomChargedGraph(std::uint64_t seed, int n)
+{
+    viva::support::Rng rng(seed);
+    vl::LayoutGraph g;
+    for (int i = 0; i < n; ++i)
+        g.addNode(std::uint64_t(i),
+                  {rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)},
+                  rng.uniform(0.5, 4.0));
+    return g;
+}
+
+} // namespace
+
+/**
+ * Property: with theta = 0 no cell is ever opened as an approximation,
+ * so the tree walk degenerates to the exact O(n^2) sum -- the mean
+ * relative force error must vanish (to rounding) on every randomized
+ * graph, not just a hand-picked one.
+ */
+TEST(QuadTreeProperty, ThetaZeroMatchesExactSumOnRandomGraphs)
+{
+    for (std::uint64_t seed : {1u, 29u, 404u, 7777u}) {
+        vl::LayoutGraph g = randomChargedGraph(seed, 250);
+        EXPECT_LT(vl::barnesHutError(g, 0.0), 1e-9) << "seed " << seed;
+    }
+}
+
+/**
+ * Property: opening fewer cells can only lose accuracy, so the mean
+ * relative error is non-decreasing in theta. Averaged over seeds with a
+ * small slack, since a single graph can show tiny non-monotone wiggles.
+ */
+TEST(QuadTreeProperty, ErrorIsMonotoneInTheta)
+{
+    const double thetas[] = {0.0, 0.4, 0.8, 1.2};
+    double mean_err[4] = {0, 0, 0, 0};
+    const std::uint64_t seeds[] = {3, 31, 314, 3141};
+    for (std::uint64_t seed : seeds) {
+        vl::LayoutGraph g = randomChargedGraph(seed, 200);
+        for (int i = 0; i < 4; ++i)
+            mean_err[i] += vl::barnesHutError(g, thetas[i]) / 4.0;
+    }
+    EXPECT_LT(mean_err[0], 1e-9);
+    for (int i = 0; i + 1 < 4; ++i)
+        EXPECT_LE(mean_err[i], mean_err[i + 1] + 1e-4)
+            << "theta " << thetas[i] << " vs " << thetas[i + 1];
+    // And the sweep is not vacuous: coarse theta has real error.
+    EXPECT_GT(mean_err[3], 1e-4);
+}
+
 // --- ForceLayout ------------------------------------------------------------------
 
 TEST(ForceLayout, TwoConnectedNodesApproachRestLength)
