@@ -7,8 +7,7 @@
  * communication-to-computation ratio.
  */
 
-#ifndef VIVA_BENCH_GRID_COMMON_HH
-#define VIVA_BENCH_GRID_COMMON_HH
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -95,4 +94,3 @@ siteContainers(const viva::trace::Trace &trace)
 
 } // namespace bench
 
-#endif // VIVA_BENCH_GRID_COMMON_HH

@@ -5,8 +5,7 @@
  * the per-view link-utilization rows the figures show.
  */
 
-#ifndef VIVA_BENCH_NASDT_COMMON_HH
-#define VIVA_BENCH_NASDT_COMMON_HH
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -133,4 +132,3 @@ renderViews(viva::trace::Trace trace, const std::string &out_dir,
 
 } // namespace bench
 
-#endif // VIVA_BENCH_NASDT_COMMON_HH

@@ -1,31 +1,87 @@
 #!/bin/sh
-# Sanitized verification: configure a separate build tree with
-# -DVIVA_SANITIZE=thread (or $1 = address), build it, and run the whole
-# tier-1 suite under the sanitizer. The differential determinism tests
-# exercise the pool at threads=8, so a data race in the parallel layout
-# or aggregation paths fails loudly here.
+# The full correctness matrix. Each stage is an independent build tree:
+#
+#   release    Release, -Werror                  (the shipping config)
+#   validate   Debug, -DVIVA_VALIDATE=ON, -Werror (deep invariant audits
+#              after every mutating session command)
+#   tsan       RelWithDebInfo, -fsanitize=thread  (the differential
+#              determinism tests exercise the pool at threads=8, so a
+#              data race in the parallel layout/aggregation paths fails
+#              loudly here)
+#   asan       RelWithDebInfo, -fsanitize=address,undefined
+#   lint       the viva-lint source scan alone (cheap; runs inside every
+#              stage's ctest as well)
+#
+# Usage: check.sh [stage ...]   -- default: every stage, failing fast.
+# Per-stage build trees live in build-<stage>/ and are reused.
 set -eu
 
-SANITIZER="${1:-thread}"
-case "$SANITIZER" in
-thread | address) ;;
-*)
-    echo "usage: $0 [thread|address]" >&2
-    exit 2
-    ;;
-esac
-
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="$ROOT/build-$SANITIZER"
 
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
-# shellcheck disable=SC2086
-cmake -B "$BUILD" -S "$ROOT" $GEN \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DVIVA_SANITIZE="$SANITIZER"
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+STAGES="${*:-release validate tsan asan lint}"
 
-echo "check.sh: tier-1 clean under ${SANITIZER} sanitizer"
+configure_flags() {
+    case "$1" in
+    release)
+        echo "-DCMAKE_BUILD_TYPE=Release -DVIVA_WERROR=ON"
+        ;;
+    validate)
+        echo "-DCMAKE_BUILD_TYPE=Debug -DVIVA_VALIDATE=ON -DVIVA_WERROR=ON"
+        ;;
+    tsan)
+        echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=thread"
+        ;;
+    asan)
+        echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=address,undefined"
+        ;;
+    lint)
+        echo "-DCMAKE_BUILD_TYPE=Release"
+        ;;
+    *)
+        echo "check.sh: unknown stage '$1'" >&2
+        echo "usage: $0 [release|validate|tsan|asan|lint ...]" >&2
+        exit 2
+        ;;
+    esac
+}
+
+run_stage() {
+    stage="$1"
+    BUILD="$ROOT/build-$stage"
+    FLAGS="$(configure_flags "$stage")"
+
+    # Explicit `|| return` on every step: `set -e` is suspended inside
+    # the `if run_stage` caller, so failures must propagate by hand.
+    echo "=== stage $stage: cmake $FLAGS"
+    # shellcheck disable=SC2086
+    cmake -B "$BUILD" -S "$ROOT" $GEN $FLAGS || return 1
+
+    if [ "$stage" = lint ]; then
+        cmake --build "$BUILD" -j --target viva-lint lint_test || return 1
+        ctest --test-dir "$BUILD" --output-on-failure -R lint || return 1
+    else
+        cmake --build "$BUILD" -j || return 1
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+            || return 1
+    fi
+}
+
+PASSED=""
+for stage in $STAGES; do
+    configure_flags "$stage" >/dev/null  # validate the name up front
+done
+for stage in $STAGES; do
+    if run_stage "$stage"; then
+        PASSED="$PASSED $stage"
+    else
+        echo ""
+        echo "check.sh: FAILED at stage '$stage' (passed:${PASSED:- none})"
+        exit 1
+    fi
+done
+
+echo ""
+echo "check.sh: all stages clean:$PASSED"

@@ -306,4 +306,99 @@ writeViewCsv(const View &view, const trace::Trace &trace,
     }
 }
 
+support::AuditLog
+auditView(const trace::Trace &trace, const HierarchyCut &cut,
+          const View &view)
+{
+    using support::auditFail;
+    using support::nearlyEqual;
+
+    // Equation-1 conservation tolerance: the serial recomputation must
+    // reproduce every aggregated value to full double precision.
+    constexpr double kTol = 1e-12;
+
+    support::AuditLog log;
+    if (view.metrics.size() != view.requests.size())
+        auditFail(log, "view lists ", view.metrics.size(),
+                  " metrics for ", view.requests.size(), " requests");
+    for (std::size_t k = 0;
+         k < std::min(view.metrics.size(), view.requests.size()); ++k)
+        if (view.metrics[k] != view.requests[k].metric)
+            auditFail(log, "metric column ", k,
+                      " disagrees with its request");
+
+    std::vector<ContainerId> visible = cut.visibleNodes();
+    if (view.nodes.size() != visible.size()) {
+        auditFail(log, "view holds ", view.nodes.size(),
+                  " nodes for ", visible.size(), " visible containers");
+        return log;
+    }
+
+    Aggregator serial(trace);  // thread count 1: the reference fold
+    for (std::size_t i = 0; i < view.nodes.size(); ++i) {
+        const ViewNode &node = view.nodes[i];
+        if (node.id != visible[i]) {
+            auditFail(log, "node ", i, " is container ", node.id,
+                      " instead of ", visible[i]);
+            continue;
+        }
+        bool aggregated = !trace.container(node.id).leaf();
+        if (node.aggregated != aggregated)
+            auditFail(log, "node ", i, " ('", trace.fullName(node.id),
+                      "') has a wrong aggregated flag");
+        std::size_t leaves =
+            aggregated ? trace.leavesUnder(node.id).size() : 1;
+        if (node.leafCount != leaves)
+            auditFail(log, "node ", i, " covers ", node.leafCount,
+                      " leaves instead of ", leaves);
+        if (node.values.size() != view.requests.size()) {
+            auditFail(log, "node ", i, " carries ", node.values.size(),
+                      " values for ", view.requests.size(), " requests");
+            continue;
+        }
+        if (!node.stats.empty() &&
+            node.stats.size() != view.requests.size())
+            auditFail(log, "node ", i, " carries ", node.stats.size(),
+                      " stat blocks for ", view.requests.size(),
+                      " requests");
+        for (std::size_t k = 0; k < view.requests.size(); ++k) {
+            const MetricRequest &r = view.requests[k];
+            if (!std::isfinite(node.values[k])) {
+                auditFail(log, "node ", i, " metric ", k,
+                          " is non-finite");
+                continue;
+            }
+            double expect = serial.value(node.id, r.metric, view.slice,
+                                         r.spatial, r.temporal);
+            if (!nearlyEqual(node.values[k], expect, kTol))
+                auditFail(log, "node ", i, " ('",
+                          trace.fullName(node.id), "') metric ", k,
+                          ": value ", node.values[k],
+                          " != serial recomputation ", expect,
+                          " (Equation-1 conservation)");
+        }
+    }
+
+    // Edges: an independent re-projection must agree exactly.
+    std::vector<ViewEdge> expect_edges = visibleEdges(trace, cut);
+    if (view.edges.size() != expect_edges.size()) {
+        auditFail(log, "view holds ", view.edges.size(), " edges, "
+                  "re-projection yields ", expect_edges.size());
+        return log;
+    }
+    for (std::size_t i = 0; i < view.edges.size(); ++i) {
+        const ViewEdge &e = view.edges[i];
+        const ViewEdge &x = expect_edges[i];
+        if (e.a != x.a || e.b != x.b || e.multiplicity != x.multiplicity)
+            auditFail(log, "edge ", i, " (", e.a, "--", e.b, " x",
+                      e.multiplicity, ") != re-projection (", x.a, "--",
+                      x.b, " x", x.multiplicity, ")");
+        if (view.indexOf(e.a) == View::npos ||
+            view.indexOf(e.b) == View::npos)
+            auditFail(log, "edge ", i,
+                      " touches a container outside the view");
+    }
+    return log;
+}
+
 } // namespace viva::agg

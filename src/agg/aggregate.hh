@@ -15,8 +15,7 @@
  * single value hides wildly heterogeneous behaviour.
  */
 
-#ifndef VIVA_AGG_AGGREGATE_HH
-#define VIVA_AGG_AGGREGATE_HH
+#pragma once
 
 #include <iosfwd>
 #include <unordered_map>
@@ -215,6 +214,17 @@ View buildView(const trace::Trace &trace, const HierarchyCut &cut,
 void writeViewCsv(const View &view, const trace::Trace &trace,
                   std::ostream &out);
 
+/**
+ * Deep audit of an aggregated view against the trace and cut it was
+ * built from: the nodes are exactly the cut's visible nodes in order,
+ * every value vector matches the requests, the edges equal an
+ * independent re-projection of the relations, and -- the Equation-1
+ * conservation check -- every aggregated value equals a serial
+ * recomputation within a 1e-12 relative tolerance.
+ * @return the violated invariants; empty when well-formed
+ */
+support::AuditLog auditView(const trace::Trace &trace,
+                            const HierarchyCut &cut, const View &view);
+
 } // namespace viva::agg
 
-#endif // VIVA_AGG_AGGREGATE_HH

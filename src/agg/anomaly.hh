@@ -19,8 +19,7 @@
  * does not mask the others.
  */
 
-#ifndef VIVA_AGG_ANOMALY_HH
-#define VIVA_AGG_ANOMALY_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -92,4 +91,3 @@ std::string describeAnomaly(const trace::Trace &trace,
 
 } // namespace viva::agg
 
-#endif // VIVA_AGG_ANOMALY_HH

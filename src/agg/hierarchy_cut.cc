@@ -142,4 +142,59 @@ HierarchyCut::visibleCount() const
     return visibleNodes().size();
 }
 
+support::AuditLog
+HierarchyCut::auditInvariants() const
+{
+    using support::auditFail;
+
+    support::AuditLog log;
+    if (collapsed.size() != tr->containerCount()) {
+        auditFail(log, "flag vector holds ", collapsed.size(),
+                  " entries for ", tr->containerCount(), " containers");
+        return log;
+    }
+
+    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
+        if (collapsed[id] && tr->container(id).leaf())
+            auditFail(log, "leaf container ", id, " ('",
+                      tr->fullName(id), "') is marked collapsed");
+    }
+
+    // The cut property: the visible nodes are an antichain covering
+    // every leaf exactly once. Walking each leaf's ancestor chain and
+    // counting visible nodes on it checks both at once -- a count of
+    // zero is a coverage hole, more than one is a nested pair.
+    std::vector<std::uint8_t> visible(tr->containerCount(), 0);
+    for (ContainerId id : visibleNodes()) {
+        if (!isVisible(id))
+            auditFail(log, "visibleNodes() lists ", id, " ('",
+                      tr->fullName(id), "') but isVisible denies it");
+        visible[id] = 1;
+    }
+    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
+        // The root only represents itself when collapsed, so a childless
+        // trace legitimately has no visible nodes.
+        if (!tr->container(id).leaf() || id == tr->root())
+            continue;
+        std::size_t covers = 0;
+        for (ContainerId cur = id;; cur = tr->container(cur).parent) {
+            covers += visible[cur];
+            if (cur == tr->root())
+                break;
+        }
+        if (covers != 1)
+            auditFail(log, "leaf ", id, " ('", tr->fullName(id),
+                      "') is covered by ", covers,
+                      " visible nodes instead of 1");
+    }
+    return log;
+}
+
+void
+HierarchyCut::debugSetCollapsed(ContainerId id, bool value)
+{
+    VIVA_ASSERT(id < collapsed.size(), "bad container ", id);
+    collapsed[id] = value ? 1 : 0;
+}
+
 } // namespace viva::agg

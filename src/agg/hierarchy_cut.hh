@@ -9,12 +9,12 @@
  * aggregate/disaggregate operations of Section 3.2.2 and Fig. 3/8.
  */
 
-#ifndef VIVA_AGG_HIERARCHY_CUT_HH
-#define VIVA_AGG_HIERARCHY_CUT_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "support/invariant.hh"
 #include "trace/trace.hh"
 
 namespace viva::agg
@@ -90,6 +90,21 @@ class HierarchyCut
     /** Number of visible nodes (what layout scalability depends on). */
     std::size_t visibleCount() const;
 
+    /**
+     * Deep structural audit: the flag vector matches the trace, no leaf
+     * is marked collapsed, and the visible nodes form an antichain that
+     * covers every leaf exactly once (the defining property of a cut).
+     * @return the violated invariants; empty when well-formed
+     */
+    support::AuditLog auditInvariants() const;
+
+    /**
+     * Fault injection for audit tests: force one container's collapsed
+     * flag, bypassing every operation's guard. Never call outside
+     * tests.
+     */
+    void debugSetCollapsed(trace::ContainerId id, bool value);
+
   private:
     const trace::Trace *tr;
     std::vector<std::uint8_t> collapsed;  ///< per container
@@ -97,4 +112,3 @@ class HierarchyCut
 
 } // namespace viva::agg
 
-#endif // VIVA_AGG_HIERARCHY_CUT_HH

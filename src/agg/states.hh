@@ -8,8 +8,7 @@
  * as a pie glyph by the scene composer.
  */
 
-#ifndef VIVA_AGG_STATES_HH
-#define VIVA_AGG_STATES_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -49,4 +48,3 @@ double observedStateTime(const trace::Trace &trace,
 
 } // namespace viva::agg
 
-#endif // VIVA_AGG_STATES_HH

@@ -5,8 +5,7 @@
  * slices the analyst steps through (Fig. 6 sub-slices, Fig. 9 frames).
  */
 
-#ifndef VIVA_AGG_TIMESLICE_HH
-#define VIVA_AGG_TIMESLICE_HH
+#pragma once
 
 #include <vector>
 
@@ -57,4 +56,3 @@ slidingSlices(const TimeSlice &span, double width, double step)
 
 } // namespace viva::agg
 
-#endif // VIVA_AGG_TIMESLICE_HH

@@ -36,8 +36,7 @@
  *   # ...                      comment (ignored)
  */
 
-#ifndef VIVA_APP_COMMANDS_HH
-#define VIVA_APP_COMMANDS_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -75,4 +74,3 @@ class CommandInterpreter
 
 } // namespace viva::app
 
-#endif // VIVA_APP_COMMANDS_HH

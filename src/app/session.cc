@@ -51,6 +51,7 @@ Session::Session(trace::Trace trace_in)
 {
     force.params().threads = nThreads;
     syncLayout();
+    maybeAudit("Session::Session");
 }
 
 void
@@ -58,18 +59,21 @@ Session::setThreads(std::size_t n)
 {
     nThreads = std::max<std::size_t>(n, 1);
     force.params().threads = nThreads;
+    maybeAudit("Session::setThreads");
 }
 
 void
 Session::setTimeSlice(const agg::TimeSlice &s)
 {
     slice = s;
+    maybeAudit("Session::setTimeSlice");
 }
 
 void
 Session::setSliceOf(std::size_t i, std::size_t n)
 {
     slice = agg::sliceAt(span(), i, n);
+    maybeAudit("Session::setSliceOf");
 }
 
 bool
@@ -82,6 +86,7 @@ Session::aggregate(const std::string &path)
         return false;
     hierCut.aggregate(id);
     syncLayout();
+    maybeAudit("Session::aggregate");
     return true;
 }
 
@@ -95,6 +100,7 @@ Session::disaggregate(const std::string &path)
         return false;
     hierCut.disaggregate(id);
     syncLayout();
+    maybeAudit("Session::disaggregate");
     return true;
 }
 
@@ -103,6 +109,7 @@ Session::aggregateToDepth(std::uint16_t depth)
 {
     hierCut.aggregateToDepth(depth);
     syncLayout();
+    maybeAudit("Session::aggregateToDepth");
 }
 
 bool
@@ -115,6 +122,7 @@ Session::focus(const std::string &path)
         return false;
     hierCut.focus({id});
     syncLayout();
+    maybeAudit("Session::focus");
     return true;
 }
 
@@ -123,6 +131,7 @@ Session::resetAggregation()
 {
     hierCut.reset();
     syncLayout();
+    maybeAudit("Session::resetAggregation");
 }
 
 void
@@ -191,11 +200,15 @@ Session::syncLayout()
         ++ring_index;
     }
 
-    // Remove nodes that left the view.
-    for (const auto &[key, pos] : current) {
-        if (!desired_set.count(key))
-            graph.removeNode(graph.findKey(key));
-    }
+    // Remove nodes that left the view, in node-id order (the snapshot
+    // is an unordered map; walking it would make the removal order
+    // nondeterministic).
+    std::vector<layout::NodeId> to_remove;
+    for (const layout::Node &n : graph.rawNodes())
+        if (n.alive && !desired_set.count(n.key))
+            to_remove.push_back(n.id);
+    for (layout::NodeId node_id : to_remove)
+        graph.removeNode(node_id);
 
     // Insert the new nodes.
     for (const auto &[id, pos] : to_add) {
@@ -225,7 +238,9 @@ Session::syncLayout()
 std::size_t
 Session::stabilizeLayout(std::size_t max_iters)
 {
-    return force.stabilize(max_iters);
+    std::size_t done = force.stabilize(max_iters);
+    maybeAudit("Session::stabilizeLayout");
+    return done;
 }
 
 void
@@ -233,6 +248,7 @@ Session::stepLayout(std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i)
         force.step();
+    maybeAudit("Session::stepLayout");
 }
 
 layout::NodeId
@@ -255,6 +271,7 @@ Session::moveNode(const std::string &path, double x, double y)
     force.dragNode(n, {x, y});
     force.stabilize(40);
     force.releaseNode(n);
+    maybeAudit("Session::moveNode");
     return true;
 }
 
@@ -265,6 +282,7 @@ Session::pinNode(const std::string &path, bool pinned)
     if (n == layout::kNoNode)
         return false;
     graph.setPinned(n, pinned);
+    maybeAudit("Session::pinNode");
     return true;
 }
 
@@ -399,6 +417,50 @@ Session::saveTrace(const std::string &path) const
         trace::writePajeTraceFile(tr, path);
     else
         trace::writeTraceFile(tr, path);
+}
+
+support::AuditLog
+Session::auditInvariants() const
+{
+    // Tag each module's violations so a combined log reads clearly.
+    support::AuditLog log;
+    auto merge = [&log](const char *module, support::AuditLog part) {
+        for (std::string &violation : part)
+            log.push_back(std::string(module) + ": " + violation);
+    };
+
+    merge("trace", tr.auditInvariants());
+    merge("cut", hierCut.auditInvariants());
+    merge("graph", graph.auditInvariants());
+    merge("layout", layout::auditFinitePositions(graph));
+
+    // The layout must mirror the cut: one live node per visible
+    // container, nothing else.
+    std::vector<ContainerId> visible = hierCut.visibleNodes();
+    for (ContainerId id : visible)
+        if (graph.findKey(id) == layout::kNoNode)
+            support::auditFail(log, "session: visible container ", id,
+                               " ('", tr.fullName(id),
+                               "') has no layout node");
+    if (graph.nodeCount() != visible.size())
+        support::auditFail(log, "session: ", graph.nodeCount(),
+                           " layout nodes for ", visible.size(),
+                           " visible containers");
+
+    // The aggregated view of the current cut and slice, including the
+    // Equation-1 conservation check against a serial recomputation.
+    merge("view", agg::auditView(tr, hierCut, view()));
+    return log;
+}
+
+void
+Session::maybeAudit(const char *what) const
+{
+    if constexpr (support::validateEnabled())
+        support::requireClean(auditInvariants(),
+                              std::string(what) + ": ");
+    else
+        (void)what;
 }
 
 std::size_t

@@ -14,8 +14,7 @@
  * "smooth evolution of nodes position".
  */
 
-#ifndef VIVA_APP_SESSION_HH
-#define VIVA_APP_SESSION_HH
+#pragma once
 
 #include <string>
 
@@ -225,6 +224,19 @@ class Session
                         const std::string &prefix = "frame",
                         std::size_t iters_per_frame = 60);
 
+    // --- auditing ---------------------------------------------------------
+
+    /**
+     * Run every module's deep invariant audit over the session's state:
+     * the trace, the cut, the layout graph (finite positions included)
+     * and the aggregated view of the current cut and slice, with its
+     * Equation-1 conservation check. In a -DVIVA_VALIDATE=ON build this
+     * runs automatically after every mutating command and panics on the
+     * first violation; call it directly for an on-demand check.
+     * @return the violated invariants; empty when well-formed
+     */
+    support::AuditLog auditInvariants() const;
+
   private:
     /**
      * Reconcile the layout graph with the current cut: carry positions
@@ -232,6 +244,9 @@ class Session
      * fan disaggregated children around their parent, rebuild edges.
      */
     void syncLayout();
+
+    /** In a validate build, audit everything and panic on violations. */
+    void maybeAudit(const char *what) const;
 
     /** Layout node of a container path; kNoNode when not visible. */
     layout::NodeId nodeOf(const std::string &path) const;
@@ -248,4 +263,3 @@ class Session
 
 } // namespace viva::app
 
-#endif // VIVA_APP_SESSION_HH

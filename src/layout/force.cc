@@ -119,6 +119,9 @@ ForceLayout::step(double timestep_scale)
         energy += n.velocity.norm2();
     }
     ++iters;
+    if constexpr (support::validateEnabled())
+        support::requireClean(auditFinitePositions(g),
+                              "ForceLayout::step: ");
     return energy;
 }
 

@@ -8,8 +8,7 @@
  * being recomputed from scratch.
  */
 
-#ifndef VIVA_LAYOUT_FORCE_HH
-#define VIVA_LAYOUT_FORCE_HH
+#pragma once
 
 #include <cstddef>
 
@@ -121,4 +120,3 @@ class ForceLayout
 
 } // namespace viva::layout
 
-#endif // VIVA_LAYOUT_FORCE_HH

@@ -142,4 +142,76 @@ LayoutGraph::centroid() const
     return sum / double(liveNodes);
 }
 
+support::AuditLog
+LayoutGraph::auditInvariants() const
+{
+    using support::auditFail;
+
+    support::AuditLog log;
+    std::size_t live_nodes = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        if (n.id != NodeId(i))
+            auditFail(log, "node in slot ", i, " carries id ", n.id);
+        if (!n.alive)
+            continue;
+        ++live_nodes;
+        if (n.charge <= 0.0)
+            auditFail(log, "live node ", i, " has non-positive charge ",
+                      n.charge);
+        auto it = keyIndex.find(n.key);
+        if (it == keyIndex.end())
+            auditFail(log, "live node ", i, " (key ", n.key,
+                      ") missing from the key index");
+        else if (it->second != n.id)
+            auditFail(log, "key ", n.key, " indexes node ", it->second,
+                      " instead of ", n.id);
+    }
+    if (live_nodes != liveNodes)
+        auditFail(log, "live-node counter ", liveNodes, " != ",
+                  live_nodes, " live slots");
+    if (keyIndex.size() != live_nodes)
+        auditFail(log, "key index holds ", keyIndex.size(),
+                  " entries for ", live_nodes, " live nodes");
+
+    std::size_t live_edges = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const Edge &e = edges[i];
+        if (!e.alive)
+            continue;
+        ++live_edges;
+        if (e.a == e.b)
+            auditFail(log, "edge ", i, " is a self-loop on node ", e.a);
+        for (NodeId end : {e.a, e.b}) {
+            if (end >= nodes.size())
+                auditFail(log, "edge ", i, " references node ", end,
+                          " out of range");
+            else if (!nodes[end].alive)
+                auditFail(log, "live edge ", i, " dangles off dead "
+                          "node ", end);
+        }
+    }
+    if (live_edges != liveEdges)
+        auditFail(log, "live-edge counter ", liveEdges, " != ",
+                  live_edges, " live slots");
+    return log;
+}
+
+support::AuditLog
+auditFinitePositions(const LayoutGraph &graph)
+{
+    support::AuditLog log;
+    for (const Node &n : graph.rawNodes()) {
+        if (!n.alive)
+            continue;
+        if (!std::isfinite(n.position.x) || !std::isfinite(n.position.y))
+            support::auditFail(log, "node ", n.id, " (key ", n.key,
+                               ") has a non-finite position");
+        if (!std::isfinite(n.velocity.x) || !std::isfinite(n.velocity.y))
+            support::auditFail(log, "node ", n.id, " (key ", n.key,
+                               ") has a non-finite velocity");
+    }
+    return log;
+}
+
 } // namespace viva::layout

@@ -8,14 +8,14 @@
  * carries the summed charge of everything it groups, Section 4.2).
  */
 
-#ifndef VIVA_LAYOUT_GRAPH_HH
-#define VIVA_LAYOUT_GRAPH_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "layout/vec2.hh"
+#include "support/invariant.hh"
 
 namespace viva::layout
 {
@@ -104,6 +104,22 @@ class LayoutGraph
     // Internal mutable access for the force stepper.
     std::vector<Node> &mutableNodes() { return nodes; }
 
+    /**
+     * Deep structural audit: node ids match their slots, the key index
+     * maps exactly the live nodes, live/edge counters match the slots,
+     * no live edge dangles off a dead or out-of-range node, and no node
+     * carries a non-positive charge.
+     * @return the violated invariants; empty when well-formed
+     */
+    support::AuditLog auditInvariants() const;
+
+    /**
+     * Fault injection for audit tests: desynchronise the live-node
+     * counter, breaking the counter/slot invariant. Never call outside
+     * tests.
+     */
+    void debugCorruptLiveCount() { ++liveNodes; }
+
   private:
     std::vector<Node> nodes;
     std::vector<Edge> edges;
@@ -112,6 +128,12 @@ class LayoutGraph
     std::size_t liveEdges = 0;
 };
 
+/**
+ * Audit that every live node's position and velocity are finite -- the
+ * first thing a divergent or mis-parallelised force step destroys.
+ * @return the violated invariants; empty when well-formed
+ */
+support::AuditLog auditFinitePositions(const LayoutGraph &graph);
+
 } // namespace viva::layout
 
-#endif // VIVA_LAYOUT_GRAPH_HH

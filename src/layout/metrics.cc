@@ -26,12 +26,19 @@ snapshotPositions(const LayoutGraph &graph)
 support::RunningStats
 displacement(const Snapshot &before, const Snapshot &after)
 {
+    // The Welford fold is order-sensitive in floating point, so the
+    // shared keys are sorted first; the collection pass itself is
+    // order-independent.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(before.size());
+    for (const auto &entry : before)  // viva-lint: allow(unordered-iter)
+        if (after.count(entry.first))
+            keys.push_back(entry.first);
+    std::sort(keys.begin(), keys.end());
+
     support::RunningStats stats;
-    for (const auto &[key, pos] : before) {
-        auto it = after.find(key);
-        if (it != after.end())
-            stats.add(distance(pos, it->second));
-    }
+    for (std::uint64_t key : keys)
+        stats.add(distance(before.at(key), after.at(key)));
     return stats;
 }
 

@@ -7,8 +7,7 @@
  * shared between two cuts should barely move.
  */
 
-#ifndef VIVA_LAYOUT_METRICS_HH
-#define VIVA_LAYOUT_METRICS_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -54,4 +53,3 @@ double barnesHutError(const LayoutGraph &graph, double theta);
 
 } // namespace viva::layout
 
-#endif // VIVA_LAYOUT_METRICS_HH

@@ -163,4 +163,114 @@ QuadTree::forceAt(Vec2 position, double theta) const
     return total;
 }
 
+support::AuditLog
+QuadTree::auditInvariants() const
+{
+    using support::auditFail;
+    using support::nearlyEqual;
+
+    // Accumulated floating error across inserts; looser than the
+    // aggregation tolerance because barycentres divide by charge.
+    constexpr double kTol = 1e-9;
+
+    support::AuditLog log;
+    if (cells.empty()) {
+        auditFail(log, "quadtree has no root cell");
+        return log;
+    }
+
+    double leafCharge = 0.0;
+    std::size_t leafPoints = 0;
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        if (!(c.lo.x < c.hi.x && c.lo.y < c.hi.y))
+            auditFail(log, "cell ", i, " has a degenerate box");
+        if (c.charge < 0.0)
+            auditFail(log, "cell ", i, " has negative charge ",
+                      c.charge);
+
+        if (c.isLeaf) {
+            for (int q = 0; q < 4; ++q)
+                if (c.child[q] >= 0)
+                    auditFail(log, "leaf cell ", i, " has a child");
+            if (!c.hasPoint)
+                continue;
+            ++leafPoints;
+            leafCharge += c.pointCharge;
+            if (c.pointCharge <= 0.0)
+                auditFail(log, "leaf ", i, " has non-positive point "
+                          "charge ", c.pointCharge);
+            if (!nearlyEqual(c.charge, c.pointCharge, kTol))
+                auditFail(log, "leaf ", i, " charge ", c.charge,
+                          " != point charge ", c.pointCharge);
+            if (c.point.x < c.lo.x - kTol || c.point.x > c.hi.x + kTol ||
+                c.point.y < c.lo.y - kTol || c.point.y > c.hi.y + kTol)
+                auditFail(log, "leaf ", i, " point escapes its box");
+            continue;
+        }
+
+        if (c.hasPoint)
+            auditFail(log, "internal cell ", i,
+                      " still holds a resident point");
+
+        double childCharge = 0.0;
+        Vec2 moment;
+        double mx = 0.5 * (c.lo.x + c.hi.x);
+        double my = 0.5 * (c.lo.y + c.hi.y);
+        const Vec2 corner[4][2] = {
+            {{c.lo.x, c.lo.y}, {mx, my}},
+            {{mx, c.lo.y}, {c.hi.x, my}},
+            {{c.lo.x, my}, {mx, c.hi.y}},
+            {{mx, my}, {c.hi.x, c.hi.y}},
+        };
+        for (int q = 0; q < 4; ++q) {
+            std::int32_t child_ix = c.child[q];
+            if (child_ix < 0 ||
+                std::size_t(child_ix) >= cells.size()) {
+                auditFail(log, "internal cell ", i,
+                          " has a bad child index ", child_ix);
+                continue;
+            }
+            const Cell &child = cells[std::size_t(child_ix)];
+            if (child.lo.x != corner[q][0].x ||
+                child.lo.y != corner[q][0].y ||
+                child.hi.x != corner[q][1].x ||
+                child.hi.y != corner[q][1].y)
+                auditFail(log, "child ", child_ix, " of cell ", i,
+                          " does not tile quadrant ", q);
+            childCharge += child.charge;
+            moment += child.barycentre * child.charge;
+        }
+        if (!nearlyEqual(c.charge, childCharge, kTol))
+            auditFail(log, "internal cell ", i, " charge ", c.charge,
+                      " != sum of children ", childCharge);
+        if (c.charge > 0.0) {
+            Vec2 expect = moment / childCharge;
+            if (!nearlyEqual(c.barycentre.x, expect.x, kTol) ||
+                !nearlyEqual(c.barycentre.y, expect.y, kTol))
+                auditFail(log, "internal cell ", i,
+                          " barycentre drifted from its children");
+        }
+    }
+
+    if (!nearlyEqual(cells[0].charge, leafCharge, kTol))
+        auditFail(log, "root charge ", cells[0].charge,
+                  " != total leaf charge ", leafCharge);
+    if (leafPoints > inserted)
+        auditFail(log, leafPoints, " resident points exceed ",
+                  inserted, " inserts");
+    if (inserted > 0 && cells[0].charge <= 0.0)
+        auditFail(log, "points were inserted but the root holds no "
+                  "charge");
+    return log;
+}
+
+void
+QuadTree::debugScaleCellCharge(std::size_t cell, double factor)
+{
+    VIVA_ASSERT(cell < cells.size(), "bad cell index ", cell);
+    cells[cell].charge *= factor;
+}
+
 } // namespace viva::layout

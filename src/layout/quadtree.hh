@@ -5,13 +5,13 @@
  * (Section 3.3: "we adopt the scalable Barnes-Hut algorithm").
  */
 
-#ifndef VIVA_LAYOUT_QUADTREE_HH
-#define VIVA_LAYOUT_QUADTREE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "layout/vec2.hh"
+#include "support/invariant.hh"
 
 namespace viva::layout
 {
@@ -50,6 +50,22 @@ class QuadTree
     /** Number of allocated tree cells (memory metric). */
     std::size_t cellCount() const { return cells.size(); }
 
+    /**
+     * Deep structural audit: every internal cell's charge and
+     * barycentre are consistent with its children, child boxes tile
+     * their parent exactly, leaf points lie inside their cell, and the
+     * root charge accounts for every inserted point.
+     * @return the violated invariants; empty when well-formed
+     */
+    support::AuditLog auditInvariants() const;
+
+    /**
+     * Fault injection for audit tests: scale one cell's cached charge,
+     * deliberately breaking mass conservation. Never call outside
+     * tests.
+     */
+    void debugScaleCellCharge(std::size_t cell, double factor);
+
   private:
     struct Cell
     {
@@ -81,4 +97,3 @@ class QuadTree
 
 } // namespace viva::layout
 
-#endif // VIVA_LAYOUT_QUADTREE_HH

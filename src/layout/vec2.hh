@@ -3,8 +3,7 @@
  * Minimal 2-D vector used by the layout engine.
  */
 
-#ifndef VIVA_LAYOUT_VEC2_HH
-#define VIVA_LAYOUT_VEC2_HH
+#pragma once
 
 #include <cmath>
 
@@ -56,4 +55,3 @@ distance(const Vec2 &a, const Vec2 &b)
 
 } // namespace viva::layout
 
-#endif // VIVA_LAYOUT_VEC2_HH

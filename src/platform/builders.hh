@@ -4,8 +4,7 @@
  * synthetic generators used by tests and scalability benchmarks.
  */
 
-#ifndef VIVA_PLATFORM_BUILDERS_HH
-#define VIVA_PLATFORM_BUILDERS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -74,4 +73,3 @@ Platform makeSyntheticGrid(std::size_t sites, std::size_t clusters_per_site,
 
 } // namespace viva::platform
 
-#endif // VIVA_PLATFORM_BUILDERS_HH

@@ -299,4 +299,135 @@ Platform::invalidateRoutes() const
     routeCache.clear();
 }
 
+support::AuditLog
+Platform::auditInvariants() const
+{
+    using support::auditFail;
+
+    support::AuditLog log;
+
+    // Groups: slot/id agreement, parent/child symmetry, acyclicity.
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        const Group &g = groups[i];
+        if (g.id != GroupId(i))
+            auditFail(log, "group in slot ", i, " carries id ", g.id);
+        if (i == grid()) {
+            if (g.parent != kNoId)
+                auditFail(log, "the grid group has parent ", g.parent);
+        } else if (g.parent >= groups.size()) {
+            auditFail(log, "group ", i, " ('", g.name,
+                      "') has bad parent ", g.parent);
+        } else {
+            const auto &siblings = groups[g.parent].children;
+            if (std::count(siblings.begin(), siblings.end(),
+                           GroupId(i)) != 1)
+                auditFail(log, "group ", i, " ('", g.name,
+                          "') is not listed once by parent ", g.parent);
+        }
+        for (GroupId child : g.children) {
+            if (child >= groups.size())
+                auditFail(log, "group ", i, " lists bad child ", child);
+            else if (groups[child].parent != GroupId(i))
+                auditFail(log, "child ", child, " of group ", i,
+                          " points back at ", groups[child].parent);
+        }
+        // Acyclicity: every chain must reach the grid within the
+        // group count.
+        GroupId cur = GroupId(i);
+        std::size_t hops = 0;
+        while (cur != grid() && cur < groups.size() &&
+               hops <= groups.size()) {
+            cur = groups[cur].parent;
+            ++hops;
+        }
+        if (cur != grid())
+            auditFail(log, "group ", i, " ('", g.name,
+                      "') never reaches the grid");
+    }
+
+    // Entities: slot/id agreement, valid group, vertex round-trip.
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        const Host &h = hosts[i];
+        if (h.id != HostId(i))
+            auditFail(log, "host in slot ", i, " carries id ", h.id);
+        if (h.group >= groups.size())
+            auditFail(log, "host '", h.name, "' has bad group ", h.group);
+        if (h.powerMflops <= 0.0)
+            auditFail(log, "host '", h.name, "' has non-positive power");
+        if (h.vertex >= vertexInfo.size())
+            auditFail(log, "host '", h.name, "' has bad vertex ",
+                      h.vertex);
+        else if (!vertexInfo[h.vertex].isHost ||
+                 vertexInfo[h.vertex].index != h.id)
+            auditFail(log, "vertex ", h.vertex,
+                      " does not round-trip to host ", i);
+        auto it = hostByName.find(h.name);
+        if (it == hostByName.end() || it->second != h.id)
+            auditFail(log, "host '", h.name,
+                      "' is missing from the name index");
+    }
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+        const Router &r = routers[i];
+        if (r.id != RouterId(i))
+            auditFail(log, "router in slot ", i, " carries id ", r.id);
+        if (r.group >= groups.size())
+            auditFail(log, "router '", r.name, "' has bad group ",
+                      r.group);
+        if (r.vertex >= vertexInfo.size())
+            auditFail(log, "router '", r.name, "' has bad vertex ",
+                      r.vertex);
+        else if (vertexInfo[r.vertex].isHost ||
+                 vertexInfo[r.vertex].index != r.id)
+            auditFail(log, "vertex ", r.vertex,
+                      " does not round-trip to router ", i);
+    }
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        const Link &l = links[i];
+        if (l.id != LinkId(i))
+            auditFail(log, "link in slot ", i, " carries id ", l.id);
+        if (l.group >= groups.size())
+            auditFail(log, "link '", l.name, "' has bad group ", l.group);
+        if (l.bandwidthMbps <= 0.0)
+            auditFail(log, "link '", l.name,
+                      "' has non-positive bandwidth");
+        if (l.latencyS < 0.0)
+            auditFail(log, "link '", l.name, "' has negative latency");
+    }
+
+    // Topology: parallel vertex arrays, symmetric adjacency over valid
+    // links.
+    if (vertexInfo.size() != adjacency.size())
+        auditFail(log, vertexInfo.size(), " vertex records vs ",
+                  adjacency.size(), " adjacency rows");
+    std::size_t n = std::min(vertexInfo.size(), adjacency.size());
+    for (VertexId v = 0; v < n; ++v) {
+        for (const auto &[next, l] : adjacency[v]) {
+            if (next >= n) {
+                auditFail(log, "vertex ", v, " has bad neighbour ", next);
+                continue;
+            }
+            if (l >= links.size())
+                auditFail(log, "edge ", v, "--", next,
+                          " uses bad link ", l);
+            std::size_t mirror = 0;
+            for (const auto &[back, bl] : adjacency[next])
+                if (back == v && bl == l)
+                    ++mirror;
+            if (mirror != 1)
+                auditFail(log, "edge ", v, "--", next, " over link ", l,
+                          " is mirrored ", mirror, " times instead of 1");
+        }
+    }
+    return log;
+}
+
+void
+Platform::debugOrphanGroup(GroupId id)
+{
+    VIVA_ASSERT(id < groups.size() && id != grid(), "bad group ", id);
+    auto &siblings = groups[groups[id].parent].children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), id),
+                   siblings.end());
+}
+
 } // namespace viva::platform

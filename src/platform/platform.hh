@@ -7,13 +7,14 @@
  * visualization draws.
  */
 
-#ifndef VIVA_PLATFORM_PLATFORM_HH
-#define VIVA_PLATFORM_PLATFORM_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "support/invariant.hh"
 
 namespace viva::platform
 {
@@ -177,6 +178,21 @@ class Platform
     /** Drop the route cache (after topology edits). */
     void invalidateRoutes() const;
 
+    /**
+     * Deep structural audit: group parent/child lists agree and are
+     * acyclic, every host/router/link points at a valid group, vertex
+     * records round-trip through their host/router, the adjacency is
+     * symmetric, and the name indices match the entities.
+     * @return the violated invariants; empty when well-formed
+     */
+    support::AuditLog auditInvariants() const;
+
+    /**
+     * Fault injection for audit tests: detach one group from its
+     * parent's child list. Never call outside tests.
+     */
+    void debugOrphanGroup(GroupId id);
+
   private:
     VertexId newVertex(bool is_host, std::uint32_t index);
 
@@ -202,4 +218,3 @@ class Platform
 
 } // namespace viva::platform
 
-#endif // VIVA_PLATFORM_PLATFORM_HH

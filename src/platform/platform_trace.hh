@@ -7,8 +7,7 @@
  * utilization on top of this skeleton.
  */
 
-#ifndef VIVA_PLATFORM_PLATFORM_TRACE_HH
-#define VIVA_PLATFORM_PLATFORM_TRACE_HH
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ TraceMirror mirrorPlatform(const Platform &p, trace::Trace &out);
 
 } // namespace viva::platform
 
-#endif // VIVA_PLATFORM_PLATFORM_TRACE_HH

@@ -19,8 +19,7 @@
  * communication payloads in Mbit against link capacity in Mbit/s.
  */
 
-#ifndef VIVA_SIM_ENGINE_HH
-#define VIVA_SIM_ENGINE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -272,4 +271,3 @@ class Engine
 
 } // namespace viva::sim
 
-#endif // VIVA_SIM_ENGINE_HH

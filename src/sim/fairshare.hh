@@ -11,8 +11,7 @@
  * without shrinking a smaller one.
  */
 
-#ifndef VIVA_SIM_FAIRSHARE_HH
-#define VIVA_SIM_FAIRSHARE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -89,4 +88,3 @@ std::vector<double> maxMinFairShare(const std::vector<double> &capacity,
 
 } // namespace viva::sim
 
-#endif // VIVA_SIM_FAIRSHARE_HH

@@ -13,8 +13,7 @@
  * the quantity the Fig. 8 case study visualizes.
  */
 
-#ifndef VIVA_SIM_TRACER_HH
-#define VIVA_SIM_TRACER_HH
+#pragma once
 
 #include <vector>
 
@@ -102,4 +101,3 @@ struct SimulationRun
 
 } // namespace viva::sim
 
-#endif // VIVA_SIM_TRACER_HH

@@ -4,8 +4,7 @@
  * neighbourhood of Equation 1: the analyst's "time slice".
  */
 
-#ifndef VIVA_SUPPORT_INTERVAL_HH
-#define VIVA_SUPPORT_INTERVAL_HH
+#pragma once
 
 #include <algorithm>
 
@@ -64,4 +63,3 @@ struct Interval
 
 } // namespace viva::support
 
-#endif // VIVA_SUPPORT_INTERVAL_HH

@@ -10,8 +10,7 @@
  * inform() -- plain status information.
  */
 
-#ifndef VIVA_SUPPORT_LOGGING_HH
-#define VIVA_SUPPORT_LOGGING_HH
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -108,4 +107,3 @@ inform(const std::string &where, Args &&...args)
         }                                                                    \
     } while (0)
 
-#endif // VIVA_SUPPORT_LOGGING_HH

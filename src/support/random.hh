@@ -7,8 +7,7 @@
  * from a single seed.
  */
 
-#ifndef VIVA_SUPPORT_RANDOM_HH
-#define VIVA_SUPPORT_RANDOM_HH
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -94,4 +93,3 @@ class Rng
 
 } // namespace viva::support
 
-#endif // VIVA_SUPPORT_RANDOM_HH

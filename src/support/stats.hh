@@ -6,8 +6,7 @@
  * benchmark harnesses.
  */
 
-#ifndef VIVA_SUPPORT_STATS_HH
-#define VIVA_SUPPORT_STATS_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -111,4 +110,3 @@ class Samples
 
 } // namespace viva::support
 
-#endif // VIVA_SUPPORT_STATS_HH

@@ -35,10 +35,10 @@ splitWhitespace(std::string_view text)
     std::vector<std::string> fields;
     std::size_t i = 0;
     while (i < text.size()) {
-        while (i < text.size() && std::isspace((unsigned char)text[i]))
+        while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
             ++i;
         std::size_t start = i;
-        while (i < text.size() && !std::isspace((unsigned char)text[i]))
+        while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])))
             ++i;
         if (i > start)
             fields.emplace_back(text.substr(start, i - start));
@@ -51,9 +51,9 @@ trim(std::string_view text)
 {
     std::size_t b = 0;
     std::size_t e = text.size();
-    while (b < e && std::isspace((unsigned char)text[b]))
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
         ++b;
-    while (e > b && std::isspace((unsigned char)text[e - 1]))
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
         --e;
     return std::string(text.substr(b, e - b));
 }
@@ -89,7 +89,7 @@ toLower(std::string_view text)
 {
     std::string out(text);
     for (char &c : out)
-        c = char(std::tolower((unsigned char)c));
+        c = char(std::tolower(static_cast<unsigned char>(c)));
     return out;
 }
 

@@ -4,8 +4,7 @@
  * interpreter.
  */
 
-#ifndef VIVA_SUPPORT_STRINGS_HH
-#define VIVA_SUPPORT_STRINGS_HH
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -59,4 +58,3 @@ std::string xmlEscape(std::string_view text);
 
 } // namespace viva::support
 
-#endif // VIVA_SUPPORT_STRINGS_HH

@@ -20,8 +20,7 @@
  * pool) run inline, so they can neither deadlock nor oversubscribe.
  */
 
-#ifndef VIVA_SUPPORT_THREADPOOL_HH
-#define VIVA_SUPPORT_THREADPOOL_HH
+#pragma once
 
 #include <algorithm>
 #include <condition_variable>
@@ -133,4 +132,3 @@ class ThreadPool
 
 } // namespace viva::support
 
-#endif // VIVA_SUPPORT_THREADPOOL_HH

@@ -4,8 +4,7 @@
  * the canonical "Figure 1" toy trace used throughout the documentation.
  */
 
-#ifndef VIVA_TRACE_BUILDER_HH
-#define VIVA_TRACE_BUILDER_HH
+#pragma once
 
 #include <initializer_list>
 #include <string>
@@ -89,4 +88,3 @@ Trace makeFigure1Trace();
 
 } // namespace viva::trace
 
-#endif // VIVA_TRACE_BUILDER_HH

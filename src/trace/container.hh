@@ -6,8 +6,7 @@
  * aggregation of Section 3.2.2 collapses and expands.
  */
 
-#ifndef VIVA_TRACE_CONTAINER_HH
-#define VIVA_TRACE_CONTAINER_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -64,4 +63,3 @@ struct Container
 
 } // namespace viva::trace
 
-#endif // VIVA_TRACE_CONTAINER_HH

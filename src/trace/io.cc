@@ -90,13 +90,13 @@ splitFields(const std::string &line, std::size_t n,
     fields.clear();
     std::size_t i = 0;
     auto skip_ws = [&] {
-        while (i < line.size() && std::isspace((unsigned char)line[i]))
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
             ++i;
     };
     for (std::size_t f = 0; f < n; ++f) {
         skip_ws();
         std::size_t start = i;
-        while (i < line.size() && !std::isspace((unsigned char)line[i]))
+        while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])))
             ++i;
         if (i == start)
             return false;

@@ -15,8 +15,7 @@
  * line and may contain spaces.
  */
 
-#ifndef VIVA_TRACE_IO_HH
-#define VIVA_TRACE_IO_HH
+#pragma once
 
 #include <iosfwd>
 #include <optional>
@@ -46,4 +45,3 @@ Trace readTraceFile(const std::string &path);
 
 } // namespace viva::trace
 
-#endif // VIVA_TRACE_IO_HH

@@ -8,8 +8,7 @@
  * values share one pixel scale (Section 4.1).
  */
 
-#ifndef VIVA_TRACE_METRIC_HH
-#define VIVA_TRACE_METRIC_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -55,4 +54,3 @@ struct Metric
 
 } // namespace viva::trace
 
-#endif // VIVA_TRACE_METRIC_HH

@@ -56,7 +56,7 @@ tokenize(const std::string &line, std::vector<std::string> &out)
     out.clear();
     std::size_t i = 0;
     while (i < line.size()) {
-        while (i < line.size() && std::isspace((unsigned char)line[i]))
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
             ++i;
         if (i >= line.size())
             break;
@@ -69,7 +69,7 @@ tokenize(const std::string &line, std::vector<std::string> &out)
         } else {
             std::size_t start = i;
             while (i < line.size() &&
-                   !std::isspace((unsigned char)line[i]))
+                   !std::isspace(static_cast<unsigned char>(line[i])))
                 ++i;
             out.push_back(line.substr(start, i - start));
         }

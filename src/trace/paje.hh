@@ -24,8 +24,7 @@
  * warning, so traces carrying extra event types still load.
  */
 
-#ifndef VIVA_TRACE_PAJE_HH
-#define VIVA_TRACE_PAJE_HH
+#pragma once
 
 #include <iosfwd>
 #include <optional>
@@ -70,4 +69,3 @@ void writePajeTraceFile(const Trace &trace, const std::string &path);
 
 } // namespace viva::trace
 
-#endif // VIVA_TRACE_PAJE_HH

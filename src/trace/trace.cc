@@ -290,7 +290,8 @@ std::size_t
 Trace::pointCount() const
 {
     std::size_t n = 0;
-    for (const auto &[key, var] : vars)
+    // Integer sum: exactly order-independent.
+    for (const auto &[key, var] : vars)  // viva-lint: allow(unordered-iter)
         n += var.pointCount();
     return n;
 }
@@ -345,12 +346,142 @@ Trace::span() const
             hi = std::max(hi, e);
         }
     };
-    for (const auto &[key, var] : vars)
+    // min/max hull: exactly commutative, any visit order yields the
+    // same bits.
+    for (const auto &[key, var] : vars)  // viva-lint: allow(unordered-iter)
         if (!var.empty())
             fold(var.firstTime(), var.lastTime());
     for (const StateRecord &s : stateLog)
         fold(s.begin, s.end);
     return support::Interval(lo, hi);
+}
+
+support::AuditLog
+Trace::auditInvariants() const
+{
+    using support::auditFail;
+
+    support::AuditLog log;
+    if (nodes.empty()) {
+        auditFail(log, "trace has no root container");
+        return log;
+    }
+    if (nodes[0].id != 0 || nodes[0].parent != kNoContainer ||
+        nodes[0].depth != 0)
+        auditFail(log, "container 0 is not a well-formed root");
+
+    // Hierarchy: slot/id agreement, parent/child symmetry, depth chain,
+    // unique sibling names.
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        const Container &c = nodes[i];
+        if (c.id != ContainerId(i))
+            auditFail(log, "container in slot ", i, " carries id ", c.id);
+        if (c.parent >= nodes.size()) {
+            auditFail(log, "container ", i, " ('", c.name,
+                      "') has bad parent ", c.parent);
+            continue;
+        }
+        const Container &p = nodes[c.parent];
+        if (c.depth != p.depth + 1)
+            auditFail(log, "container ", i, " ('", c.name, "') at depth ",
+                      c.depth, " under parent at depth ", p.depth);
+        if (std::count(p.children.begin(), p.children.end(),
+                       ContainerId(i)) != 1)
+            auditFail(log, "container ", i, " ('", c.name,
+                      "') is not listed once by parent ", c.parent);
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Container &c = nodes[i];
+        for (std::size_t a = 0; a < c.children.size(); ++a) {
+            ContainerId child = c.children[a];
+            if (child >= nodes.size() || child == 0) {
+                auditFail(log, "container ", i, " lists bad child ",
+                          child);
+                continue;
+            }
+            if (nodes[child].parent != ContainerId(i))
+                auditFail(log, "child ", child, " of container ", i,
+                          " points back at ", nodes[child].parent);
+            for (std::size_t b = a + 1; b < c.children.size(); ++b)
+                if (c.children[b] < nodes.size() &&
+                    nodes[child].name == nodes[c.children[b]].name)
+                    auditFail(log, "containers ", child, " and ",
+                              c.children[b], " under ", i,
+                              " share the name '", nodes[child].name, "'");
+        }
+    }
+
+    // Metrics and their name index.
+    for (std::size_t i = 0; i < metricTable.size(); ++i) {
+        const Metric &m = metricTable[i];
+        if (m.id != MetricId(i))
+            auditFail(log, "metric in slot ", i, " carries id ", m.id);
+        if (m.capacityOf != kNoMetric && m.capacityOf >= metricTable.size())
+            auditFail(log, "metric '", m.name, "' caps bad metric ",
+                      m.capacityOf);
+        auto it = metricByName.find(m.name);
+        if (it == metricByName.end() || it->second != m.id)
+            auditFail(log, "metric '", m.name,
+                      "' is missing from the name index");
+    }
+    if (metricByName.size() != metricTable.size())
+        auditFail(log, "metric name index holds ", metricByName.size(),
+                  " entries for ", metricTable.size(), " metrics");
+
+    // Variables: valid (container, metric) key, time-sorted points.
+    // Keys are sorted first so the log order is deterministic.
+    std::vector<std::uint64_t> var_keys;
+    var_keys.reserve(vars.size());
+    for (const auto &entry : vars)  // viva-lint: allow(unordered-iter)
+        var_keys.push_back(entry.first);
+    std::sort(var_keys.begin(), var_keys.end());
+    for (std::uint64_t key : var_keys) {
+        ContainerId c = ContainerId(key >> 16);
+        MetricId m = MetricId(key & 0xFFFF);
+        if (c >= nodes.size())
+            auditFail(log, "variable key references bad container ", c);
+        if (m >= metricTable.size())
+            auditFail(log, "variable key references bad metric ", m);
+        const auto &points = vars.at(key).changePoints();
+        for (std::size_t i = 1; i < points.size(); ++i)
+            if (points[i - 1].time >= points[i].time)
+                auditFail(log, "variable (", c, ", ", m,
+                          ") has unsorted change points at index ", i);
+    }
+
+    // Relations: valid distinct endpoints, deduplicated.
+    for (std::size_t i = 0; i < rels.size(); ++i) {
+        const Relation &r = rels[i];
+        if (r.a >= nodes.size() || r.b >= nodes.size())
+            auditFail(log, "relation ", i, " has bad endpoints ", r.a,
+                      ", ", r.b);
+        if (r.a == r.b)
+            auditFail(log, "relation ", i, " is a self-loop on ", r.a);
+        if (relSet.find(relKey(r.a, r.b)) == relSet.end())
+            auditFail(log, "relation ", i,
+                      " is missing from the dedup set");
+    }
+    if (relSet.size() != rels.size())
+        auditFail(log, "dedup set holds ", relSet.size(),
+                  " keys for ", rels.size(), " relations");
+
+    // States: valid containers, ordered intervals.
+    for (std::size_t i = 0; i < stateLog.size(); ++i) {
+        const StateRecord &s = stateLog[i];
+        if (s.container >= nodes.size())
+            auditFail(log, "state ", i, " references bad container ",
+                      s.container);
+        if (s.begin > s.end)
+            auditFail(log, "state ", i, " has a reversed interval");
+    }
+    return log;
+}
+
+Container &
+Trace::debugMutableContainer(ContainerId id)
+{
+    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    return nodes[id];
 }
 
 } // namespace viva::trace

@@ -6,8 +6,7 @@
  * topology-based representation (Section 3.1).
  */
 
-#ifndef VIVA_TRACE_TRACE_HH
-#define VIVA_TRACE_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -16,6 +15,7 @@
 #include <vector>
 
 #include "support/interval.hh"
+#include "support/invariant.hh"
 #include "trace/container.hh"
 #include "trace/metric.hh"
 #include "trace/variable.hh"
@@ -169,6 +169,24 @@ class Trace
     /** The observation period T: hull of all variable points and states. */
     support::Interval span() const;
 
+    // --- auditing ---------------------------------------------------------
+
+    /**
+     * Deep structural audit: the hierarchy is a tree rooted at 0 with
+     * consistent parent/child/depth records and unique sibling names,
+     * metrics and their name index agree, every variable belongs to a
+     * real (container, metric) pair with time-sorted points, and the
+     * relations are deduplicated with valid endpoints.
+     * @return the violated invariants; empty when well-formed
+     */
+    support::AuditLog auditInvariants() const;
+
+    /**
+     * Fault injection for audit tests: mutable access to a container so
+     * a test can corrupt its linkage. Never call outside tests.
+     */
+    Container &debugMutableContainer(ContainerId id);
+
   private:
     static std::uint64_t
     varKey(ContainerId c, MetricId m)
@@ -195,4 +213,3 @@ class Trace
 
 } // namespace viva::trace
 
-#endif // VIVA_TRACE_TRACE_HH

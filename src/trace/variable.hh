@@ -6,8 +6,7 @@
  * interval integration required by Equation 1.
  */
 
-#ifndef VIVA_TRACE_VARIABLE_HH
-#define VIVA_TRACE_VARIABLE_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -110,4 +109,3 @@ class Variable
 
 } // namespace viva::trace
 
-#endif // VIVA_TRACE_VARIABLE_HH

@@ -5,8 +5,7 @@
  * for quick looks from examples and for renderer-independent tests.
  */
 
-#ifndef VIVA_VIZ_ASCII_HH
-#define VIVA_VIZ_ASCII_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -38,4 +37,3 @@ void writeAscii(const Scene &scene, std::ostream &out,
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_ASCII_HH

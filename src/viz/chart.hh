@@ -11,8 +11,7 @@
  * the evolution of the value its glyph would show.
  */
 
-#ifndef VIVA_VIZ_CHART_HH
-#define VIVA_VIZ_CHART_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -67,4 +66,3 @@ void writeChartSvgFile(const std::vector<ChartSeries> &series,
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_CHART_HH

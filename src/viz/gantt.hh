@@ -9,8 +9,7 @@
  * way to depict topology together with application traces".
  */
 
-#ifndef VIVA_VIZ_GANTT_HH
-#define VIVA_VIZ_GANTT_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -85,4 +84,3 @@ void writeGanttSvgFile(const GanttChart &chart, const std::string &path,
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_GANTT_HH

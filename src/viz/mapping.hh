@@ -6,8 +6,7 @@
  * at a given point of the analysis", so rules are plain mutable data.
  */
 
-#ifndef VIVA_VIZ_MAPPING_HH
-#define VIVA_VIZ_MAPPING_HH
+#pragma once
 
 #include <array>
 #include <optional>
@@ -94,4 +93,3 @@ class VisualMapping
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_MAPPING_HH

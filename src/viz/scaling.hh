@@ -11,8 +11,7 @@
  * objects").
  */
 
-#ifndef VIVA_VIZ_SCALING_HH
-#define VIVA_VIZ_SCALING_HH
+#pragma once
 
 #include <unordered_map>
 
@@ -69,4 +68,3 @@ class TypeScaling
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_SCALING_HH

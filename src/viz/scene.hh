@@ -6,8 +6,7 @@
  * rasterize it.
  */
 
-#ifndef VIVA_VIZ_SCENE_HH
-#define VIVA_VIZ_SCENE_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -128,4 +127,3 @@ Scene composeScene(const agg::View &view, const trace::Trace &trace,
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_SCENE_HH

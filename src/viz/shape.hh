@@ -5,8 +5,7 @@
  * representations; node color and size, and an optional filling".
  */
 
-#ifndef VIVA_VIZ_SHAPE_HH
-#define VIVA_VIZ_SHAPE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -55,4 +54,3 @@ Color colorForName(const std::string &name);
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_SHAPE_HH

@@ -5,8 +5,7 @@
  * fraction inside the capacity outline.
  */
 
-#ifndef VIVA_VIZ_SVG_HH
-#define VIVA_VIZ_SVG_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -45,4 +44,3 @@ void writeSvgFile(const Scene &scene, const std::string &path,
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_SVG_HH

@@ -10,8 +10,7 @@
  * aggregation machinery.
  */
 
-#ifndef VIVA_VIZ_TREEMAP_HH
-#define VIVA_VIZ_TREEMAP_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -86,4 +85,3 @@ void writeTreemapSvgFile(const Treemap &treemap, const std::string &path,
 
 } // namespace viva::viz
 
-#endif // VIVA_VIZ_TREEMAP_HH

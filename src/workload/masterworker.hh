@@ -21,8 +21,7 @@
  * non-cooperative resource competition of the case study.
  */
 
-#ifndef VIVA_WORKLOAD_MASTERWORKER_HH
-#define VIVA_WORKLOAD_MASTERWORKER_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -182,4 +181,3 @@ allHostsExcept(const platform::Platform &platform,
 
 } // namespace viva::workload
 
-#endif // VIVA_WORKLOAD_MASTERWORKER_HH

@@ -16,8 +16,7 @@
  * begins cycle i+1 as soon as its own sends of cycle i have completed.
  */
 
-#ifndef VIVA_WORKLOAD_NASDT_HH
-#define VIVA_WORKLOAD_NASDT_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -109,4 +108,3 @@ DtResult runNasDtWhiteHole(sim::SimulationRun &run, const DtParams &params,
 
 } // namespace viva::workload
 
-#endif // VIVA_WORKLOAD_NASDT_HH

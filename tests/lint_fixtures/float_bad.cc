@@ -1,0 +1,6 @@
+double
+half(double v)
+{
+    float narrow = 0.5f;
+    return v * double(narrow);
+}

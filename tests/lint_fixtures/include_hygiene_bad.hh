@@ -1,0 +1,7 @@
+#pragma once
+
+#include "../support/logging.hh"
+
+using namespace std;
+
+int hygieneFixture();

@@ -1,0 +1,8 @@
+int
+leak()
+{
+    int *p = new int(3);
+    int v = *p;
+    delete p;
+    return v;
+}

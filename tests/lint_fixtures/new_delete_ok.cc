@@ -1,0 +1,14 @@
+#include <memory>
+
+struct Pinned
+{
+    Pinned() = default;
+    Pinned(const Pinned &) = delete;
+    Pinned &operator=(const Pinned &) = delete;
+};
+
+std::unique_ptr<int>
+make()
+{
+    return std::make_unique<int>(3);
+}

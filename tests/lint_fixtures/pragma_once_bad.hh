@@ -1,0 +1,6 @@
+#ifndef FIXTURE_PRAGMA_ONCE_BAD_HH
+#define FIXTURE_PRAGMA_ONCE_BAD_HH
+
+int badHeader();
+
+#endif

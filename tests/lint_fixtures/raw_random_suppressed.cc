@@ -1,0 +1,10 @@
+// viva-lint: allow-file(raw-random)
+#include <cstdlib>
+#include <random>
+
+int
+roll()
+{
+    std::random_device dev;
+    return static_cast<int>(dev() % 6) + rand() % 6;
+}

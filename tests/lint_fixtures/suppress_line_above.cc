@@ -1,0 +1,12 @@
+#include <unordered_map>
+
+int
+sum()
+{
+    std::unordered_map<int, int> table;
+    int total = 0;
+    // viva-lint: allow(unordered-iter)
+    for (const auto &entry : table)
+        total += entry.second;
+    return total;
+}

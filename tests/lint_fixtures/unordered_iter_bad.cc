@@ -1,0 +1,11 @@
+#include <unordered_map>
+
+int
+sum()
+{
+    std::unordered_map<int, int> table;
+    int total = 0;
+    for (const auto &entry : table)
+        total += entry.second;
+    return total;
+}

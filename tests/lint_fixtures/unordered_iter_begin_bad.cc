@@ -1,0 +1,10 @@
+#include <unordered_set>
+
+using KeySet = std::unordered_set<unsigned long>;
+
+unsigned long
+first(const KeySet &keys)
+{
+    KeySet copy = keys;
+    return copy.empty() ? 0 : *copy.begin();
+}

@@ -1,0 +1,15 @@
+#include <map>
+#include <vector>
+
+int
+sum()
+{
+    std::vector<int> values;
+    std::map<int, int> ordered;
+    int total = 0;
+    for (int v : values)
+        total += v;
+    for (const auto &entry : ordered)
+        total += entry.second;
+    return total;
+}

@@ -1,0 +1,12 @@
+#include <unordered_map>
+
+int
+sum()
+{
+    std::unordered_map<int, int> table;
+    int total = 0;
+    // Integer sum: exactly order-independent.
+    for (const auto &entry : table)  // viva-lint: allow(unordered-iter)
+        total += entry.second;
+    return total;
+}

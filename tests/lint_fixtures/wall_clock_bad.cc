@@ -1,0 +1,10 @@
+#include <chrono>
+#include <ctime>
+
+double
+stamp()
+{
+    auto now = std::chrono::system_clock::now();
+    (void)now;
+    return double(time(nullptr));
+}

@@ -1,0 +1,11 @@
+#include <chrono>
+
+long
+elapsed()
+{
+    auto begin = std::chrono::steady_clock::now();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               end - begin)
+        .count();
+}

@@ -1,0 +1,663 @@
+/**
+ * @file
+ * Implementation of the viva-lint engine (see lint.hh for the model and
+ * tools/lint_rules.hh for the rule table).
+ */
+
+#include "tools/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace viva::lint
+{
+
+namespace detail
+{
+
+std::string
+stripCommentsAndStrings(const std::string &content)
+{
+    std::string out = content;
+    std::size_t i = 0;
+    const std::size_t n = content.size();
+
+    auto blank = [&](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to && k < n; ++k)
+            if (out[k] != '\n')
+                out[k] = ' ';
+    };
+
+    while (i < n) {
+        char c = content[i];
+        char next = i + 1 < n ? content[i + 1] : '\0';
+
+        if (c == '/' && next == '/') {
+            std::size_t end = content.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            blank(i, end);
+            i = end;
+        } else if (c == '/' && next == '*') {
+            std::size_t end = content.find("*/", i + 2);
+            end = end == std::string::npos ? n : end + 2;
+            blank(i, end);
+            i = end;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(
+                                   static_cast<unsigned char>(
+                                       content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+            // Raw string literal: R"delim( ... )delim"
+            std::size_t open = content.find('(', i + 2);
+            if (open == std::string::npos) {
+                ++i;
+                continue;
+            }
+            std::string delim = content.substr(i + 2, open - (i + 2));
+            std::string closer = ")" + delim + "\"";
+            std::size_t end = content.find(closer, open + 1);
+            end = end == std::string::npos ? n : end + closer.size();
+            blank(i, end);
+            i = end;
+        } else if (c == '"' || c == '\'') {
+            std::size_t k = i + 1;
+            while (k < n && content[k] != c) {
+                if (content[k] == '\\')
+                    ++k;
+                ++k;
+            }
+            std::size_t end = std::min(k + 1, n);
+            blank(i + 1, end > i + 1 ? end - 1 : i + 1);
+            i = end;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::size_t
+lineOfOffset(const std::string &text, std::size_t offset)
+{
+    return 1 + std::size_t(std::count(
+                   text.begin(),
+                   text.begin() +
+                       std::ptrdiff_t(std::min(offset, text.size())),
+                   '\n'));
+}
+
+} // namespace detail
+
+namespace
+{
+
+using detail::lineOfOffset;
+using detail::stripCommentsAndStrings;
+
+bool
+isHeaderPath(const std::string &path)
+{
+    auto ends = [&](const char *suffix) {
+        std::string s(suffix);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends(".hh") || ends(".hpp");
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** Does `rule` apply to this path at all? */
+bool
+ruleApplies(const Rule &rule, const std::string &path)
+{
+    if (rule.headersOnly && !isHeaderPath(path))
+        return false;
+    for (const std::string &ex : rule.excludePrefixes)
+        if (startsWith(path, ex))
+            return false;
+    if (rule.includePrefixes.empty())
+        return true;
+    for (const std::string &in : rule.includePrefixes)
+        if (startsWith(path, in))
+            return true;
+    return false;
+}
+
+/** Split a file into raw lines (newline excluded). */
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= content.size()) {
+        std::size_t end = content.find('\n', start);
+        if (end == std::string::npos) {
+            lines.push_back(content.substr(start));
+            break;
+        }
+        lines.push_back(content.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+/** Per-file suppression state parsed from viva-lint comments. */
+struct Suppressions
+{
+    std::set<std::string> fileWide;
+    /** line (1-based) -> rules allowed on that line */
+    std::map<std::size_t, std::set<std::string>> perLine;
+
+    bool
+    allows(const std::string &rule, std::size_t line) const
+    {
+        if (fileWide.count(rule))
+            return true;
+        auto it = perLine.find(line);
+        return it != perLine.end() && it->second.count(rule) != 0;
+    }
+};
+
+/** Split "a, b c" into trimmed tokens. */
+std::vector<std::string>
+splitIds(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : list) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+Suppressions
+parseSuppressions(const std::vector<std::string> &rawLines,
+                  const std::vector<std::string> &strippedLines)
+{
+    static const std::regex allowRe(
+        R"(viva-lint:\s*allow\(([^)]*)\))");
+    static const std::regex allowFileRe(
+        R"(viva-lint:\s*allow-file\(([^)]*)\))");
+
+    Suppressions sup;
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(rawLines[i], m, allowFileRe))
+            for (const std::string &id : splitIds(m[1].str()))
+                sup.fileWide.insert(id);
+        if (!std::regex_search(rawLines[i], m, allowRe))
+            continue;
+        std::set<std::string> &line = sup.perLine[i + 1];
+        for (const std::string &id : splitIds(m[1].str()))
+            line.insert(id);
+        // A comment-only line also covers the line that follows it.
+        const std::string &code =
+            i < strippedLines.size() ? strippedLines[i] : rawLines[i];
+        bool codeless = std::all_of(
+            code.begin(), code.end(), [](unsigned char c) {
+                return std::isspace(c) != 0;
+            });
+        if (codeless)
+            for (const std::string &id : splitIds(m[1].str()))
+                sup.perLine[i + 2].insert(id);
+    }
+    return sup;
+}
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** Whole-word occurrence check. */
+bool
+containsWord(const std::string &text, const std::string &word)
+{
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        bool left = pos == 0 || !isWordChar(text[pos - 1]);
+        std::size_t end = pos + word.size();
+        bool right = end >= text.size() || !isWordChar(text[end]);
+        if (left && right)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+/** Names of `using X = ...unordered_map/set...` aliases in one file. */
+std::vector<std::string>
+unorderedAliases(const std::string &stripped)
+{
+    static const std::regex aliasRe(
+        R"(using\s+(\w+)\s*=\s*[\w:\s]*\bunordered_(?:map|set)\s*<)");
+    std::vector<std::string> out;
+    auto begin = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      aliasRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+        out.push_back((*it)[1].str());
+    return out;
+}
+
+/**
+ * Variable names declared with an unordered container type in one
+ * file's stripped text -- direct declarations plus declarations through
+ * any of the known aliases.
+ */
+std::set<std::string>
+unorderedVariables(const std::string &stripped,
+                   const std::vector<std::string> &aliases)
+{
+    std::set<std::string> vars;
+
+    // Direct declarations: unordered_map< ... > [&*] name [;=({,)]
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t mapPos = stripped.find("unordered_map", pos);
+        std::size_t setPos = stripped.find("unordered_set", pos);
+        std::size_t hit = std::min(mapPos, setPos);
+        if (hit == std::string::npos)
+            break;
+        pos = hit + 13;  // strlen("unordered_map")
+
+        // Part of an alias definition: the alias pass owns it.
+        std::size_t back = hit;
+        while (back > 0 && std::isspace(static_cast<unsigned char>(
+                               stripped[back - 1])))
+            --back;
+        // Skip over the "std::" qualifier, if any.
+        while (back >= 2 && stripped.compare(back - 2, 2, "::") == 0) {
+            back -= 2;
+            while (back > 0 && isWordChar(stripped[back - 1]))
+                --back;
+            while (back > 0 && std::isspace(static_cast<unsigned char>(
+                                   stripped[back - 1])))
+                --back;
+        }
+        if (back > 0 && stripped[back - 1] == '=')
+            continue;
+
+        // Balanced template argument list.
+        std::size_t i = pos;
+        while (i < stripped.size() && std::isspace(
+                   static_cast<unsigned char>(stripped[i])))
+            ++i;
+        if (i >= stripped.size() || stripped[i] != '<')
+            continue;
+        int depth = 0;
+        for (; i < stripped.size(); ++i) {
+            if (stripped[i] == '<')
+                ++depth;
+            else if (stripped[i] == '>' && --depth == 0) {
+                ++i;
+                break;
+            }
+        }
+        if (depth != 0)
+            continue;
+
+        // Optional ref/pointer, then the declared name.
+        while (i < stripped.size() &&
+               (std::isspace(static_cast<unsigned char>(stripped[i])) ||
+                stripped[i] == '&' || stripped[i] == '*'))
+            ++i;
+        std::size_t nameStart = i;
+        while (i < stripped.size() && isWordChar(stripped[i]))
+            ++i;
+        if (i == nameStart)
+            continue;
+        std::string name = stripped.substr(nameStart, i - nameStart);
+        while (i < stripped.size() && std::isspace(
+                   static_cast<unsigned char>(stripped[i])))
+            ++i;
+        char after = i < stripped.size() ? stripped[i] : '\0';
+        if (after == ';' || after == '=' || after == '(' ||
+            after == '{' || after == ',' || after == ')')
+            vars.insert(name);
+        pos = i;
+    }
+
+    // Alias-typed declarations: [const] Alias [&*] name
+    for (const std::string &alias : aliases) {
+        std::regex declRe("\\b" + alias +
+                          R"+(\b[\s&*]+(\w+)\s*[;=({,)])+");
+        auto begin = std::sregex_iterator(stripped.begin(),
+                                          stripped.end(), declRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            vars.insert((*it)[1].str());
+    }
+    return vars;
+}
+
+/** Add a finding unless suppressed. */
+void
+report(std::vector<Finding> &out, const Suppressions &sup,
+       const std::string &file, std::size_t line,
+       const std::string &rule, const std::string &message)
+{
+    if (sup.allows(rule, line))
+        return;
+    out.push_back({file, line, rule, message});
+}
+
+/**
+ * unordered-iter: flag range-for statements whose range expression
+ * names a tracked unordered variable, and explicit .begin()/.cbegin()
+ * calls on one.
+ */
+void
+checkUnorderedIteration(const FileInput &file,
+                        const std::string &stripped,
+                        const std::set<std::string> &vars,
+                        const Suppressions &sup,
+                        std::vector<Finding> &out)
+{
+    if (vars.empty())
+        return;
+
+    // Range-for statements.
+    std::size_t pos = 0;
+    while ((pos = stripped.find("for", pos)) != std::string::npos) {
+        std::size_t at = pos;
+        pos += 3;
+        bool left = at == 0 || !isWordChar(stripped[at - 1]);
+        bool right = at + 3 >= stripped.size() ||
+                     !isWordChar(stripped[at + 3]);
+        if (!left || !right)
+            continue;
+        std::size_t open = at + 3;
+        while (open < stripped.size() && std::isspace(
+                   static_cast<unsigned char>(stripped[open])))
+            ++open;
+        if (open >= stripped.size() || stripped[open] != '(')
+            continue;
+        int depth = 0;
+        std::size_t close = open;
+        std::size_t colon = std::string::npos;
+        bool hasSemicolon = false;
+        for (std::size_t i = open; i < stripped.size(); ++i) {
+            char c = stripped[i];
+            if (c == '(' || c == '[' || c == '{')
+                ++depth;
+            else if (c == ')' || c == ']' || c == '}') {
+                --depth;
+                if (depth == 0 && c == ')') {
+                    close = i;
+                    break;
+                }
+            } else if (depth == 1 && c == ';') {
+                hasSemicolon = true;
+            } else if (depth == 1 && c == ':' &&
+                       colon == std::string::npos) {
+                bool dbl =
+                    (i > 0 && stripped[i - 1] == ':') ||
+                    (i + 1 < stripped.size() && stripped[i + 1] == ':');
+                if (!dbl)
+                    colon = i;
+            }
+        }
+        if (close == open || hasSemicolon ||
+            colon == std::string::npos)
+            continue;
+        std::string range = stripped.substr(colon + 1,
+                                            close - colon - 1);
+        for (const std::string &name : vars) {
+            if (!containsWord(range, name))
+                continue;
+            report(out, sup, file.path,
+                   lineOfOffset(stripped, at), "unordered-iter",
+                   "range-for over unordered container '" + name +
+                       "': iteration order is not deterministic");
+            break;
+        }
+    }
+
+    // Explicit iterator walks.
+    for (const std::string &name : vars) {
+        std::regex beginRe("\\b" + name + R"(\s*\.\s*c?begin\s*\()");
+        auto it = std::sregex_iterator(stripped.begin(),
+                                       stripped.end(), beginRe);
+        for (; it != std::sregex_iterator(); ++it)
+            report(out, sup, file.path,
+                   lineOfOffset(stripped,
+                                std::size_t(it->position())),
+                   "unordered-iter",
+                   "iterator walk over unordered container '" + name +
+                       "': iteration order is not deterministic");
+    }
+}
+
+/**
+ * raw-new-delete: new/delete expressions. `= delete;` (deleted special
+ * members) is declaration syntax, not a deallocation, so `delete`
+ * preceded by '=' is skipped.
+ */
+void
+checkNewDelete(const FileInput &file, const std::string &stripped,
+               const Suppressions &sup, std::vector<Finding> &out)
+{
+    static const std::regex newRe(R"(\bnew\b\s*[A-Za-z_:(<\[])");
+    auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                   newRe);
+    for (; it != std::sregex_iterator(); ++it)
+        report(out, sup, file.path,
+               lineOfOffset(stripped, std::size_t(it->position())),
+               "raw-new-delete",
+               "raw new expression; use containers or smart pointers");
+
+    std::size_t pos = 0;
+    while ((pos = stripped.find("delete", pos)) != std::string::npos) {
+        std::size_t at = pos;
+        pos += 6;
+        bool left = at == 0 || !isWordChar(stripped[at - 1]);
+        bool right = at + 6 >= stripped.size() ||
+                     !isWordChar(stripped[at + 6]);
+        if (!left || !right)
+            continue;
+        std::size_t back = at;
+        while (back > 0 && std::isspace(static_cast<unsigned char>(
+                               stripped[back - 1])))
+            --back;
+        if (back > 0 && stripped[back - 1] == '=')
+            continue;  // deleted special member, not a deallocation
+        report(out, sup, file.path, lineOfOffset(stripped, at),
+               "raw-new-delete",
+               "raw delete expression; use containers or smart "
+               "pointers");
+    }
+}
+
+/** Apply one simple regex rule over stripped text. */
+void
+checkPattern(const FileInput &file, const std::string &stripped,
+             const std::regex &re, const std::string &rule,
+             const std::string &message, const Suppressions &sup,
+             std::vector<Finding> &out)
+{
+    auto begin = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+        report(out, sup, file.path,
+               lineOfOffset(stripped, std::size_t(it->position())),
+               rule, message);
+}
+
+/** pragma-once: the first directive/code line must be #pragma once. */
+void
+checkPragmaOnce(const FileInput &file,
+                const std::vector<std::string> &rawLines,
+                const std::vector<std::string> &strippedLines,
+                const Suppressions &sup, std::vector<Finding> &out)
+{
+    static const std::regex pragmaRe(R"(^\s*#\s*pragma\s+once\b)");
+    for (std::size_t i = 0; i < strippedLines.size(); ++i) {
+        const std::string &code = strippedLines[i];
+        bool blank = std::all_of(
+            code.begin(), code.end(), [](unsigned char c) {
+                return std::isspace(c) != 0;
+            });
+        if (blank)
+            continue;
+        if (!std::regex_search(rawLines[i], pragmaRe))
+            report(out, sup, file.path, i + 1, "pragma-once",
+                   "header does not start with #pragma once");
+        return;
+    }
+    report(out, sup, file.path, 1, "pragma-once",
+           "header has no #pragma once");
+}
+
+/** include-hygiene: '..' include segments; using namespace in headers. */
+void
+checkIncludeHygiene(const FileInput &file,
+                    const std::vector<std::string> &rawLines,
+                    const std::vector<std::string> &strippedLines,
+                    const Suppressions &sup, std::vector<Finding> &out)
+{
+    static const std::regex includeRe(
+        R"(^\s*#\s*include\s*([<"])([^">]+)[">])");
+    static const std::regex usingNamespaceRe(
+        R"(^\s*using\s+namespace\b)");
+
+    for (std::size_t i = 0; i < rawLines.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(rawLines[i], m, includeRe) &&
+            m[2].str().find("..") != std::string::npos)
+            report(out, sup, file.path, i + 1, "include-hygiene",
+                   "#include path '" + m[2].str() +
+                       "' contains a '..' segment");
+        if (isHeaderPath(file.path) && i < strippedLines.size() &&
+            std::regex_search(strippedLines[i], usingNamespaceRe))
+            report(out, sup, file.path, i + 1, "include-hygiene",
+                   "`using namespace` in a header leaks into every "
+                   "includer");
+    }
+}
+
+/** The companion header of a .cc file ("src/x/y.cc" -> "src/x/y.hh"). */
+std::string
+companionHeader(const std::string &path)
+{
+    std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return {};
+    return path.substr(0, dot) + ".hh";
+}
+
+} // namespace
+
+std::vector<Finding>
+runLint(const std::vector<FileInput> &files)
+{
+    // Pass 1: global alias names and per-file stripped text.
+    std::vector<std::string> strippedAll(files.size());
+    std::vector<std::string> aliases;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        strippedAll[i] = stripCommentsAndStrings(files[i].content);
+        for (std::string &name : unorderedAliases(strippedAll[i]))
+            aliases.push_back(std::move(name));
+    }
+    std::sort(aliases.begin(), aliases.end());
+    aliases.erase(std::unique(aliases.begin(), aliases.end()),
+                  aliases.end());
+
+    // Pass 2: per-file unordered variable names (a .cc also sees the
+    // members its companion header declares).
+    std::vector<std::set<std::string>> fileVars(files.size());
+    std::map<std::string, std::size_t> indexByPath;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        fileVars[i] = unorderedVariables(strippedAll[i], aliases);
+        indexByPath[files[i].path] = i;
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        auto it = indexByPath.find(companionHeader(files[i].path));
+        if (it == indexByPath.end() || it->second == i)
+            continue;
+        fileVars[i].insert(fileVars[it->second].begin(),
+                           fileVars[it->second].end());
+    }
+
+    static const std::regex randomRe(
+        R"(\b(?:rand|srand)\s*\(|\brandom_device\b)");
+    static const std::regex floatRe(R"(\bfloat\b)");
+    static const std::regex wallClockRe(
+        R"(\bsystem_clock\b|\bgettimeofday\b|\btime\s*\(|\blocaltime\b|\bgmtime\b|\bctime\b)");
+
+    std::vector<Finding> out;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const FileInput &file = files[i];
+        const std::string &stripped = strippedAll[i];
+        std::vector<std::string> rawLines = splitLines(file.content);
+        std::vector<std::string> strippedLines = splitLines(stripped);
+        Suppressions sup = parseSuppressions(rawLines, strippedLines);
+
+        auto active = [&](const char *id) {
+            for (const Rule &rule : ruleTable())
+                if (rule.id == id)
+                    return ruleApplies(rule, file.path);
+            return false;
+        };
+
+        if (active("unordered-iter"))
+            checkUnorderedIteration(file, stripped, fileVars[i], sup,
+                                    out);
+        if (active("raw-random"))
+            checkPattern(file, stripped, randomRe, "raw-random",
+                         "raw randomness; use the seeded support::Rng",
+                         sup, out);
+        if (active("raw-new-delete"))
+            checkNewDelete(file, stripped, sup, out);
+        if (active("float-type"))
+            checkPattern(file, stripped, floatRe, "float-type",
+                         "float in deterministic math; the contract is "
+                         "specified over doubles",
+                         sup, out);
+        if (active("wall-clock"))
+            checkPattern(file, stripped, wallClockRe, "wall-clock",
+                         "wall-clock read in a deterministic code path",
+                         sup, out);
+        if (active("pragma-once"))
+            checkPragmaOnce(file, rawLines, strippedLines, sup, out);
+        if (active("include-hygiene"))
+            checkIncludeHygiene(file, rawLines, strippedLines, sup,
+                                out);
+    }
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
+    return out;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    std::ostringstream os;
+    os << finding.file << ':' << finding.line << ": [" << finding.rule
+       << "] " << finding.message;
+    return os.str();
+}
+
+} // namespace viva::lint

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The viva-lint engine: a token/line-rule source scanner (deliberately
+ * not a compiler frontend -- no libclang dependency) that enforces the
+ * project rules of tools/lint_rules.hh over a set of C++ sources.
+ *
+ * The engine works on comment- and string-stripped text, so rule
+ * patterns never fire inside comments or literals, and understands just
+ * enough C++ to track which variables in a file were declared with an
+ * unordered container type (directly or through a `using` alias).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.hh"
+
+namespace viva::lint
+{
+
+/** One source file handed to the engine. */
+struct FileInput
+{
+    /** Repo-relative path with '/' separators (drives rule scoping). */
+    std::string path;
+
+    /** Full file content. */
+    std::string content;
+};
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;  ///< 1-based
+    std::string rule;      ///< Rule::id
+    std::string message;
+};
+
+/**
+ * Run every rule over the files and return the findings, ordered by
+ * file then line. Suppressed findings are dropped.
+ */
+std::vector<Finding> runLint(const std::vector<FileInput> &files);
+
+/** Format a finding as "path:line: [rule] message". */
+std::string formatFinding(const Finding &finding);
+
+namespace detail
+{
+
+/**
+ * Replace comments and string/char literals (raw strings included) with
+ * spaces, preserving line structure so offsets keep their line numbers.
+ */
+std::string stripCommentsAndStrings(const std::string &content);
+
+/** 1-based line number of a byte offset. */
+std::size_t lineOfOffset(const std::string &text, std::size_t offset);
+
+} // namespace detail
+
+} // namespace viva::lint

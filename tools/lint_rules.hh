@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The viva-lint rule table: every project rule the source scanner
+ * enforces, with its suppression id, scope and rationale. The engine in
+ * lint.cc implements the checks; this header is the single place a rule
+ * is declared, documented and scoped.
+ *
+ * Rules exist to protect the repository's core guarantee -- bitwise
+ * deterministic layouts and aggregations at any thread count -- plus a
+ * few hygiene invariants (#pragma once, include discipline, no raw
+ * owning new/delete).
+ *
+ * Suppressions: append `// viva-lint: allow(<rule-id>)` to the
+ * offending line, or put the comment alone on the line directly above.
+ * A whole file opts out of one rule with
+ * `// viva-lint: allow-file(<rule-id>)` anywhere in the file.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace viva::lint
+{
+
+/** One enforced project rule. */
+struct Rule
+{
+    /** Stable id, used in reports and allow() suppressions. */
+    std::string id;
+
+    /** One-line human description (shown next to findings). */
+    std::string summary;
+
+    /**
+     * Repo-relative path prefixes ('/'-separated) the rule applies to.
+     * Empty means every scanned file.
+     */
+    std::vector<std::string> includePrefixes;
+
+    /**
+     * Designated files or path prefixes exempt from the rule (e.g. the
+     * seeded RNG helper is allowed to touch <random> internals).
+     */
+    std::vector<std::string> excludePrefixes;
+
+    /** Restrict the rule to header files (.hh / .hpp). */
+    bool headersOnly = false;
+};
+
+/** The rule table, in reporting order. */
+inline const std::vector<Rule> &
+ruleTable()
+{
+    static const std::vector<Rule> rules = {
+        {
+            "unordered-iter",
+            "iteration over unordered_map/unordered_set: the visit "
+            "order is implementation-defined, so any reduction or "
+            "rendering driven by it is nondeterministic",
+            {},
+            {},
+            false,
+        },
+        {
+            "raw-random",
+            "rand()/srand()/std::random_device: unseeded or "
+            "process-global randomness breaks reproducibility; use the "
+            "seeded support::Rng instead",
+            {},
+            {"src/support/random.hh"},
+            false,
+        },
+        {
+            "raw-new-delete",
+            "raw new/delete expression: ownership must live in "
+            "containers or smart pointers (no designated files "
+            "currently)",
+            {},
+            {},
+            false,
+        },
+        {
+            "float-type",
+            "float in layout/aggregation math: the bitwise-determinism "
+            "contract is specified over doubles; mixed precision "
+            "changes results across compilers and flags",
+            {"src/layout/", "src/agg/"},
+            {},
+            false,
+        },
+        {
+            "wall-clock",
+            "wall-clock reads (std::chrono::system_clock, time(), "
+            "gettimeofday) in deterministic code paths: results must "
+            "not depend on when the code runs",
+            {"src/"},
+            {},
+            false,
+        },
+        {
+            "pragma-once",
+            "headers must start with #pragma once (before any other "
+            "preprocessor directive or code)",
+            {},
+            {},
+            true,
+        },
+        {
+            "include-hygiene",
+            "include discipline: no '..' segments in #include paths, "
+            "and no file-scope `using namespace` in headers",
+            {},
+            {},
+            false,
+        },
+    };
+    return rules;
+}
+
+} // namespace viva::lint

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * viva-lint command line: scan C++ sources under a repository root for
+ * violations of the project rules (tools/lint_rules.hh).
+ *
+ * Usage: viva-lint <root> [subdir...]
+ *
+ * With no subdirs the default set (src tests bench examples tools) is
+ * scanned. Fixture files under tests/lint_fixtures are always skipped:
+ * they violate rules on purpose. Exit status: 0 clean, 1 findings,
+ * 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+bool
+isSourcePath(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: viva-lint <root> [subdir...]\n";
+        return 2;
+    }
+
+    const fs::path root = argv[1];
+    if (!fs::is_directory(root)) {
+        std::cerr << "viva-lint: '" << root.string()
+                  << "' is not a directory\n";
+        return 2;
+    }
+
+    std::vector<std::string> subdirs;
+    for (int i = 2; i < argc; ++i)
+        subdirs.emplace_back(argv[i]);
+    if (subdirs.empty())
+        subdirs = {"src", "tests", "bench", "examples", "tools"};
+
+    std::vector<viva::lint::FileInput> files;
+    for (const std::string &sub : subdirs) {
+        fs::path dir = root / sub;
+        if (!fs::is_directory(dir)) {
+            std::cerr << "viva-lint: skipping missing directory '"
+                      << dir.string() << "'\n";
+            continue;
+        }
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file() ||
+                !isSourcePath(entry.path()))
+                continue;
+            std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            if (rel.find("lint_fixtures/") != std::string::npos)
+                continue;
+            files.push_back({rel, readFile(entry.path())});
+        }
+    }
+
+    std::sort(files.begin(), files.end(),
+              [](const viva::lint::FileInput &a,
+                 const viva::lint::FileInput &b) {
+                  return a.path < b.path;
+              });
+
+    std::vector<viva::lint::Finding> findings =
+        viva::lint::runLint(files);
+    for (const viva::lint::Finding &f : findings)
+        std::cout << viva::lint::formatFinding(f) << '\n';
+
+    std::cout << "viva-lint: " << files.size() << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << '\n';
+    return findings.empty() ? 0 : 1;
+}
