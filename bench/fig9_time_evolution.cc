@@ -48,7 +48,7 @@ usageMatrix(const viva::trace::Trace &trace)
         for (std::size_t i = 0; i < 4; ++i)
             row.push_back(bench::appUsage(trace, site,
                                           "power_used:cpubound",
-                                          viva::agg::sliceAt(span, i, 4)));
+                                          viva::agg::sliceAt(span, viva::agg::SliceIndex::fromIndex(i), 4)));
         matrix.push_back(std::move(row));
         (void)site;
     }

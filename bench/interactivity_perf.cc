@@ -29,8 +29,8 @@ gridSession()
         auto mirror = viva::platform::mirrorPlatform(p, t);
         // Synthetic utilization so fills and pies have data.
         viva::support::Rng rng(3);
-        for (viva::platform::HostId h = 0; h < p.hostCount(); ++h) {
-            t.variable(mirror.hostContainer[h], mirror.powerUsed)
+        for (viva::platform::HostId h{0}; h.index() < p.hostCount(); ++h) {
+            t.variable(mirror.hostContainer[h.index()], mirror.powerUsed)
                 .set(0.0, rng.uniform(0.0, p.host(h).powerMflops));
         }
         viva::app::Session s(std::move(t));

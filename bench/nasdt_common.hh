@@ -73,9 +73,9 @@ printLinkTable(const viva::trace::Trace &trace)
 {
     viva::agg::TimeSlice whole = trace.span();
     viva::agg::TimeSlice slices[4] = {whole,
-                                      viva::agg::sliceAt(whole, 0, 3),
-                                      viva::agg::sliceAt(whole, 1, 3),
-                                      viva::agg::sliceAt(whole, 2, 3)};
+                                      viva::agg::sliceAt(whole, viva::agg::SliceIndex{0}, 3),
+                                      viva::agg::sliceAt(whole, viva::agg::SliceIndex{1}, 3),
+                                      viva::agg::sliceAt(whole, viva::agg::SliceIndex{2}, 3)};
 
     struct Row { const char *label; std::string match; } rows[] = {
         {"backbone", "backbone"},
@@ -123,7 +123,7 @@ renderViews(viva::trace::Trace trace, const std::string &out_dir,
                       prefix + ": whole execution");
     static const char *names[3] = {"begin", "middle", "end"};
     for (std::size_t i = 0; i < 3; ++i) {
-        session.setSliceOf(i, 3);
+        session.setSliceOf(viva::agg::SliceIndex::fromIndex(i), 3);
         session.renderSvg(out_dir + "/" + prefix + "_" + names[i] +
                               ".svg",
                           prefix + ": " + names[i]);

@@ -75,7 +75,7 @@ renderViews(viva::app::Session &session, const std::string &out_dir,
     // Beginning / middle / end slices.
     static const char *names[3] = {"begin", "middle", "end"};
     for (std::size_t i = 0; i < 3; ++i) {
-        session.setSliceOf(i, 3);
+        session.setSliceOf(viva::agg::SliceIndex::fromIndex(i), 3);
         viva::agg::View v = session.view();
         std::printf("  [%s] %s slice: backbone %.0f%% utilized\n",
                     tag.c_str(), names[i],

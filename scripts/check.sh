@@ -11,6 +11,11 @@
 #   asan       RelWithDebInfo, -fsanitize=address,undefined
 #   lint       the viva-lint source scan alone (cheap; runs inside every
 #              stage's ctest as well)
+#   analyze    semantic static analysis: the viva-deps layering check
+#              (always), plus clang-tidy over compile_commands.json and
+#              a clang -Wthread-safety build of the library -- both
+#              skipped with a notice when the clang toolchain is not
+#              installed (the default container is GCC-only)
 #
 # Usage: check.sh [stage ...]   -- default: every stage, failing fast.
 # Per-stage build trees live in build-<stage>/ and are reused.
@@ -21,7 +26,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
-STAGES="${*:-release validate tsan asan lint}"
+STAGES="${*:-release validate tsan asan lint analyze}"
 
 configure_flags() {
     case "$1" in
@@ -37,12 +42,12 @@ configure_flags() {
     asan)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=address,undefined"
         ;;
-    lint)
+    lint|analyze)
         echo "-DCMAKE_BUILD_TYPE=Release"
         ;;
     *)
         echo "check.sh: unknown stage '$1'" >&2
-        echo "usage: $0 [release|validate|tsan|asan|lint ...]" >&2
+        echo "usage: $0 [release|validate|tsan|asan|lint|analyze ...]" >&2
         exit 2
         ;;
     esac
@@ -62,6 +67,31 @@ run_stage() {
     if [ "$stage" = lint ]; then
         cmake --build "$BUILD" -j --target viva-lint lint_test || return 1
         ctest --test-dir "$BUILD" --output-on-failure -R lint || return 1
+    elif [ "$stage" = analyze ]; then
+        cmake --build "$BUILD" -j --target viva-deps deps_test || return 1
+        "$BUILD/tools/viva-deps" "$ROOT" "$ROOT/tools/layering.rules" \
+            src tests bench examples tools || return 1
+        ctest --test-dir "$BUILD" --output-on-failure -R '^deps' \
+            || return 1
+        if command -v clang-tidy >/dev/null 2>&1; then
+            "$ROOT/scripts/run_clang_tidy.sh" "$BUILD" || return 1
+        else
+            echo "analyze: clang-tidy not installed, skipping the tidy pass"
+        fi
+        if command -v clang++ >/dev/null 2>&1; then
+            # Thread-safety analysis is clang-only; the annotations in
+            # support/thread_annotations.hh are no-ops under GCC.
+            TSA_BUILD="$ROOT/build-analyze-tsa"
+            # shellcheck disable=SC2086
+            cmake -B "$TSA_BUILD" -S "$ROOT" $GEN \
+                -DCMAKE_BUILD_TYPE=Release \
+                -DCMAKE_CXX_COMPILER=clang++ \
+                "-DCMAKE_CXX_FLAGS=-Wthread-safety -Werror=thread-safety-analysis" \
+                || return 1
+            cmake --build "$TSA_BUILD" -j --target viva || return 1
+        else
+            echo "analyze: clang++ not installed, skipping the -Wthread-safety build"
+        fi
     else
         cmake --build "$BUILD" -j || return 1
         ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \

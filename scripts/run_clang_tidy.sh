@@ -1,0 +1,23 @@
+#!/bin/sh
+# Replay clang-tidy (profile: .clang-tidy at the repo root) over the
+# library sources, using the compile_commands.json of an existing build
+# tree. Prefers run-clang-tidy for parallelism; falls back to invoking
+# clang-tidy per translation unit.
+#
+# Usage: run_clang_tidy.sh <build-dir>
+set -eu
+
+BUILD="${1:?usage: run_clang_tidy.sh <build-dir>}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "run_clang_tidy.sh: no compile_commands.json in $BUILD" >&2
+    exit 2
+fi
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD" "^$ROOT/src/.*"
+else
+    find "$ROOT/src" -name '*.cc' -print0 |
+        xargs -0 -n 1 -P "$(nproc)" clang-tidy --quiet -p "$BUILD"
+fi

@@ -162,7 +162,7 @@ visibleEdges(const trace::Trace &trace, const HierarchyCut &cut)
             continue;  // contracted inside one aggregated node
         ContainerId lo = std::min(a, b);
         ContainerId hi = std::max(a, b);
-        std::uint64_t key = (std::uint64_t(lo) << 32) | hi;
+        std::uint64_t key = (std::uint64_t(lo.value()) << 32) | hi.value();
         auto it = index.find(key);
         if (it == index.end()) {
             index.emplace(key, edges.size());

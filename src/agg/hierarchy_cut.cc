@@ -20,31 +20,31 @@ HierarchyCut::HierarchyCut(const trace::Trace &trace) : tr(&trace)
 void
 HierarchyCut::aggregate(ContainerId group)
 {
-    VIVA_ASSERT(group < tr->containerCount(), "bad container ", group);
+    VIVA_ASSERT(group.index() < tr->containerCount(), "bad container ", group);
     if (tr->container(group).leaf())
         return;
-    collapsed[group] = 1;
+    collapsed[group.index()] = 1;
 }
 
 void
 HierarchyCut::disaggregate(ContainerId group)
 {
-    VIVA_ASSERT(group < tr->containerCount(), "bad container ", group);
-    if (!collapsed[group])
+    VIVA_ASSERT(group.index() < tr->containerCount(), "bad container ", group);
+    if (!collapsed[group.index()])
         return;
-    collapsed[group] = 0;
+    collapsed[group.index()] = 0;
     for (ContainerId child : tr->container(group).children) {
         if (!tr->container(child).leaf())
-            collapsed[child] = 1;
+            collapsed[child.index()] = 1;
     }
 }
 
 void
 HierarchyCut::aggregateToDepth(std::uint16_t depth)
 {
-    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
+    for (ContainerId id{0}; id.index() < tr->containerCount(); ++id) {
         const trace::Container &c = tr->container(id);
-        collapsed[id] = (!c.leaf() && c.depth == depth) ? 1 : 0;
+        collapsed[id.index()] = (!c.leaf() && c.depth == depth) ? 1 : 0;
     }
 }
 
@@ -54,21 +54,21 @@ HierarchyCut::focus(const std::vector<ContainerId> &targets)
     // expanded = on a root->target path, or inside a target's subtree.
     std::vector<std::uint8_t> expanded(tr->containerCount(), 0);
     for (ContainerId target : targets) {
-        VIVA_ASSERT(target < tr->containerCount(), "bad container ",
+        VIVA_ASSERT(target.index() < tr->containerCount(), "bad container ",
                     target);
         ContainerId cur = target;
         while (true) {
-            expanded[cur] = 1;
+            expanded[cur.index()] = 1;
             if (cur == tr->root())
                 break;
             cur = tr->container(cur).parent;
         }
         for (ContainerId inside : tr->subtree(target))
-            expanded[inside] = 1;
+            expanded[inside.index()] = 1;
     }
-    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
-        collapsed[id] =
-            (!tr->container(id).leaf() && !expanded[id]) ? 1 : 0;
+    for (ContainerId id{0}; id.index() < tr->containerCount(); ++id) {
+        collapsed[id.index()] =
+            (!tr->container(id).leaf() && !expanded[id.index()]) ? 1 : 0;
     }
 }
 
@@ -81,21 +81,21 @@ HierarchyCut::reset()
 bool
 HierarchyCut::isCollapsed(ContainerId id) const
 {
-    VIVA_ASSERT(id < collapsed.size(), "bad container ", id);
-    return collapsed[id] != 0;
+    VIVA_ASSERT(id.index() < collapsed.size(), "bad container ", id);
+    return collapsed[id.index()] != 0;
 }
 
 bool
 HierarchyCut::isVisible(ContainerId id) const
 {
-    VIVA_ASSERT(id < tr->containerCount(), "bad container ", id);
-    if (!collapsed[id] && !tr->container(id).leaf())
+    VIVA_ASSERT(id.index() < tr->containerCount(), "bad container ", id);
+    if (!collapsed[id.index()] && !tr->container(id).leaf())
         return false;
     // Visible unless a strict ancestor is collapsed.
     ContainerId cur = id;
     while (cur != tr->root()) {
         cur = tr->container(cur).parent;
-        if (collapsed[cur])
+        if (collapsed[cur.index()])
             return false;
     }
     return true;
@@ -104,14 +104,14 @@ HierarchyCut::isVisible(ContainerId id) const
 ContainerId
 HierarchyCut::representative(ContainerId id) const
 {
-    VIVA_ASSERT(id < tr->containerCount(), "bad container ", id);
+    VIVA_ASSERT(id.index() < tr->containerCount(), "bad container ", id);
     ContainerId top = id;
     ContainerId cur = id;
-    if (collapsed[cur])
+    if (collapsed[cur.index()])
         top = cur;
     while (cur != tr->root()) {
         cur = tr->container(cur).parent;
-        if (collapsed[cur])
+        if (collapsed[cur.index()])
             top = cur;
     }
     return top;
@@ -126,7 +126,7 @@ HierarchyCut::visibleNodes() const
         ContainerId cur = stack.back();
         stack.pop_back();
         const trace::Container &c = tr->container(cur);
-        if (collapsed[cur] || (c.leaf() && cur != tr->root())) {
+        if (collapsed[cur.index()] || (c.leaf() && cur != tr->root())) {
             out.push_back(cur);
             continue;
         }
@@ -154,8 +154,8 @@ HierarchyCut::auditInvariants() const
         return log;
     }
 
-    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
-        if (collapsed[id] && tr->container(id).leaf())
+    for (ContainerId id{0}; id.index() < tr->containerCount(); ++id) {
+        if (collapsed[id.index()] && tr->container(id).leaf())
             auditFail(log, "leaf container ", id, " ('",
                       tr->fullName(id), "') is marked collapsed");
     }
@@ -169,16 +169,16 @@ HierarchyCut::auditInvariants() const
         if (!isVisible(id))
             auditFail(log, "visibleNodes() lists ", id, " ('",
                       tr->fullName(id), "') but isVisible denies it");
-        visible[id] = 1;
+        visible[id.index()] = 1;
     }
-    for (ContainerId id = 0; id < tr->containerCount(); ++id) {
+    for (ContainerId id{0}; id.index() < tr->containerCount(); ++id) {
         // The root only represents itself when collapsed, so a childless
         // trace legitimately has no visible nodes.
         if (!tr->container(id).leaf() || id == tr->root())
             continue;
         std::size_t covers = 0;
         for (ContainerId cur = id;; cur = tr->container(cur).parent) {
-            covers += visible[cur];
+            covers += visible[cur.index()];
             if (cur == tr->root())
                 break;
         }
@@ -193,8 +193,8 @@ HierarchyCut::auditInvariants() const
 void
 HierarchyCut::debugSetCollapsed(ContainerId id, bool value)
 {
-    VIVA_ASSERT(id < collapsed.size(), "bad container ", id);
-    collapsed[id] = value ? 1 : 0;
+    VIVA_ASSERT(id.index() < collapsed.size(), "bad container ", id);
+    collapsed[id.index()] = value ? 1 : 0;
 }
 
 } // namespace viva::agg

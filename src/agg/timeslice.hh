@@ -10,11 +10,24 @@
 #include <vector>
 
 #include "support/interval.hh"
+#include "support/strong_id.hh"
 
 namespace viva::agg
 {
 
 using TimeSlice = support::Interval;
+
+/** Tag type of the temporal slice index space. */
+struct SliceTag
+{
+};
+
+/**
+ * Position of one slice inside a uniform division of the observation
+ * period -- the frame number the analyst steps through. Strongly typed
+ * so a slice position cannot be confused with a container or node id.
+ */
+using SliceIndex = support::StrongId<SliceTag, std::uint32_t>;
 
 /** Split a period into n equal consecutive slices. */
 inline std::vector<TimeSlice>
@@ -34,10 +47,10 @@ uniformSlices(const TimeSlice &span, std::size_t n)
 
 /** The i-th of n equal slices of a period. */
 inline TimeSlice
-sliceAt(const TimeSlice &span, std::size_t i, std::size_t n)
+sliceAt(const TimeSlice &span, SliceIndex i, std::size_t n)
 {
-    VIVA_ASSERT(i < n, "slice index ", i, " out of ", n);
-    return uniformSlices(span, n)[i];
+    VIVA_ASSERT(i.index() < n, "slice index ", i, " out of ", n);
+    return uniformSlices(span, n)[i.index()];
 }
 
 /**

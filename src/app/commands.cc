@@ -68,7 +68,7 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
             out << "error: slice-of " << i << " " << n << " is invalid\n";
             return false;
         }
-        sess.setSliceOf(i, n);
+        sess.setSliceOf(agg::SliceIndex::fromIndex(i), n);
         out << "slice [" << sess.timeSlice().begin << ", "
             << sess.timeSlice().end << ")\n";
         return true;

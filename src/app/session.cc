@@ -70,7 +70,7 @@ Session::setTimeSlice(const agg::TimeSlice &s)
 }
 
 void
-Session::setSliceOf(std::size_t i, std::size_t n)
+Session::setSliceOf(agg::SliceIndex i, std::size_t n)
 {
     slice = agg::sliceAt(span(), i, n);
     maybeAudit("Session::setSliceOf");
@@ -138,8 +138,10 @@ void
 Session::syncLayout()
 {
     std::vector<ContainerId> desired = hierCut.visibleNodes();
-    std::unordered_set<std::uint64_t> desired_set(desired.begin(),
-                                                  desired.end());
+    std::unordered_set<std::uint64_t> desired_set;
+    desired_set.reserve(desired.size());
+    for (ContainerId id : desired)
+        desired_set.insert(id.value());
 
     // Current nodes by container id.
     layout::Snapshot current = layout::snapshotPositions(graph);
@@ -150,14 +152,14 @@ Session::syncLayout()
     std::unordered_map<std::uint64_t, std::size_t> child_index;
 
     for (ContainerId id : desired) {
-        if (current.count(id))
+        if (current.count(id.value()))
             continue;
 
         // Aggregation: absorb the centroid of current descendants.
         layout::Vec2 centroid;
         std::size_t absorbed = 0;
         for (ContainerId d : tr.subtree(id)) {
-            auto it = current.find(d);
+            auto it = current.find(d.value());
             if (it != current.end() && d != id) {
                 centroid += it->second;
                 ++absorbed;
@@ -173,9 +175,9 @@ Session::syncLayout()
         bool placed = false;
         while (anc != tr.root()) {
             anc = tr.container(anc).parent;
-            auto it = current.find(anc);
+            auto it = current.find(anc.value());
             if (it != current.end()) {
-                std::size_t k = child_index[anc]++;
+                std::size_t k = child_index[anc.value()]++;
                 double radius =
                     std::max(force.params().restLength * 0.5, 10.0);
                 to_add.emplace_back(id,
@@ -214,20 +216,20 @@ Session::syncLayout()
     for (const auto &[id, pos] : to_add) {
         double charge = double(
             std::max<std::size_t>(tr.leavesUnder(id).size(), 1));
-        graph.addNode(id, pos, charge);
+        graph.addNode(id.value(), pos, charge);
     }
 
     // Refresh charges of surviving aggregates (cut may have changed the
     // leaves they cover) and rebuild the visible edges.
     graph.clearEdges();
     for (ContainerId id : desired) {
-        layout::NodeId n = graph.findKey(id);
+        layout::NodeId n = graph.findKey(id.value());
         graph.setCharge(n, double(std::max<std::size_t>(
                                tr.leavesUnder(id).size(), 1)));
     }
     for (const agg::ViewEdge &e : agg::visibleEdges(tr, hierCut)) {
-        layout::NodeId a = graph.findKey(e.a);
-        layout::NodeId b = graph.findKey(e.b);
+        layout::NodeId a = graph.findKey(e.a.value());
+        layout::NodeId b = graph.findKey(e.b.value());
         VIVA_ASSERT(a != layout::kNoNode && b != layout::kNoNode,
                     "visible edge endpoint missing from layout");
         double strength = 1.0 + std::log2(double(e.multiplicity));
@@ -259,7 +261,7 @@ Session::nodeOf(const std::string &path) const
         id = tr.findByName(path);
     if (id == trace::kNoContainer)
         return layout::kNoNode;
-    return graph.findKey(id);
+    return graph.findKey(id.value());
 }
 
 bool
@@ -438,7 +440,7 @@ Session::auditInvariants() const
     // container, nothing else.
     std::vector<ContainerId> visible = hierCut.visibleNodes();
     for (ContainerId id : visible)
-        if (graph.findKey(id) == layout::kNoNode)
+        if (graph.findKey(id.value()) == layout::kNoNode)
             support::auditFail(log, "session: visible container ", id,
                                " ('", tr.fullName(id),
                                "') has no layout node");

@@ -54,7 +54,7 @@ class Session
     void setTimeSlice(const agg::TimeSlice &slice);
 
     /** Set the slice to the i-th of n equal parts of the span. */
-    void setSliceOf(std::size_t i, std::size_t n);
+    void setSliceOf(agg::SliceIndex i, std::size_t n);
 
     /** The current time slice. */
     const agg::TimeSlice &timeSlice() const { return slice; }

@@ -63,7 +63,7 @@ ForceLayout::step(double timestep_scale)
                     // result is the field, scale by this node's own
                     // charge.
                     Vec2 field = tree.forceAt(n.position, prm.theta);
-                    force[n.id] += field * (prm.charge * n.charge);
+                    force[n.id.index()] += field * (prm.charge * n.charge);
                 }
             });
     } else {
@@ -81,7 +81,7 @@ ForceLayout::step(double timestep_scale)
                         double dist = d.norm();
                         if (dist < 1e-9)
                             continue;
-                        force[a.id] +=
+                        force[a.id.index()] +=
                             d * (prm.charge * a.charge * b.charge /
                                  (dist * dist * dist));
                     }
@@ -91,16 +91,16 @@ ForceLayout::step(double timestep_scale)
 
     // --- springs ----------------------------------------------------------
     for (const Edge &e : g.rawEdges()) {
-        if (!e.alive || !nodes[e.a].alive || !nodes[e.b].alive)
+        if (!e.alive || !nodes[e.a.index()].alive || !nodes[e.b.index()].alive)
             continue;
-        Vec2 d = nodes[e.b].position - nodes[e.a].position;
+        Vec2 d = nodes[e.b.index()].position - nodes[e.a.index()].position;
         double dist = d.norm();
         if (dist < 1e-9)
             continue;
         double stretch = dist - prm.restLength;
         Vec2 pull = d * (prm.spring * e.strength * stretch / dist);
-        force[e.a] += pull;
-        force[e.b] -= pull;
+        force[e.a.index()] += pull;
+        force[e.b.index()] -= pull;
     }
 
     // --- integration -------------------------------------------------------
@@ -108,7 +108,7 @@ ForceLayout::step(double timestep_scale)
     for (Node &n : nodes) {
         if (!n.alive || n.pinned)
             continue;
-        n.velocity = (n.velocity + force[n.id] * dt) * prm.damping;
+        n.velocity = (n.velocity + force[n.id.index()] * dt) * prm.damping;
         Vec2 move = n.velocity * dt;
         double len = move.norm();
         if (len > prm.maxDisplacement) {

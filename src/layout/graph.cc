@@ -31,8 +31,8 @@ void
 LayoutGraph::removeNode(NodeId id)
 {
     VIVA_ASSERT(alive(id), "removing dead node ", id);
-    nodes[id].alive = false;
-    keyIndex.erase(nodes[id].key);
+    nodes[id.index()].alive = false;
+    keyIndex.erase(nodes[id.index()].key);
     --liveNodes;
     for (Edge &e : edges) {
         if (e.alive && (e.a == id || e.b == id)) {
@@ -61,14 +61,14 @@ LayoutGraph::clearEdges()
 bool
 LayoutGraph::alive(NodeId id) const
 {
-    return id < nodes.size() && nodes[id].alive;
+    return id.index() < nodes.size() && nodes[id.index()].alive;
 }
 
 const Node &
 LayoutGraph::node(NodeId id) const
 {
     VIVA_ASSERT(alive(id), "dead or bad node ", id);
-    return nodes[id];
+    return nodes[id.index()];
 }
 
 NodeId
@@ -82,17 +82,17 @@ void
 LayoutGraph::setPosition(NodeId id, Vec2 position)
 {
     VIVA_ASSERT(alive(id), "dead or bad node ", id);
-    nodes[id].position = position;
-    nodes[id].velocity = {0.0, 0.0};
+    nodes[id.index()].position = position;
+    nodes[id.index()].velocity = {0.0, 0.0};
 }
 
 void
 LayoutGraph::setPinned(NodeId id, bool pinned)
 {
     VIVA_ASSERT(alive(id), "dead or bad node ", id);
-    nodes[id].pinned = pinned;
+    nodes[id.index()].pinned = pinned;
     if (pinned)
-        nodes[id].velocity = {0.0, 0.0};
+        nodes[id.index()].velocity = {0.0, 0.0};
 }
 
 void
@@ -100,7 +100,7 @@ LayoutGraph::setCharge(NodeId id, double charge)
 {
     VIVA_ASSERT(alive(id), "dead or bad node ", id);
     VIVA_ASSERT(charge > 0, "node charge must be positive");
-    nodes[id].charge = charge;
+    nodes[id.index()].charge = charge;
 }
 
 std::vector<NodeId>
@@ -122,9 +122,9 @@ LayoutGraph::neighbors(NodeId id) const
     for (const Edge &e : edges) {
         if (!e.alive)
             continue;
-        if (e.a == id && nodes[e.b].alive)
+        if (e.a == id && nodes[e.b.index()].alive)
             out.push_back(e.b);
-        else if (e.b == id && nodes[e.a].alive)
+        else if (e.b == id && nodes[e.a.index()].alive)
             out.push_back(e.a);
     }
     return out;
@@ -183,10 +183,10 @@ LayoutGraph::auditInvariants() const
         if (e.a == e.b)
             auditFail(log, "edge ", i, " is a self-loop on node ", e.a);
         for (NodeId end : {e.a, e.b}) {
-            if (end >= nodes.size())
+            if (end.index() >= nodes.size())
                 auditFail(log, "edge ", i, " references node ", end,
                           " out of range");
-            else if (!nodes[end].alive)
+            else if (!nodes[end.index()].alive)
                 auditFail(log, "live edge ", i, " dangles off dead "
                           "node ", end);
         }

@@ -16,12 +16,18 @@
 
 #include "layout/vec2.hh"
 #include "support/invariant.hh"
+#include "support/strong_id.hh"
 
 namespace viva::layout
 {
 
-using NodeId = std::uint32_t;
-inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+/** Tag type of the layout-node id space (one space per LayoutGraph). */
+struct NodeTag
+{
+};
+
+using NodeId = support::StrongId<NodeTag, std::uint32_t>;
+inline constexpr NodeId kNoNode{0xFFFFFFFFu};
 
 /** One layout node. */
 struct Node

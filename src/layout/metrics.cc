@@ -48,9 +48,9 @@ edgeLengths(const LayoutGraph &graph)
     support::RunningStats stats;
     const auto &nodes = graph.rawNodes();
     for (const Edge &e : graph.rawEdges()) {
-        if (!e.alive || !nodes[e.a].alive || !nodes[e.b].alive)
+        if (!e.alive || !nodes[e.a.index()].alive || !nodes[e.b.index()].alive)
             continue;
-        stats.add(distance(nodes[e.a].position, nodes[e.b].position));
+        stats.add(distance(nodes[e.a.index()].position, nodes[e.b.index()].position));
     }
     return stats;
 }
@@ -111,7 +111,7 @@ edgeCrossings(const LayoutGraph &graph)
     const auto &nodes = graph.rawNodes();
     std::vector<const Edge *> live;
     for (const Edge &e : graph.rawEdges())
-        if (e.alive && nodes[e.a].alive && nodes[e.b].alive)
+        if (e.alive && nodes[e.a.index()].alive && nodes[e.b.index()].alive)
             live.push_back(&e);
 
     std::size_t crossings = 0;
@@ -122,8 +122,8 @@ edgeCrossings(const LayoutGraph &graph)
             if (e1.a == e2.a || e1.a == e2.b || e1.b == e2.a ||
                 e1.b == e2.b)
                 continue;  // edges sharing a node never "cross"
-            if (segmentsCross(nodes[e1.a].position, nodes[e1.b].position,
-                              nodes[e2.a].position, nodes[e2.b].position))
+            if (segmentsCross(nodes[e1.a.index()].position, nodes[e1.b.index()].position,
+                              nodes[e2.a.index()].position, nodes[e2.b.index()].position))
                 ++crossings;
         }
     }

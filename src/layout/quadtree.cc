@@ -43,12 +43,12 @@ QuadTree::quadrant(const Cell &cell, Vec2 p)
 }
 
 void
-QuadTree::subdivide(std::int32_t cell)
+QuadTree::subdivide(CellId cell)
 {
-    double mx = 0.5 * (cells[cell].lo.x + cells[cell].hi.x);
-    double my = 0.5 * (cells[cell].lo.y + cells[cell].hi.y);
-    Vec2 lo = cells[cell].lo;
-    Vec2 hi = cells[cell].hi;
+    double mx = 0.5 * (cells[cell.index()].lo.x + cells[cell.index()].hi.x);
+    double my = 0.5 * (cells[cell.index()].lo.y + cells[cell.index()].hi.y);
+    Vec2 lo = cells[cell.index()].lo;
+    Vec2 hi = cells[cell.index()].hi;
     const Vec2 corner[4][2] = {
         {{lo.x, lo.y}, {mx, my}},
         {{mx, lo.y}, {hi.x, my}},
@@ -59,10 +59,10 @@ QuadTree::subdivide(std::int32_t cell)
         Cell child;
         child.lo = corner[q][0];
         child.hi = corner[q][1];
-        cells[cell].child[q] = std::int32_t(cells.size());
+        cells[cell.index()].child[q] = CellId::fromIndex(cells.size());
         cells.push_back(child);
     }
-    cells[cell].isLeaf = false;
+    cells[cell.index()].isLeaf = false;
 }
 
 void
@@ -72,15 +72,15 @@ QuadTree::insert(Vec2 position, double charge)
     // Clamp into the box so callers need not grow it exactly.
     position.x = std::clamp(position.x, cells[0].lo.x, cells[0].hi.x);
     position.y = std::clamp(position.y, cells[0].lo.y, cells[0].hi.y);
-    insertInto(0, position, charge, 0);
+    insertInto(CellId{0}, position, charge, 0);
     ++inserted;
 }
 
 void
-QuadTree::insertInto(std::int32_t cell, Vec2 p, double charge, int depth)
+QuadTree::insertInto(CellId cell, Vec2 p, double charge, int depth)
 {
     while (true) {
-        Cell &c = cells[cell];
+        Cell &c = cells[cell.index()];
         // Update the aggregate first.
         double total = c.charge + charge;
         c.barycentre = (c.barycentre * c.charge + p * charge) / total;
@@ -105,11 +105,11 @@ QuadTree::insertInto(std::int32_t cell, Vec2 p, double charge, int depth)
             c.hasPoint = false;
             c.pointCharge = 0.0;
             subdivide(cell);
-            Cell &c2 = cells[cell];  // subdivide may reallocate
-            std::int32_t down = c2.child[quadrant(c2, old_p)];
+            Cell &c2 = cells[cell.index()];  // subdivide may reallocate
+            CellId down = c2.child[quadrant(c2, old_p)];
             // Re-seed the child leaf with the old point (its aggregate
             // must reflect the point too).
-            Cell &child = cells[down];
+            Cell &child = cells[down.index()];
             child.point = old_p;
             child.pointCharge = old_q;
             child.hasPoint = true;
@@ -117,7 +117,7 @@ QuadTree::insertInto(std::int32_t cell, Vec2 p, double charge, int depth)
             child.barycentre = old_p;
             // Fall through: re-dispatch p on this (now internal) cell.
         }
-        Cell &c3 = cells[cell];
+        Cell &c3 = cells[cell.index()];
         cell = c3.child[quadrant(c3, p)];
         ++depth;
     }
@@ -131,9 +131,9 @@ QuadTree::forceAt(Vec2 position, double theta) const
         return total;
 
     // Explicit stack to avoid recursion on deep trees.
-    std::vector<std::int32_t> stack{0};
+    std::vector<CellId> stack{CellId{0}};
     while (!stack.empty()) {
-        const Cell &c = cells[stack.back()];
+        const Cell &c = cells[stack.back().index()];
         stack.pop_back();
         if (c.charge <= 0.0)
             continue;
@@ -157,7 +157,7 @@ QuadTree::forceAt(Vec2 position, double theta) const
             continue;
         }
         for (int q = 0; q < 4; ++q)
-            if (c.child[q] >= 0)
+            if (c.child[q] != kNoCell)
                 stack.push_back(c.child[q]);
     }
     return total;
@@ -192,7 +192,7 @@ QuadTree::auditInvariants() const
 
         if (c.isLeaf) {
             for (int q = 0; q < 4; ++q)
-                if (c.child[q] >= 0)
+                if (c.child[q] != kNoCell)
                     auditFail(log, "leaf cell ", i, " has a child");
             if (!c.hasPoint)
                 continue;
@@ -225,14 +225,14 @@ QuadTree::auditInvariants() const
             {{mx, my}, {c.hi.x, c.hi.y}},
         };
         for (int q = 0; q < 4; ++q) {
-            std::int32_t child_ix = c.child[q];
-            if (child_ix < 0 ||
-                std::size_t(child_ix) >= cells.size()) {
+            CellId child_ix = c.child[q];
+            if (child_ix == kNoCell ||
+                child_ix.index() >= cells.size()) {
                 auditFail(log, "internal cell ", i,
                           " has a bad child index ", child_ix);
                 continue;
             }
-            const Cell &child = cells[std::size_t(child_ix)];
+            const Cell &child = cells[child_ix.index()];
             if (child.lo.x != corner[q][0].x ||
                 child.lo.y != corner[q][0].y ||
                 child.hi.x != corner[q][1].x ||

@@ -12,9 +12,25 @@
 
 #include "layout/vec2.hh"
 #include "support/invariant.hh"
+#include "support/strong_id.hh"
 
 namespace viva::layout
 {
+
+/** Tag type of the quadtree cell index space. */
+struct CellTag
+{
+};
+
+/**
+ * Index of one cell inside a QuadTree's arena. Strongly typed so a cell
+ * index can never be mixed up with a NodeId even though both are small
+ * integers flowing through the same layout code.
+ */
+using CellId = support::StrongId<CellTag, std::int32_t>;
+
+/** Sentinel for "no child in this quadrant". */
+inline constexpr CellId kNoCell{-1};
 
 /**
  * A quadtree over charged 2-D points. Build once per iteration with
@@ -73,7 +89,7 @@ class QuadTree
         Vec2 hi;
         Vec2 barycentre;        ///< charge-weighted centre
         double charge = 0.0;    ///< total charge inside
-        std::int32_t child[4] = {-1, -1, -1, -1};
+        CellId child[4] = {kNoCell, kNoCell, kNoCell, kNoCell};
         bool isLeaf = true;
         Vec2 point;             ///< the single point of a leaf
         double pointCharge = 0.0;
@@ -84,9 +100,9 @@ class QuadTree
     static int quadrant(const Cell &cell, Vec2 p);
 
     /** Create the 4 children of a cell. */
-    void subdivide(std::int32_t cell);
+    void subdivide(CellId cell);
 
-    void insertInto(std::int32_t cell, Vec2 p, double charge, int depth);
+    void insertInto(CellId cell, Vec2 p, double charge, int depth);
 
     std::vector<Cell> cells;
     std::size_t inserted = 0;

@@ -15,17 +15,42 @@
 #include <vector>
 
 #include "support/invariant.hh"
+#include "support/strong_id.hh"
 
 namespace viva::platform
 {
 
-using HostId = std::uint32_t;
-using LinkId = std::uint32_t;
-using RouterId = std::uint32_t;
-using GroupId = std::uint32_t;
-using VertexId = std::uint32_t;
+// Five distinct dense id spaces. Before strong typing these were all
+// bare uint32_t aliases with one shared sentinel, so a HostId flowed
+// silently into a VertexId parameter; now each mixup is a type error.
+struct HostTag
+{
+};
+struct LinkTag
+{
+};
+struct RouterTag
+{
+};
+struct GroupTag
+{
+};
+struct VertexTag
+{
+};
 
-inline constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+using HostId = support::StrongId<HostTag, std::uint32_t>;
+using LinkId = support::StrongId<LinkTag, std::uint32_t>;
+using RouterId = support::StrongId<RouterTag, std::uint32_t>;
+using GroupId = support::StrongId<GroupTag, std::uint32_t>;
+using VertexId = support::StrongId<VertexTag, std::uint32_t>;
+
+inline constexpr std::uint32_t kNoIdValue = 0xFFFFFFFFu;
+inline constexpr HostId kNoHost{kNoIdValue};
+inline constexpr LinkId kNoLink{kNoIdValue};
+inline constexpr RouterId kNoRouter{kNoIdValue};
+inline constexpr GroupId kNoGroup{kNoIdValue};
+inline constexpr VertexId kNoVertex{kNoIdValue};
 
 /** Level of a grouping node in the platform hierarchy. */
 enum class GroupKind : std::uint8_t { Grid, Site, Cluster };
@@ -33,40 +58,40 @@ enum class GroupKind : std::uint8_t { Grid, Site, Cluster };
 /** A grouping node (grid contains sites, sites contain clusters). */
 struct Group
 {
-    GroupId id = kNoId;
+    GroupId id = kNoGroup;
     std::string name;
     GroupKind kind = GroupKind::Grid;
-    GroupId parent = kNoId;   ///< kNoId for the top-level grid
+    GroupId parent = kNoGroup; ///< kNoGroup for the top-level grid
     std::vector<GroupId> children;
 };
 
 /** A processing node. */
 struct Host
 {
-    HostId id = kNoId;
+    HostId id = kNoHost;
     std::string name;
     double powerMflops = 0.0;  ///< peak compute rate
-    GroupId group = kNoId;     ///< innermost enclosing group
-    VertexId vertex = kNoId;   ///< this host's vertex in the graph
+    GroupId group = kNoGroup;     ///< innermost enclosing group
+    VertexId vertex = kNoVertex;   ///< this host's vertex in the graph
 };
 
 /** A network link; capacity is shared by all flows crossing it. */
 struct Link
 {
-    LinkId id = kNoId;
+    LinkId id = kNoLink;
     std::string name;
     double bandwidthMbps = 0.0;  ///< capacity in Mbit/s
     double latencyS = 0.0;       ///< one-way latency in seconds
-    GroupId group = kNoId;       ///< innermost group it belongs to
+    GroupId group = kNoGroup;       ///< innermost group it belongs to
 };
 
 /** A switch/router: a pure interconnection vertex, no compute power. */
 struct Router
 {
-    RouterId id = kNoId;
+    RouterId id = kNoRouter;
     std::string name;
-    GroupId group = kNoId;
-    VertexId vertex = kNoId;
+    GroupId group = kNoGroup;
+    VertexId vertex = kNoVertex;
 };
 
 /** An end-to-end path: the links crossed and the summed latency. */
@@ -134,12 +159,12 @@ class Platform
     std::size_t vertexCount() const { return adjacency.size(); }
 
     /** The top-level grid group (id 0). */
-    GroupId grid() const { return 0; }
+    GroupId grid() const { return GroupId{0}; }
 
-    /** Host id by name, or kNoId. */
+    /** Host id by name, or kNoHost. */
     HostId findHost(const std::string &name) const;
 
-    /** Group id by name (unique across kinds assumed), or kNoId. */
+    /** Group id by name (unique across kinds assumed), or kNoGroup. */
     GroupId findGroup(const std::string &name) const;
 
     /** All hosts whose innermost group lies under this group. */
@@ -157,10 +182,10 @@ class Platform
     const std::vector<std::pair<VertexId, LinkId>> &
     edges(VertexId v) const;
 
-    /** What a vertex is: a host (returns id) or kNoId if a router. */
+    /** What a vertex is: a host (returns id) or kNoHost if a router. */
     HostId vertexHost(VertexId v) const;
 
-    /** What a vertex is: a router (returns id) or kNoId if a host. */
+    /** What a vertex is: a router (returns id) or kNoRouter if a host. */
     RouterId vertexRouter(VertexId v) const;
 
     /** Display name of a vertex (host or router name). */

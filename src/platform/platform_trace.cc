@@ -46,45 +46,46 @@ mirrorPlatform(const Platform &p, trace::Trace &out)
 
     // Groups, in id order (parents have smaller ids than children).
     m.groupContainer.resize(p.groupCount());
-    for (GroupId g = 0; g < p.groupCount(); ++g) {
+    for (GroupId g{0}; g.index() < p.groupCount(); ++g) {
         const Group &grp = p.group(g);
         trace::ContainerId parent =
-            grp.parent == kNoId ? out.root() : m.groupContainer[grp.parent];
-        m.groupContainer[g] =
+            grp.parent == kNoGroup ? out.root()
+                                   : m.groupContainer[grp.parent.index()];
+        m.groupContainer[g.index()] =
             out.addContainer(grp.name, kindOfGroup(grp.kind), parent);
     }
 
     m.hostContainer.resize(p.hostCount());
-    for (HostId h = 0; h < p.hostCount(); ++h) {
+    for (HostId h{0}; h.index() < p.hostCount(); ++h) {
         const Host &host = p.host(h);
-        m.hostContainer[h] = out.addContainer(
-            host.name, ContainerKind::Host, m.groupContainer[host.group]);
-        out.variable(m.hostContainer[h], m.power)
+        m.hostContainer[h.index()] = out.addContainer(
+            host.name, ContainerKind::Host, m.groupContainer[host.group.index()]);
+        out.variable(m.hostContainer[h.index()], m.power)
             .set(0.0, host.powerMflops);
     }
 
     m.routerContainer.resize(p.routerCount());
-    for (RouterId r = 0; r < p.routerCount(); ++r) {
+    for (RouterId r{0}; r.index() < p.routerCount(); ++r) {
         const Router &router = p.router(r);
-        m.routerContainer[r] = out.addContainer(
+        m.routerContainer[r.index()] = out.addContainer(
             router.name, ContainerKind::Router,
-            m.groupContainer[router.group]);
+            m.groupContainer[router.group.index()]);
     }
 
     m.linkContainer.resize(p.linkCount());
-    for (LinkId l = 0; l < p.linkCount(); ++l) {
+    for (LinkId l{0}; l.index() < p.linkCount(); ++l) {
         const Link &link = p.link(l);
-        m.linkContainer[l] = out.addContainer(
-            link.name, ContainerKind::Link, m.groupContainer[link.group]);
-        out.variable(m.linkContainer[l], m.bandwidth)
+        m.linkContainer[l.index()] = out.addContainer(
+            link.name, ContainerKind::Link, m.groupContainer[link.group.index()]);
+        out.variable(m.linkContainer[l.index()], m.bandwidth)
             .set(0.0, link.bandwidthMbps);
     }
 
     // Topology edges: vertex -- link -- vertex becomes two relations.
-    for (VertexId v = 0; v < p.vertexCount(); ++v) {
+    for (VertexId v{0}; v.index() < p.vertexCount(); ++v) {
         for (const auto &[other, l] : p.edges(v)) {
-            out.addRelation(m.vertexContainer(p, v), m.linkContainer[l]);
-            out.addRelation(m.linkContainer[l],
+            out.addRelation(m.vertexContainer(p, v), m.linkContainer[l.index()]);
+            out.addRelation(m.linkContainer[l.index()],
                             m.vertexContainer(p, other));
         }
     }

@@ -35,9 +35,9 @@ struct TraceMirror
     vertexContainer(const Platform &p, VertexId v) const
     {
         HostId h = p.vertexHost(v);
-        if (h != kNoId)
-            return hostContainer[h];
-        return routerContainer[p.vertexRouter(v)];
+        if (h != kNoHost)
+            return hostContainer[h.index()];
+        return routerContainer[p.vertexRouter(v).index()];
     }
 };
 

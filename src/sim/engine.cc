@@ -30,9 +30,9 @@ Engine::Engine(const platform::Platform &platform,
     : plat(platform)
 {
     capacities.reserve(plat.hostCount() + plat.linkCount());
-    for (platform::HostId h = 0; h < plat.hostCount(); ++h)
+    for (platform::HostId h{0}; h.index() < plat.hostCount(); ++h)
         capacities.push_back(plat.host(h).powerMflops);
-    for (platform::LinkId l = 0; l < plat.linkCount(); ++l)
+    for (platform::LinkId l{0}; l.index() < plat.linkCount(); ++l)
         capacities.push_back(plat.link(l).bandwidthMbps);
     hostUsage.assign(plat.hostCount(), 0.0);
     linkUsage.assign(plat.linkCount(), 0.0);
@@ -63,15 +63,15 @@ Engine::tagName(TagId tag) const
 std::uint32_t
 Engine::hostResource(platform::HostId h) const
 {
-    VIVA_ASSERT(h < plat.hostCount(), "bad host id ", h);
-    return h;
+    VIVA_ASSERT(h.index() < plat.hostCount(), "bad host id ", h);
+    return h.value();
 }
 
 std::uint32_t
 Engine::linkResource(platform::LinkId l) const
 {
-    VIVA_ASSERT(l < plat.linkCount(), "bad link id ", l);
-    return std::uint32_t(plat.hostCount()) + l;
+    VIVA_ASSERT(l.index() < plat.linkCount(), "bad link id ", l);
+    return std::uint32_t(plat.hostCount()) + l.value();
 }
 
 void
@@ -117,7 +117,7 @@ ActivityId
 Engine::startCompute(platform::HostId host, double mflop, Callback done,
                      TagId tag)
 {
-    VIVA_ASSERT(host < plat.hostCount(), "bad host id ", host);
+    VIVA_ASSERT(host.index() < plat.hostCount(), "bad host id ", host);
     VIVA_ASSERT(done, "compute needs a completion callback");
     if (mflop <= 0.0) {
         after(0.0, std::move(done));
@@ -131,7 +131,7 @@ ActivityId
 Engine::startComm(platform::HostId src, platform::HostId dst, double mbits,
                   Callback done, TagId tag)
 {
-    VIVA_ASSERT(src < plat.hostCount() && dst < plat.hostCount(),
+    VIVA_ASSERT(src.index() < plat.hostCount() && dst.index() < plat.hostCount(),
                 "bad comm endpoints ", src, ", ", dst);
     VIVA_ASSERT(done, "comm needs a completion callback");
 
@@ -322,34 +322,34 @@ double
 Engine::hostRate(platform::HostId id) const
 {
     ensureRates();
-    VIVA_ASSERT(id < hostUsage.size(), "bad host id ", id);
-    return hostUsage[id];
+    VIVA_ASSERT(id.index() < hostUsage.size(), "bad host id ", id);
+    return hostUsage[id.index()];
 }
 
 double
 Engine::linkRate(platform::LinkId id) const
 {
     ensureRates();
-    VIVA_ASSERT(id < linkUsage.size(), "bad link id ", id);
-    return linkUsage[id];
+    VIVA_ASSERT(id.index() < linkUsage.size(), "bad link id ", id);
+    return linkUsage[id.index()];
 }
 
 double
 Engine::hostRate(platform::HostId id, TagId tag) const
 {
     ensureRates();
-    VIVA_ASSERT(id < hostUsage.size(), "bad host id ", id);
+    VIVA_ASSERT(id.index() < hostUsage.size(), "bad host id ", id);
     VIVA_ASSERT(tag < tagCount(), "bad tag ", int(tag));
-    return hostUsageByTag[tag][id];
+    return hostUsageByTag[tag][id.index()];
 }
 
 double
 Engine::linkRate(platform::LinkId id, TagId tag) const
 {
     ensureRates();
-    VIVA_ASSERT(id < linkUsage.size(), "bad link id ", id);
+    VIVA_ASSERT(id.index() < linkUsage.size(), "bad link id ", id);
     VIVA_ASSERT(tag < tagCount(), "bad tag ", int(tag));
-    return linkUsageByTag[tag][id];
+    return linkUsageByTag[tag][id.index()];
 }
 
 } // namespace viva::sim

@@ -78,24 +78,24 @@ Tracer::onRates(double time, const RateSnapshot &rates)
                     rates.linkTotal.size() == lastLink.size(),
                 "rate report does not match platform");
 
-    for (platform::HostId h = 0; h < rates.hostTotal.size(); ++h)
-        emit(ids.hostContainer[h], ids.powerUsed, time,
-             rates.hostTotal[h], lastHost[h]);
-    for (platform::LinkId l = 0; l < rates.linkTotal.size(); ++l)
-        emit(ids.linkContainer[l], ids.bandwidthUsed, time,
-             rates.linkTotal[l], lastLink[l]);
+    for (platform::HostId h{0}; h.index() < rates.hostTotal.size(); ++h)
+        emit(ids.hostContainer[h.index()], ids.powerUsed, time,
+             rates.hostTotal[h.index()], lastHost[h.index()]);
+    for (platform::LinkId l{0}; l.index() < rates.linkTotal.size(); ++l)
+        emit(ids.linkContainer[l.index()], ids.bandwidthUsed, time,
+             rates.linkTotal[l.index()], lastLink[l.index()]);
 
     if (perTag) {
         for (TagId t = 1; t < rates.hostByTag.size(); ++t) {
-            for (platform::HostId h = 0; h < rates.hostByTag[t].size();
-                 ++h) {
-                emit(ids.hostContainer[h], tagHostMetric[t], time,
-                     rates.hostByTag[t][h], lastHostByTag[t][h]);
+            for (platform::HostId h{0};
+                 h.index() < rates.hostByTag[t].size(); ++h) {
+                emit(ids.hostContainer[h.index()], tagHostMetric[t], time,
+                     rates.hostByTag[t][h.index()], lastHostByTag[t][h.index()]);
             }
-            for (platform::LinkId l = 0; l < rates.linkByTag[t].size();
-                 ++l) {
-                emit(ids.linkContainer[l], tagLinkMetric[t], time,
-                     rates.linkByTag[t][l], lastLinkByTag[t][l]);
+            for (platform::LinkId l{0};
+                 l.index() < rates.linkByTag[t].size(); ++l) {
+                emit(ids.linkContainer[l.index()], tagLinkMetric[t], time,
+                     rates.linkByTag[t][l.index()], lastLinkByTag[t][l.index()]);
             }
         }
     }

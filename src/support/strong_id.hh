@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Zero-cost strongly-typed identifiers.
+ *
+ * The repository indexes everything with dense integers: containers,
+ * metrics, layout nodes, hosts, links, vertices, time slices. Raw
+ * `uint32_t` aliases make every one of them silently interchangeable --
+ * the classic wrong-index bug (passing a HostId where a VertexId is
+ * expected) compiles, runs, and corrupts a result three modules away.
+ *
+ * StrongId<Tag> closes that hole at compile time:
+ *
+ *  - construction from a raw integer is `explicit`, so a literal or a
+ *    loose integer cannot sneak into an id-typed parameter;
+ *  - two StrongIds with different tags are unrelated types, so a
+ *    NodeId/ContainerId swap is a type error, not a latent bug;
+ *  - the wrapper is a single integer with defaulted comparisons --
+ *    by-value passing, hashing and ordering compile to exactly the raw
+ *    integer's code (the layout benchmarks must not move).
+ *
+ * Each id-owning module declares an empty tag struct and an alias:
+ *
+ *     struct ContainerTag {};
+ *     using ContainerId = support::StrongId<ContainerTag>;
+ *
+ * Interop with untyped storage is always *spelled*: `id.value()` for
+ * the raw integer, `id.index()` for vector subscripts, and
+ * `ContainerId::fromIndex(i)` when a container position becomes an id.
+ */
+
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+namespace viva::support
+{
+
+/**
+ * A strongly-typed integer id. `TagT` is any (usually empty) type that
+ * names the id space; `UnderlyingT` is the storage integer.
+ */
+template <typename TagT, typename UnderlyingT = std::uint32_t>
+class StrongId
+{
+    static_assert(std::is_integral_v<UnderlyingT> &&
+                      !std::is_same_v<UnderlyingT, bool>,
+                  "StrongId wraps a non-bool integral type");
+
+  public:
+    using Tag = TagT;
+    using Underlying = UnderlyingT;
+
+    /** Default id is 0 (the first slot of a dense id space). */
+    constexpr StrongId() = default;
+
+    /** Wrap a raw integer. Explicit: no literal slips in unseen. */
+    constexpr explicit StrongId(UnderlyingT raw) : val(raw) {}
+
+    /** The id for a container position (e.g. `nodes.size()`). */
+    static constexpr StrongId
+    fromIndex(std::size_t index)
+    {
+        return StrongId(static_cast<UnderlyingT>(index));
+    }
+
+    /** The raw integer (for packing into keys, serialization, maths). */
+    constexpr UnderlyingT value() const { return val; }
+
+    /** The id as a container subscript. */
+    constexpr std::size_t
+    index() const
+    {
+        return static_cast<std::size_t>(val);
+    }
+
+    /** Ids of one tag are totally ordered (they are dense indices). */
+    friend constexpr bool operator==(StrongId, StrongId) = default;
+    friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+    /** Step to the next dense id -- supports id-typed loops. */
+    constexpr StrongId &
+    operator++()
+    {
+        ++val;
+        return *this;
+    }
+
+    constexpr StrongId
+    operator++(int)
+    {
+        StrongId before = *this;
+        ++val;
+        return before;
+    }
+
+    /** Format as the raw integer (unary + promotes char-sized ints). */
+    friend std::ostream &
+    operator<<(std::ostream &os, StrongId id)
+    {
+        return os << +id.val;
+    }
+
+  private:
+    UnderlyingT val = 0;
+};
+
+/** True when T is some StrongId instantiation. */
+template <typename T>
+inline constexpr bool isStrongId = false;
+
+template <typename Tag, typename U>
+inline constexpr bool isStrongId<StrongId<Tag, U>> = true;
+
+} // namespace viva::support
+
+/** StrongId hashes exactly like its raw integer. */
+template <typename Tag, typename U>
+struct std::hash<viva::support::StrongId<Tag, U>>
+{
+    std::size_t
+    operator()(viva::support::StrongId<Tag, U> id) const noexcept
+    {
+        return std::hash<U>{}(id.value());
+    }
+};

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros. Under Clang these expand to the
+ * `-Wthread-safety` attributes, letting the compiler prove statically
+ * that shared state is only touched with the right mutex held. Under
+ * GCC (which has no such analysis) every macro expands to nothing, so
+ * annotated code builds identically on both toolchains.
+ *
+ * Convention: annotate the data (`VIVA_GUARDED_BY(mu)`) rather than the
+ * functions wherever possible -- the analysis then flags every unlocked
+ * access automatically. `VIVA_REQUIRES(mu)` marks internal helpers that
+ * are only called with the lock already held.
+ */
+
+#pragma once
+
+#if defined(__clang__)
+#define VIVA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VIVA_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (a mutex-like class). */
+#define VIVA_CAPABILITY(x) VIVA_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII guard type that holds a capability for its lifetime. */
+#define VIVA_SCOPED_CAPABILITY VIVA_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with the given mutex held. */
+#define VIVA_GUARDED_BY(x) VIVA_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by the given mutex. */
+#define VIVA_PT_GUARDED_BY(x) VIVA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the capability already held. */
+#define VIVA_REQUIRES(...) \
+    VIVA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the capability and does not release it. */
+#define VIVA_ACQUIRE(...) \
+    VIVA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases a held capability. */
+#define VIVA_RELEASE(...) \
+    VIVA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that must NOT be called with the capability held. */
+#define VIVA_EXCLUDES(...) VIVA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Return value is a reference to data guarded by the capability. */
+#define VIVA_RETURN_CAPABILITY(x) VIVA_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disables the analysis inside one function. */
+#define VIVA_NO_THREAD_SAFETY_ANALYSIS \
+    VIVA_THREAD_ANNOTATION(no_thread_safety_analysis)

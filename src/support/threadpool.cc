@@ -9,6 +9,8 @@
 #include <exception>
 #include <memory>
 
+#include "support/thread_annotations.hh"
+
 namespace viva::support
 {
 
@@ -36,8 +38,9 @@ struct Batch
 
     std::mutex m;
     std::condition_variable done;
-    std::size_t runners = 0;  ///< runners (helpers + caller) still active
-    std::exception_ptr error;
+    /** Runners (helpers + caller) still active. */
+    std::size_t runners VIVA_GUARDED_BY(m) = 0;
+    std::exception_ptr error VIVA_GUARDED_BY(m);
 };
 
 /** Claim and run chunks until the batch is exhausted. */

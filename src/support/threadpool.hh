@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/thread_annotations.hh"
+
 namespace viva::support
 {
 
@@ -118,13 +120,13 @@ class ThreadPool
     void workerMain();
 
     /** Spawn helpers until at least `want` exist (lock held). */
-    void growLocked(std::size_t want);
+    void growLocked(std::size_t want) VIVA_REQUIRES(mu);
 
     mutable std::mutex mu;
     std::condition_variable wake;
-    std::deque<std::function<void()>> tasks;
-    std::vector<std::thread> workers;
-    bool stopping = false;
+    std::deque<std::function<void()>> tasks VIVA_GUARDED_BY(mu);
+    std::vector<std::thread> workers VIVA_GUARDED_BY(mu);
+    bool stopping VIVA_GUARDED_BY(mu) = false;
 
     /** Helper-thread hard cap; far above any sane `set threads`. */
     static constexpr std::size_t kMaxWorkers = 256;

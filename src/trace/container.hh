@@ -12,14 +12,21 @@
 #include <string>
 #include <vector>
 
+#include "support/strong_id.hh"
+
 namespace viva::trace
 {
 
+/** Tag type of the container id space (one space per Trace). */
+struct ContainerTag
+{
+};
+
 /** Dense identifier of a container inside one Trace. */
-using ContainerId = std::uint32_t;
+using ContainerId = support::StrongId<ContainerTag, std::uint32_t>;
 
 /** Sentinel for "no container" (e.g. the root's parent). */
-inline constexpr ContainerId kNoContainer = 0xFFFFFFFFu;
+inline constexpr ContainerId kNoContainer{0xFFFFFFFFu};
 
 /**
  * The role a container plays. Kinds drive default visual mapping (hosts

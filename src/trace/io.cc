@@ -26,7 +26,7 @@ writeTrace(const Trace &trace, std::ostream &out)
 {
     out << "viva-trace 1\n";
 
-    for (ContainerId id = 1; id < trace.containerCount(); ++id) {
+    for (ContainerId id{1}; id.index() < trace.containerCount(); ++id) {
         const Container &c = trace.container(id);
         out << "container " << id << ' ';
         if (c.parent == trace.root())
@@ -36,7 +36,7 @@ writeTrace(const Trace &trace, std::ostream &out)
         out << ' ' << containerKindName(c.kind) << ' ' << c.name << '\n';
     }
 
-    for (MetricId id = 0; id < trace.metricCount(); ++id) {
+    for (MetricId id{0}; id.index() < trace.metricCount(); ++id) {
         const Metric &m = trace.metric(id);
         out << "metric " << id << ' ' << metricNatureName(m.nature) << ' ';
         if (m.capacityOf == kNoMetric)
@@ -50,8 +50,8 @@ writeTrace(const Trace &trace, std::ostream &out)
     for (const Trace::Relation &r : trace.relations())
         out << "rel " << r.a << ' ' << r.b << '\n';
 
-    for (ContainerId c = 0; c < trace.containerCount(); ++c) {
-        for (MetricId m = 0; m < trace.metricCount(); ++m) {
+    for (ContainerId c{0}; c.index() < trace.containerCount(); ++c) {
+        for (MetricId m{0}; m.index() < trace.metricCount(); ++m) {
             const Variable *var = trace.findVariable(c, m);
             if (!var)
                 continue;
@@ -160,13 +160,13 @@ readTrace(std::istream &in, std::string &error)
                 std::size_t p = 0;
                 if (!parseSize(fields[1], p) || p >= trace.containerCount())
                     return fail(line_no, "bad parent id");
-                parent = ContainerId(p);
+                parent = ContainerId::fromIndex(p);
             }
             ContainerKind kind = containerKindFromName(fields[2]);
             if (trace.findChild(parent, rest) != kNoContainer)
                 return fail(line_no, "duplicate container '" + rest + "'");
             ContainerId got = trace.addContainer(rest, kind, parent);
-            if (got != id)
+            if (got.index() != id)
                 return fail(line_no, "container ids must be dense");
         } else if (verb == "metric") {
             if (!splitFields(body, 4, fields, rest) || rest.empty())
@@ -180,13 +180,13 @@ readTrace(std::istream &in, std::string &error)
                 std::size_t c = 0;
                 if (!parseSize(fields[2], c) || c >= trace.metricCount())
                     return fail(line_no, "bad capacityOf id");
-                cap = MetricId(c);
+                cap = MetricId::fromIndex(c);
             }
             std::string unit = fields[3] == "-" ? "" : fields[3];
             if (trace.findMetric(rest) != kNoMetric)
                 return fail(line_no, "duplicate metric '" + rest + "'");
             MetricId got = trace.addMetric(rest, unit, nature, cap);
-            if (got != id)
+            if (got.index() != id)
                 return fail(line_no, "metric ids must be dense");
         } else if (verb == "rel") {
             if (!splitFields(body, 2, fields, rest) || !rest.empty())
@@ -195,7 +195,7 @@ readTrace(std::istream &in, std::string &error)
             if (!parseSize(fields[0], a) || !parseSize(fields[1], b) ||
                 a >= trace.containerCount() || b >= trace.containerCount())
                 return fail(line_no, "bad rel endpoints");
-            trace.addRelation(ContainerId(a), ContainerId(b));
+            trace.addRelation(ContainerId::fromIndex(a), ContainerId::fromIndex(b));
         } else if (verb == "p") {
             if (!splitFields(body, 4, fields, rest) || !rest.empty())
                 return fail(line_no, "malformed point record");
@@ -206,7 +206,7 @@ readTrace(std::istream &in, std::string &error)
                 return fail(line_no, "bad point fields");
             if (c >= trace.containerCount() || m >= trace.metricCount())
                 return fail(line_no, "point references unknown ids");
-            trace.variable(ContainerId(c), MetricId(m)).set(t, v);
+            trace.variable(ContainerId::fromIndex(c), MetricId::fromIndex(m)).set(t, v);
         } else if (verb == "state") {
             if (!splitFields(body, 3, fields, rest) || rest.empty())
                 return fail(line_no, "malformed state record");
@@ -217,7 +217,7 @@ readTrace(std::istream &in, std::string &error)
                 return fail(line_no, "bad state fields");
             if (b > e)
                 return fail(line_no, "reversed state interval");
-            trace.addState(ContainerId(c), b, e, rest);
+            trace.addState(ContainerId::fromIndex(c), b, e, rest);
         } else {
             return fail(line_no, "unknown record '" + verb + "'");
         }

@@ -13,14 +13,21 @@
 #include <cstdint>
 #include <string>
 
+#include "support/strong_id.hh"
+
 namespace viva::trace
 {
 
+/** Tag type of the metric id space (one space per Trace). */
+struct MetricTag
+{
+};
+
 /** Dense identifier of a metric inside one Trace. */
-using MetricId = std::uint16_t;
+using MetricId = support::StrongId<MetricTag, std::uint16_t>;
 
 /** Sentinel for "no metric". */
-inline constexpr MetricId kNoMetric = 0xFFFFu;
+inline constexpr MetricId kNoMetric{0xFFFFu};
 
 /** What a metric measures, semantically. */
 enum class MetricNature : std::uint8_t

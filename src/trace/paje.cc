@@ -475,7 +475,7 @@ writePajeTrace(const Trace &trace, std::ostream &out)
     // --- type definitions ----------------------------------------------------
     // One container type per kind actually present.
     bool kind_present[9] = {};
-    for (ContainerId id = 1; id < trace.containerCount(); ++id)
+    for (ContainerId id{1}; id.index() < trace.containerCount(); ++id)
         kind_present[std::size_t(trace.container(id).kind)] = true;
     for (std::size_t k = 0; k < 9; ++k) {
         if (!kind_present[k])
@@ -483,14 +483,14 @@ writePajeTrace(const Trace &trace, std::ostream &out)
         const char *name = containerKindName(ContainerKind(k));
         out << "0 " << name << " 0 " << quoted(name) << '\n';
     }
-    for (MetricId m = 0; m < trace.metricCount(); ++m) {
+    for (MetricId m{0}; m.index() < trace.metricCount(); ++m) {
         out << "1 v" << m << " 0 " << quoted(trace.metric(m).name)
             << '\n';
     }
     out << "2 S 0 " << quoted("state") << '\n';
 
     // --- containers -------------------------------------------------------------
-    for (ContainerId id = 1; id < trace.containerCount(); ++id) {
+    for (ContainerId id{1}; id.index() < trace.containerCount(); ++id) {
         const Container &c = trace.container(id);
         out << "3 0 c" << id << ' ' << containerKindName(c.kind) << ' ';
         if (c.parent == trace.root())
@@ -501,8 +501,8 @@ writePajeTrace(const Trace &trace, std::ostream &out)
     }
 
     // --- variables --------------------------------------------------------------
-    for (ContainerId c = 0; c < trace.containerCount(); ++c) {
-        for (MetricId m = 0; m < trace.metricCount(); ++m) {
+    for (ContainerId c{0}; c.index() < trace.containerCount(); ++c) {
+        for (MetricId m{0}; m.index() < trace.metricCount(); ++m) {
             const Variable *var = trace.findVariable(c, m);
             if (!var)
                 continue;

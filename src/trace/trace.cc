@@ -73,7 +73,7 @@ metricNatureFromName(const std::string &name)
 Trace::Trace()
 {
     Container root_node;
-    root_node.id = 0;
+    root_node.id = ContainerId{0};
     root_node.name = "root";
     root_node.kind = ContainerKind::Root;
     root_node.parent = kNoContainer;
@@ -85,7 +85,7 @@ ContainerId
 Trace::addContainer(const std::string &name, ContainerKind kind,
                     ContainerId parent)
 {
-    VIVA_ASSERT(parent < nodes.size(), "bad parent container id ", parent);
+    VIVA_ASSERT(parent.index() < nodes.size(), "bad parent container id ", parent);
     VIVA_ASSERT(!name.empty(), "container name must not be empty");
     VIVA_ASSERT(name.find('/') == std::string::npos,
                 "container name '", name, "' must not contain '/'");
@@ -95,29 +95,29 @@ Trace::addContainer(const std::string &name, ContainerKind kind,
     }
 
     Container node;
-    node.id = ContainerId(nodes.size());
+    node.id = ContainerId::fromIndex(nodes.size());
     node.name = name;
     node.kind = kind;
     node.parent = parent;
-    node.depth = std::uint16_t(nodes[parent].depth + 1);
+    node.depth = std::uint16_t(nodes[parent.index()].depth + 1);
     nodes.push_back(std::move(node));
-    nodes[parent].children.push_back(ContainerId(nodes.size() - 1));
-    return ContainerId(nodes.size() - 1);
+    nodes[parent.index()].children.push_back(ContainerId::fromIndex(nodes.size() - 1));
+    return ContainerId::fromIndex(nodes.size() - 1);
 }
 
 const Container &
 Trace::container(ContainerId id) const
 {
-    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
-    return nodes[id];
+    VIVA_ASSERT(id.index() < nodes.size(), "bad container id ", id);
+    return nodes[id.index()];
 }
 
 ContainerId
 Trace::findChild(ContainerId parent, const std::string &name) const
 {
-    VIVA_ASSERT(parent < nodes.size(), "bad parent container id ", parent);
-    for (ContainerId child : nodes[parent].children)
-        if (nodes[child].name == name)
+    VIVA_ASSERT(parent.index() < nodes.size(), "bad parent container id ", parent);
+    for (ContainerId child : nodes[parent.index()].children)
+        if (nodes[child.index()].name == name)
             return child;
     return kNoContainer;
 }
@@ -153,12 +153,12 @@ Trace::findByName(const std::string &name) const
 std::string
 Trace::fullName(ContainerId id) const
 {
-    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    VIVA_ASSERT(id.index() < nodes.size(), "bad container id ", id);
     if (id == root())
         return "";
     std::vector<const std::string *> parts;
-    for (ContainerId cur = id; cur != root(); cur = nodes[cur].parent)
-        parts.push_back(&nodes[cur].name);
+    for (ContainerId cur = id; cur != root(); cur = nodes[cur.index()].parent)
+        parts.push_back(&nodes[cur.index()].name);
     std::string out;
     for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
         if (!out.empty())
@@ -183,7 +183,7 @@ Trace::leavesUnder(ContainerId id) const
 {
     std::vector<ContainerId> out;
     for (ContainerId c : subtree(id))
-        if (nodes[c].leaf())
+        if (nodes[c.index()].leaf())
             out.push_back(c);
     return out;
 }
@@ -191,14 +191,14 @@ Trace::leavesUnder(ContainerId id) const
 std::vector<ContainerId>
 Trace::subtree(ContainerId id) const
 {
-    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    VIVA_ASSERT(id.index() < nodes.size(), "bad container id ", id);
     std::vector<ContainerId> out;
     std::vector<ContainerId> stack{id};
     while (!stack.empty()) {
         ContainerId cur = stack.back();
         stack.pop_back();
         out.push_back(cur);
-        const auto &children = nodes[cur].children;
+        const auto &children = nodes[cur.index()].children;
         for (auto it = children.rbegin(); it != children.rend(); ++it)
             stack.push_back(*it);
     }
@@ -208,7 +208,7 @@ Trace::subtree(ContainerId id) const
 bool
 Trace::isAncestorOrSelf(ContainerId anc, ContainerId id) const
 {
-    VIVA_ASSERT(anc < nodes.size() && id < nodes.size(),
+    VIVA_ASSERT(anc.index() < nodes.size() && id.index() < nodes.size(),
                 "bad container id ", anc, " or ", id);
     ContainerId cur = id;
     while (true) {
@@ -216,17 +216,17 @@ Trace::isAncestorOrSelf(ContainerId anc, ContainerId id) const
             return true;
         if (cur == root())
             return false;
-        cur = nodes[cur].parent;
+        cur = nodes[cur.index()].parent;
     }
 }
 
 ContainerId
 Trace::ancestorAtDepth(ContainerId id, std::uint16_t depth) const
 {
-    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
+    VIVA_ASSERT(id.index() < nodes.size(), "bad container id ", id);
     ContainerId cur = id;
-    while (nodes[cur].depth > depth)
-        cur = nodes[cur].parent;
+    while (nodes[cur.index()].depth > depth)
+        cur = nodes[cur.index()].parent;
     return cur;
 }
 
@@ -237,10 +237,10 @@ Trace::addMetric(const std::string &name, const std::string &unit,
     auto it = metricByName.find(name);
     if (it != metricByName.end())
         return it->second;
-    VIVA_ASSERT(capacity_of == kNoMetric || capacity_of < metricTable.size(),
+    VIVA_ASSERT(capacity_of == kNoMetric || capacity_of.index() < metricTable.size(),
                 "bad capacity metric id ", capacity_of);
     Metric m;
-    m.id = MetricId(metricTable.size());
+    m.id = MetricId::fromIndex(metricTable.size());
     m.name = name;
     m.unit = unit;
     m.nature = nature;
@@ -260,15 +260,15 @@ Trace::findMetric(const std::string &name) const
 const Metric &
 Trace::metric(MetricId id) const
 {
-    VIVA_ASSERT(id < metricTable.size(), "bad metric id ", id);
-    return metricTable[id];
+    VIVA_ASSERT(id.index() < metricTable.size(), "bad metric id ", id);
+    return metricTable[id.index()];
 }
 
 Variable &
 Trace::variable(ContainerId c, MetricId m)
 {
-    VIVA_ASSERT(c < nodes.size(), "bad container id ", c);
-    VIVA_ASSERT(m < metricTable.size(), "bad metric id ", m);
+    VIVA_ASSERT(c.index() < nodes.size(), "bad container id ", c);
+    VIVA_ASSERT(m.index() < metricTable.size(), "bad metric id ", m);
     return vars[varKey(c, m)];
 }
 
@@ -299,7 +299,7 @@ Trace::pointCount() const
 void
 Trace::addRelation(ContainerId a, ContainerId b)
 {
-    VIVA_ASSERT(a < nodes.size() && b < nodes.size(),
+    VIVA_ASSERT(a.index() < nodes.size() && b.index() < nodes.size(),
                 "bad relation endpoints ", a, ", ", b);
     if (a == b)
         return;
@@ -325,7 +325,7 @@ void
 Trace::addState(ContainerId c, double begin, double end,
                 const std::string &state)
 {
-    VIVA_ASSERT(c < nodes.size(), "bad container id ", c);
+    VIVA_ASSERT(c.index() < nodes.size(), "bad container id ", c);
     VIVA_ASSERT(begin <= end, "reversed state interval");
     stateLog.push_back({c, begin, end, state});
 }
@@ -366,7 +366,7 @@ Trace::auditInvariants() const
         auditFail(log, "trace has no root container");
         return log;
     }
-    if (nodes[0].id != 0 || nodes[0].parent != kNoContainer ||
+    if (nodes[0].id != ContainerId{0} || nodes[0].parent != kNoContainer ||
         nodes[0].depth != 0)
         auditFail(log, "container 0 is not a well-formed root");
 
@@ -374,19 +374,19 @@ Trace::auditInvariants() const
     // unique sibling names.
     for (std::size_t i = 1; i < nodes.size(); ++i) {
         const Container &c = nodes[i];
-        if (c.id != ContainerId(i))
+        if (c.id != ContainerId::fromIndex(i))
             auditFail(log, "container in slot ", i, " carries id ", c.id);
-        if (c.parent >= nodes.size()) {
+        if (c.parent.index() >= nodes.size()) {
             auditFail(log, "container ", i, " ('", c.name,
                       "') has bad parent ", c.parent);
             continue;
         }
-        const Container &p = nodes[c.parent];
+        const Container &p = nodes[c.parent.index()];
         if (c.depth != p.depth + 1)
             auditFail(log, "container ", i, " ('", c.name, "') at depth ",
                       c.depth, " under parent at depth ", p.depth);
         if (std::count(p.children.begin(), p.children.end(),
-                       ContainerId(i)) != 1)
+                       ContainerId::fromIndex(i)) != 1)
             auditFail(log, "container ", i, " ('", c.name,
                       "') is not listed once by parent ", c.parent);
     }
@@ -394,29 +394,29 @@ Trace::auditInvariants() const
         const Container &c = nodes[i];
         for (std::size_t a = 0; a < c.children.size(); ++a) {
             ContainerId child = c.children[a];
-            if (child >= nodes.size() || child == 0) {
+            if (child.index() >= nodes.size() || child == ContainerId{0}) {
                 auditFail(log, "container ", i, " lists bad child ",
                           child);
                 continue;
             }
-            if (nodes[child].parent != ContainerId(i))
+            if (nodes[child.index()].parent != ContainerId::fromIndex(i))
                 auditFail(log, "child ", child, " of container ", i,
-                          " points back at ", nodes[child].parent);
+                          " points back at ", nodes[child.index()].parent);
             for (std::size_t b = a + 1; b < c.children.size(); ++b)
-                if (c.children[b] < nodes.size() &&
-                    nodes[child].name == nodes[c.children[b]].name)
+                if (c.children[b].index() < nodes.size() &&
+                    nodes[child.index()].name == nodes[c.children[b].index()].name)
                     auditFail(log, "containers ", child, " and ",
                               c.children[b], " under ", i,
-                              " share the name '", nodes[child].name, "'");
+                              " share the name '", nodes[child.index()].name, "'");
         }
     }
 
     // Metrics and their name index.
     for (std::size_t i = 0; i < metricTable.size(); ++i) {
         const Metric &m = metricTable[i];
-        if (m.id != MetricId(i))
+        if (m.id != MetricId::fromIndex(i))
             auditFail(log, "metric in slot ", i, " carries id ", m.id);
-        if (m.capacityOf != kNoMetric && m.capacityOf >= metricTable.size())
+        if (m.capacityOf != kNoMetric && m.capacityOf.index() >= metricTable.size())
             auditFail(log, "metric '", m.name, "' caps bad metric ",
                       m.capacityOf);
         auto it = metricByName.find(m.name);
@@ -436,11 +436,11 @@ Trace::auditInvariants() const
         var_keys.push_back(entry.first);
     std::sort(var_keys.begin(), var_keys.end());
     for (std::uint64_t key : var_keys) {
-        ContainerId c = ContainerId(key >> 16);
-        MetricId m = MetricId(key & 0xFFFF);
-        if (c >= nodes.size())
+        ContainerId c = ContainerId::fromIndex(key >> 16);
+        MetricId m = MetricId::fromIndex(key & 0xFFFF);
+        if (c.index() >= nodes.size())
             auditFail(log, "variable key references bad container ", c);
-        if (m >= metricTable.size())
+        if (m.index() >= metricTable.size())
             auditFail(log, "variable key references bad metric ", m);
         const auto &points = vars.at(key).changePoints();
         for (std::size_t i = 1; i < points.size(); ++i)
@@ -452,7 +452,7 @@ Trace::auditInvariants() const
     // Relations: valid distinct endpoints, deduplicated.
     for (std::size_t i = 0; i < rels.size(); ++i) {
         const Relation &r = rels[i];
-        if (r.a >= nodes.size() || r.b >= nodes.size())
+        if (r.a.index() >= nodes.size() || r.b.index() >= nodes.size())
             auditFail(log, "relation ", i, " has bad endpoints ", r.a,
                       ", ", r.b);
         if (r.a == r.b)
@@ -468,7 +468,7 @@ Trace::auditInvariants() const
     // States: valid containers, ordered intervals.
     for (std::size_t i = 0; i < stateLog.size(); ++i) {
         const StateRecord &s = stateLog[i];
-        if (s.container >= nodes.size())
+        if (s.container.index() >= nodes.size())
             auditFail(log, "state ", i, " references bad container ",
                       s.container);
         if (s.begin > s.end)
@@ -480,8 +480,8 @@ Trace::auditInvariants() const
 Container &
 Trace::debugMutableContainer(ContainerId id)
 {
-    VIVA_ASSERT(id < nodes.size(), "bad container id ", id);
-    return nodes[id];
+    VIVA_ASSERT(id.index() < nodes.size(), "bad container id ", id);
+    return nodes[id.index()];
 }
 
 } // namespace viva::trace

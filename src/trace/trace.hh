@@ -54,7 +54,7 @@ class Trace
     // --- containers --------------------------------------------------
 
     /** The root container id (always 0). */
-    ContainerId root() const { return 0; }
+    ContainerId root() const { return ContainerId{0}; }
 
     /**
      * Create a container under a parent.
@@ -191,7 +191,7 @@ class Trace
     static std::uint64_t
     varKey(ContainerId c, MetricId m)
     {
-        return (std::uint64_t(c) << 16) | m;
+        return (std::uint64_t(c.value()) << 16) | m.value();
     }
 
     static std::uint64_t
@@ -199,7 +199,7 @@ class Trace
     {
         if (a > b)
             std::swap(a, b);
-        return (std::uint64_t(a) << 32) | b;
+        return (std::uint64_t(a.value()) << 32) | b.value();
     }
 
     std::vector<Container> nodes;

@@ -50,7 +50,7 @@ struct GanttChart
 struct GanttOptions
 {
     /** Only containers under this subtree get rows (root = all). */
-    trace::ContainerId scope = 0;
+    trace::ContainerId scope{0};
     /** Rows with no bar inside the window are dropped. */
     bool dropEmptyRows = true;
     /** Cap on rows (a Gantt chart's screen-height limit; 0 = none). */

@@ -71,7 +71,7 @@ composeScene(const agg::View &view, const trace::Trace &trace,
     double lo_x = 1e300, lo_y = 1e300, hi_x = -1e300, hi_y = -1e300;
     bool any = false;
     for (const agg::ViewNode &node : view.nodes) {
-        auto it = positions.find(node.id);
+        auto it = positions.find(node.id.value());
         if (it == positions.end())
             continue;
         any = true;
@@ -95,7 +95,7 @@ composeScene(const agg::View &view, const trace::Trace &trace,
     std::unordered_map<ContainerId, std::size_t> index;
 
     for (const agg::ViewNode &vnode : view.nodes) {
-        auto it = positions.find(vnode.id);
+        auto it = positions.find(vnode.id.value());
         if (it == positions.end()) {
             support::warn("composeScene", "no position for '",
                           trace.fullName(vnode.id), "', skipping");

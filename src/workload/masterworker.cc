@@ -54,7 +54,7 @@ MasterWorkerApp::MasterWorkerApp(sim::SimulationRun &run_bundle,
     computeStart.assign(params_.workers.size(), 0.0);
     stateTarget.resize(params_.workers.size());
     for (std::size_t w = 0; w < params_.workers.size(); ++w) {
-        stateTarget[w] = run.mirror.hostContainer[params_.workers[w]];
+        stateTarget[w] = run.mirror.hostContainer[params_.workers[w].index()];
         if (params_.createProcessContainers) {
             stateTarget[w] = run.trace.addContainer(
                 "worker-" + params_.name,
@@ -187,7 +187,7 @@ allHostsExcept(const Platform &platform,
 {
     std::vector<HostId> out;
     out.reserve(platform.hostCount());
-    for (HostId h = 0; h < platform.hostCount(); ++h)
+    for (HostId h{0}; h.index() < platform.hostCount(); ++h)
         if (std::find(excluded.begin(), excluded.end(), h) ==
             excluded.end())
             out.push_back(h);

@@ -57,7 +57,7 @@ enum class BwEstimate { Harmonic, Bottleneck };
 struct MwParams
 {
     std::string name = "app";
-    platform::HostId master = 0;
+    platform::HostId master{0};
     std::vector<platform::HostId> workers;
 
     double taskInputMbits = 8.0;   ///< payload sent per task

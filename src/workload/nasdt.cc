@@ -84,11 +84,11 @@ Deployment
 localityDeployment(const Platform &platform, const DtParams &params)
 {
     std::size_t total = params.processCount();
-    Deployment dep(total, platform::kNoId);
+    Deployment dep(total, platform::kNoHost);
 
     // Free host pools per cluster, in host-id order.
     std::vector<GroupId> clusters;
-    for (GroupId g = 0; g < platform.groupCount(); ++g)
+    for (GroupId g{0}; g.index() < platform.groupCount(); ++g)
         if (platform.group(g).kind == GroupKind::Cluster)
             clusters.push_back(g);
     VIVA_ASSERT(!clusters.empty(), "platform has no clusters");
@@ -186,7 +186,7 @@ onReceive(const std::shared_ptr<DtState> &st, std::size_t rank)
                                        st->total).empty();
                 trace::ContainerId where =
                     st->rankContainer.empty()
-                        ? st->run->mirror.hostContainer[st->dep[rank]]
+                        ? st->run->mirror.hostContainer[st->dep[rank].index()]
                         : st->rankContainer[rank];
                 st->run->trace.addState(where, began,
                                         st->run->engine.now(),
@@ -233,7 +233,7 @@ runNasDtWhiteHole(sim::SimulationRun &run, const DtParams &params,
             st->rankContainer[r] = run.trace.addContainer(
                 "rank-" + std::to_string(r),
                 trace::ContainerKind::Process,
-                run.mirror.hostContainer[deployment[r]]);
+                run.mirror.hostContainer[deployment[r].index()]);
         }
     }
 

@@ -88,7 +88,7 @@ TEST(TimeSlice, UniformSlicesPartitionTheSpan)
 
 TEST(TimeSlice, SliceAt)
 {
-    auto s = va::sliceAt({0.0, 12.0}, 1, 3);
+    auto s = va::sliceAt({0.0, 12.0}, va::SliceIndex{1}, 3);
     EXPECT_DOUBLE_EQ(s.begin, 4.0);
     EXPECT_DOUBLE_EQ(s.end, 8.0);
 }

@@ -60,7 +60,7 @@ TEST(Session, InitialStateCoversWholeSpan)
 TEST(Session, SliceSelection)
 {
     vap::Session s(vt::makeFigure1Trace());
-    s.setSliceOf(1, 3);
+    s.setSliceOf(va::SliceIndex{1}, 3);
     EXPECT_DOUBLE_EQ(s.timeSlice().begin, 4.0);
     EXPECT_DOUBLE_EQ(s.timeSlice().end, 8.0);
     s.setTimeSlice({2.0, 6.0});
@@ -112,7 +112,7 @@ TEST(Session, AggregationPlacesGroupAtCentroid)
     vl::Vec2 centroid;
     std::size_t count = 0;
     for (auto id : s.trace().subtree(adonis)) {
-        vl::NodeId n = s.layoutGraph().findKey(id);
+        vl::NodeId n = s.layoutGraph().findKey(id.value());
         if (n != vl::kNoNode) {
             centroid += s.layoutGraph().node(n).position;
             ++count;
@@ -122,7 +122,7 @@ TEST(Session, AggregationPlacesGroupAtCentroid)
     centroid = centroid / double(count);
 
     ASSERT_TRUE(s.aggregate("adonis"));
-    vl::NodeId agg = s.layoutGraph().findKey(adonis);
+    vl::NodeId agg = s.layoutGraph().findKey(adonis.value());
     ASSERT_NE(agg, vl::kNoNode);
     EXPECT_NEAR(s.layoutGraph().node(agg).position.x, centroid.x, 1e-9);
     EXPECT_NEAR(s.layoutGraph().node(agg).position.y, centroid.y, 1e-9);
@@ -156,12 +156,12 @@ TEST(Session, DisaggregationFansOutAroundParent)
     s.stabilizeLayout(100);
     auto adonis = s.trace().findByName("adonis");
     vl::Vec2 parent_pos =
-        s.layoutGraph().node(s.layoutGraph().findKey(adonis)).position;
+        s.layoutGraph().node(s.layoutGraph().findKey(adonis.value())).position;
 
     ASSERT_TRUE(s.disaggregate("adonis"));
     // Children spawned near the parent's last position.
     for (auto id : s.trace().container(adonis).children) {
-        vl::NodeId n = s.layoutGraph().findKey(id);
+        vl::NodeId n = s.layoutGraph().findKey(id.value());
         if (n == vl::kNoNode)
             continue;  // grandchildren case
         EXPECT_LT(vl::distance(s.layoutGraph().node(n).position,
@@ -175,7 +175,7 @@ TEST(Session, MoveNodeDragsAndReleases)
     vap::Session s(vt::makeFigure1Trace());
     ASSERT_TRUE(s.moveNode("HostA", 500.0, 500.0));
     auto id = s.trace().findByPath("HostA");
-    vl::NodeId n = s.layoutGraph().findKey(id);
+    vl::NodeId n = s.layoutGraph().findKey(id.value());
     // Released after the move: not pinned, but near the target.
     EXPECT_FALSE(s.layoutGraph().node(n).pinned);
     EXPECT_FALSE(s.moveNode("nope", 0, 0));
@@ -186,10 +186,10 @@ TEST(Session, PinNode)
     vap::Session s(vt::makeFigure1Trace());
     ASSERT_TRUE(s.pinNode("HostA", true));
     auto id = s.trace().findByPath("HostA");
-    EXPECT_TRUE(s.layoutGraph().node(s.layoutGraph().findKey(id)).pinned);
+    EXPECT_TRUE(s.layoutGraph().node(s.layoutGraph().findKey(id.value())).pinned);
     ASSERT_TRUE(s.pinNode("HostA", false));
     EXPECT_FALSE(
-        s.layoutGraph().node(s.layoutGraph().findKey(id)).pinned);
+        s.layoutGraph().node(s.layoutGraph().findKey(id.value())).pinned);
 }
 
 TEST(Session, SceneAndAsciiRender)

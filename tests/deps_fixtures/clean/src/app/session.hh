@@ -1,0 +1,4 @@
+#pragma once
+#include "layout/graph.hh"
+#include "support/base.hh"
+inline int sessionValue() { return graphValue() + baseValue(); }

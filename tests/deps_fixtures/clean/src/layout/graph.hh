@@ -1,0 +1,3 @@
+#pragma once
+#include "support/base.hh"
+inline int graphValue() { return baseValue() + 1; }

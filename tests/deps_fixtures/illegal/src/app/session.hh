@@ -1,0 +1,2 @@
+#pragma once
+inline int sessionValue() { return 3; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "app/session.hh"
+inline int helperValue() { return 2; }

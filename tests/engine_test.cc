@@ -68,7 +68,7 @@ TEST(Engine, SoloComputeTakesWorkOverPower)
     vs::Engine e(p);
     double done_at = -1.0;
     // 2000 MFlop on a 1000 MFlops host: 2 seconds.
-    e.startCompute(0, 2000.0, [&] { done_at = e.now(); });
+    e.startCompute(vp::HostId{0}, 2000.0, [&] { done_at = e.now(); });
     e.run();
     EXPECT_NEAR(done_at, 2.0, 1e-9);
 }
@@ -79,8 +79,8 @@ TEST(Engine, TwoComputesShareTheHost)
     vs::Engine e(p);
     double t1 = -1.0, t2 = -1.0;
     // Both on h0 (1000 MFlops): each gets 500 until the first finishes.
-    e.startCompute(0, 500.0, [&] { t1 = e.now(); });
-    e.startCompute(0, 1000.0, [&] { t2 = e.now(); });
+    e.startCompute(vp::HostId{0}, 500.0, [&] { t1 = e.now(); });
+    e.startCompute(vp::HostId{0}, 1000.0, [&] { t2 = e.now(); });
     e.run();
     // t1: 500 at rate 500 -> 1.0 s. Then the second has 500 left at
     // full rate: finishes at 1.0 + 0.5 = 1.5 s.
@@ -94,7 +94,7 @@ TEST(Engine, CommTimeIsTransferPlusLatency)
     vs::Engine e(p);
     double done_at = -1.0;
     // 50 Mbit over 100 Mbit/s = 0.5 s, plus 10 ms latency.
-    e.startComm(0, 1, 50.0, [&] { done_at = e.now(); });
+    e.startComm(vp::HostId{0}, vp::HostId{1}, 50.0, [&] { done_at = e.now(); });
     e.run();
     EXPECT_NEAR(done_at, 0.51, 1e-9);
 }
@@ -104,8 +104,8 @@ TEST(Engine, TwoCommsShareTheLink)
     vp::Platform p = makePair();
     vs::Engine e(p);
     double t1 = -1.0, t2 = -1.0;
-    e.startComm(0, 1, 50.0, [&] { t1 = e.now(); });
-    e.startComm(0, 1, 50.0, [&] { t2 = e.now(); });
+    e.startComm(vp::HostId{0}, vp::HostId{1}, 50.0, [&] { t1 = e.now(); });
+    e.startComm(vp::HostId{0}, vp::HostId{1}, 50.0, [&] { t2 = e.now(); });
     e.run();
     // Equal share 50 each: both transfers end at 1.0, delivery +10 ms.
     EXPECT_NEAR(t1, 1.01, 1e-9);
@@ -117,7 +117,7 @@ TEST(Engine, ZeroWorkCompletesViaEvent)
     vp::Platform p = makePair();
     vs::Engine e(p);
     bool done = false;
-    auto id = e.startCompute(0, 0.0, [&] { done = true; });
+    auto id = e.startCompute(vp::HostId{0}, 0.0, [&] { done = true; });
     EXPECT_EQ(id, vs::kNoActivity);
     e.run();
     EXPECT_TRUE(done);
@@ -129,7 +129,7 @@ TEST(Engine, LocalCommOnlyLatency)
     vp::Platform p = makePair();
     vs::Engine e(p);
     double done_at = -1.0;
-    auto id = e.startComm(0, 0, 1000.0, [&] { done_at = e.now(); });
+    auto id = e.startComm(vp::HostId{0}, vp::HostId{0}, 1000.0, [&] { done_at = e.now(); });
     EXPECT_EQ(id, vs::kNoActivity);
     e.run();
     EXPECT_DOUBLE_EQ(done_at, 0.0);  // empty route: zero latency
@@ -139,7 +139,7 @@ TEST(Engine, ActivityIntrospection)
 {
     vp::Platform p = makePair();
     vs::Engine e(p);
-    auto id = e.startCompute(0, 1000.0, [] {});
+    auto id = e.startCompute(vp::HostId{0}, 1000.0, [] {});
     EXPECT_TRUE(e.activityRunning(id));
     EXPECT_DOUBLE_EQ(e.activityRemaining(id), 1000.0);
     EXPECT_DOUBLE_EQ(e.activityRate(id), 1000.0);
@@ -154,7 +154,7 @@ TEST(Engine, RunUntilStopsEarly)
     vp::Platform p = makePair();
     vs::Engine e(p);
     bool done = false;
-    e.startCompute(0, 10000.0, [&] { done = true; });  // 10 s of work
+    e.startCompute(vp::HostId{0}, 10000.0, [&] { done = true; });  // 10 s of work
     e.run(3.0);
     EXPECT_DOUBLE_EQ(e.now(), 3.0);
     EXPECT_FALSE(done);
@@ -168,14 +168,14 @@ TEST(Engine, RatesObservable)
 {
     vp::Platform p = makePair();
     vs::Engine e(p);
-    e.startCompute(0, 1000.0, [] {});
-    e.startComm(0, 1, 100.0, [] {});
-    EXPECT_DOUBLE_EQ(e.hostRate(0), 1000.0);
-    EXPECT_DOUBLE_EQ(e.hostRate(1), 0.0);
-    EXPECT_DOUBLE_EQ(e.linkRate(0), 100.0);
+    e.startCompute(vp::HostId{0}, 1000.0, [] {});
+    e.startComm(vp::HostId{0}, vp::HostId{1}, 100.0, [] {});
+    EXPECT_DOUBLE_EQ(e.hostRate(vp::HostId{0}), 1000.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(vp::HostId{1}), 0.0);
+    EXPECT_DOUBLE_EQ(e.linkRate(vp::LinkId{0}), 100.0);
     e.run();
-    EXPECT_DOUBLE_EQ(e.hostRate(0), 0.0);
-    EXPECT_DOUBLE_EQ(e.linkRate(0), 0.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(vp::HostId{0}), 0.0);
+    EXPECT_DOUBLE_EQ(e.linkRate(vp::LinkId{0}), 0.0);
 }
 
 TEST(Engine, TagsAccountSeparately)
@@ -185,13 +185,13 @@ TEST(Engine, TagsAccountSeparately)
     EXPECT_EQ(e.tagCount(), 3u);
     EXPECT_EQ(e.tagName(1), "app1");
 
-    e.startCompute(0, 1000.0, [] {}, 1);
-    e.startCompute(0, 1000.0, [] {}, 2);
+    e.startCompute(vp::HostId{0}, 1000.0, [] {}, 1);
+    e.startCompute(vp::HostId{0}, 1000.0, [] {}, 2);
     // Equal sharing: 500 each.
-    EXPECT_DOUBLE_EQ(e.hostRate(0), 1000.0);
-    EXPECT_DOUBLE_EQ(e.hostRate(0, 1), 500.0);
-    EXPECT_DOUBLE_EQ(e.hostRate(0, 2), 500.0);
-    EXPECT_DOUBLE_EQ(e.hostRate(0, viva::sim::kDefaultTag), 0.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(vp::HostId{0}), 1000.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(vp::HostId{0}, 1), 500.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(vp::HostId{0}, 2), 500.0);
+    EXPECT_DOUBLE_EQ(e.hostRate(vp::HostId{0}, viva::sim::kDefaultTag), 0.0);
     e.run();
 }
 
@@ -200,8 +200,8 @@ TEST(Engine, ChainedActivitiesKeepVirtualTime)
     vp::Platform p = makePair();
     vs::Engine e(p);
     double second_done = -1.0;
-    e.startCompute(0, 1000.0, [&] {
-        e.startComm(0, 1, 100.0, [&] { second_done = e.now(); });
+    e.startCompute(vp::HostId{0}, 1000.0, [&] {
+        e.startComm(vp::HostId{0}, vp::HostId{1}, 100.0, [&] { second_done = e.now(); });
     });
     e.run();
     // 1 s compute, then 1 s transfer + 10 ms latency.
@@ -214,7 +214,7 @@ TEST(Engine, ManyParallelChainsDrain)
     vs::Engine e(p);
     int completions = 0;
     for (int i = 0; i < 50; ++i) {
-        e.startCompute(i % 2, 100.0 * (i + 1), [&] { ++completions; });
+        e.startCompute(vp::HostId::fromIndex(i % 2), 100.0 * (i + 1), [&] { ++completions; });
     }
     e.run();
     EXPECT_EQ(completions, 50);
@@ -235,6 +235,6 @@ TEST(EngineDeath, TagAfterStartAsserts)
 {
     vp::Platform p = makePair();
     vs::Engine e(p);
-    e.startCompute(0, 1.0, [] {});
+    e.startCompute(vp::HostId{0}, 1.0, [] {});
     EXPECT_DEATH(e.registerTag("late"), "before activities");
 }

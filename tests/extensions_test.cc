@@ -181,8 +181,8 @@ TEST(WorkloadStates, MasterWorkerRecordsCompute)
     }
     vs::SimulationRun run(p);
     vw::MwParams params;
-    params.master = 0;
-    params.workers = {1, 2};
+    params.master = vp::HostId{0};
+    params.workers = {vp::HostId{1}, vp::HostId{2}};
     params.totalTasks = 6;
     params.taskMflop = 500.0;
     params.recordStates = true;
@@ -277,7 +277,7 @@ TEST(Composition, SegmentsFromPerAppMetrics)
     cut.aggregate(f.g);
     va::View view = va::buildView(f.trace, cut, {0.0, 1.0}, metrics);
     vv::TypeScaling scaling;
-    viva::layout::Snapshot pos{{f.g, {0.0, 0.0}}};
+    viva::layout::Snapshot pos{{f.g.value(), {0.0, 0.0}}};
     vv::Scene scene =
         vv::composeScene(view, f.trace, pos, mapping, scaling);
 
@@ -304,7 +304,7 @@ TEST(Composition, LeavesGetNoCompositionPie)
     va::View view = va::buildView(f.trace, cut, {0.0, 1.0},
                                   mapping.referencedMetrics());
     vv::TypeScaling scaling;
-    viva::layout::Snapshot pos{{f.h1, {0, 0}}, {f.h2, {10, 0}}};
+    viva::layout::Snapshot pos{{f.h1.value(), {0, 0}}, {f.h2.value(), {10, 0}}};
     vv::Scene scene =
         vv::composeScene(view, f.trace, pos, mapping, scaling);
     for (const auto &node : scene.nodes)
@@ -323,7 +323,7 @@ TEST(Composition, StatePiesOverrideComposition)
     va::View view = va::buildView(f.trace, cut, {0.0, 4.0},
                                   mapping.referencedMetrics());
     vv::TypeScaling scaling;
-    viva::layout::Snapshot pos{{f.g, {0.0, 0.0}}};
+    viva::layout::Snapshot pos{{f.g.value(), {0.0, 0.0}}};
     vv::SceneOptions options;
     options.statePies = true;
     vv::Scene scene = vv::composeScene(view, f.trace, pos, mapping,
@@ -348,7 +348,7 @@ TEST(Composition, PieRenderedInSvg)
     va::View view = va::buildView(f.trace, cut, {0.0, 1.0},
                                   mapping.referencedMetrics());
     vv::TypeScaling scaling;
-    viva::layout::Snapshot pos{{f.g, {0.0, 0.0}}};
+    viva::layout::Snapshot pos{{f.g.value(), {0.0, 0.0}}};
     vv::Scene scene =
         vv::composeScene(view, f.trace, pos, mapping, scaling);
 
@@ -361,7 +361,7 @@ TEST(CompositionDeath, BadRulesAssert)
 {
     vv::VisualMapping mapping;
     vv::CompositionRule empty;
-    empty.total = 0;
+    empty.total = vt::MetricId{0};
     EXPECT_DEATH(mapping.setComposition(empty), "parts");
 }
 
@@ -395,8 +395,8 @@ TEST(Indicators, HeterogeneityFlagsUnevenAggregates)
                       /*with_stats=*/true);
     vv::TypeScaling scaling;
     viva::layout::Snapshot pos{
-        {trace.findByName("uneven"), {0, 0}},
-        {trace.findByName("even"), {100, 0}}};
+        {trace.findByName("uneven").value(), {0, 0}},
+        {trace.findByName("even").value(), {100, 0}}};
     vv::Scene scene =
         vv::composeScene(view, trace, pos, mapping, scaling);
 
@@ -708,7 +708,7 @@ TEST(ProcessContainers, DtRanksNestUnderHosts)
     auto rank0 = run.trace.findByName("rank-0");
     ASSERT_NE(rank0, vt::kNoContainer);
     EXPECT_EQ(run.trace.container(rank0).parent,
-              run.mirror.hostContainer[dep[0]]);
+              run.mirror.hostContainer[dep[0].index()]);
 
     // States attach to ranks, not hosts.
     for (const auto &state : run.trace.states()) {
@@ -719,7 +719,7 @@ TEST(ProcessContainers, DtRanksNestUnderHosts)
     // Host-level aggregation still sees the host's power (the host is
     // no longer a leaf, but subtree aggregation keeps its variable).
     viva::agg::Aggregator agg(run.trace);
-    double host_power = agg.value(run.mirror.hostContainer[dep[0]],
+    double host_power = agg.value(run.mirror.hostContainer[dep[0].index()],
                                   run.mirror.power, {0.0, 1.0});
     EXPECT_GT(host_power, 0.0);
 }
@@ -730,8 +730,8 @@ TEST(ProcessContainers, WorkerProcessesPerApp)
     vs::SimulationRun run(plat, {"a", "b"});
     vw::MwParams pa;
     pa.name = "a";
-    pa.master = 0;
-    pa.workers = {1, 2, 3};
+    pa.master = vp::HostId{0};
+    pa.workers = {vp::HostId{1}, vp::HostId{2}, vp::HostId{3}};
     pa.totalTasks = 6;
     pa.taskMflop = 100.0;
     pa.recordStates = true;

@@ -93,7 +93,7 @@ TEST_F(NasDtCase, SequentialSaturatesTheInterconnect)
     // ... and in each of the beginning / middle / end sub-slices.
     for (std::size_t i = 0; i < 3; ++i) {
         double u = linkUtilization(seq.trace, "backbone",
-                                   va::sliceAt(whole, i, 3));
+                                   va::sliceAt(whole, va::SliceIndex::fromIndex(i), 3));
         EXPECT_GT(u, 0.5) << "sub-slice " << i;
     }
 }
@@ -152,7 +152,7 @@ TEST_F(NasDtCase, SessionViewsShowTheSaturation)
     std::ostringstream svg;
     viva::viz::writeSvg(session.scene(), svg);
     for (std::size_t i = 0; i < 3; ++i) {
-        session.setSliceOf(i, 3);
+        session.setSliceOf(va::SliceIndex::fromIndex(i), 3);
         viva::viz::writeSvg(session.scene(), svg);
     }
     EXPECT_GT(svg.str().size(), 1000u);
@@ -187,8 +187,8 @@ class MasterWorkerCase : public ::testing::Test
 
         vw::MwParams p1;
         p1.name = "cpubound";
-        p1.master = 0;  // first host of site0
-        p1.workers = vw::allHostsExcept(plat, {0, 16});
+        p1.master = vp::HostId{0};  // first host of site0
+        p1.workers = vw::allHostsExcept(plat, {vp::HostId{0}, vp::HostId{16}});
         p1.taskInputMbits = 2.0;
         p1.taskMflop = 30000.0;
         p1.totalTasks = 150;
@@ -196,7 +196,7 @@ class MasterWorkerCase : public ::testing::Test
 
         vw::MwParams p2 = p1;
         p2.name = "netbound";
-        p2.master = 16;  // a host in another site
+        p2.master = vp::HostId{16};  // a host in another site
         p2.taskInputMbits = 40.0;  // much higher comm/comp ratio:
         p2.taskMflop = 2000.0;     // the master is the bottleneck
         p2.totalTasks = 150;
@@ -337,8 +337,8 @@ TEST_F(MasterWorkerCase, AnimationShowsWorkloadDiffusion)
         }
         return n;
     };
-    std::size_t early = active_sites(va::sliceAt(span, 0, 8));
-    std::size_t late = active_sites(va::sliceAt(span, 4, 8));
+    std::size_t early = active_sites(va::sliceAt(span, va::SliceIndex{0}, 8));
+    std::size_t late = active_sites(va::sliceAt(span, va::SliceIndex{4}, 8));
     EXPECT_GE(late, early);
     EXPECT_GE(late, 3u);  // eventually most sites work
 }

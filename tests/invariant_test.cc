@@ -326,7 +326,7 @@ TEST(SessionAudit, CleanThroughAnalysisSequence)
     session.aggregate("site/cluster");
     EXPECT_TRUE(session.auditInvariants().empty());
 
-    session.setSliceOf(0, 2);
+    session.setSliceOf(va::SliceIndex{0}, 2);
     session.stepLayout(5);
     EXPECT_TRUE(session.auditInvariants().empty());
 

@@ -76,7 +76,7 @@ TEST(LayoutGraph, PinningZeroesVelocity)
 {
     vl::LayoutGraph g;
     auto a = g.addNode(1, {0, 0});
-    g.mutableNodes()[a].velocity = {3, 3};
+    g.mutableNodes()[a.index()].velocity = {3, 3};
     g.setPinned(a, true);
     EXPECT_DOUBLE_EQ(g.node(a).velocity.x, 0.0);
     EXPECT_TRUE(g.node(a).pinned);

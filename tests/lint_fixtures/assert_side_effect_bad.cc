@@ -1,0 +1,9 @@
+#include <cassert>
+#include <vector>
+
+void f(std::vector<int> &v, int i)
+{
+    assert(++i < 10);
+    assert(v.size() == 1 || v.insert(v.end(), i) != v.end());
+    VIVA_ASSERT(i = 3, "oops");
+}

@@ -1,0 +1,10 @@
+#include <cassert>
+#include <vector>
+
+void f(const std::vector<int> &v, int i)
+{
+    assert(i + 1 < 10);
+    assert(v.size() <= 16);
+    assert(i == 3 || i != 4);
+    VIVA_ASSERT(i >= 0, "index ", i, " negative");
+}

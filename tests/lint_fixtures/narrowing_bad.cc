@@ -1,0 +1,13 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+void f(const std::vector<int> &v, const std::string &s)
+{
+    int n = v.size();
+    std::uint32_t m = s.length() + 1;
+    std::uint32_t wrap = -1;
+    (void)n;
+    (void)m;
+    (void)wrap;
+}

@@ -1,0 +1,15 @@
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void f(const std::vector<int> &v)
+{
+    std::size_t n = v.size();
+    int cast_ok = static_cast<int>(v.size());
+    std::uint64_t wide = v.size();
+    int minus_one = -1;
+    (void)n;
+    (void)cast_ok;
+    (void)wide;
+    (void)minus_one;
+}

@@ -1,0 +1,7 @@
+#include <vector>
+
+void f(const std::vector<int> &v)
+{
+    int n = v.size(); // viva-lint: allow(narrowing)
+    (void)n;
+}

@@ -197,6 +197,59 @@ TEST(LintIncludeHygiene, FiresOnParentIncludeAndUsingNamespace)
     EXPECT_EQ(countRule(findings, "include-hygiene"), 2u);
 }
 
+// --- narrowing ------------------------------------------------------------------
+
+TEST(LintNarrowing, FiresOnSizeInitAndNegativeUnsigned)
+{
+    auto findings = lintAs("src/agg/fixture.cc", "narrowing_bad.cc");
+    // int = .size(), uint32_t = .length(), uint32_t = -1.
+    EXPECT_EQ(countRule(findings, "narrowing"), 3u);
+}
+
+TEST(LintNarrowing, CleanOnSizeTAndExplicitCasts)
+{
+    auto findings = lintAs("src/agg/fixture.cc", "narrowing_ok.cc");
+    EXPECT_EQ(countRule(findings, "narrowing"), 0u);
+}
+
+TEST(LintNarrowing, SuppressedByTrailingAllow)
+{
+    auto findings =
+        lintAs("src/agg/fixture.cc", "narrowing_suppressed.cc");
+    EXPECT_EQ(countRule(findings, "narrowing"), 0u);
+}
+
+TEST(LintNarrowing, OutOfScopeOutsideSrc)
+{
+    // Tests and benches size-match against ints freely.
+    auto findings = lintAs("tests/fixture.cc", "narrowing_bad.cc");
+    EXPECT_EQ(countRule(findings, "narrowing"), 0u);
+}
+
+// --- assert-side-effect ---------------------------------------------------------
+
+TEST(LintAssertSideEffect, FiresOnMutationInAsserts)
+{
+    auto findings =
+        lintAs("src/agg/fixture.cc", "assert_side_effect_bad.cc");
+    // ++i, v.insert(...), i = 3.
+    EXPECT_EQ(countRule(findings, "assert-side-effect"), 3u);
+}
+
+TEST(LintAssertSideEffect, CleanOnPureExpressions)
+{
+    auto findings =
+        lintAs("src/agg/fixture.cc", "assert_side_effect_ok.cc");
+    EXPECT_EQ(countRule(findings, "assert-side-effect"), 0u);
+}
+
+TEST(LintAssertSideEffect, AppliesEverywhereIncludingTests)
+{
+    auto findings =
+        lintAs("tests/fixture.cc", "assert_side_effect_bad.cc");
+    EXPECT_EQ(countRule(findings, "assert-side-effect"), 3u);
+}
+
 // --- engine details -------------------------------------------------------------
 
 TEST(LintEngine, StripPreservesLineStructure)

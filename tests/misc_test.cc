@@ -62,7 +62,7 @@ TEST(EngineEdge, ObserverSeesFinalZeroAtRunUntilBoundary)
     vs::Engine e(p);
     Probe probe;
     e.setRateObserver(&probe);
-    e.startCompute(0, 1e6, [] {});  // 100 s of work
+    e.startCompute(vp::HostId{0}, 1e6, [] {});  // 100 s of work
     e.run(2.5);
     EXPECT_DOUBLE_EQ(probe.lastTime, 2.5);
     EXPECT_DOUBLE_EQ(e.now(), 2.5);
@@ -74,7 +74,7 @@ TEST(EngineEdge, ManySimultaneousCompletionsAllFire)
     vs::Engine e(p);
     int done = 0;
     // Identical work on distinct hosts: all complete at the same time.
-    for (vp::HostId h = 0; h < 11; ++h)
+    for (vp::HostId h{0}; h.value() < 11; ++h)
         e.startCompute(h, 1000.0, [&] { ++done; });
     e.run();
     EXPECT_EQ(done, 11);

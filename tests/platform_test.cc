@@ -54,9 +54,9 @@ TEST(Platform, BasicCounts)
 TEST(Platform, LookupByName)
 {
     vp::Platform p = makeDumbbell();
-    EXPECT_EQ(p.findHost("h1"), 1u);
-    EXPECT_EQ(p.findHost("nope"), vp::kNoId);
-    EXPECT_EQ(p.findGroup("site"), 1u);
+    EXPECT_EQ(p.findHost("h1"), vp::HostId{1});
+    EXPECT_EQ(p.findHost("nope"), vp::kNoHost);
+    EXPECT_EQ(p.findGroup("site"), vp::GroupId{1});
     EXPECT_EQ(p.findGroup("test"), p.grid());
 }
 
@@ -87,27 +87,27 @@ TEST(Platform, HostsUnder)
 TEST(Platform, RouteShortestPath)
 {
     vp::Platform p = makeDumbbell();
-    const vp::Route &r = p.route(0, 1);  // h0 -> h1
+    const vp::Route &r = p.route(vp::HostId{0}, vp::HostId{1});  // h0 -> h1
     ASSERT_EQ(r.links.size(), 3u);
-    EXPECT_EQ(r.links[0], 0u);  // l0
-    EXPECT_EQ(r.links[1], 2u);  // l2
-    EXPECT_EQ(r.links[2], 1u);  // l1
+    EXPECT_EQ(r.links[0], vp::LinkId{0});  // l0
+    EXPECT_EQ(r.links[1], vp::LinkId{2});  // l2
+    EXPECT_EQ(r.links[2], vp::LinkId{1});  // l1
     EXPECT_DOUBLE_EQ(r.latencyS, 1e-3 + 2e-3 + 1e-3);
 }
 
 TEST(Platform, RouteSameSideSkipsBackbone)
 {
     vp::Platform p = makeDumbbell();
-    const vp::Route &r = p.route(0, 2);  // h0 -> h2 via r0 only
+    const vp::Route &r = p.route(vp::HostId{0}, vp::HostId{2});  // h0 -> h2 via r0 only
     ASSERT_EQ(r.links.size(), 2u);
-    EXPECT_EQ(r.links[0], 0u);
-    EXPECT_EQ(r.links[1], 3u);
+    EXPECT_EQ(r.links[0], vp::LinkId{0});
+    EXPECT_EQ(r.links[1], vp::LinkId{3});
 }
 
 TEST(Platform, RouteToSelfIsEmpty)
 {
     vp::Platform p = makeDumbbell();
-    const vp::Route &r = p.route(1, 1);
+    const vp::Route &r = p.route(vp::HostId{1}, vp::HostId{1});
     EXPECT_TRUE(r.links.empty());
     EXPECT_DOUBLE_EQ(r.latencyS, 0.0);
 }
@@ -115,8 +115,8 @@ TEST(Platform, RouteToSelfIsEmpty)
 TEST(Platform, RouteIsCached)
 {
     vp::Platform p = makeDumbbell();
-    const vp::Route &a = p.route(0, 1);
-    const vp::Route &b = p.route(0, 1);
+    const vp::Route &a = p.route(vp::HostId{0}, vp::HostId{1});
+    const vp::Route &b = p.route(vp::HostId{0}, vp::HostId{1});
     EXPECT_EQ(&a, &b);  // same object: the cache hit
 }
 
@@ -126,7 +126,7 @@ TEST(PlatformDeath, DisconnectedHostsPanic)
     auto s = p.addSite("s");
     p.addHost("a", 1.0, s);
     p.addHost("b", 1.0, s);
-    EXPECT_DEATH((void)p.route(0, 1), "disconnected");
+    EXPECT_DEATH((void)p.route(vp::HostId{0}, vp::HostId{1}), "disconnected");
 }
 
 TEST(PlatformDeath, DuplicateHostNameAsserts)
@@ -143,8 +143,8 @@ TEST(TwoClusterPlatform, Shape)
 {
     vp::Platform p = vp::makeTwoClusterPlatform();
     EXPECT_EQ(p.hostCount(), vp::kTwoClusterHosts);
-    EXPECT_NE(p.findGroup("adonis"), vp::kNoId);
-    EXPECT_NE(p.findGroup("griffon"), vp::kNoId);
+    EXPECT_NE(p.findGroup("adonis"), vp::kNoGroup);
+    EXPECT_NE(p.findGroup("griffon"), vp::kNoGroup);
     EXPECT_EQ(p.hostsUnder(p.findGroup("adonis")).size(), 11u);
     EXPECT_EQ(p.hostsUnder(p.findGroup("griffon")).size(), 11u);
 }
@@ -154,8 +154,8 @@ TEST(TwoClusterPlatform, CrossTrafficUsesBackbone)
     vp::Platform p = vp::makeTwoClusterPlatform();
     auto a = p.findHost("adonis-1");
     auto g = p.findHost("griffon-1");
-    ASSERT_NE(a, vp::kNoId);
-    ASSERT_NE(g, vp::kNoId);
+    ASSERT_NE(a, vp::kNoHost);
+    ASSERT_NE(g, vp::kNoHost);
 
     const vp::Route &cross = p.route(a, g);
     bool uses_backbone = false;
@@ -201,7 +201,7 @@ TEST(Grid5000Platform, TwelveSites)
 {
     vp::Platform p = vp::makeGrid5000();
     std::size_t sites = 0;
-    for (vp::GroupId g = 0; g < p.groupCount(); ++g)
+    for (vp::GroupId g{0}; g.index() < p.groupCount(); ++g)
         if (p.group(g).kind == vp::GroupKind::Site)
             ++sites;
     EXPECT_EQ(sites, 12u);
@@ -214,9 +214,9 @@ TEST(Grid5000Platform, AllPairsRoutable)
     auto a = p.findHost("adonis-1");
     auto b = p.findHost("pastel-140");
     auto c = p.findHost("gdx-200");
-    ASSERT_NE(a, vp::kNoId);
-    ASSERT_NE(b, vp::kNoId);
-    ASSERT_NE(c, vp::kNoId);
+    ASSERT_NE(a, vp::kNoHost);
+    ASSERT_NE(b, vp::kNoHost);
+    ASSERT_NE(c, vp::kNoHost);
     EXPECT_FALSE(p.route(a, b).links.empty());
     EXPECT_FALSE(p.route(b, c).links.empty());
     EXPECT_GT(p.route(a, b).latencyS, 0.0);
@@ -226,7 +226,7 @@ TEST(Grid5000Platform, HeterogeneousPower)
 {
     vp::Platform p = vp::makeGrid5000();
     double lo = 1e18, hi = 0.0;
-    for (vp::HostId h = 0; h < p.hostCount(); ++h) {
+    for (vp::HostId h{0}; h.index() < p.hostCount(); ++h) {
         lo = std::min(lo, p.host(h).powerMflops);
         hi = std::max(hi, p.host(h).powerMflops);
     }
@@ -241,7 +241,7 @@ TEST(SyntheticGrid, Dimensions)
     EXPECT_EQ(p.hostCount(), 30u);
     // 3 sites + 6 clusters + grid = 10 groups.
     EXPECT_EQ(p.groupCount(), 10u);
-    EXPECT_FALSE(p.route(0, 29).links.empty());
+    EXPECT_FALSE(p.route(vp::HostId{0}, vp::HostId{29}).links.empty());
 }
 
 // --- trace mirror ---------------------------------------------------------------
@@ -272,17 +272,17 @@ TEST(TraceMirror, CapacitiesRecorded)
     vp::TraceMirror m = vp::mirrorPlatform(p, t);
 
     auto h = p.findHost("adonis-1");
-    const vt::Variable *power = t.findVariable(m.hostContainer[h], m.power);
+    const vt::Variable *power = t.findVariable(m.hostContainer[h.index()], m.power);
     ASSERT_NE(power, nullptr);
     EXPECT_DOUBLE_EQ(power->valueAt(0.0), 10000.0);
 
-    auto backbone_id = vp::kNoId;
-    for (vp::LinkId l = 0; l < p.linkCount(); ++l)
+    auto backbone_id = vp::kNoLink;
+    for (vp::LinkId l{0}; l.index() < p.linkCount(); ++l)
         if (p.link(l).name == "backbone")
             backbone_id = l;
-    ASSERT_NE(backbone_id, vp::kNoId);
+    ASSERT_NE(backbone_id, vp::kNoLink);
     const vt::Variable *bw =
-        t.findVariable(m.linkContainer[backbone_id], m.bandwidth);
+        t.findVariable(m.linkContainer[backbone_id.index()], m.bandwidth);
     ASSERT_NE(bw, nullptr);
     EXPECT_DOUBLE_EQ(bw->valueAt(0.0),
                      p.link(backbone_id).bandwidthMbps);

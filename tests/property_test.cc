@@ -166,10 +166,10 @@ TEST_P(CutPartition, VisibleNodesPartitionTheLeaves)
     for (auto v : visible) {
         EXPECT_TRUE(cut.isVisible(v));
         for (auto leaf : trace.leavesUnder(v))
-            ++covered[leaf];
+            ++covered[leaf.index()];
     }
     for (auto leaf : trace.leavesUnder(trace.root()))
-        EXPECT_EQ(covered[leaf], 1) << "leaf " << leaf;
+        EXPECT_EQ(covered[leaf.index()], 1) << "leaf " << leaf;
 
     // representative() agrees with the covering node.
     for (auto v : visible)
@@ -193,7 +193,7 @@ TEST_P(CutPartition, ConservationUnderRandomCuts)
     for (auto v : cut.visibleNodes())
         total += agg.value(v, mirror.power, {0.0, 1.0});
     double expected = 0.0;
-    for (vp::HostId h = 0; h < plat.hostCount(); ++h)
+    for (vp::HostId h{0}; h.index() < plat.hostCount(); ++h)
         expected += plat.host(h).powerMflops;
     EXPECT_NEAR(total, expected, 1e-9 * expected);
 }
@@ -302,7 +302,7 @@ TEST_P(RoutingConsistency, RoutesAreConnectedPaths)
         // verified through the adjacency lists.
         for (std::size_t i = 0; i + 1 < route.links.size(); ++i) {
             bool share = false;
-            for (vp::VertexId v = 0; v < plat.vertexCount() && !share;
+            for (vp::VertexId v{0}; v.index() < plat.vertexCount() && !share;
                  ++v) {
                 bool has_i = false, has_next = false;
                 for (const auto &[other, l] : plat.edges(v)) {

@@ -126,8 +126,8 @@ TEST(SessionComposition, PieVisibleEndToEnd)
     vs::SimulationRun run(plat, {"a", "b"});
     vw::MwParams pa;
     pa.name = "a";
-    pa.master = 0;
-    pa.workers = vw::allHostsExcept(plat, {0});
+    pa.master = vp::HostId{0};
+    pa.workers = vw::allHostsExcept(plat, {vp::HostId{0}});
     pa.totalTasks = 10;
     pa.taskMflop = 1000.0;
     vw::MwParams pb = pa;
@@ -208,7 +208,7 @@ TEST(SessionCharge, AggregatedNodeChargeIsSummed)
 
     session.aggregate("adonis");
     auto adonis = session.trace().findByName("adonis");
-    auto node = session.layoutGraph().findKey(adonis);
+    auto node = session.layoutGraph().findKey(adonis.value());
     ASSERT_NE(node, viva::layout::kNoNode);
     // 11 hosts + 11 host links + switch = 23 leaves.
     EXPECT_DOUBLE_EQ(session.layoutGraph().node(node).charge, 23.0);

@@ -35,7 +35,7 @@ TEST(Tracer, RecordsComputeUtilization)
 {
     vp::Platform p = makePair();
     vs::SimulationRun run(p);
-    run.engine.startCompute(0, 2000.0, [] {});
+    run.engine.startCompute(vp::HostId{0}, 2000.0, [] {});
     run.engine.run();
 
     const vt::Variable *used = run.trace.findVariable(
@@ -51,7 +51,7 @@ TEST(Tracer, RecordsLinkUtilization)
 {
     vp::Platform p = makePair();
     vs::SimulationRun run(p);
-    run.engine.startComm(0, 1, 200.0, [] {});  // 2 s at 100 Mbit/s
+    run.engine.startComm(vp::HostId{0}, vp::HostId{1}, 200.0, [] {});  // 2 s at 100 Mbit/s
     run.engine.run();
 
     const vt::Variable *used = run.trace.findVariable(
@@ -68,7 +68,7 @@ TEST(Tracer, UtilizationNeverExceedsCapacity)
     vp::Platform p = makePair();
     vs::SimulationRun run(p);
     for (int i = 0; i < 8; ++i)
-        run.engine.startComm(0, 1, 25.0, [] {});
+        run.engine.startComm(vp::HostId{0}, vp::HostId{1}, 25.0, [] {});
     run.engine.run();
 
     const vt::Variable *used = run.trace.findVariable(
@@ -87,7 +87,7 @@ TEST(Tracer, SkipsRepeatedValues)
     // them only if they overlap; run them sequentially so it drops to 0
     // in between. Either way, h1's power_used never changes after the
     // initial 0 -> exactly one point for it.
-    run.engine.startComm(0, 1, 100.0, [] {});
+    run.engine.startComm(vp::HostId{0}, vp::HostId{1}, 100.0, [] {});
     run.engine.run();
 
     const vt::Variable *idle_host = run.trace.findVariable(
@@ -101,8 +101,8 @@ TEST(Tracer, PerTagMetricsEmitted)
 {
     vp::Platform p = makePair();
     vs::SimulationRun run(p, {"cpu", "net"});
-    run.engine.startCompute(0, 1000.0, [] {}, 1);
-    run.engine.startCompute(0, 500.0, [] {}, 2);
+    run.engine.startCompute(vp::HostId{0}, 1000.0, [] {}, 1);
+    run.engine.startCompute(vp::HostId{0}, 500.0, [] {}, 2);
     run.engine.run();
 
     vt::MetricId m_cpu = run.trace.findMetric("power_used:cpu");
@@ -131,7 +131,7 @@ TEST(Tracer, NoPerTagMetricsWithoutTags)
 {
     vp::Platform p = makePair();
     vs::SimulationRun run(p);
-    run.engine.startCompute(0, 100.0, [] {});
+    run.engine.startCompute(vp::HostId{0}, 100.0, [] {});
     run.engine.run();
     EXPECT_EQ(run.trace.findMetric("power_used:default"), vt::kNoMetric);
 }
@@ -140,7 +140,7 @@ TEST(Tracer, TraceSpanCoversTheRun)
 {
     vp::Platform p = makePair();
     vs::SimulationRun run(p);
-    run.engine.startCompute(0, 5000.0, [] {});  // 5 s
+    run.engine.startCompute(vp::HostId{0}, 5000.0, [] {});  // 5 s
     run.engine.run();
     EXPECT_DOUBLE_EQ(run.trace.span().begin, 0.0);
     EXPECT_NEAR(run.trace.span().end, 5.0, 1e-9);

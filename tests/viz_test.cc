@@ -52,9 +52,9 @@ struct Fig4Fixture
     viva::layout::Snapshot
     positions() const
     {
-        return {{host_a, {0.0, 0.0}},
-                {host_b, {100.0, 0.0}},
-                {link_a, {50.0, 30.0}}};
+        return {{host_a.value(), {0.0, 0.0}},
+                {host_b.value(), {100.0, 0.0}},
+                {link_a.value(), {50.0, 30.0}}};
     }
 };
 
@@ -153,16 +153,16 @@ TEST(Scaling, SlidersScaleIndependently)
 TEST(Scaling, SliderClamped)
 {
     vv::TypeScaling scaling;
-    scaling.setSlider(0, 100.0);
-    EXPECT_DOUBLE_EQ(scaling.slider(0), 20.0);
-    scaling.setSlider(0, 0.0);
-    EXPECT_DOUBLE_EQ(scaling.slider(0), 0.05);
+    scaling.setSlider(vt::MetricId{0}, 100.0);
+    EXPECT_DOUBLE_EQ(scaling.slider(vt::MetricId{0}), 20.0);
+    scaling.setSlider(vt::MetricId{0}, 0.0);
+    EXPECT_DOUBLE_EQ(scaling.slider(vt::MetricId{0}), 0.05);
 }
 
 TEST(Scaling, UnknownMetricGivesZero)
 {
     vv::TypeScaling scaling;
-    EXPECT_DOUBLE_EQ(scaling.pixelSize(3, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(scaling.pixelSize(vt::MetricId{3}, 10.0), 0.0);
 }
 
 // --- scene ------------------------------------------------------------------------
@@ -241,7 +241,7 @@ TEST(Scene, AggregatedNodeGetsCompositeGlyph)
     va::View view = va::buildView(trace, cut2, {0.0, 1.0}, {power, bw});
     vv::VisualMapping mapping = vv::VisualMapping::defaults(trace);
     vv::TypeScaling scaling;
-    viva::layout::Snapshot pos{{g, {0.0, 0.0}}};
+    viva::layout::Snapshot pos{{g.value(), {0.0, 0.0}}};
 
     vv::Scene scene =
         vv::composeScene(view, trace, pos, mapping, scaling);
@@ -259,7 +259,7 @@ TEST(Scene, MissingPositionSkipsNodeWithWarning)
     va::View view = f.view({0.0, 4.0});
     vv::VisualMapping mapping = vv::VisualMapping::defaults(f.trace);
     vv::TypeScaling scaling;
-    viva::layout::Snapshot partial{{f.host_a, {0.0, 0.0}}};
+    viva::layout::Snapshot partial{{f.host_a.value(), {0.0, 0.0}}};
 
     viva::support::setQuiet(true);
     std::size_t warns = viva::support::warnCount();

@@ -142,7 +142,7 @@ TEST(DtRunDeath, WrongDeploymentSizeAsserts)
     vp::Platform plat = vp::makeTwoClusterPlatform();
     vs::SimulationRun run(plat);
     vw::DtParams params;
-    vw::Deployment dep(5, 0);
+    vw::Deployment dep(5, vp::HostId{0});
     EXPECT_DEATH(vw::runNasDtWhiteHole(run, params, dep), "deployment");
 }
 

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Implementation of the viva-deps include-graph checker.
+ */
+
+#include "tools/deps.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tools/lint.hh"
+
+namespace viva::deps
+{
+
+namespace
+{
+
+/** One extracted `#include "..."` directive. */
+struct IncludeDirective
+{
+    std::size_t line = 0;   ///< 1-based
+    std::string target;     ///< the quoted path, verbatim
+};
+
+/** Leading/trailing whitespace stripped. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** Split on whitespace. */
+std::vector<std::string>
+splitWords(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string word;
+    while (in >> word)
+        out.push_back(word);
+    return out;
+}
+
+/**
+ * Quoted includes of a file, found on comment/string-stripped text so
+ * commented-out directives never count. The include path itself is cut
+ * from the raw line (the stripper blanks string-like tokens).
+ */
+std::vector<IncludeDirective>
+extractIncludes(const std::string &content)
+{
+    const std::string stripped =
+        lint::detail::stripCommentsAndStrings(content);
+
+    std::vector<IncludeDirective> out;
+    std::size_t line_no = 1;
+    std::size_t pos = 0;
+    while (pos <= stripped.size()) {
+        std::size_t eol = stripped.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = stripped.size();
+        const std::string s_line = stripped.substr(pos, eol - pos);
+        const std::string trimmed = trim(s_line);
+        if (trimmed.rfind("#", 0) == 0 &&
+            trimmed.find("include") != std::string::npos) {
+            // Cut the quoted target from the RAW line: the stripper
+            // replaced it with spaces.
+            const std::string raw_line =
+                content.substr(pos, eol - pos);
+            std::size_t q1 = raw_line.find('"');
+            if (q1 != std::string::npos) {
+                std::size_t q2 = raw_line.find('"', q1 + 1);
+                if (q2 != std::string::npos && q2 > q1 + 1)
+                    out.push_back(
+                        {line_no,
+                         raw_line.substr(q1 + 1, q2 - q1 - 1)});
+            }
+        }
+        pos = eol + 1;
+        ++line_no;
+    }
+    return out;
+}
+
+/** Directory part of a path ("" when the path has no '/'). */
+std::string
+dirnameOf(const std::string &path)
+{
+    std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+/** Collapse "." and ".." segments of a '/'-separated path. */
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        std::size_t slash = path.find('/', pos);
+        if (slash == std::string::npos)
+            slash = path.size();
+        const std::string seg = path.substr(pos, slash - pos);
+        if (seg == "..") {
+            if (!parts.empty())
+                parts.pop_back();
+        } else if (!seg.empty() && seg != ".") {
+            parts.push_back(seg);
+        }
+        pos = slash + 1;
+    }
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += '/';
+        out += parts[i];
+    }
+    return out;
+}
+
+/**
+ * Resolve an include target against the scanned file set, trying the
+ * same candidate roots the build uses: the repo root, src/ (the main
+ * include directory) and the including file's own directory.
+ */
+std::string
+resolveInclude(const std::string &from, const std::string &target,
+               const std::set<std::string> &known)
+{
+    const std::string dir = dirnameOf(from);
+    const std::string candidates[] = {
+        normalizePath(target),
+        normalizePath("src/" + target),
+        normalizePath(dir.empty() ? target : dir + "/" + target),
+    };
+    for (const std::string &c : candidates)
+        if (known.count(c))
+            return c;
+    return "";
+}
+
+/** A parsed waiver comment. */
+struct Waiver
+{
+    std::string edge;     ///< "from->to", whitespace removed
+    bool hasRationale = false;
+};
+
+/**
+ * Waivers by 1-based line. The raw text is scanned (waivers live in
+ * comments); a waiver on a comment-only line also covers the next line.
+ */
+std::map<std::size_t, std::vector<Waiver>>
+collectWaivers(const std::string &content,
+               std::vector<Violation> &out, const std::string &path)
+{
+    static const std::string kMarker = "viva-deps: allow(";
+
+    std::map<std::size_t, std::vector<Waiver>> byLine;
+    std::size_t line_no = 1;
+    std::size_t pos = 0;
+    while (pos <= content.size()) {
+        std::size_t eol = content.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = content.size();
+        const std::string line = content.substr(pos, eol - pos);
+
+        std::size_t at = line.find(kMarker);
+        if (at != std::string::npos) {
+            std::size_t open = at + kMarker.size();
+            std::size_t close = line.find(')', open);
+            if (close != std::string::npos) {
+                Waiver w;
+                for (char c : line.substr(open, close - open))
+                    if (c != ' ' && c != '\t')
+                        w.edge += c;
+                // Rationale: non-empty text after "):".
+                std::size_t colon = line.find(':', close);
+                w.hasRationale = colon != std::string::npos &&
+                                 !trim(line.substr(colon + 1)).empty();
+                if (!w.hasRationale)
+                    out.push_back(
+                        {path, line_no, "waiver",
+                         "waiver for '" + w.edge +
+                             "' lacks a rationale (write `// "
+                             "viva-deps: allow(" +
+                             w.edge + "): <why>`)"});
+                byLine[line_no].push_back(w);
+                // A comment-only line covers the next line too.
+                const std::string before = trim(line.substr(0, at));
+                if (before == "//" || before == "*" || before == "/*")
+                    byLine[line_no + 1].push_back(w);
+            }
+        }
+        pos = eol + 1;
+        ++line_no;
+    }
+    return byLine;
+}
+
+/** True when a waiver for this edge covers the given line. */
+bool
+waived(const std::map<std::size_t, std::vector<Waiver>> &waivers,
+       std::size_t line, const std::string &edge)
+{
+    auto it = waivers.find(line);
+    if (it == waivers.end())
+        return false;
+    for (const Waiver &w : it->second)
+        if (w.edge == edge)
+            return true;
+    return false;
+}
+
+/** Check that the explicit allow-edges form a DAG. */
+void
+checkRulesAcyclic(const Ruleset &rules, std::vector<Violation> &out)
+{
+    // Colours: 0 unvisited, 1 on stack, 2 done.
+    std::map<std::string, int> colour;
+    std::vector<std::string> path;
+
+    // Iterative DFS with an explicit stack of (node, next-edge) pairs.
+    for (const Layer &layer : rules.layers) {
+        if (colour[layer.name] != 0)
+            continue;
+        std::vector<std::pair<std::string, std::size_t>> stack;
+        stack.emplace_back(layer.name, 0);
+        colour[layer.name] = 1;
+        path.push_back(layer.name);
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            std::vector<std::string> succ;
+            auto it = rules.allowed.find(node);
+            if (it != rules.allowed.end())
+                succ.assign(it->second.begin(), it->second.end());
+            if (next >= succ.size()) {
+                colour[node] = 2;
+                path.pop_back();
+                stack.pop_back();
+                continue;
+            }
+            const std::string to = succ[next++];
+            if (colour[to] == 1) {
+                std::string chain = to;
+                for (auto p = path.rbegin(); p != path.rend(); ++p) {
+                    chain += " <- " + *p;
+                    if (*p == to)
+                        break;
+                }
+                out.push_back({"<rules>", 0, "rules",
+                               "allow-edges form a cycle: " + chain});
+                return;
+            }
+            if (colour[to] == 0) {
+                colour[to] = 1;
+                path.push_back(to);
+                stack.emplace_back(to, 0);
+            }
+        }
+    }
+}
+
+/**
+ * Report file-level include cycles. Each strongly-connected knot is
+ * reported once, at the back edge that closes it.
+ */
+void
+checkIncludeCycles(
+    const std::vector<FileInput> &files,
+    const std::map<std::string, std::vector<std::pair<std::string,
+                                                      std::size_t>>>
+        &graph,
+    std::vector<Violation> &out)
+{
+    std::map<std::string, int> colour;  // 0 new, 1 on stack, 2 done
+
+    struct Frame
+    {
+        std::string node;
+        std::size_t next = 0;
+    };
+
+    for (const FileInput &f : files) {
+        if (colour[f.path] != 0)
+            continue;
+        std::vector<Frame> stack{{f.path, 0}};
+        std::vector<std::string> path{f.path};
+        colour[f.path] = 1;
+        while (!stack.empty()) {
+            Frame &frame = stack.back();
+            auto it = graph.find(frame.node);
+            const auto &succ =
+                it == graph.end()
+                    ? std::vector<std::pair<std::string,
+                                            std::size_t>>{}
+                    : it->second;
+            if (frame.next >= succ.size()) {
+                colour[frame.node] = 2;
+                path.pop_back();
+                stack.pop_back();
+                continue;
+            }
+            const auto &[to, line] = succ[frame.next++];
+            if (colour[to] == 1) {
+                // Walk back to where the cycle closes, then print it
+                // forward.
+                std::vector<std::string> cyc{to};
+                for (auto p = path.rbegin(); p != path.rend(); ++p) {
+                    cyc.push_back(*p);
+                    if (*p == to)
+                        break;
+                }
+                std::reverse(cyc.begin(), cyc.end());
+                std::string text = "include cycle: ";
+                for (std::size_t i = 0; i < cyc.size(); ++i) {
+                    if (i)
+                        text += " -> ";
+                    text += cyc[i];
+                }
+                out.push_back(
+                    {stack.back().node, line, "cycle", text});
+            } else if (colour[to] == 0) {
+                colour[to] = 1;
+                path.push_back(to);
+                stack.push_back({to, 0});
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+parseRules(const std::string &text, Ruleset &out, std::string &error)
+{
+    out = Ruleset{};
+    std::size_t line_no = 0;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        std::vector<std::string> words = splitWords(line);
+        if (words[0] == "layer") {
+            if (words.size() < 3) {
+                error = "line " + std::to_string(line_no) +
+                        ": layer needs a name and at least one prefix";
+                return false;
+            }
+            Layer layer;
+            layer.name = words[1];
+            layer.prefixes.assign(words.begin() + 2, words.end());
+            out.layers.push_back(layer);
+        } else if (words[0] == "allow") {
+            if (words.size() < 4 || words[2] != "->") {
+                error = "line " + std::to_string(line_no) +
+                        ": expected `allow <from> -> <to>...`";
+                return false;
+            }
+            const std::string &from = words[1];
+            for (std::size_t i = 3; i < words.size(); ++i) {
+                if (words[i] == "*")
+                    out.unrestricted.insert(from);
+                else
+                    out.allowed[from].insert(words[i]);
+            }
+        } else {
+            error = "line " + std::to_string(line_no) +
+                    ": unknown directive '" + words[0] + "'";
+            return false;
+        }
+    }
+
+    std::set<std::string> names;
+    for (const Layer &layer : out.layers)
+        if (!names.insert(layer.name).second) {
+            error = "layer '" + layer.name + "' declared twice";
+            return false;
+        }
+    for (const auto &[from, tos] : out.allowed) {
+        if (!names.count(from)) {
+            error = "allow references unknown layer '" + from + "'";
+            return false;
+        }
+        for (const std::string &to : tos)
+            if (!names.count(to)) {
+                error = "allow references unknown layer '" + to + "'";
+                return false;
+            }
+    }
+    for (const std::string &from : out.unrestricted)
+        if (!names.count(from)) {
+            error = "allow references unknown layer '" + from + "'";
+            return false;
+        }
+    return true;
+}
+
+std::string
+layerOf(const std::string &path, const Ruleset &rules)
+{
+    std::string best;
+    std::size_t best_len = 0;
+    for (const Layer &layer : rules.layers)
+        for (const std::string &prefix : layer.prefixes)
+            if (path.rfind(prefix, 0) == 0 &&
+                prefix.size() >= best_len) {
+                best = layer.name;
+                best_len = prefix.size();
+            }
+    return best;
+}
+
+std::vector<Violation>
+checkDeps(const std::vector<FileInput> &files, const Ruleset &rules)
+{
+    std::vector<Violation> out;
+    checkRulesAcyclic(rules, out);
+
+    std::set<std::string> known;
+    for (const FileInput &f : files)
+        known.insert(f.path);
+
+    // Resolved include graph: file -> [(target file, line)].
+    std::map<std::string,
+             std::vector<std::pair<std::string, std::size_t>>>
+        graph;
+
+    for (const FileInput &f : files) {
+        const std::string from_layer = layerOf(f.path, rules);
+        auto waivers = collectWaivers(f.content, out, f.path);
+
+        for (const IncludeDirective &inc :
+             extractIncludes(f.content)) {
+            const std::string target =
+                resolveInclude(f.path, inc.target, known);
+            if (target.empty())
+                continue;  // system or out-of-tree header
+            graph[f.path].emplace_back(target, inc.line);
+
+            const std::string to_layer = layerOf(target, rules);
+            if (from_layer.empty() || to_layer.empty() ||
+                from_layer == to_layer)
+                continue;
+            if (rules.unrestricted.count(from_layer))
+                continue;
+            auto it = rules.allowed.find(from_layer);
+            if (it != rules.allowed.end() &&
+                it->second.count(to_layer))
+                continue;
+            const std::string edge = from_layer + "->" + to_layer;
+            if (waived(waivers, inc.line, edge))
+                continue;
+            out.push_back(
+                {f.path, inc.line, "illegal-edge",
+                 "layer '" + from_layer + "' must not include '" +
+                     target + "' (layer '" + to_layer +
+                     "'); allowed from '" + from_layer +
+                     "': " + [&] {
+                         std::string list;
+                         if (it != rules.allowed.end())
+                             for (const std::string &t : it->second)
+                                 list += (list.empty() ? "" : ", ") +
+                                         t;
+                         return list.empty() ? std::string("nothing")
+                                             : list;
+                     }()});
+        }
+    }
+
+    checkIncludeCycles(files, graph, out);
+
+    std::sort(out.begin(), out.end(),
+              [](const Violation &a, const Violation &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.message < b.message;
+              });
+    return out;
+}
+
+std::string
+formatViolation(const Violation &violation)
+{
+    return violation.file + ":" + std::to_string(violation.line) +
+           ": [" + violation.kind + "] " + violation.message;
+}
+
+} // namespace viva::deps

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The viva-deps engine: an include-graph extractor and layering checker
+ * (deliberately not a compiler frontend -- no libclang dependency).
+ * It parses the `#include "..."` edges of a set of C++ sources, assigns
+ * every file to a layer by path prefix, and checks each cross-layer
+ * edge against the DAG declared in tools/layering.rules. File-level
+ * include cycles are reported independently of the layer rules.
+ *
+ * Waivers: append `// viva-deps: allow(<from>-><to>): <rationale>` to
+ * the offending #include line, or put the comment alone on the line
+ * directly above. A waiver without a rationale is itself a violation.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace viva::deps
+{
+
+/** One source file handed to the engine. */
+struct FileInput
+{
+    /** Repo-relative path with '/' separators (drives layer scoping). */
+    std::string path;
+
+    /** Full file content. */
+    std::string content;
+};
+
+/** One declared layer: a name and the path prefixes it owns. */
+struct Layer
+{
+    std::string name;
+    std::vector<std::string> prefixes;
+};
+
+/** The parsed layering rules. */
+struct Ruleset
+{
+    /** Layers in declaration order. */
+    std::vector<Layer> layers;
+
+    /** Explicit allowed edges: from-layer -> set of to-layers. */
+    std::map<std::string, std::set<std::string>> allowed;
+
+    /** Layers declared `allow X -> *`: they may include anything. */
+    std::set<std::string> unrestricted;
+};
+
+/** One layering violation or structural defect. */
+struct Violation
+{
+    std::string file;
+    std::size_t line = 0;  ///< 1-based; 0 for file-level findings
+    std::string kind;      ///< illegal-edge | cycle | waiver | rules
+    std::string message;
+};
+
+/**
+ * Parse a layering.rules text. Returns false and sets `error` on a
+ * malformed line; on success fills `out`.
+ *
+ * Grammar (one directive per line, '#' comments):
+ *   layer <name> <path-prefix> [<path-prefix>...]
+ *   allow <from> -> <to> [<to>...]
+ *   allow <from> -> *
+ */
+bool parseRules(const std::string &text, Ruleset &out,
+                std::string &error);
+
+/** Layer owning a path (longest matching prefix), or "" if none. */
+std::string layerOf(const std::string &path, const Ruleset &rules);
+
+/**
+ * Run the checker: resolve every quoted include against the file set,
+ * flag cross-layer edges the rules do not allow (honouring waivers),
+ * verify the declared allow-graph is a DAG, and report include cycles.
+ * Findings are ordered by file then line.
+ */
+std::vector<Violation> checkDeps(const std::vector<FileInput> &files,
+                                 const Ruleset &rules);
+
+/** Format a violation as "path:line: [kind] message". */
+std::string formatViolation(const Violation &violation);
+
+} // namespace viva::deps

@@ -553,6 +553,117 @@ checkIncludeHygiene(const FileInput &file,
     }
 }
 
+/**
+ * narrowing: a 32-bit-or-smaller integer declared and initialized
+ * straight from a size query (size_t -> int), or an unsigned integer
+ * initialized from a negative literal (int -> uint32_t wrap). Explicit
+ * static_casts in the initializer are the sanctioned spelling and do
+ * not fire.
+ */
+void
+checkNarrowing(const FileInput &file, const std::string &stripped,
+               const Suppressions &sup, std::vector<Finding> &out)
+{
+    // int-family declaration = ... .size()/.length() ...
+    static const std::regex sizeInitRe(
+        R"(\b(?:int|short|u?int(?:8|16|32)_t|unsigned(?:\s+int)?)\s+\w+\s*=([^;]*?\.(?:size|length)\s*\(\s*\)[^;]*))");
+    auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                   sizeInitRe);
+    for (; it != std::sregex_iterator(); ++it) {
+        if ((*it)[1].str().find("static_cast<") != std::string::npos)
+            continue;
+        report(out, sup, file.path,
+               lineOfOffset(stripped, std::size_t(it->position())),
+               "narrowing",
+               "size_t-valued initializer narrowed into a small "
+               "integer; use std::size_t or spell a static_cast");
+    }
+
+    // unsigned-family declaration = -<literal>
+    static const std::regex negInitRe(
+        R"(\b(?:unsigned(?:\s+int)?|uint(?:8|16|32|64)_t|size_t)\s+\w+\s*=\s*-\s*\d)");
+    auto nt = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                   negInitRe);
+    for (; nt != std::sregex_iterator(); ++nt)
+        report(out, sup, file.path,
+               lineOfOffset(stripped, std::size_t(nt->position())),
+               "narrowing",
+               "negative literal wrapped into an unsigned integer; "
+               "use a signed type or spell the intent with a "
+               "static_cast");
+}
+
+/** Balanced-paren argument text starting at an opening '('. */
+std::string
+parenArgument(const std::string &text, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '(')
+            ++depth;
+        else if (text[i] == ')' && --depth == 0)
+            return text.substr(open + 1, i - open - 1);
+    }
+    return text.substr(open + 1);
+}
+
+/** Does an expression mutate state (++/--/assignment/mutator call)? */
+bool
+hasSideEffect(const std::string &expr)
+{
+    for (std::size_t i = 0; i + 1 < expr.size(); ++i)
+        if ((expr[i] == '+' && expr[i + 1] == '+') ||
+            (expr[i] == '-' && expr[i + 1] == '-'))
+            return true;
+
+    for (std::size_t i = 0; i < expr.size(); ++i) {
+        if (expr[i] != '=')
+            continue;
+        const char prev = i > 0 ? expr[i - 1] : '\0';
+        const char next = i + 1 < expr.size() ? expr[i + 1] : '\0';
+        // ==, !=, <=, >= and the second '=' of == are comparisons;
+        // [=] is a capture default. Anything else (including += etc.)
+        // assigns.
+        if (next == '=' || prev == '=' || prev == '<' || prev == '>' ||
+            prev == '!' || prev == '[')
+            continue;
+        return true;
+    }
+
+    static const std::regex mutatorRe(
+        R"(\.\s*(?:insert|erase|push_back|pop_back|emplace|emplace_back|clear|resize)\s*\()");
+    return std::regex_search(expr, mutatorRe);
+}
+
+/**
+ * assert-side-effect: mutation inside assert()/VIVA_ASSERT()/
+ * VIVA_AUDIT() arguments. The whole expression disappears in
+ * NDEBUG/no-audit builds, so the mutation silently changes behaviour
+ * between build modes.
+ */
+void
+checkAssertSideEffect(const FileInput &file, const std::string &stripped,
+                      const Suppressions &sup,
+                      std::vector<Finding> &out)
+{
+    static const std::regex callRe(
+        R"(\b(assert|VIVA_ASSERT|VIVA_AUDIT)\s*\()");
+    auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                   callRe);
+    for (; it != std::sregex_iterator(); ++it) {
+        const std::size_t open =
+            std::size_t(it->position()) + it->length() - 1;
+        if (!hasSideEffect(parenArgument(stripped, open)))
+            continue;
+        report(out, sup, file.path,
+               lineOfOffset(stripped, std::size_t(it->position())),
+               "assert-side-effect",
+               "side effect inside " + (*it)[1].str() +
+                   "(): the expression vanishes when the check is "
+                   "compiled out");
+    }
+}
+
 /** The companion header of a .cc file ("src/x/y.cc" -> "src/x/y.hh"). */
 std::string
 companionHeader(const std::string &path)
@@ -635,6 +746,10 @@ runLint(const std::vector<FileInput> &files)
             checkPattern(file, stripped, wallClockRe, "wall-clock",
                          "wall-clock read in a deterministic code path",
                          sup, out);
+        if (active("narrowing"))
+            checkNarrowing(file, stripped, sup, out);
+        if (active("assert-side-effect"))
+            checkAssertSideEffect(file, stripped, sup, out);
         if (active("pragma-once"))
             checkPragmaOnce(file, rawLines, strippedLines, sup, out);
         if (active("include-hygiene"))

@@ -115,6 +115,27 @@ ruleTable()
             {},
             false,
         },
+        {
+            "narrowing",
+            "implicit narrowing initialization: a 32-bit-or-smaller "
+            "integer initialized straight from .size()/.length() "
+            "(size_t -> int truncates past 4G) or an unsigned integer "
+            "initialized from a negative literal (int -> uint32_t "
+            "wraps); spell the conversion with a static_cast or use "
+            "std::size_t",
+            {"src/"},
+            {},
+            false,
+        },
+        {
+            "assert-side-effect",
+            "side effect inside assert()/VIVA_AUDIT(): the expression "
+            "vanishes in NDEBUG/no-audit builds, so mutation inside it "
+            "changes program behaviour between build modes",
+            {},
+            {},
+            false,
+        },
     };
     return rules;
 }
