@@ -75,8 +75,7 @@ BM_ReadViva(benchmark::State &state)
     std::string text = out.str();
     for (auto _ : state) {
         std::istringstream in(text);
-        std::string error;
-        auto result = viva::trace::readTrace(in, error);
+                auto result = viva::trace::readTrace(in);
         benchmark::DoNotOptimize(result->containerCount());
     }
 }
@@ -103,8 +102,7 @@ BM_ReadPaje(benchmark::State &state)
     std::string text = out.str();
     for (auto _ : state) {
         std::istringstream in(text);
-        std::string error;
-        auto result = viva::trace::readPajeTrace(in, error);
+                auto result = viva::trace::readPajeTrace(in);
         benchmark::DoNotOptimize(result->trace.containerCount());
     }
 }

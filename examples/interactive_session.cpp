@@ -19,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "support/error.hh"
 #include "app/commands.hh"
 #include "app/session.hh"
 #include "platform/builders.hh"
@@ -51,8 +52,13 @@ main(int argc, char **argv)
         source == "--demo"
             ? demoTrace()
             : (viva::support::endsWith(source, ".paje")
-                   ? viva::trace::readPajeTraceFile(source).trace
-                   : viva::trace::readTraceFile(source));
+                   ? viva::support::valueOrDie(
+                         viva::trace::readPajeTraceFile(source),
+                         "interactive_session")
+                         .trace
+                   : viva::support::valueOrDie(
+                         viva::trace::readTraceFile(source),
+                         "interactive_session"));
 
     viva::app::Session session(std::move(trace));
     viva::app::CommandInterpreter cli(session);

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <string>
 
+#include "support/error.hh"
 #include "app/session.hh"
 #include "platform/builders.hh"
 #include "sim/tracer.hh"
@@ -69,8 +70,10 @@ renderViews(viva::app::Session &session, const std::string &out_dir,
                 tag.c_str(),
                 100.0 * whole.valueOf(backbone, bw_used) /
                     whole.valueOf(backbone, bw));
-    session.renderSvg(out_dir + "/" + tag + "_whole.svg",
-                      tag + ": whole execution");
+    viva::support::okOrDie(
+        session.renderSvg(out_dir + "/" + tag + "_whole.svg",
+                          tag + ": whole execution"),
+        "nasdt_analysis");
 
     // Beginning / middle / end slices.
     static const char *names[3] = {"begin", "middle", "end"};
@@ -81,9 +84,11 @@ renderViews(viva::app::Session &session, const std::string &out_dir,
                     tag.c_str(), names[i],
                     100.0 * v.valueOf(backbone, bw_used) /
                         v.valueOf(backbone, bw));
-        session.renderSvg(
-            out_dir + "/" + tag + "_" + names[i] + ".svg",
-            tag + ": " + names[i] + " of execution");
+        viva::support::okOrDie(
+            session.renderSvg(
+                out_dir + "/" + tag + "_" + names[i] + ".svg",
+                tag + ": " + names[i] + " of execution"),
+            "nasdt_analysis");
     }
 }
 
@@ -130,21 +135,26 @@ main(int argc, char **argv)
     // shows each process forwarding/consuming, but cannot show that
     // the slowdown's *cause* is the saturated inter-cluster link --
     // that is precisely what the topology-based views above add.
-    std::size_t rows =
-        seq_session.renderGantt(out_dir + "/fig6_gantt_baseline.svg");
+    std::size_t rows = viva::support::valueOrDie(
+        seq_session.renderGantt(out_dir + "/fig6_gantt_baseline.svg"),
+        "nasdt_analysis");
     std::printf("gantt baseline rendered (%zu process rows) -- note it "
                 "cannot show the network cause\n",
                 rows);
 
     // When does the backbone saturate? The statistical-chart companion
     // answers directly.
-    seq_session.renderChart(out_dir + "/fig6_backbone_chart.svg",
-                            "bandwidth_used", {"backbone"});
+    viva::support::okOrDie(
+        seq_session.renderChart(out_dir + "/fig6_backbone_chart.svg",
+                                "bandwidth_used", {"backbone"}),
+        "nasdt_analysis");
 
     // The sibling multiscale view: a treemap of network traffic makes
     // the backbone's share of all moved bits directly visible.
-    seq_session.renderTreemap(out_dir + "/fig6_treemap_bw.svg",
-                              "bandwidth_used");
+    viva::support::okOrDie(
+        seq_session.renderTreemap(out_dir + "/fig6_treemap_bw.svg",
+                                  "bandwidth_used"),
+        "nasdt_analysis");
     std::printf("done; SVGs in %s/\n", out_dir.c_str());
     return 0;
 }

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "support/error.hh"
 #include "app/commands.hh"
 #include "app/session.hh"
 #include "platform/builders.hh"
@@ -43,14 +44,17 @@ main(int argc, char **argv)
         run, params,
         viva::workload::sequentialDeployment(platform, params));
 
-    viva::trace::writeTraceFile(run.trace, trace_path);
+    viva::support::okOrDie(
+        viva::trace::writeTraceFile(run.trace, trace_path),
+        "simulate_and_export");
     std::printf("  wrote %s (%zu containers, %zu change points, "
                 "%zu states)\n",
                 trace_path.c_str(), run.trace.containerCount(),
                 run.trace.pointCount(), run.trace.states().size());
 
     // --- step 2: reload and verify -----------------------------------------
-    viva::trace::Trace loaded = viva::trace::readTraceFile(trace_path);
+    viva::trace::Trace loaded = viva::support::valueOrDie(
+        viva::trace::readTraceFile(trace_path), "simulate_and_export");
     std::ostringstream original, reread;
     viva::trace::writeTrace(run.trace, original);
     viva::trace::writeTrace(loaded, reread);

@@ -9,6 +9,11 @@
 #              data race in the parallel layout/aggregation paths fails
 #              loudly here)
 #   asan       RelWithDebInfo, -fsanitize=address,undefined
+#   fault      RelWithDebInfo, -fsanitize=address,undefined; only the
+#              fault-tolerance suites (fault injection, reader error
+#              paths, the corrupted-trace corpus), so every injected
+#              failure and every mutant rejection is proven clean of
+#              memory errors and UB
 #   lint       the viva-lint source scan alone (cheap; runs inside every
 #              stage's ctest as well)
 #   analyze    semantic static analysis: the viva-deps layering check
@@ -26,7 +31,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
-STAGES="${*:-release validate tsan asan lint analyze}"
+STAGES="${*:-release validate tsan asan fault lint analyze}"
 
 configure_flags() {
     case "$1" in
@@ -39,7 +44,7 @@ configure_flags() {
     tsan)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=thread"
         ;;
-    asan)
+    asan|fault)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=address,undefined"
         ;;
     lint|analyze)
@@ -47,7 +52,7 @@ configure_flags() {
         ;;
     *)
         echo "check.sh: unknown stage '$1'" >&2
-        echo "usage: $0 [release|validate|tsan|asan|lint|analyze ...]" >&2
+        echo "usage: $0 [release|validate|tsan|asan|fault|lint|analyze ...]" >&2
         exit 2
         ;;
     esac
@@ -67,6 +72,12 @@ run_stage() {
     if [ "$stage" = lint ]; then
         cmake --build "$BUILD" -j --target viva-lint lint_test || return 1
         ctest --test-dir "$BUILD" --output-on-failure -R lint || return 1
+    elif [ "$stage" = fault ]; then
+        cmake --build "$BUILD" -j \
+            --target fault_test io_error_test corpus_test || return 1
+        ctest --test-dir "$BUILD" --output-on-failure \
+            -R 'Fault|WarnLimited|InjectionPoints|ParseBudget|SessionFault|ReadTraceErrors|ReadPajeErrors|Corpus|^Error\.|^Expected\.' \
+            || return 1
     elif [ "$stage" = analyze ]; then
         cmake --build "$BUILD" -j --target viva-deps deps_test || return 1
         "$BUILD/tools/viva-deps" "$ROOT" "$ROOT/tools/layering.rules" \

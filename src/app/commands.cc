@@ -217,7 +217,11 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
                 title += ' ';
             title += args[i];
         }
-        sess.renderSvg(args[1], title);
+        support::Expected<void> drawn = sess.renderSvg(args[1], title);
+        if (!drawn) {
+            out << "error: " << drawn.error().toString() << "\n";
+            return false;
+        }
         out << "rendered " << args[1] << "\n";
         return true;
     }
@@ -226,25 +230,48 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
             return false;
         std::vector<std::string> containers(args.begin() + 3,
                                             args.end());
-        if (!sess.renderChart(args[2], args[1], containers)) {
-            out << "error: unknown metric or container\n";
+        support::Expected<void> charted =
+            sess.renderChart(args[2], args[1], containers);
+        if (!charted) {
+            out << "error: " << charted.error().toString() << "\n";
             return false;
         }
         out << "chart of " << args[1] << " rendered to " << args[2]
             << "\n";
         return true;
     }
+    if (cmd == "load") {
+        if (!need(1))
+            return false;
+        support::Expected<void> loaded = sess.load(args[1]);
+        if (!loaded) {
+            out << "error: " << loaded.error().toString() << "\n";
+            return false;
+        }
+        out << "loaded " << args[1] << " ("
+            << sess.trace().containerCount() << " containers, "
+            << sess.cut().visibleCount() << " visible nodes)\n";
+        return true;
+    }
     if (cmd == "save") {
         if (!need(1))
             return false;
-        sess.saveTrace(args[1]);
+        support::Expected<void> saved = sess.saveTrace(args[1]);
+        if (!saved) {
+            out << "error: " << saved.error().toString() << "\n";
+            return false;
+        }
         out << "trace saved to " << args[1] << "\n";
         return true;
     }
     if (cmd == "export-csv") {
         if (!need(1))
             return false;
-        sess.exportCsv(args[1]);
+        support::Expected<void> exported = sess.exportCsv(args[1]);
+        if (!exported) {
+            out << "error: " << exported.error().toString() << "\n";
+            return false;
+        }
         out << "view exported to " << args[1] << "\n";
         return true;
     }
@@ -270,8 +297,10 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
     if (cmd == "treemap") {
         if (!need(2))
             return false;
-        if (!sess.renderTreemap(args[2], args[1])) {
-            out << "error: unknown metric '" << args[1] << "'\n";
+        support::Expected<void> mapped =
+            sess.renderTreemap(args[2], args[1]);
+        if (!mapped) {
+            out << "error: " << mapped.error().toString() << "\n";
             return false;
         }
         out << "treemap of " << args[1] << " rendered to " << args[2]
@@ -281,9 +310,13 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
     if (cmd == "gantt") {
         if (!need(1))
             return false;
-        std::size_t rows = sess.renderGantt(args[1]);
-        out << "gantt with " << rows << " row(s) rendered to " << args[1]
-            << "\n";
+        support::Expected<std::size_t> rows = sess.renderGantt(args[1]);
+        if (!rows) {
+            out << "error: " << rows.error().toString() << "\n";
+            return false;
+        }
+        out << "gantt with " << *rows << " row(s) rendered to "
+            << args[1] << "\n";
         return true;
     }
     if (cmd == "ascii") {
@@ -315,7 +348,7 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
         out << "commands: slice slice-of aggregate disaggregate depth "
                "focus reset charge spring damping scale set stabilize move "
                "pin unpin render treemap gantt chart anomalies export-csv "
-               "save ascii info nodes status help\n";
+               "load save ascii info nodes status help\n";
         return true;
     }
 

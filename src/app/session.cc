@@ -6,6 +6,7 @@
 #include "app/session.hh"
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <unordered_set>
@@ -52,6 +53,92 @@ Session::Session(trace::Trace trace_in)
     force.params().threads = nThreads;
     syncLayout();
     maybeAudit("Session::Session");
+}
+
+support::Expected<void>
+Session::load(const std::string &path, const trace::ParseBudget &budget)
+{
+    // --- stage ------------------------------------------------------------
+    // Everything fallible runs on locals; no member is touched until
+    // the whole file has parsed, so failure leaves the session intact.
+    trace::Trace staged;
+    std::vector<std::string> import_warnings;
+    if (support::endsWith(path, ".paje")) {
+        support::Expected<trace::PajeImport> import =
+            trace::readPajeTraceFile(path, budget);
+        if (!import)
+            return VIVA_ERROR_CONTEXT(import.error(), "Session::load");
+        staged = std::move(import->trace);
+        import_warnings = std::move(import->warnings);
+    } else {
+        support::Expected<trace::Trace> loaded =
+            trace::readTraceFile(path, budget);
+        if (!loaded)
+            return VIVA_ERROR_CONTEXT(loaded.error(), "Session::load");
+        staged = std::move(*loaded);
+    }
+
+    // --- swap -------------------------------------------------------------
+    // Infallible from here: rebuild every member in place, in the same
+    // order the constructor initializes them. The ForceLayout borrows
+    // `graph` by reference; assigning a fresh graph into the existing
+    // object keeps that reference valid.
+    for (const std::string &w : import_warnings)
+        support::warnLimited("paje.import", "Session::load", w);
+    tr = std::move(staged);
+    hierCut = agg::HierarchyCut(tr);
+    slice = tr.span();
+    visMapping = viz::VisualMapping::defaults(tr);
+    typeScaling = viz::TypeScaling();
+    graph = layout::LayoutGraph();
+    force.params() = layout::ForceParams();
+    force.params().threads = nThreads;
+    syncLayout();
+    maybeAudit("Session::load");
+    return {};
+}
+
+std::uint64_t
+Session::stateDigest() const
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    auto mixDouble = [&](double d) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    };
+
+    mix(tr.containerCount());
+    mix(tr.metricCount());
+    mix(tr.states().size());
+    mix(tr.relations().size());
+    mix(hierCut.visibleCount());
+    mixDouble(slice.begin);
+    mixDouble(slice.end);
+    const layout::ForceParams &p = force.params();
+    mixDouble(p.charge);
+    mixDouble(p.spring);
+    mixDouble(p.damping);
+    mix(nThreads);
+    // rawNodes() is a vector in stable id order, so the digest is
+    // deterministic across runs and thread counts.
+    for (const layout::Node &n : graph.rawNodes()) {
+        if (!n.alive)
+            continue;
+        mix(n.key);
+        mixDouble(n.position.x);
+        mixDouble(n.position.y);
+        mixDouble(n.velocity.x);
+        mixDouble(n.velocity.y);
+    }
+    mix(graph.edgeCount());
+    return h;
 }
 
 void
@@ -305,12 +392,12 @@ Session::scene(const viz::SceneOptions &options, bool with_stats)
                              options);
 }
 
-void
+support::Expected<void>
 Session::renderSvg(const std::string &path, const std::string &title)
 {
     viz::SvgOptions options;
     options.title = title;
-    viz::writeSvgFile(scene(), path, options);
+    return viz::writeSvgFile(scene(), path, options);
 }
 
 std::string
@@ -319,23 +406,23 @@ Session::renderAscii()
     return viz::renderAscii(scene());
 }
 
-bool
+support::Expected<void>
 Session::renderTreemap(const std::string &path,
                        const std::string &metric_name,
                        std::uint16_t max_depth)
 {
     trace::MetricId m = tr.findMetric(metric_name);
     if (m == trace::kNoMetric)
-        return false;
+        return VIVA_ERROR(support::Errc::NotFound, "unknown metric '",
+                          metric_name, "'");
     viz::TreemapOptions options;
     options.maxDepth = max_depth;
     viz::Treemap map = viz::buildTreemap(tr, m, slice, options);
-    viz::writeTreemapSvgFile(map, path,
-                             "treemap of " + metric_name);
-    return true;
+    return viz::writeTreemapSvgFile(map, path,
+                                    "treemap of " + metric_name);
 }
 
-std::size_t
+support::Expected<std::size_t>
 Session::renderGantt(const std::string &path, std::size_t max_rows)
 {
     viz::GanttOptions options;
@@ -343,18 +430,23 @@ Session::renderGantt(const std::string &path, std::size_t max_rows)
     viz::GanttChart chart = viz::buildGantt(tr, slice, options);
     viz::GanttSvgOptions svg;
     svg.title = "state timeline";
-    viz::writeGanttSvgFile(chart, path, svg);
+    support::Expected<void> written =
+        viz::writeGanttSvgFile(chart, path, svg);
+    if (!written)
+        return VIVA_ERROR_CONTEXT(written.error(),
+                                  "Session::renderGantt");
     return chart.rows.size();
 }
 
-bool
+support::Expected<void>
 Session::renderChart(const std::string &path,
                      const std::string &metric_name,
                      const std::vector<std::string> &containers)
 {
     trace::MetricId m = tr.findMetric(metric_name);
     if (m == trace::kNoMetric)
-        return false;
+        return VIVA_ERROR(support::Errc::NotFound, "unknown metric '",
+                          metric_name, "'");
 
     std::vector<ContainerId> nodes;
     if (containers.empty()) {
@@ -365,7 +457,8 @@ Session::renderChart(const std::string &path,
             if (id == trace::kNoContainer)
                 id = tr.findByName(ref);
             if (id == trace::kNoContainer)
-                return false;
+                return VIVA_ERROR(support::Errc::NotFound,
+                                  "unknown container '", ref, "'");
             nodes.push_back(id);
         }
     }
@@ -377,18 +470,23 @@ Session::renderChart(const std::string &path,
     viz::ChartOptions options;
     options.title = metric_name + " over time";
     options.yLabel = tr.metric(m).unit;
-    viz::writeChartSvgFile(series, path, options);
-    return true;
+    return viz::writeChartSvgFile(series, path, options);
 }
 
-void
+support::Expected<void>
 Session::exportCsv(const std::string &path) const
 {
     std::ofstream out(path);
     if (!out)
-        support::fatal("Session::exportCsv", "cannot open '", path, "'");
+        return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
+                          "' for writing");
     agg::View v = view(/*with_stats=*/true);
     agg::writeViewCsv(v, tr, out);
+    out.flush();
+    if (!out)
+        return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
+                          "'");
+    return {};
 }
 
 std::vector<std::string>
@@ -412,13 +510,12 @@ Session::findAnomalies(const std::string &metric_name,
     return out;
 }
 
-void
+support::Expected<void>
 Session::saveTrace(const std::string &path) const
 {
     if (support::endsWith(path, ".paje"))
-        trace::writePajeTraceFile(tr, path);
-    else
-        trace::writeTraceFile(tr, path);
+        return trace::writePajeTraceFile(tr, path);
+    return trace::writeTraceFile(tr, path);
 }
 
 support::AuditLog
@@ -465,13 +562,18 @@ Session::maybeAudit(const char *what) const
         (void)what;
 }
 
-std::size_t
+support::Expected<std::size_t>
 Session::animate(std::size_t frames, const std::string &dir,
                  const std::string &prefix, std::size_t iters_per_frame)
 {
-    VIVA_ASSERT(frames > 0, "need at least one frame");
+    if (frames == 0)
+        return VIVA_ERROR(support::Errc::Invalid,
+                          "need at least one frame");
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return VIVA_ERROR(support::Errc::Io, "cannot create '", dir,
+                          "': ", ec.message());
 
     std::vector<agg::TimeSlice> slices = agg::uniformSlices(span(), frames);
     for (std::size_t f = 0; f < frames; ++f) {
@@ -480,8 +582,12 @@ Session::animate(std::size_t frames, const std::string &dir,
         char name[64];
         std::snprintf(name, sizeof(name), "%s%03zu.svg", prefix.c_str(),
                       f);
-        renderSvg(dir + "/" + name,
-                  prefix + " frame " + std::to_string(f));
+        support::Expected<void> drawn =
+            renderSvg(dir + "/" + name,
+                      prefix + " frame " + std::to_string(f));
+        if (!drawn)
+            return VIVA_ERROR_CONTEXT(drawn.error(), "animate frame ",
+                                      f);
     }
     return frames;
 }

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "agg/aggregate.hh"
@@ -23,6 +24,8 @@
 #include "agg/timeslice.hh"
 #include "layout/force.hh"
 #include "layout/graph.hh"
+#include "support/error.hh"
+#include "trace/io.hh"
 #include "trace/trace.hh"
 #include "viz/mapping.hh"
 #include "viz/scaling.hh"
@@ -41,6 +44,28 @@ class Session
      * period, mapping and scaling are the defaults.
      */
     explicit Session(trace::Trace trace);
+
+    /**
+     * Replace the trace under analysis with one loaded from a file --
+     * the native format, or Paje when the path ends in ".paje".
+     *
+     * Stage-then-swap: every fallible step (I/O, parsing, budget
+     * checks) runs on local staging state before any member is
+     * touched, so a failed load leaves the session -- trace, cut,
+     * slice, layout, sliders -- bitwise unchanged (stateDigest()
+     * proves it). On success the session restarts over the new trace
+     * exactly as the constructor would.
+     */
+    support::Expected<void> load(const std::string &path,
+                                 const trace::ParseBudget &budget = {});
+
+    /**
+     * FNV-1a digest over the observable session state: trace shape,
+     * cut, slice, force sliders and every live layout node's position
+     * and velocity. Tests compare digests before and after a failed
+     * operation to prove nothing mutated.
+     */
+    std::uint64_t stateDigest() const;
 
     /** The trace under analysis. */
     const trace::Trace &trace() const { return tr; }
@@ -161,43 +186,44 @@ class Session
                      bool with_stats = false);
 
     /** Render the current scene to an SVG file. */
-    void renderSvg(const std::string &path, const std::string &title = "");
+    support::Expected<void> renderSvg(const std::string &path,
+                                      const std::string &title = "");
 
     /** Render the current scene as ASCII art. */
     std::string renderAscii();
 
     /**
      * Render a treemap of the hierarchy weighted by a metric over the
-     * current time slice (the sibling multiscale view).
-     * @retval false when the metric does not exist
+     * current time slice (the sibling multiscale view). An unknown
+     * metric yields Errc::NotFound.
      */
-    bool renderTreemap(const std::string &path,
-                       const std::string &metric_name,
-                       std::uint16_t max_depth = 0);
+    support::Expected<void> renderTreemap(const std::string &path,
+                                          const std::string &metric_name,
+                                          std::uint16_t max_depth = 0);
 
     /**
      * Render the Gantt chart of the trace's state records over the
      * current time slice (the classical timeline baseline).
      * @return number of rows drawn
      */
-    std::size_t renderGantt(const std::string &path,
-                            std::size_t max_rows = 64);
+    support::Expected<std::size_t> renderGantt(const std::string &path,
+                                               std::size_t max_rows = 64);
 
     /**
      * Write the current view (with statistics) as CSV, for external
      * plotting tools.
      */
-    void exportCsv(const std::string &path) const;
+    support::Expected<void> exportCsv(const std::string &path) const;
 
     /**
      * Render a line chart of a metric over the whole span for the
      * given containers (paths or unique names); an empty list charts
-     * the whole platform as one series.
-     * @retval false when the metric or any container is unknown
+     * the whole platform as one series. An unknown metric or
+     * container yields Errc::NotFound.
      */
-    bool renderChart(const std::string &path,
-                     const std::string &metric_name,
-                     const std::vector<std::string> &containers = {});
+    support::Expected<void> renderChart(
+        const std::string &path, const std::string &metric_name,
+        const std::vector<std::string> &containers = {});
 
     /**
      * Run both anomaly detectors for a metric: the spatial one on the
@@ -212,7 +238,7 @@ class Session
      * Save the trace under analysis to a file, in the native format or
      * (path ending in ".paje") the Paje format.
      */
-    void saveTrace(const std::string &path) const;
+    support::Expected<void> saveTrace(const std::string &path) const;
 
     /**
      * Animate through time (Fig. 9): split the span into `frames` equal
@@ -220,9 +246,10 @@ class Session
      * layout between frames. The slice is left at the last frame.
      * @return number of frames written
      */
-    std::size_t animate(std::size_t frames, const std::string &dir,
-                        const std::string &prefix = "frame",
-                        std::size_t iters_per_frame = 60);
+    support::Expected<std::size_t> animate(
+        std::size_t frames, const std::string &dir,
+        const std::string &prefix = "frame",
+        std::size_t iters_per_frame = 60);
 
     // --- auditing ---------------------------------------------------------
 

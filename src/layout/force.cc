@@ -6,8 +6,10 @@
 #include "layout/force.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
 
@@ -89,6 +91,18 @@ ForceLayout::step(double timestep_scale)
             });
     }
 
+    // --- fault injection --------------------------------------------------
+    // Serial and gated on anyArmed() so production runs pay one relaxed
+    // atomic load; injected NaNs exercise the integration watchdog below.
+    if (support::FaultInjector::global().anyArmed()) {
+        for (const Node &n : nodes) {
+            if (n.alive && support::faultAt("layout.force.nan"))
+                force[n.id.index()] =
+                    Vec2{std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::quiet_NaN()};
+        }
+    }
+
     // --- springs ----------------------------------------------------------
     for (const Edge &e : g.rawEdges()) {
         if (!e.alive || !nodes[e.a.index()].alive || !nodes[e.b.index()].alive)
@@ -104,18 +118,35 @@ ForceLayout::step(double timestep_scale)
     }
 
     // --- integration -------------------------------------------------------
+    // Watchdog: compute each update into locals and only commit finite
+    // values. A non-finite update (overflow, corrupt input, injected
+    // fault) quarantines the node -- velocity zeroed, last finite
+    // position kept -- instead of spreading NaN through the next
+    // repulsion pass.
     double energy = 0.0;
     for (Node &n : nodes) {
         if (!n.alive || n.pinned)
             continue;
-        n.velocity = (n.velocity + force[n.id.index()] * dt) * prm.damping;
-        Vec2 move = n.velocity * dt;
+        Vec2 vel = (n.velocity + force[n.id.index()] * dt) * prm.damping;
+        Vec2 move = vel * dt;
         double len = move.norm();
         if (len > prm.maxDisplacement) {
             move = move * (prm.maxDisplacement / len);
-            n.velocity = move / dt;
+            vel = move / dt;
         }
-        n.position += move;
+        Vec2 pos = n.position + move;
+        if (!std::isfinite(vel.x) || !std::isfinite(vel.y) ||
+            !std::isfinite(pos.x) || !std::isfinite(pos.y)) {
+            n.velocity = Vec2{0.0, 0.0};
+            ++quarantined;
+            support::warnLimited(
+                "layout.nonfinite", "ForceLayout::step",
+                "non-finite update for node ", n.id.index(),
+                " quarantined (", quarantined, " so far)");
+            continue;
+        }
+        n.velocity = vel;
+        n.position = pos;
         energy += n.velocity.norm2();
     }
     ++iters;

@@ -112,10 +112,19 @@ class ForceLayout
     /** Iterations performed since construction. */
     std::size_t iterations() const { return iters; }
 
+    /**
+     * Nodes quarantined by the non-finite watchdog since construction.
+     * step() refuses to commit a NaN/inf update: the node keeps its
+     * last finite position, its velocity is zeroed, and this counter
+     * advances -- one bad node can never poison the whole layout.
+     */
+    std::size_t quarantineCount() const { return quarantined; }
+
   private:
     LayoutGraph &g;
     ForceParams prm;
     std::size_t iters = 0;
+    std::size_t quarantined = 0;
 };
 
 } // namespace viva::layout

@@ -280,6 +280,10 @@ Platform::route(HostId src, HostId dst) const
         }
     }
     if (!found) {
+        // A precondition, not an input error: platforms are built
+        // programmatically by the builders, which always produce
+        // connected topologies, so a missing route is a library bug.
+        // viva-lint: allow(no-fatal-below-app)
         support::panic("Platform::route", "hosts '", hosts[src.index()].name,
                        "' and '", hosts[dst.index()].name, "' are disconnected");
     }

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Implementation of the Error rendering.
+ */
+
+#include "support/error.hh"
+
+#include <sstream>
+
+namespace viva::support
+{
+
+const char *
+errcName(Errc code)
+{
+    switch (code) {
+      case Errc::Io: return "io";
+      case Errc::Parse: return "parse";
+      case Errc::Budget: return "budget";
+      case Errc::NotFound: return "not-found";
+      case Errc::Invalid: return "invalid";
+    }
+    return "?";
+}
+
+std::string
+Error::toString() const
+{
+    std::ostringstream os;
+    os << errcName(ec) << ": " << msg;
+    if (!frames.empty()) {
+        os << " [";
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            if (i > 0)
+                os << " <- ";
+            os << frames[i].file << ':' << frames[i].line;
+            if (!frames[i].note.empty())
+                os << ": " << frames[i].note;
+        }
+        os << ']';
+    }
+    return os.str();
+}
+
+} // namespace viva::support

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection. A FaultInjector holds a
+ * set of named injection points compiled into the library (stream read
+ * and write failures, parse-budget exhaustion, NaN injection into the
+ * force accumulation); tests arm a point with a FaultSpec and the code
+ * under test asks shouldFail() at the matching site. The decision is a
+ * pure function of the spec's seed and the per-point hit counter, so a
+ * failing run replays bit-for-bit from its seed -- the same contract
+ * the layout and aggregation engines honour.
+ *
+ * Production cost: every site goes through faultAt(), which reads one
+ * relaxed atomic and returns when nothing is armed.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace viva::support
+{
+
+/** How an armed injection point decides to fire. */
+struct FaultSpec
+{
+    /** Mixes into the per-hit hash; same seed, same firing pattern. */
+    std::uint64_t seed = 0;
+
+    /** Chance that an eligible hit fires, in [0, 1]. */
+    double probability = 1.0;
+
+    /** Hits that always pass before any can fire ("fail the k-th"). */
+    std::size_t skip = 0;
+
+    /** Stop firing after this many fires (the point stays armed). */
+    std::size_t maxFires = static_cast<std::size_t>(-1);
+};
+
+/** The registry of named injection points. */
+class FaultInjector
+{
+  public:
+    /** The process-wide injector every compiled-in site consults. */
+    static FaultInjector &global();
+
+    /** Every point name compiled into the library, sorted. */
+    static const std::vector<std::string> &knownPoints();
+
+    /** Arm a point; replaces any previous spec and resets counters. */
+    void arm(const std::string &point, FaultSpec spec = FaultSpec());
+
+    /** Disarm one point (keeps its counters readable). */
+    void disarm(const std::string &point);
+
+    /** Disarm everything and clear all counters. */
+    void disarmAll();
+
+    /**
+     * One hit at an injection point: counts the hit and reports
+     * deterministically whether the fault fires. Unarmed points never
+     * fire.
+     */
+    bool shouldFail(const std::string &point);
+
+    /** Hits observed at a point since it was last armed. */
+    std::size_t hitCount(const std::string &point) const;
+
+    /** Faults fired at a point since it was last armed. */
+    std::size_t fireCount(const std::string &point) const;
+
+    /** Cheap gate: is any point armed at all? */
+    bool
+    anyArmed() const
+    {
+        return armedPoints.load(std::memory_order_relaxed) > 0;
+    }
+
+  private:
+    struct PointState
+    {
+        FaultSpec spec;
+        bool armed = false;
+        std::size_t hits = 0;
+        std::size_t fires = 0;
+    };
+
+    mutable std::mutex mu;
+    std::atomic<std::size_t> armedPoints{0};
+    std::map<std::string, PointState> points;
+};
+
+/**
+ * The form injection sites use: false immediately when nothing is
+ * armed anywhere, otherwise one deterministic shouldFail() hit.
+ */
+inline bool
+faultAt(const char *point)
+{
+    FaultInjector &injector = FaultInjector::global();
+    return injector.anyArmed() && injector.shouldFail(point);
+}
+
+} // namespace viva::support

@@ -5,9 +5,12 @@
 
 #include "support/logging.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 namespace viva::support
 {
@@ -17,6 +20,21 @@ namespace
 
 std::atomic<std::size_t> warnings{0};
 std::atomic<bool> quiet{false};
+
+/** Per-key emit/suppress bookkeeping for warnLimited(). */
+struct KeyCounters
+{
+    std::size_t seen = 0;
+};
+
+std::mutex limit_mu;
+std::size_t warn_limit = 5;
+std::map<std::string, KeyCounters> &
+keyCounters()
+{
+    static std::map<std::string, KeyCounters> counters;
+    return counters;
+}
 
 const char *
 levelTag(LogLevel level)
@@ -62,5 +80,66 @@ setQuiet(bool q)
 {
     quiet.store(q, std::memory_order_relaxed);
 }
+
+void
+setWarnLimit(std::size_t per_key)
+{
+    std::lock_guard<std::mutex> lock(limit_mu);
+    warn_limit = per_key;
+}
+
+std::size_t
+warnSuppressedCount(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(limit_mu);
+    auto it = keyCounters().find(key);
+    if (it == keyCounters().end())
+        return 0;
+    return it->second.seen > warn_limit ? it->second.seen - warn_limit
+                                        : 0;
+}
+
+std::size_t
+warnEmittedCount(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(limit_mu);
+    auto it = keyCounters().find(key);
+    if (it == keyCounters().end())
+        return 0;
+    return std::min(it->second.seen, warn_limit);
+}
+
+void
+resetWarnLimits()
+{
+    std::lock_guard<std::mutex> lock(limit_mu);
+    keyCounters().clear();
+}
+
+namespace detail
+{
+
+bool
+admitWarn(const std::string &key)
+{
+    std::size_t seen;
+    std::size_t limit;
+    {
+        std::lock_guard<std::mutex> lock(limit_mu);
+        seen = ++keyCounters()[key].seen;
+        limit = warn_limit;
+    }
+    if (seen <= limit)
+        return true;
+    if (seen == limit + 1) {
+        // The one boundary notice; everything past it is only counted.
+        logMessage(LogLevel::Warn, key,
+                   "further warnings with this key suppressed "
+                   "(see warnSuppressedCount)");
+    }
+    return false;
+}
+
+} // namespace detail
 
 } // namespace viva::support

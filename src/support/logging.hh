@@ -40,6 +40,22 @@ std::size_t warnCount();
 /** Suppress (true) or restore (false) Info/Warn console output. */
 void setQuiet(bool quiet);
 
+/**
+ * Per-key warning budget for warnLimited(): each key emits at most
+ * this many warnings, then one "further warnings suppressed" notice,
+ * then silence (counted, not printed). Default: 5.
+ */
+void setWarnLimit(std::size_t per_key);
+
+/** Warnings swallowed for a key after its budget ran out. */
+std::size_t warnSuppressedCount(const std::string &key);
+
+/** Warnings actually emitted for a key. */
+std::size_t warnEmittedCount(const std::string &key);
+
+/** Forget every key's counters (tests). */
+void resetWarnLimits();
+
 namespace detail
 {
 
@@ -52,6 +68,12 @@ concat(Args &&...args)
     (os << ... << std::forward<Args>(args));
     return os.str();
 }
+
+/**
+ * Should a warning with this key still be printed? Bumps the key's
+ * counters and emits the one-time suppression notice at the boundary.
+ */
+bool admitWarn(const std::string &key);
 
 } // namespace detail
 
@@ -91,6 +113,21 @@ inform(const std::string &where, Args &&...args)
 {
     logMessage(LogLevel::Info, where,
                detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Rate-limited warn: at most setWarnLimit() warnings per `key`, then a
+ * single suppression notice, then silent counting -- so one corrupt
+ * trace (thousands of bad records) cannot flood the console. Counters
+ * are readable through warnEmittedCount()/warnSuppressedCount().
+ */
+template <typename... Args>
+void
+warnLimited(const std::string &key, const std::string &where,
+            Args &&...args)
+{
+    if (detail::admitWarn(key))
+        warn(where, std::forward<Args>(args)...);
 }
 
 } // namespace viva::support

@@ -5,16 +5,19 @@
 
 #include "trace/io.hh"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
 namespace viva::trace
 {
 
+using support::Errc;
 using support::formatDouble;
 using support::parseDouble;
 using support::parseSize;
@@ -68,15 +71,18 @@ writeTrace(const Trace &trace, std::ostream &out)
     }
 }
 
-void
+support::Expected<void>
 writeTraceFile(const Trace &trace, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        support::fatal("writeTraceFile", "cannot open '", path, "'");
+        return VIVA_ERROR(Errc::Io, "cannot open '", path,
+                          "' for writing");
     writeTrace(trace, out);
-    if (!out)
-        support::fatal("writeTraceFile", "write failed for '", path, "'");
+    out.flush();
+    if (!out || support::faultAt("trace.write.stream"))
+        return VIVA_ERROR(Errc::Io, "write failed for '", path, "'");
+    return {};
 }
 
 namespace
@@ -111,32 +117,40 @@ splitFields(const std::string &line, std::size_t n,
 
 } // namespace
 
-std::optional<Trace>
-readTrace(std::istream &in, std::string &error)
+support::Expected<Trace>
+readTrace(std::istream &in, const ParseBudget &budget)
 {
-    auto fail = [&](std::size_t line_no, const std::string &msg)
-        -> std::optional<Trace> {
+    std::size_t line_no = 0;
+    auto fail = [&](Errc code,
+                    const std::string &msg) -> support::Error {
         std::ostringstream os;
         os << "line " << line_no << ": " << msg;
-        error = os.str();
-        return std::nullopt;
+        return VIVA_ERROR(code, os.str());
     };
 
     std::string line;
-    std::size_t line_no = 0;
 
     if (!std::getline(in, line))
-        return fail(0, "empty input");
+        return fail(Errc::Parse, "empty input");
     ++line_no;
     if (trim(line) != "viva-trace 1")
-        return fail(line_no, "missing 'viva-trace 1' header");
+        return fail(Errc::Parse, "missing 'viva-trace 1' header");
 
     Trace trace;
     std::vector<std::string> fields;
     std::string rest;
+    std::size_t records = 0;
 
     while (std::getline(in, line)) {
         ++line_no;
+        if (support::faultAt("trace.read.stream"))
+            return fail(Errc::Io, "injected stream read failure");
+        if (line.size() > budget.maxLineLength ||
+            support::faultAt("trace.parse.budget"))
+            return fail(Errc::Budget,
+                        "line exceeds the parse budget (" +
+                            std::to_string(budget.maxLineLength) +
+                            " bytes)");
         std::string stripped = trim(line);
         if (stripped.empty() || stripped[0] == '#')
             continue;
@@ -151,93 +165,119 @@ readTrace(std::istream &in, std::string &error)
 
         if (verb == "container") {
             if (!splitFields(body, 3, fields, rest) || rest.empty())
-                return fail(line_no, "malformed container record");
+                return fail(Errc::Parse, "malformed container record");
             std::size_t id = 0;
             if (!parseSize(fields[0], id))
-                return fail(line_no, "bad container id");
+                return fail(Errc::Parse, "bad container id");
+            if (trace.containerCount() >= budget.maxContainers)
+                return fail(Errc::Budget,
+                            "container count exceeds the parse budget");
             ContainerId parent = trace.root();
             if (fields[1] != "-") {
                 std::size_t p = 0;
                 if (!parseSize(fields[1], p) || p >= trace.containerCount())
-                    return fail(line_no, "bad parent id");
+                    return fail(Errc::Parse, "bad parent id");
                 parent = ContainerId::fromIndex(p);
             }
             ContainerKind kind = containerKindFromName(fields[2]);
+            if (rest.find('/') != std::string::npos)
+                return fail(Errc::Parse,
+                            "container name '" + rest +
+                                "' must not contain '/'");
             if (trace.findChild(parent, rest) != kNoContainer)
-                return fail(line_no, "duplicate container '" + rest + "'");
+                return fail(Errc::Parse,
+                            "duplicate container '" + rest + "'");
             ContainerId got = trace.addContainer(rest, kind, parent);
             if (got.index() != id)
-                return fail(line_no, "container ids must be dense");
+                return fail(Errc::Parse, "container ids must be dense");
         } else if (verb == "metric") {
             if (!splitFields(body, 4, fields, rest) || rest.empty())
-                return fail(line_no, "malformed metric record");
+                return fail(Errc::Parse, "malformed metric record");
             std::size_t id = 0;
             if (!parseSize(fields[0], id))
-                return fail(line_no, "bad metric id");
+                return fail(Errc::Parse, "bad metric id");
+            if (trace.metricCount() >= budget.maxMetrics)
+                return fail(Errc::Budget,
+                            "metric count exceeds the parse budget");
             MetricNature nature = metricNatureFromName(fields[1]);
             MetricId cap = kNoMetric;
             if (fields[2] != "-") {
                 std::size_t c = 0;
                 if (!parseSize(fields[2], c) || c >= trace.metricCount())
-                    return fail(line_no, "bad capacityOf id");
+                    return fail(Errc::Parse, "bad capacityOf id");
                 cap = MetricId::fromIndex(c);
             }
             std::string unit = fields[3] == "-" ? "" : fields[3];
             if (trace.findMetric(rest) != kNoMetric)
-                return fail(line_no, "duplicate metric '" + rest + "'");
+                return fail(Errc::Parse,
+                            "duplicate metric '" + rest + "'");
             MetricId got = trace.addMetric(rest, unit, nature, cap);
             if (got.index() != id)
-                return fail(line_no, "metric ids must be dense");
+                return fail(Errc::Parse, "metric ids must be dense");
         } else if (verb == "rel") {
             if (!splitFields(body, 2, fields, rest) || !rest.empty())
-                return fail(line_no, "malformed rel record");
+                return fail(Errc::Parse, "malformed rel record");
             std::size_t a = 0, b = 0;
             if (!parseSize(fields[0], a) || !parseSize(fields[1], b) ||
                 a >= trace.containerCount() || b >= trace.containerCount())
-                return fail(line_no, "bad rel endpoints");
+                return fail(Errc::Parse, "bad rel endpoints");
+            if (++records > budget.maxRecords)
+                return fail(Errc::Budget,
+                            "record count exceeds the parse budget");
             trace.addRelation(ContainerId::fromIndex(a), ContainerId::fromIndex(b));
         } else if (verb == "p") {
             if (!splitFields(body, 4, fields, rest) || !rest.empty())
-                return fail(line_no, "malformed point record");
+                return fail(Errc::Parse, "malformed point record");
             std::size_t c = 0, m = 0;
             double t = 0, v = 0;
             if (!parseSize(fields[0], c) || !parseSize(fields[1], m) ||
                 !parseDouble(fields[2], t) || !parseDouble(fields[3], v))
-                return fail(line_no, "bad point fields");
+                return fail(Errc::Parse, "bad point fields");
+            if (!std::isfinite(t) || !std::isfinite(v))
+                return fail(Errc::Parse, "non-finite point fields");
             if (c >= trace.containerCount() || m >= trace.metricCount())
-                return fail(line_no, "point references unknown ids");
+                return fail(Errc::Parse, "point references unknown ids");
+            if (++records > budget.maxRecords)
+                return fail(Errc::Budget,
+                            "record count exceeds the parse budget");
             trace.variable(ContainerId::fromIndex(c), MetricId::fromIndex(m)).set(t, v);
         } else if (verb == "state") {
             if (!splitFields(body, 3, fields, rest) || rest.empty())
-                return fail(line_no, "malformed state record");
+                return fail(Errc::Parse, "malformed state record");
             std::size_t c = 0;
             double b = 0, e = 0;
             if (!parseSize(fields[0], c) || !parseDouble(fields[1], b) ||
                 !parseDouble(fields[2], e) || c >= trace.containerCount())
-                return fail(line_no, "bad state fields");
+                return fail(Errc::Parse, "bad state fields");
+            if (!std::isfinite(b) || !std::isfinite(e))
+                return fail(Errc::Parse, "non-finite state interval");
             if (b > e)
-                return fail(line_no, "reversed state interval");
+                return fail(Errc::Parse, "reversed state interval");
+            if (++records > budget.maxRecords)
+                return fail(Errc::Budget,
+                            "record count exceeds the parse budget");
             trace.addState(ContainerId::fromIndex(c), b, e, rest);
         } else {
-            return fail(line_no, "unknown record '" + verb + "'");
+            return fail(Errc::Parse, "unknown record '" + verb + "'");
         }
     }
 
-    error.clear();
+    if (in.bad())
+        return fail(Errc::Io, "stream read failure");
     return trace;
 }
 
-Trace
-readTraceFile(const std::string &path)
+support::Expected<Trace>
+readTraceFile(const std::string &path, const ParseBudget &budget)
 {
     std::ifstream in(path);
     if (!in)
-        support::fatal("readTraceFile", "cannot open '", path, "'");
-    std::string error;
-    std::optional<Trace> trace = readTrace(in, error);
-    if (!trace)
-        support::fatal("readTraceFile", path, ": ", error);
-    return std::move(*trace);
+        return VIVA_ERROR(Errc::Io, "cannot open '", path, "'");
+    support::Expected<Trace> result = readTrace(in, budget);
+    if (!result)
+        return VIVA_ERROR_CONTEXT(result.error(), "reading '", path,
+                                  "'");
+    return result;
 }
 
 } // namespace viva::trace

@@ -13,35 +13,59 @@
  * Ids are dense and must appear in increasing order; the root container
  * (id 0) is implicit and never written. Names extend to the end of the
  * line and may contain spaces.
+ *
+ * Every fallible entry point returns support::Expected -- malformed
+ * input, I/O failure or an exhausted parse budget yields a structured
+ * Error (code + input line number + file:line chain) instead of killing
+ * the process, so an interactive session survives any bad byte.
  */
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
-#include <optional>
 #include <string>
 
+#include "support/error.hh"
 #include "trace/trace.hh"
 
 namespace viva::trace
 {
 
+/**
+ * Resource bounds enforced while parsing untrusted input. The defaults
+ * are far above anything a legitimate trace produces; adversarial input
+ * (a gigabyte-long line, a container bomb) hits them and is rejected
+ * with Errc::Budget instead of exhausting memory.
+ */
+struct ParseBudget
+{
+    /** Longest accepted input line, in bytes. */
+    std::size_t maxLineLength = 1u << 20;
+
+    /** Most containers a single trace may define. */
+    std::size_t maxContainers = 1u << 20;
+
+    /** Most metrics a single trace may define. */
+    std::size_t maxMetrics = 1u << 16;
+
+    /** Most data records (points, states, rels, Paje events) accepted. */
+    std::size_t maxRecords = 1u << 26;
+};
+
 /** Serialize a trace to a stream. */
 void writeTrace(const Trace &trace, std::ostream &out);
 
-/** Serialize a trace to a file; fatal on I/O failure. */
-void writeTraceFile(const Trace &trace, const std::string &path);
+/** Serialize a trace to a file. */
+support::Expected<void> writeTraceFile(const Trace &trace,
+                                       const std::string &path);
 
-/**
- * Parse a trace from a stream.
- * @param in the stream to read
- * @param error receives a line-numbered message on failure
- * @return the trace, or nullopt on malformed input
- */
-std::optional<Trace> readTrace(std::istream &in, std::string &error);
+/** Parse a trace from a stream. */
+support::Expected<Trace> readTrace(std::istream &in,
+                                   const ParseBudget &budget = {});
 
-/** Parse a trace from a file; fatal on I/O or parse failure. */
-Trace readTraceFile(const std::string &path);
+/** Parse a trace from a file. */
+support::Expected<Trace> readTraceFile(const std::string &path,
+                                       const ParseBudget &budget = {});
 
 } // namespace viva::trace
-

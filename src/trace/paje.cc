@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <map>
@@ -21,12 +22,14 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
 namespace viva::trace
 {
 
+using support::Errc;
 using support::formatDouble;
 using support::parseDouble;
 using support::toLower;
@@ -129,15 +132,15 @@ struct OpenState
 
 } // namespace
 
-std::optional<PajeImport>
-readPajeTrace(std::istream &in, std::string &error)
+support::Expected<PajeImport>
+readPajeTrace(std::istream &in, const ParseBudget &budget)
 {
-    auto fail = [&](std::size_t line_no, const std::string &msg)
-        -> std::optional<PajeImport> {
+    std::size_t line_no = 0;
+    auto fail = [&](Errc code,
+                    const std::string &msg) -> support::Error {
         std::ostringstream os;
         os << "line " << line_no << ": " << msg;
-        error = os.str();
-        return std::nullopt;
+        return VIVA_ERROR(code, os.str());
     };
 
     PajeImport result;
@@ -168,13 +171,20 @@ readPajeTrace(std::istream &in, std::string &error)
     };
 
     std::string line;
-    std::size_t line_no = 0;
     std::optional<EventDef> building;
     std::string building_id;
 
     std::vector<std::string> tokens;
     while (std::getline(in, line)) {
         ++line_no;
+        if (support::faultAt("paje.read.stream"))
+            return fail(Errc::Io, "injected stream read failure");
+        if (line.size() > budget.maxLineLength ||
+            support::faultAt("trace.parse.budget"))
+            return fail(Errc::Budget,
+                        "line exceeds the parse budget (" +
+                            std::to_string(budget.maxLineLength) +
+                            " bytes)");
         std::string stripped = trim(line);
         if (stripped.empty() || stripped[0] == '#')
             continue;
@@ -187,17 +197,17 @@ readPajeTrace(std::istream &in, std::string &error)
                 continue;
             if (parts[0] == "EventDef") {
                 if (parts.size() < 3)
-                    return fail(line_no, "malformed %EventDef");
+                    return fail(Errc::Parse, "malformed %EventDef");
                 building = EventDef{parts[1], {}};
                 building_id = parts[2];
             } else if (parts[0] == "EndEventDef") {
                 if (!building)
-                    return fail(line_no, "%EndEventDef without def");
+                    return fail(Errc::Parse, "%EndEventDef without def");
                 defs[building_id] = *building;
                 building.reset();
             } else if (building) {
                 if (parts.size() < 2)
-                    return fail(line_no, "malformed field definition");
+                    return fail(Errc::Parse, "malformed field definition");
                 building->fields.push_back({parts[0], parts[1]});
             }
             continue;
@@ -205,15 +215,15 @@ readPajeTrace(std::istream &in, std::string &error)
 
         // --- data -----------------------------------------------------------
         if (!tokenize(stripped, tokens))
-            return fail(line_no, "unterminated quote");
+            return fail(Errc::Parse, "unterminated quote");
         if (tokens.empty())
             continue;
         auto def_it = defs.find(tokens[0]);
         if (def_it == defs.end())
-            return fail(line_no, "unknown event id '" + tokens[0] + "'");
+            return fail(Errc::Parse, "unknown event id '" + tokens[0] + "'");
         const EventDef &def = def_it->second;
         if (tokens.size() - 1 < def.fields.size())
-            return fail(line_no, "too few fields for " + def.name);
+            return fail(Errc::Parse, "too few fields for " + def.name);
 
         // Field lookup by name.
         auto field = [&](const char *name) -> const std::string * {
@@ -224,8 +234,14 @@ readPajeTrace(std::istream &in, std::string &error)
         };
         auto numField = [&](const char *name, double &v) {
             const std::string *s = field(name);
-            return s && parseDouble(*s, v);
+            // Reject inf/nan: strtod accepts them, but a non-finite
+            // time or value would poison downstream aggregation.
+            return s && parseDouble(*s, v) && std::isfinite(v);
         };
+
+        if (result.eventCount >= budget.maxRecords)
+            return fail(Errc::Budget,
+                        "event count exceeds the parse budget");
 
         double time = 0.0;
         if (numField("Time", time))
@@ -235,7 +251,7 @@ readPajeTrace(std::istream &in, std::string &error)
             const std::string *alias = field("Alias");
             const std::string *name = field("Name");
             if (!alias || !name)
-                return fail(line_no, def.name + " needs Alias/Name");
+                return fail(Errc::Parse, def.name + " needs Alias/Name");
             typeKind[*alias] = kindFromTypeName(*name);
             // Names can also be used as type references.
             typeKind.emplace(*name, kindFromTypeName(*name));
@@ -243,7 +259,10 @@ readPajeTrace(std::istream &in, std::string &error)
             const std::string *alias = field("Alias");
             const std::string *name = field("Name");
             if (!alias || !name)
-                return fail(line_no, def.name + " needs Alias/Name");
+                return fail(Errc::Parse, def.name + " needs Alias/Name");
+            if (trace.metricCount() >= budget.maxMetrics)
+                return fail(Errc::Budget,
+                            "metric count exceeds the parse budget");
             MetricId m =
                 trace.addMetric(*name, "", natureFromName(*name));
             metricByAlias[*alias] = m;
@@ -259,7 +278,18 @@ readPajeTrace(std::istream &in, std::string &error)
             const std::string *parent = field("Container");
             const std::string *name = field("Name");
             if (!alias || !name || !parent)
-                return fail(line_no, def.name + " needs fields");
+                return fail(Errc::Parse, def.name + " needs fields");
+            // Guard Trace::addContainer()'s preconditions: corrupt
+            // input must yield an Error, not an assertion failure.
+            if (name->empty())
+                return fail(Errc::Parse, "empty container name");
+            if (name->find('/') != std::string::npos)
+                return fail(Errc::Parse,
+                            "container name '" + *name +
+                                "' must not contain '/'");
+            if (trace.containerCount() >= budget.maxContainers)
+                return fail(Errc::Budget,
+                            "container count exceeds the parse budget");
             ContainerId parent_id = resolveContainer(*parent);
             if (parent_id == kNoContainer) {
                 result.warnings.push_back(
@@ -274,7 +304,7 @@ readPajeTrace(std::istream &in, std::string &error)
                     kind = k->second;
             }
             if (trace.findChild(parent_id, *name) != kNoContainer)
-                return fail(line_no,
+                return fail(Errc::Parse,
                             "duplicate container '" + *name + "'");
             ContainerId id = trace.addContainer(*name, kind, parent_id);
             containerByAlias[*alias] = id;
@@ -287,7 +317,7 @@ readPajeTrace(std::istream &in, std::string &error)
             const std::string *container = field("Container");
             double value = 0.0;
             if (!type || !container || !numField("Value", value))
-                return fail(line_no, def.name + " needs fields");
+                return fail(Errc::Parse, def.name + " needs fields");
             ContainerId c = resolveContainer(*container);
             if (c == kNoContainer) {
                 result.warnings.push_back("variable on unknown '" +
@@ -313,7 +343,7 @@ readPajeTrace(std::istream &in, std::string &error)
             const std::string *container = field("Container");
             const std::string *value = field("Value");
             if (!type || !container || !value)
-                return fail(line_no, def.name + " needs fields");
+                return fail(Errc::Parse, def.name + " needs fields");
             ContainerId c = resolveContainer(*container);
             if (c == kNoContainer) {
                 result.warnings.push_back("state on unknown '" +
@@ -340,7 +370,7 @@ readPajeTrace(std::istream &in, std::string &error)
             const std::string *type = field("Type");
             const std::string *container = field("Container");
             if (!type || !container)
-                return fail(line_no, def.name + " needs fields");
+                return fail(Errc::Parse, def.name + " needs fields");
             ContainerId c = resolveContainer(*container);
             if (c == kNoContainer)
                 continue;
@@ -362,7 +392,7 @@ readPajeTrace(std::istream &in, std::string &error)
             if (!src)
                 src = field("SourceContainer");
             if (!key || !src)
-                return fail(line_no, def.name + " needs fields");
+                return fail(Errc::Parse, def.name + " needs fields");
             linkSource[*key] = *src;
         } else if (def.name == "PajeEndLink") {
             const std::string *key = field("Key");
@@ -370,7 +400,7 @@ readPajeTrace(std::istream &in, std::string &error)
             if (!dst)
                 dst = field("DestContainer");
             if (!key || !dst)
-                return fail(line_no, def.name + " needs fields");
+                return fail(Errc::Parse, def.name + " needs fields");
             auto src = linkSource.find(*key);
             if (src == linkSource.end()) {
                 result.warnings.push_back("EndLink without StartLink ('" +
@@ -395,7 +425,9 @@ readPajeTrace(std::istream &in, std::string &error)
     }
 
     if (building)
-        return fail(line_no, "unterminated %EventDef");
+        return fail(Errc::Parse, "unterminated %EventDef");
+    if (in.bad())
+        return fail(Errc::Io, "stream read failure");
 
     // Close states left open at the end of observation.
     for (auto &[key, stack] : stateStack) {
@@ -406,21 +438,20 @@ readPajeTrace(std::istream &in, std::string &error)
         }
     }
 
-    error.clear();
     return result;
 }
 
-PajeImport
-readPajeTraceFile(const std::string &path)
+support::Expected<PajeImport>
+readPajeTraceFile(const std::string &path, const ParseBudget &budget)
 {
     std::ifstream in(path);
     if (!in)
-        support::fatal("readPajeTraceFile", "cannot open '", path, "'");
-    std::string error;
-    std::optional<PajeImport> result = readPajeTrace(in, error);
+        return VIVA_ERROR(Errc::Io, "cannot open '", path, "'");
+    support::Expected<PajeImport> result = readPajeTrace(in, budget);
     if (!result)
-        support::fatal("readPajeTraceFile", path, ": ", error);
-    return std::move(*result);
+        return VIVA_ERROR_CONTEXT(result.error(), "reading '", path,
+                                  "'");
+    return result;
 }
 
 namespace
@@ -559,16 +590,18 @@ writePajeTrace(const Trace &trace, std::ostream &out)
     }
 }
 
-void
+support::Expected<void>
 writePajeTraceFile(const Trace &trace, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        support::fatal("writePajeTraceFile", "cannot open '", path, "'");
+        return VIVA_ERROR(Errc::Io, "cannot open '", path,
+                          "' for writing");
     writePajeTrace(trace, out);
-    if (!out)
-        support::fatal("writePajeTraceFile", "write failed for '", path,
-                       "'");
+    out.flush();
+    if (!out || support::faultAt("trace.write.stream"))
+        return VIVA_ERROR(Errc::Io, "write failed for '", path, "'");
+    return {};
 }
 
 } // namespace viva::trace

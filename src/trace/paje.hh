@@ -27,10 +27,11 @@
 #pragma once
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "support/error.hh"
+#include "trace/io.hh"
 #include "trace/trace.hh"
 
 namespace viva::trace
@@ -45,16 +46,16 @@ struct PajeImport
 };
 
 /**
- * Parse a Paje trace.
- * @param in the stream
- * @param error receives a line-numbered message on a hard error
- * @return the import, or nullopt on malformed input
+ * Parse a Paje trace. Malformed input, I/O failure or an exhausted
+ * parse budget yields a structured Error carrying the input line
+ * number; benign oddities are collected as warnings on the import.
  */
-std::optional<PajeImport> readPajeTrace(std::istream &in,
-                                        std::string &error);
+support::Expected<PajeImport> readPajeTrace(
+    std::istream &in, const ParseBudget &budget = {});
 
-/** Parse a Paje file; fatal on I/O or parse failure. */
-PajeImport readPajeTraceFile(const std::string &path);
+/** Parse a Paje file. */
+support::Expected<PajeImport> readPajeTraceFile(
+    const std::string &path, const ParseBudget &budget = {});
 
 /**
  * Serialize a trace as a Paje trace: a canonical header followed by
@@ -64,8 +65,9 @@ PajeImport readPajeTraceFile(const std::string &path);
  */
 void writePajeTrace(const Trace &trace, std::ostream &out);
 
-/** Serialize to a file; fatal on I/O failure. */
-void writePajeTraceFile(const Trace &trace, const std::string &path);
+/** Serialize to a file. */
+support::Expected<void> writePajeTraceFile(const Trace &trace,
+                                           const std::string &path);
 
 } // namespace viva::trace
 

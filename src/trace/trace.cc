@@ -89,10 +89,12 @@ Trace::addContainer(const std::string &name, ContainerKind kind,
     VIVA_ASSERT(!name.empty(), "container name must not be empty");
     VIVA_ASSERT(name.find('/') == std::string::npos,
                 "container name '", name, "' must not contain '/'");
-    if (findChild(parent, name) != kNoContainer) {
-        support::fatal("Trace::addContainer", "duplicate container '", name,
-                       "' under '", fullName(parent), "'");
-    }
+    // A precondition, not an input error: readers validate duplicates
+    // before calling (and report a recoverable support::Error), so a
+    // duplicate here is a library bug.
+    VIVA_ASSERT(findChild(parent, name) == kNoContainer,
+                "duplicate container '", name, "' under '",
+                fullName(parent), "'");
 
     Container node;
     node.id = ContainerId::fromIndex(nodes.size());

@@ -11,6 +11,7 @@
 #include <ostream>
 
 #include "agg/timeslice.hh"
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -154,17 +155,20 @@ writeChartSvg(const std::vector<ChartSeries> &series, std::ostream &out,
     out << "</svg>\n";
 }
 
-void
+support::Expected<void>
 writeChartSvgFile(const std::vector<ChartSeries> &series,
                   const std::string &path, const ChartOptions &options)
 {
     std::ofstream out(path);
     if (!out)
-        support::fatal("writeChartSvgFile", "cannot open '", path, "'");
+        return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
+                          "' for writing");
     writeChartSvg(series, out, options);
-    if (!out)
-        support::fatal("writeChartSvgFile", "write failed for '", path,
-                       "'");
+    out.flush();
+    if (!out || support::faultAt("viz.write.stream"))
+        return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
+                          "'");
+    return {};
 }
 
 } // namespace viva::viz

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hh"
+
 #include "agg/aggregate.hh"
 #include "trace/trace.hh"
 #include "viz/shape.hh"
@@ -59,10 +61,10 @@ void writeChartSvg(const std::vector<ChartSeries> &series,
                    std::ostream &out,
                    const ChartOptions &options = ChartOptions());
 
-/** Render to a file; fatal on I/O failure. */
-void writeChartSvgFile(const std::vector<ChartSeries> &series,
-                       const std::string &path,
-                       const ChartOptions &options = ChartOptions());
+/** Render to a file; I/O failure yields a recoverable Error. */
+support::Expected<void> writeChartSvgFile(
+    const std::vector<ChartSeries> &series, const std::string &path,
+    const ChartOptions &options = ChartOptions());
 
 } // namespace viva::viz
 

@@ -10,6 +10,7 @@
 #include <map>
 #include <ostream>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -133,17 +134,20 @@ writeGanttSvg(const GanttChart &chart, std::ostream &out,
     out << "</svg>\n";
 }
 
-void
+support::Expected<void>
 writeGanttSvgFile(const GanttChart &chart, const std::string &path,
                   const GanttSvgOptions &options)
 {
     std::ofstream out(path);
     if (!out)
-        support::fatal("writeGanttSvgFile", "cannot open '", path, "'");
+        return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
+                          "' for writing");
     writeGanttSvg(chart, out, options);
-    if (!out)
-        support::fatal("writeGanttSvgFile", "write failed for '", path,
-                       "'");
+    out.flush();
+    if (!out || support::faultAt("viz.write.stream"))
+        return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
+                          "'");
+    return {};
 }
 
 } // namespace viva::viz

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hh"
+
 #include "agg/timeslice.hh"
 #include "trace/trace.hh"
 #include "viz/shape.hh"
@@ -78,9 +80,10 @@ struct GanttSvgOptions
 void writeGanttSvg(const GanttChart &chart, std::ostream &out,
                    const GanttSvgOptions &options = GanttSvgOptions());
 
-/** Render to a file; fatal on I/O failure. */
-void writeGanttSvgFile(const GanttChart &chart, const std::string &path,
-                       const GanttSvgOptions &options = GanttSvgOptions());
+/** Render to a file; I/O failure yields a recoverable Error. */
+support::Expected<void> writeGanttSvgFile(
+    const GanttChart &chart, const std::string &path,
+    const GanttSvgOptions &options = GanttSvgOptions());
 
 } // namespace viva::viz
 

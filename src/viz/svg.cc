@@ -9,6 +9,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -202,16 +203,20 @@ writeSvg(const Scene &scene, std::ostream &out, const SvgOptions &options)
     out << "</svg>\n";
 }
 
-void
+support::Expected<void>
 writeSvgFile(const Scene &scene, const std::string &path,
              const SvgOptions &options)
 {
     std::ofstream out(path);
     if (!out)
-        support::fatal("writeSvgFile", "cannot open '", path, "'");
+        return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
+                          "' for writing");
     writeSvg(scene, out, options);
-    if (!out)
-        support::fatal("writeSvgFile", "write failed for '", path, "'");
+    out.flush();
+    if (!out || support::faultAt("viz.write.stream"))
+        return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
+                          "'");
+    return {};
 }
 
 } // namespace viva::viz

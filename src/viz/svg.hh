@@ -10,6 +10,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "support/error.hh"
+
 #include "viz/scene.hh"
 
 namespace viva::viz
@@ -38,9 +40,10 @@ struct SvgOptions
 void writeSvg(const Scene &scene, std::ostream &out,
               const SvgOptions &options = SvgOptions());
 
-/** Write a scene to a file; fatal on I/O failure. */
-void writeSvgFile(const Scene &scene, const std::string &path,
-                  const SvgOptions &options = SvgOptions());
+/** Write a scene to a file; I/O failure yields a recoverable Error. */
+support::Expected<void> writeSvgFile(const Scene &scene,
+                                     const std::string &path,
+                                     const SvgOptions &options = SvgOptions());
 
 } // namespace viva::viz
 

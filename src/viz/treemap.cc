@@ -11,6 +11,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -263,17 +264,20 @@ writeTreemapSvg(const Treemap &treemap, std::ostream &out,
     out << "</svg>\n";
 }
 
-void
+support::Expected<void>
 writeTreemapSvgFile(const Treemap &treemap, const std::string &path,
                     const std::string &title)
 {
     std::ofstream out(path);
     if (!out)
-        support::fatal("writeTreemapSvgFile", "cannot open '", path, "'");
+        return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
+                          "' for writing");
     writeTreemapSvg(treemap, out, title);
-    if (!out)
-        support::fatal("writeTreemapSvgFile", "write failed for '", path,
-                       "'");
+    out.flush();
+    if (!out || support::faultAt("viz.write.stream"))
+        return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
+                          "'");
+    return {};
 }
 
 } // namespace viva::viz

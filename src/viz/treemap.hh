@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hh"
+
 #include "agg/aggregate.hh"
 #include "trace/trace.hh"
 #include "viz/shape.hh"
@@ -79,9 +81,10 @@ Treemap buildTreemap(const trace::Trace &trace, trace::MetricId metric,
 void writeTreemapSvg(const Treemap &treemap, std::ostream &out,
                      const std::string &title = "");
 
-/** Render to a file; fatal on I/O failure. */
-void writeTreemapSvgFile(const Treemap &treemap, const std::string &path,
-                         const std::string &title = "");
+/** Render to a file; I/O failure yields a recoverable Error. */
+support::Expected<void> writeTreemapSvgFile(const Treemap &treemap,
+                                            const std::string &path,
+                                            const std::string &title = "");
 
 } // namespace viva::viz
 

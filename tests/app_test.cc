@@ -207,7 +207,7 @@ TEST(Session, RenderSvgWritesFile)
     vap::Session s(vt::makeFigure1Trace());
     s.stabilizeLayout(100);
     std::string path = tempDir() + "/fig1.svg";
-    s.renderSvg(path, "test render");
+    ASSERT_TRUE(s.renderSvg(path, "test render").ok());
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
     std::stringstream buf;
@@ -219,7 +219,9 @@ TEST(Session, AnimateWritesFrames)
 {
     vap::Session s(vt::makeFigure1Trace());
     std::string dir = tempDir() + "/anim";
-    EXPECT_EQ(s.animate(3, dir, "f", 20), 3u);
+    auto frames = s.animate(3, dir, "f", 20);
+    ASSERT_TRUE(frames.ok()) << frames.error().toString();
+    EXPECT_EQ(*frames, 3u);
     EXPECT_TRUE(std::filesystem::exists(dir + "/f000.svg"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/f002.svg"));
     // The slice is left at the last frame.

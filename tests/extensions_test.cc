@@ -671,7 +671,9 @@ TEST(SessionExtensions, RenderTreemapAndGantt)
     std::string dir = tempDir();
     EXPECT_TRUE(session.renderTreemap(dir + "/map.svg", "power"));
     EXPECT_FALSE(session.renderTreemap(dir + "/map.svg", "nope"));
-    EXPECT_GT(session.renderGantt(dir + "/gantt.svg"), 0u);
+    auto rows = session.renderGantt(dir + "/gantt.svg");
+    ASSERT_TRUE(rows.ok()) << rows.error().toString();
+    EXPECT_GT(*rows, 0u);
     EXPECT_TRUE(std::filesystem::exists(dir + "/map.svg"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/gantt.svg"));
 }

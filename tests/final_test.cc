@@ -156,9 +156,8 @@ TEST(IoEdge, NegativeAndTinyValuesRoundTrip)
     std::ostringstream out;
     vt::writeTrace(trace, out);
     std::istringstream in(out.str());
-    std::string error;
-    auto back = vt::readTrace(in, error);
-    ASSERT_TRUE(back.has_value()) << error;
+        auto back = vt::readTrace(in);
+    ASSERT_TRUE(back.has_value()) << back.error().toString();
     const vt::Variable *v =
         back->findVariable(back->findByName("h"), gauge);
     ASSERT_NE(v, nullptr);
@@ -180,9 +179,8 @@ TEST(IoEdge, OutOfOrderHistorySerializesSorted)
     std::ostringstream out;
     vt::writeTrace(trace, out);
     std::istringstream in(out.str());
-    std::string error;
-    auto back = vt::readTrace(in, error);
-    ASSERT_TRUE(back.has_value()) << error;
+        auto back = vt::readTrace(in);
+    ASSERT_TRUE(back.has_value()) << back.error().toString();
     EXPECT_DOUBLE_EQ(
         back->findVariable(back->findByName("h"), power)->valueAt(2.0),
         1.0);

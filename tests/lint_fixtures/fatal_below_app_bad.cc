@@ -1,0 +1,10 @@
+// Fixture: fatal()/panic() in library code must be flagged.
+#include "support/logging.hh"
+
+void
+loadThing(bool ok)
+{
+    if (!ok)
+        viva::support::fatal("loadThing", "cannot open file");
+    viva::support::panic("loadThing", "unreachable");
+}

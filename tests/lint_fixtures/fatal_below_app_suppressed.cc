@@ -1,0 +1,9 @@
+// Fixture: an allow() comment silences no-fatal-below-app.
+#include "support/logging.hh"
+
+void
+boundaryHelper(bool ok)
+{
+    if (!ok)
+        viva::support::fatal("helper", "die");  // viva-lint: allow(no-fatal-below-app)
+}

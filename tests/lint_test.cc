@@ -250,6 +250,48 @@ TEST(LintAssertSideEffect, AppliesEverywhereIncludingTests)
     EXPECT_EQ(countRule(findings, "assert-side-effect"), 3u);
 }
 
+// --- no-fatal-below-app ---------------------------------------------------------
+
+TEST(LintNoFatalBelowApp, FiresInLibraryCode)
+{
+    auto findings =
+        lintAs("src/trace/fixture.cc", "fatal_below_app_bad.cc");
+    EXPECT_EQ(countRule(findings, "no-fatal-below-app"), 2u);
+}
+
+TEST(LintNoFatalBelowApp, AppLayerIsExempt)
+{
+    auto findings =
+        lintAs("src/app/fixture.cc", "fatal_below_app_bad.cc");
+    EXPECT_EQ(countRule(findings, "no-fatal-below-app"), 0u);
+}
+
+TEST(LintNoFatalBelowApp, LoggingAndInvariantMachineryAreExempt)
+{
+    EXPECT_EQ(countRule(lintAs("src/support/logging.cc",
+                               "fatal_below_app_bad.cc"),
+                        "no-fatal-below-app"),
+              0u);
+    EXPECT_EQ(countRule(lintAs("src/support/invariant.hh",
+                               "fatal_below_app_bad.cc"),
+                        "no-fatal-below-app"),
+              0u);
+}
+
+TEST(LintNoFatalBelowApp, OutOfScopeOutsideSrc)
+{
+    auto findings =
+        lintAs("tests/fixture.cc", "fatal_below_app_bad.cc");
+    EXPECT_EQ(countRule(findings, "no-fatal-below-app"), 0u);
+}
+
+TEST(LintNoFatalBelowApp, SuppressedByTrailingAllow)
+{
+    auto findings = lintAs("src/trace/fixture.cc",
+                           "fatal_below_app_suppressed.cc");
+    EXPECT_EQ(countRule(findings, "no-fatal-below-app"), 0u);
+}
+
 // --- engine details -------------------------------------------------------------
 
 TEST(LintEngine, StripPreservesLineStructure)

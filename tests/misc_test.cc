@@ -163,9 +163,8 @@ TEST(PajeEdge, DestroyContainerAccepted)
                        "3 0 h H 0 \"h\"\n"
                        "4 5 H h\n";
     std::istringstream in(text);
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     EXPECT_NE(result->trace.findByName("h"), vt::kNoContainer);
 }
 

@@ -99,9 +99,8 @@ const char *kClassicTrace = R"(
 TEST(Paje, ClassicTraceParses)
 {
     std::istringstream in(kClassicTrace);
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     const vt::Trace &t = result->trace;
 
     // Hierarchy and kinds.
@@ -177,9 +176,8 @@ TEST(Paje, PushPopNesting)
 6 8 S h
 )";
     std::istringstream in(header);
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     const vt::Trace &t = result->trace;
 
     // run [0,2), io [2,3), run resumes [3,8).
@@ -197,9 +195,10 @@ TEST(Paje, PushPopNesting)
 TEST(Paje, UnknownEventIdFails)
 {
     std::istringstream in("42 foo bar\n");
-    std::string error;
-    EXPECT_FALSE(vt::readPajeTrace(in, error).has_value());
-    EXPECT_NE(error.find("unknown event id"), std::string::npos);
+    auto result = vt::readPajeTrace(in);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_NE(result.error().toString().find("unknown event id"),
+              std::string::npos);
 }
 
 TEST(Paje, UnterminatedQuoteFails)
@@ -210,16 +209,16 @@ TEST(Paje, UnterminatedQuoteFails)
                        "%EndEventDef\n"
                        "3 0 a T 0 \"oops\n";
     std::istringstream in(text);
-    std::string error;
-    EXPECT_FALSE(vt::readPajeTrace(in, error).has_value());
-    EXPECT_NE(error.find("quote"), std::string::npos);
+    auto result = vt::readPajeTrace(in);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_NE(result.error().toString().find("quote"),
+              std::string::npos);
 }
 
 TEST(Paje, UnterminatedEventDefFails)
 {
     std::istringstream in("%EventDef PajeSetVariable 4\n%  Time date\n");
-    std::string error;
-    EXPECT_FALSE(vt::readPajeTrace(in, error).has_value());
+    EXPECT_FALSE(vt::readPajeTrace(in).has_value());
 }
 
 TEST(Paje, UnknownEventKindSkippedWithWarning)
@@ -229,9 +228,8 @@ TEST(Paje, UnknownEventKindSkippedWithWarning)
                        "%EndEventDef\n"
                        "9 1.5\n";
     std::istringstream in(text);
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     EXPECT_EQ(result->eventCount, 0u);
     ASSERT_EQ(result->warnings.size(), 1u);
     EXPECT_NE(result->warnings[0].find("PajeExoticEvent"),
@@ -250,9 +248,8 @@ TEST(Paje, VariableOnUnknownContainerWarns)
                        "1 P 0 \"power\"\n"
                        "4 0 P nosuch 1\n";
     std::istringstream in(text);
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     EXPECT_FALSE(result->warnings.empty());
 }
 
@@ -266,9 +263,8 @@ TEST(Paje, WriterRoundTripsFigure1)
     vt::writePajeTrace(original, out);
 
     std::istringstream in(out.str());
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     const vt::Trace &back = result->trace;
 
     EXPECT_EQ(back.containerCount(), original.containerCount());
@@ -297,9 +293,8 @@ TEST(Paje, WriterRoundTripsPlatformMirror)
     std::ostringstream out;
     vt::writePajeTrace(original, out);
     std::istringstream in(out.str());
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     const vt::Trace &back = result->trace;
 
     EXPECT_EQ(back.containerCount(), original.containerCount());
@@ -325,9 +320,8 @@ TEST(Paje, NamesWithSpacesSurviveRoundTrip)
     std::ostringstream out;
     vt::writePajeTrace(original, out);
     std::istringstream in(out.str());
-    std::string error;
-    auto result = vt::readPajeTrace(in, error);
-    ASSERT_TRUE(result.has_value()) << error;
+        auto result = vt::readPajeTrace(in);
+    ASSERT_TRUE(result.has_value()) << result.error().toString();
     EXPECT_NE(result->trace.findByName("my weird host"),
               vt::kNoContainer);
 }

@@ -49,22 +49,24 @@ TEST(SessionSave, NativeRoundTrip)
 {
     vap::Session session(vt::makeFigure1Trace());
     std::string path = tempDir() + "/fig1.viva";
-    session.saveTrace(path);
+    ASSERT_TRUE(session.saveTrace(path).ok());
 
-    vt::Trace back = vt::readTraceFile(path);
-    EXPECT_EQ(back.containerCount(),
+    auto back = vt::readTraceFile(path);
+    ASSERT_TRUE(back.ok()) << back.error().toString();
+    EXPECT_EQ(back->containerCount(),
               session.trace().containerCount());
-    EXPECT_EQ(back.pointCount(), session.trace().pointCount());
+    EXPECT_EQ(back->pointCount(), session.trace().pointCount());
 }
 
 TEST(SessionSave, PajeByExtension)
 {
     vap::Session session(vt::makeFigure1Trace());
     std::string path = tempDir() + "/fig1.paje";
-    session.saveTrace(path);
+    ASSERT_TRUE(session.saveTrace(path).ok());
 
-    vt::PajeImport back = vt::readPajeTraceFile(path);
-    EXPECT_EQ(back.trace.containerCount(),
+    auto back = vt::readPajeTraceFile(path);
+    ASSERT_TRUE(back.ok()) << back.error().toString();
+    EXPECT_EQ(back->trace.containerCount(),
               session.trace().containerCount());
 }
 

@@ -323,9 +323,8 @@ TEST(TraceIo, RoundTrip)
     vt::writeTrace(t, out);
 
     std::istringstream in(out.str());
-    std::string error;
-    auto back = vt::readTrace(in, error);
-    ASSERT_TRUE(back.has_value()) << error;
+        auto back = vt::readTrace(in);
+    ASSERT_TRUE(back.has_value()) << back.error().toString();
 
     EXPECT_EQ(back->containerCount(), t.containerCount());
     EXPECT_EQ(back->metricCount(), t.metricCount());
@@ -351,9 +350,8 @@ TEST(TraceIo, NamesWithSpacesSurvive)
     std::ostringstream out;
     vt::writeTrace(t, out);
     std::istringstream in(out.str());
-    std::string error;
-    auto back = vt::readTrace(in, error);
-    ASSERT_TRUE(back.has_value()) << error;
+        auto back = vt::readTrace(in);
+    ASSERT_TRUE(back.has_value()) << back.error().toString();
     EXPECT_NE(back->findByPath("my host 1"), vt::kNoContainer);
     EXPECT_NE(back->findMetric("power used now"), vt::kNoMetric);
     EXPECT_EQ(back->states()[0].state, "waiting for data");
@@ -362,40 +360,39 @@ TEST(TraceIo, NamesWithSpacesSurvive)
 TEST(TraceIo, RejectsMissingHeader)
 {
     std::istringstream in("container 1 - host h\n");
-    std::string error;
-    EXPECT_FALSE(vt::readTrace(in, error).has_value());
-    EXPECT_NE(error.find("header"), std::string::npos);
+    auto result = vt::readTrace(in);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_NE(result.error().toString().find("header"),
+              std::string::npos);
 }
 
 TEST(TraceIo, RejectsBadParent)
 {
     std::istringstream in("viva-trace 1\ncontainer 1 99 host h\n");
-    std::string error;
-    EXPECT_FALSE(vt::readTrace(in, error).has_value());
-    EXPECT_NE(error.find("parent"), std::string::npos);
+    auto result = vt::readTrace(in);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_NE(result.error().toString().find("parent"),
+              std::string::npos);
 }
 
 TEST(TraceIo, RejectsUnknownVerb)
 {
     std::istringstream in("viva-trace 1\nfrobnicate 1 2\n");
-    std::string error;
-    EXPECT_FALSE(vt::readTrace(in, error).has_value());
+        EXPECT_FALSE(vt::readTrace(in).has_value());
 }
 
 TEST(TraceIo, RejectsPointWithUnknownIds)
 {
     std::istringstream in("viva-trace 1\np 5 0 0 1\n");
-    std::string error;
-    EXPECT_FALSE(vt::readTrace(in, error).has_value());
+    EXPECT_FALSE(vt::readTrace(in).has_value());
 }
 
 TEST(TraceIo, SkipsCommentsAndBlankLines)
 {
     std::istringstream in(
         "viva-trace 1\n\n# a comment\ncontainer 1 - host h\n");
-    std::string error;
-    auto t = vt::readTrace(in, error);
-    ASSERT_TRUE(t.has_value()) << error;
+        auto t = vt::readTrace(in);
+    ASSERT_TRUE(t.has_value()) << t.error().toString();
     EXPECT_EQ(t->containerCount(), 2u);
 }
 

@@ -712,6 +712,7 @@ runLint(const std::vector<FileInput> &files)
     static const std::regex floatRe(R"(\bfloat\b)");
     static const std::regex wallClockRe(
         R"(\bsystem_clock\b|\bgettimeofday\b|\btime\s*\(|\blocaltime\b|\bgmtime\b|\bctime\b)");
+    static const std::regex fatalRe(R"(\b(?:fatal|panic)\s*\()");
 
     std::vector<Finding> out;
     for (std::size_t i = 0; i < files.size(); ++i) {
@@ -745,6 +746,11 @@ runLint(const std::vector<FileInput> &files)
         if (active("wall-clock"))
             checkPattern(file, stripped, wallClockRe, "wall-clock",
                          "wall-clock read in a deterministic code path",
+                         sup, out);
+        if (active("no-fatal-below-app"))
+            checkPattern(file, stripped, fatalRe, "no-fatal-below-app",
+                         "fatal()/panic() below the app layer; return "
+                         "support::Expected instead",
                          sup, out);
         if (active("narrowing"))
             checkNarrowing(file, stripped, sup, out);

@@ -128,6 +128,17 @@ ruleTable()
             false,
         },
         {
+            "no-fatal-below-app",
+            "fatal()/panic() below the app layer: library code must "
+            "return support::Expected so one corrupt input cannot kill "
+            "an interactive session; process exit is reserved for "
+            "src/app and CLI mains (the logging and invariant machinery "
+            "that implements panic itself is exempt)",
+            {"src/"},
+            {"src/app/", "src/support/logging.", "src/support/invariant."},
+            false,
+        },
+        {
             "assert-side-effect",
             "side effect inside assert()/VIVA_AUDIT(): the expression "
             "vanishes in NDEBUG/no-audit builds, so mutation inside it "
