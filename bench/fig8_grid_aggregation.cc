@@ -18,11 +18,11 @@
  */
 
 #include <algorithm>
-#include <chrono>
 #include <filesystem>
 
 #include "grid_common.hh"
 #include "layout/metrics.hh"
+#include "support/clock.hh"
 
 int
 main()
@@ -49,12 +49,11 @@ main()
             session.resetAggregation();
         else
             session.aggregateToDepth(std::uint16_t(level.depth));
-        auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t t0 = viva::support::clock().nowNanos();
         std::size_t iters =
             session.stabilizeLayout(level.depth < 0 ? 120 : 300);
-        auto t1 = std::chrono::steady_clock::now();
-        double ms = std::chrono::duration<double, std::milli>(t1 - t0)
-                        .count();
+        std::uint64_t t1 = viva::support::clock().nowNanos();
+        double ms = double(t1 - t0) / 1e6;
         std::printf("%-10s %8zu %8zu %12.1f %12zu\n", level.name,
                     session.cut().visibleCount(),
                     session.layoutGraph().edgeCount(), ms, iters);

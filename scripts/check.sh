@@ -16,6 +16,11 @@
 #              memory errors and UB
 #   lint       the viva-lint source scan alone (cheap; runs inside every
 #              stage's ctest as well)
+#   obs        RelWithDebInfo, -fsanitize=thread; only the observability
+#              suites (registry fold, FakeClock phases, the stats
+#              golden, perfdiff, fault counters), so the lock-free
+#              per-thread shards are proven race-free where they are
+#              hammered hardest
 #   analyze    semantic static analysis: the viva-deps layering check
 #              (always), plus clang-tidy over compile_commands.json and
 #              a clang -Wthread-safety build of the library -- both
@@ -31,7 +36,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
-STAGES="${*:-release validate tsan asan fault lint analyze}"
+STAGES="${*:-release validate tsan asan fault lint obs analyze}"
 
 configure_flags() {
     case "$1" in
@@ -41,7 +46,7 @@ configure_flags() {
     validate)
         echo "-DCMAKE_BUILD_TYPE=Debug -DVIVA_VALIDATE=ON -DVIVA_WERROR=ON"
         ;;
-    tsan)
+    tsan|obs)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=thread"
         ;;
     asan|fault)
@@ -52,7 +57,7 @@ configure_flags() {
         ;;
     *)
         echo "check.sh: unknown stage '$1'" >&2
-        echo "usage: $0 [release|validate|tsan|asan|fault|lint|analyze ...]" >&2
+        echo "usage: $0 [release|validate|tsan|asan|fault|lint|obs|analyze ...]" >&2
         exit 2
         ;;
     esac
@@ -77,6 +82,12 @@ run_stage() {
             --target fault_test io_error_test corpus_test || return 1
         ctest --test-dir "$BUILD" --output-on-failure \
             -R 'Fault|WarnLimited|InjectionPoints|ParseBudget|SessionFault|ReadTraceErrors|ReadPajeErrors|Corpus|^Error\.|^Expected\.' \
+            || return 1
+    elif [ "$stage" = obs ]; then
+        cmake --build "$BUILD" -j --target obs_test obs_golden_test \
+            perfdiff_test fault_test obs_export viva-perfdiff || return 1
+        ctest --test-dir "$BUILD" --output-on-failure \
+            -R 'Obs|Clock|ScopedPhase|StatsCommand|PerfDiff|perfdiff' \
             || return 1
     elif [ "$stage" = analyze ]; then
         cmake --build "$BUILD" -j --target viva-deps deps_test || return 1

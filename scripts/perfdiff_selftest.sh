@@ -1,0 +1,44 @@
+#!/bin/sh
+# End-to-end selftest for the perf-regression harness.
+#
+#   perfdiff_selftest.sh <obs_export> <viva-perfdiff> <workdir>
+#
+# 1. Two fake-clock single-thread exports must be byte-identical and
+#    compare clean (exit 0).
+# 2. A --slow-factor 4 export must be flagged as a regression (exit 1).
+set -eu
+
+OBS_EXPORT=$1
+PERFDIFF=$2
+WORKDIR=$3
+
+mkdir -p "$WORKDIR"
+cd "$WORKDIR"
+
+echo "== deterministic exports =="
+"$OBS_EXPORT" --fake-clock --threads 1 --scale 4 --out baseline.json
+"$OBS_EXPORT" --fake-clock --threads 1 --scale 4 --out repeat.json
+
+if ! cmp -s baseline.json repeat.json; then
+    echo "FAIL: two fake-clock exports differ byte for byte" >&2
+    diff baseline.json repeat.json >&2 || true
+    exit 1
+fi
+echo "exports are byte-identical"
+
+# Fake-clock exports are noise-free, so the noise floor is disabled
+# (--min-ns 0): every phase participates in the comparison.
+echo "== clean comparison must pass =="
+"$PERFDIFF" --min-ns 0 baseline.json repeat.json
+
+echo "== synthetic regression must be flagged =="
+"$OBS_EXPORT" --fake-clock --threads 1 --scale 4 --slow-factor 4 \
+    --out slow.json
+status=0
+"$PERFDIFF" --min-ns 0 baseline.json slow.json || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: expected exit 1 for a regression, got $status" >&2
+    exit 1
+fi
+
+echo "perfdiff selftest PASS"

@@ -10,11 +10,14 @@
 #include <unordered_map>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 #include "support/threadpool.hh"
 
 namespace viva::agg
 {
+
+namespace obs = support::obs;
 
 using trace::ContainerId;
 using trace::MetricId;
@@ -86,6 +89,14 @@ double
 Aggregator::value(ContainerId node, MetricId m, const TimeSlice &slice,
                   SpatialOp op, TemporalOp top) const
 {
+    // Counted but deliberately not timed: one Eq.-1 fold can be a few
+    // hundred nanoseconds and runs inside parallel workers, so a timer
+    // here would dominate the quantity being measured. buildView()
+    // times the enclosing pass instead.
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::CounterId values = reg.counter("agg.values");
+    reg.add(values);
+
     // Every container in the subtree that carries the variable
     // contributes -- not just leaves, since traces may attach
     // measurements at any level (hosts with process children, say).
@@ -201,6 +212,10 @@ buildView(const trace::Trace &trace, const HierarchyCut &cut,
           const std::vector<MetricRequest> &requests, bool with_stats,
           std::size_t threads)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("agg.build_view");
+    obs::ScopedPhase timer(phase);
+
     View view;
     view.slice = slice;
     view.requests = requests;

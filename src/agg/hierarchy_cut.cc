@@ -6,9 +6,12 @@
 #include "agg/hierarchy_cut.hh"
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace viva::agg
 {
+
+namespace obs = support::obs;
 
 using trace::ContainerId;
 
@@ -120,6 +123,13 @@ HierarchyCut::representative(ContainerId id) const
 std::vector<ContainerId>
 HierarchyCut::visibleNodes() const
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("cut.recompute");
+    static const obs::CounterId recomputations =
+        reg.counter("cut.recomputations");
+    obs::ScopedPhase timer(phase);
+    reg.add(recomputations);
+
     std::vector<ContainerId> out;
     std::vector<ContainerId> stack{tr->root()};
     while (!stack.empty()) {

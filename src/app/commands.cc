@@ -8,6 +8,7 @@
 #include <istream>
 #include <ostream>
 
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace viva::app
@@ -323,6 +324,24 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
         out << sess.renderAscii();
         return true;
     }
+    if (cmd == "stats") {
+        if (argc >= 1 && args[1] == "--json") {
+            support::obs::writeJson(sess.observability(), out);
+            return true;
+        }
+        if (argc >= 1 && args[1] == "reset") {
+            support::obs::Registry::global().reset();
+            out << "stats reset\n";
+            return true;
+        }
+        if (argc >= 1) {
+            out << "error: unknown stats option '" << args[1]
+                << "' (try 'stats', 'stats --json' or 'stats reset')\n";
+            return false;
+        }
+        support::obs::writeTable(sess.observability(), out);
+        return true;
+    }
     if (cmd == "info") {
         support::Interval s = sess.span();
         out << "span [" << s.begin << ", " << s.end << ") slice ["
@@ -348,7 +367,7 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
         out << "commands: slice slice-of aggregate disaggregate depth "
                "focus reset charge spring damping scale set stabilize move "
                "pin unpin render treemap gantt chart anomalies export-csv "
-               "load save ascii info nodes status help\n";
+               "load save ascii info nodes status stats help\n";
         return true;
     }
 

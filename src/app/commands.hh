@@ -31,6 +31,7 @@
  *   ascii                      print the current scene as text
  *   info                       one-line summary of the session state
  *   status                     multi-line session state incl. threads
+ *   stats [--json|reset]       observability counters and phase timings
  *   nodes                      list visible nodes with values
  *   help                       list commands
  *   # ...                      comment (ignored)

@@ -14,6 +14,7 @@
 #include "agg/anomaly.hh"
 #include "layout/metrics.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/threadpool.hh"
 #include "viz/ascii.hh"
 #include "viz/chart.hh"
@@ -26,6 +27,8 @@
 
 namespace viva::app
 {
+
+namespace obs = support::obs;
 
 using trace::ContainerId;
 
@@ -58,6 +61,13 @@ Session::Session(trace::Trace trace_in)
 support::Expected<void>
 Session::load(const std::string &path, const trace::ParseBudget &budget)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("session.load");
+    static const obs::CounterId loads = reg.counter("session.loads");
+    static const obs::CounterId errors =
+        reg.counter("session.load.errors");
+    obs::ScopedPhase timer(phase);
+
     // --- stage ------------------------------------------------------------
     // Everything fallible runs on locals; no member is touched until
     // the whole file has parsed, so failure leaves the session intact.
@@ -66,17 +76,22 @@ Session::load(const std::string &path, const trace::ParseBudget &budget)
     if (support::endsWith(path, ".paje")) {
         support::Expected<trace::PajeImport> import =
             trace::readPajeTraceFile(path, budget);
-        if (!import)
+        if (!import) {
+            reg.add(errors);
             return VIVA_ERROR_CONTEXT(import.error(), "Session::load");
+        }
         staged = std::move(import->trace);
         import_warnings = std::move(import->warnings);
     } else {
         support::Expected<trace::Trace> loaded =
             trace::readTraceFile(path, budget);
-        if (!loaded)
+        if (!loaded) {
+            reg.add(errors);
             return VIVA_ERROR_CONTEXT(loaded.error(), "Session::load");
+        }
         staged = std::move(*loaded);
     }
+    reg.add(loads);
 
     // --- swap -------------------------------------------------------------
     // Infallible from here: rebuild every member in place, in the same
@@ -322,6 +337,14 @@ Session::syncLayout()
         double strength = 1.0 + std::log2(double(e.multiplicity));
         graph.addEdge(a, b, strength);
     }
+
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::GaugeId visible_nodes =
+        reg.gauge("session.visible_nodes");
+    static const obs::GaugeId layout_edges =
+        reg.gauge("session.layout_edges");
+    reg.set(visible_nodes, std::int64_t(graph.nodeCount()));
+    reg.set(layout_edges, std::int64_t(graph.edgeCount()));
 }
 
 std::size_t
@@ -395,6 +418,11 @@ Session::scene(const viz::SceneOptions &options, bool with_stats)
 support::Expected<void>
 Session::renderSvg(const std::string &path, const std::string &title)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("session.render");
+    obs::ScopedPhase timer(phase);
+
     viz::SvgOptions options;
     options.title = title;
     return viz::writeSvgFile(scene(), path, options);
@@ -566,6 +594,13 @@ support::Expected<std::size_t>
 Session::animate(std::size_t frames, const std::string &dir,
                  const std::string &prefix, std::size_t iters_per_frame)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("session.animate");
+    static const obs::CounterId frame_count =
+        reg.counter("session.frames");
+    obs::ScopedPhase timer(phase);
+
     if (frames == 0)
         return VIVA_ERROR(support::Errc::Invalid,
                           "need at least one frame");
@@ -588,6 +623,7 @@ Session::animate(std::size_t frames, const std::string &dir,
         if (!drawn)
             return VIVA_ERROR_CONTEXT(drawn.error(), "animate frame ",
                                       f);
+        reg.add(frame_count);
     }
     return frames;
 }

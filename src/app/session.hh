@@ -25,6 +25,7 @@
 #include "layout/force.hh"
 #include "layout/graph.hh"
 #include "support/error.hh"
+#include "support/obs.hh"
 #include "trace/io.hh"
 #include "trace/trace.hh"
 #include "viz/mapping.hh"
@@ -250,6 +251,21 @@ class Session
         std::size_t frames, const std::string &dir,
         const std::string &prefix = "frame",
         std::size_t iters_per_frame = 60);
+
+    // --- observability ----------------------------------------------------
+
+    /**
+     * A deterministic snapshot of the process-wide metrics registry:
+     * every counter, gauge and phase histogram the hot paths have
+     * recorded so far, sorted by name. The `stats` command renders
+     * exactly this. Note the registry is process-wide, so the snapshot
+     * spans every session in the process (there is normally one).
+     */
+    support::obs::StatsSnapshot
+    observability() const
+    {
+        return support::obs::Registry::global().snapshot();
+    }
 
     // --- auditing ---------------------------------------------------------
 

@@ -11,10 +11,13 @@
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/threadpool.hh"
 
 namespace viva::layout
 {
+
+namespace obs = support::obs;
 
 ForceLayout::ForceLayout(LayoutGraph &graph, ForceParams params)
     : g(graph), prm(params)
@@ -24,6 +27,17 @@ ForceLayout::ForceLayout(LayoutGraph &graph, ForceParams params)
 double
 ForceLayout::step(double timestep_scale)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId step_phase =
+        reg.histogram("layout.force.step");
+    static const obs::HistogramId chunk_phase =
+        reg.histogram("layout.force.chunk");
+    static const obs::CounterId iterations =
+        reg.counter("layout.force.iterations");
+    static const obs::CounterId quarantine =
+        reg.counter("layout.quarantine");
+    obs::ScopedPhase step_timer(step_phase);
+
     const double dt = prm.timestep * timestep_scale;
     std::vector<Node> &nodes = g.mutableNodes();
     std::vector<Vec2> force(nodes.size());
@@ -34,8 +48,11 @@ ForceLayout::step(double timestep_scale)
     const std::size_t threads =
         prm.threads ? prm.threads : support::defaultThreadCount();
     support::ThreadPool &pool = support::ThreadPool::global();
-    const std::size_t grain = std::max<std::size_t>(
-        32, nodes.size() / std::max<std::size_t>(threads * 8, 1));
+    // The grain is a pure function of the node count -- NOT the thread
+    // count -- so the number of chunks (and therefore the per-chunk
+    // histogram's count) is identical however many workers run them.
+    const std::size_t grain =
+        std::max<std::size_t>(32, nodes.size() / 64);
 
     // --- repulsion ------------------------------------------------------
     if (prm.useBarnesHut && g.nodeCount() > 1) {
@@ -57,6 +74,7 @@ ForceLayout::step(double timestep_scale)
         pool.parallelFor(
             0, nodes.size(), grain, threads,
             [&](std::size_t clo, std::size_t chi) {
+                obs::ScopedPhase chunk_timer(chunk_phase);
                 for (std::size_t i = clo; i < chi; ++i) {
                     const Node &n = nodes[i];
                     if (!n.alive)
@@ -72,6 +90,7 @@ ForceLayout::step(double timestep_scale)
         pool.parallelFor(
             0, nodes.size(), grain, threads,
             [&](std::size_t clo, std::size_t chi) {
+                obs::ScopedPhase chunk_timer(chunk_phase);
                 for (std::size_t i = clo; i < chi; ++i) {
                     const Node &a = nodes[i];
                     if (!a.alive)
@@ -139,6 +158,7 @@ ForceLayout::step(double timestep_scale)
             !std::isfinite(pos.x) || !std::isfinite(pos.y)) {
             n.velocity = Vec2{0.0, 0.0};
             ++quarantined;
+            reg.add(quarantine);
             support::warnLimited(
                 "layout.nonfinite", "ForceLayout::step",
                 "non-finite update for node ", n.id.index(),
@@ -150,6 +170,7 @@ ForceLayout::step(double timestep_scale)
         energy += n.velocity.norm2();
     }
     ++iters;
+    reg.add(iterations);
     if constexpr (support::validateEnabled())
         support::requireClean(auditFinitePositions(g),
                               "ForceLayout::step: ");

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace viva::support
 {
@@ -117,6 +118,10 @@ FaultInjector::shouldFail(const std::string &point)
     if (coin >= state.spec.probability)
         return false;
     ++state.fires;
+    // Firing is rare and already serialised by `mu`; registering the
+    // name on every fire is a map lookup, not a hot-path cost.
+    obs::Registry &reg = obs::Registry::global();
+    reg.add(reg.counter("fault.fired." + point));
     return true;
 }
 

@@ -5,12 +5,12 @@
 
 #include "support/logging.hh"
 
-#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <mutex>
+
+#include "support/obs.hh"
 
 namespace viva::support
 {
@@ -21,19 +21,26 @@ namespace
 std::atomic<std::size_t> warnings{0};
 std::atomic<bool> quiet{false};
 
-/** Per-key emit/suppress bookkeeping for warnLimited(). */
-struct KeyCounters
-{
-    std::size_t seen = 0;
-};
-
+/**
+ * warnLimited() bookkeeping lives in the observability registry as two
+ * counters per key -- `log.warn.emitted.<key>` and
+ * `log.warn.suppressed.<key>` -- so suppression is visible in `stats`
+ * like any other metric. limit_mu serialises the read-modify-write in
+ * admitWarn() so the limit and the single boundary notice stay exact.
+ */
 std::mutex limit_mu;
 std::size_t warn_limit = 5;
-std::map<std::string, KeyCounters> &
-keyCounters()
+
+obs::CounterId
+emittedCounter(const std::string &key)
 {
-    static std::map<std::string, KeyCounters> counters;
-    return counters;
+    return obs::Registry::global().counter("log.warn.emitted." + key);
+}
+
+obs::CounterId
+suppressedCounter(const std::string &key)
+{
+    return obs::Registry::global().counter("log.warn.suppressed." + key);
 }
 
 const char *
@@ -91,29 +98,23 @@ setWarnLimit(std::size_t per_key)
 std::size_t
 warnSuppressedCount(const std::string &key)
 {
-    std::lock_guard<std::mutex> lock(limit_mu);
-    auto it = keyCounters().find(key);
-    if (it == keyCounters().end())
-        return 0;
-    return it->second.seen > warn_limit ? it->second.seen - warn_limit
-                                        : 0;
+    obs::Registry &reg = obs::Registry::global();
+    return static_cast<std::size_t>(
+        reg.counterValue(suppressedCounter(key)));
 }
 
 std::size_t
 warnEmittedCount(const std::string &key)
 {
-    std::lock_guard<std::mutex> lock(limit_mu);
-    auto it = keyCounters().find(key);
-    if (it == keyCounters().end())
-        return 0;
-    return std::min(it->second.seen, warn_limit);
+    obs::Registry &reg = obs::Registry::global();
+    return static_cast<std::size_t>(
+        reg.counterValue(emittedCounter(key)));
 }
 
 void
 resetWarnLimits()
 {
-    std::lock_guard<std::mutex> lock(limit_mu);
-    keyCounters().clear();
+    obs::Registry::global().reset("log.warn.");
 }
 
 namespace detail
@@ -122,22 +123,29 @@ namespace detail
 bool
 admitWarn(const std::string &key)
 {
-    std::size_t seen;
-    std::size_t limit;
+    obs::Registry &reg = obs::Registry::global();
+    bool emit;
+    bool boundary = false;
     {
         std::lock_guard<std::mutex> lock(limit_mu);
-        seen = ++keyCounters()[key].seen;
-        limit = warn_limit;
+        obs::CounterId emitted = emittedCounter(key);
+        if (reg.counterValue(emitted) < warn_limit) {
+            reg.add(emitted);
+            emit = true;
+        } else {
+            obs::CounterId suppressed = suppressedCounter(key);
+            reg.add(suppressed);
+            boundary = reg.counterValue(suppressed) == 1;
+            emit = false;
+        }
     }
-    if (seen <= limit)
-        return true;
-    if (seen == limit + 1) {
+    if (boundary) {
         // The one boundary notice; everything past it is only counted.
         logMessage(LogLevel::Warn, key,
                    "further warnings with this key suppressed "
                    "(see warnSuppressedCount)");
     }
-    return false;
+    return emit;
 }
 
 } // namespace detail

@@ -12,10 +12,13 @@
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace viva::trace
 {
+
+namespace obs = support::obs;
 
 using support::Errc;
 using support::formatDouble;
@@ -27,6 +30,12 @@ using support::trim;
 void
 writeTrace(const Trace &trace, std::ostream &out)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("trace.write");
+    static const obs::CounterId records = reg.counter("trace.write.records");
+    obs::ScopedPhase timer(phase);
+    std::uint64_t written = 0;
+
     out << "viva-trace 1\n";
 
     for (ContainerId id{1}; id.index() < trace.containerCount(); ++id) {
@@ -61,6 +70,7 @@ writeTrace(const Trace &trace, std::ostream &out)
             for (const Variable::Point &p : var->changePoints()) {
                 out << "p " << c << ' ' << m << ' ' << formatDouble(p.time)
                     << ' ' << formatDouble(p.value) << '\n';
+                ++written;
             }
         }
     }
@@ -68,20 +78,32 @@ writeTrace(const Trace &trace, std::ostream &out)
     for (const Trace::StateRecord &s : trace.states()) {
         out << "state " << s.container << ' ' << formatDouble(s.begin)
             << ' ' << formatDouble(s.end) << ' ' << s.state << '\n';
+        ++written;
     }
+
+    written += trace.containerCount() - 1 + trace.metricCount() +
+               trace.relations().size();
+    reg.add(records, written);
 }
 
 support::Expected<void>
 writeTraceFile(const Trace &trace, const std::string &path)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::CounterId errors = reg.counter("trace.write.errors");
+
     std::ofstream out(path);
-    if (!out)
+    if (!out) {
+        reg.add(errors);
         return VIVA_ERROR(Errc::Io, "cannot open '", path,
                           "' for writing");
+    }
     writeTrace(trace, out);
     out.flush();
-    if (!out || support::faultAt("trace.write.stream"))
+    if (!out || support::faultAt("trace.write.stream")) {
+        reg.add(errors);
         return VIVA_ERROR(Errc::Io, "write failed for '", path, "'");
+    }
     return {};
 }
 
@@ -120,9 +142,17 @@ splitFields(const std::string &line, std::size_t n,
 support::Expected<Trace>
 readTrace(std::istream &in, const ParseBudget &budget)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("trace.read");
+    static const obs::CounterId record_count =
+        reg.counter("trace.read.records");
+    static const obs::CounterId errors = reg.counter("trace.read.errors");
+    obs::ScopedPhase timer(phase);
+
     std::size_t line_no = 0;
     auto fail = [&](Errc code,
                     const std::string &msg) -> support::Error {
+        reg.add(errors);
         std::ostringstream os;
         os << "line " << line_no << ": " << msg;
         return VIVA_ERROR(code, os.str());
@@ -264,6 +294,8 @@ readTrace(std::istream &in, const ParseBudget &budget)
 
     if (in.bad())
         return fail(Errc::Io, "stream read failure");
+    reg.add(record_count, records + trace.containerCount() - 1 +
+                              trace.metricCount());
     return trace;
 }
 

@@ -24,10 +24,13 @@
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace viva::trace
 {
+
+namespace obs = support::obs;
 
 using support::Errc;
 using support::formatDouble;
@@ -135,9 +138,15 @@ struct OpenState
 support::Expected<PajeImport>
 readPajeTrace(std::istream &in, const ParseBudget &budget)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("paje.read");
+    static const obs::CounterId errors = reg.counter("paje.read.errors");
+    obs::ScopedPhase timer(phase);
+
     std::size_t line_no = 0;
     auto fail = [&](Errc code,
                     const std::string &msg) -> support::Error {
+        reg.add(errors);
         std::ostringstream os;
         os << "line " << line_no << ": " << msg;
         return VIVA_ERROR(code, os.str());
@@ -469,6 +478,10 @@ quoted(const std::string &s)
 void
 writePajeTrace(const Trace &trace, std::ostream &out)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("paje.write");
+    obs::ScopedPhase timer(phase);
+
     // --- the canonical header -----------------------------------------------
     out << "%EventDef PajeDefineContainerType 0\n"
            "%  Alias string\n%  Type string\n%  Name string\n"
@@ -593,14 +606,21 @@ writePajeTrace(const Trace &trace, std::ostream &out)
 support::Expected<void>
 writePajeTraceFile(const Trace &trace, const std::string &path)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::CounterId errors = reg.counter("trace.write.errors");
+
     std::ofstream out(path);
-    if (!out)
+    if (!out) {
+        reg.add(errors);
         return VIVA_ERROR(Errc::Io, "cannot open '", path,
                           "' for writing");
+    }
     writePajeTrace(trace, out);
     out.flush();
-    if (!out || support::faultAt("trace.write.stream"))
+    if (!out || support::faultAt("trace.write.stream")) {
+        reg.add(errors);
         return VIVA_ERROR(Errc::Io, "write failed for '", path, "'");
+    }
     return {};
 }
 

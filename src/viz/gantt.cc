@@ -12,10 +12,13 @@
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace viva::viz
 {
+
+namespace obs = support::obs;
 
 using support::formatDouble;
 using support::xmlEscape;
@@ -138,15 +141,25 @@ support::Expected<void>
 writeGanttSvgFile(const GanttChart &chart, const std::string &path,
                   const GanttSvgOptions &options)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("viz.gantt.write");
+    static const obs::CounterId errors = reg.counter("viz.write.errors");
+    obs::ScopedPhase timer(phase);
+
     std::ofstream out(path);
-    if (!out)
+    if (!out) {
+        reg.add(errors);
         return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
                           "' for writing");
+    }
     writeGanttSvg(chart, out, options);
     out.flush();
-    if (!out || support::faultAt("viz.write.stream"))
+    if (!out || support::faultAt("viz.write.stream")) {
+        reg.add(errors);
         return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
                           "'");
+    }
     return {};
 }
 

@@ -11,10 +11,13 @@
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace viva::viz
 {
+
+namespace obs = support::obs;
 
 namespace
 {
@@ -207,15 +210,24 @@ support::Expected<void>
 writeSvgFile(const Scene &scene, const std::string &path,
              const SvgOptions &options)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase = reg.histogram("viz.svg.write");
+    static const obs::CounterId errors = reg.counter("viz.write.errors");
+    obs::ScopedPhase timer(phase);
+
     std::ofstream out(path);
-    if (!out)
+    if (!out) {
+        reg.add(errors);
         return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
                           "' for writing");
+    }
     writeSvg(scene, out, options);
     out.flush();
-    if (!out || support::faultAt("viz.write.stream"))
+    if (!out || support::faultAt("viz.write.stream")) {
+        reg.add(errors);
         return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
                           "'");
+    }
     return {};
 }
 

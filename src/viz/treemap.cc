@@ -13,10 +13,13 @@
 
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace viva::viz
 {
+
+namespace obs = support::obs;
 
 namespace
 {
@@ -268,15 +271,25 @@ support::Expected<void>
 writeTreemapSvgFile(const Treemap &treemap, const std::string &path,
                     const std::string &title)
 {
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("viz.treemap.write");
+    static const obs::CounterId errors = reg.counter("viz.write.errors");
+    obs::ScopedPhase timer(phase);
+
     std::ofstream out(path);
-    if (!out)
+    if (!out) {
+        reg.add(errors);
         return VIVA_ERROR(support::Errc::Io, "cannot open '", path,
                           "' for writing");
+    }
     writeTreemapSvg(treemap, out, title);
     out.flush();
-    if (!out || support::faultAt("viz.write.stream"))
+    if (!out || support::faultAt("viz.write.stream")) {
+        reg.add(errors);
         return VIVA_ERROR(support::Errc::Io, "write failed for '", path,
                           "'");
+    }
     return {};
 }
 

@@ -23,6 +23,7 @@
 #include "support/error.hh"
 #include "support/fault.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "trace/builder.hh"
 #include "trace/io.hh"
 #include "trace/paje.hh"
@@ -436,4 +437,127 @@ TEST(SessionFault, RenderErrorsAreRecoverable)
     // The session still renders fine after all those failures.
     auto good = session.renderSvg(tempDir() + "/after_errors.svg");
     EXPECT_TRUE(good.ok()) << good.error().toString();
+}
+
+// --- observability x fault injection ----------------------------------------
+//
+// Every armed injection point must leave a visible trail in the metrics
+// registry: the generic `fault.fired.<point>` counter plus the error
+// counter of the subsystem the fault surfaced through -- and the
+// `stats` export must stay well-formed while it happens.
+
+namespace
+{
+
+namespace obs = viva::support::obs;
+
+std::uint64_t
+counterNow(const std::string &name)
+{
+    obs::Registry &reg = obs::Registry::global();
+    return reg.counterValue(reg.counter(name));
+}
+
+/** `stats --json` through a throwaway session; sanity-checked. */
+std::string
+statsJson()
+{
+    vap::Session session(vt::makeFigure1Trace());
+    vap::CommandInterpreter cli(session);
+    std::ostringstream out;
+    EXPECT_TRUE(cli.execute("stats --json", out));
+    return out.str();
+}
+
+/**
+ * Arm `point`, run `driver`, and assert the fired counter and the
+ * subsystem error counter `errorCounter` both advanced and the JSON
+ * export still opens with the schema tag and closes as one object.
+ */
+template <typename Driver>
+void
+expectObservedFault(const std::string &point,
+                    const std::string &errorCounter, Driver &&driver)
+{
+    FaultGuard guard;
+    std::uint64_t fired_before = counterNow("fault.fired." + point);
+    std::uint64_t errors_before = counterNow(errorCounter);
+
+    vs::FaultInjector::global().arm(point);
+    driver();
+
+    EXPECT_GT(counterNow("fault.fired." + point), fired_before)
+        << point;
+    EXPECT_GT(counterNow(errorCounter), errors_before) << errorCounter;
+
+    vs::FaultInjector::global().disarmAll();
+    const std::string json = statsJson();
+    EXPECT_EQ(json.rfind("{\n  \"schema\": \"viva-obs-1\"", 0), 0u);
+    EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+    EXPECT_NE(json.find("\"fault.fired." + point + "\""),
+              std::string::npos);
+}
+
+} // namespace
+
+TEST(ObservedFaults, TraceReadStream)
+{
+    expectObservedFault("trace.read.stream", "trace.read.errors", [] {
+        std::istringstream in(serialized(vt::makeFigure1Trace()));
+        EXPECT_FALSE(vt::readTrace(in).ok());
+    });
+}
+
+TEST(ObservedFaults, TraceParseBudget)
+{
+    expectObservedFault("trace.parse.budget", "trace.read.errors", [] {
+        std::istringstream in(serialized(vt::makeFigure1Trace()));
+        EXPECT_FALSE(vt::readTrace(in).ok());
+    });
+}
+
+TEST(ObservedFaults, TraceWriteStream)
+{
+    expectObservedFault("trace.write.stream", "trace.write.errors", [] {
+        EXPECT_FALSE(vt::writeTraceFile(vt::makeFigure1Trace(),
+                                        tempDir() + "/obs_inject.viva")
+                         .ok());
+    });
+}
+
+TEST(ObservedFaults, PajeReadStream)
+{
+    expectObservedFault("paje.read.stream", "paje.read.errors", [] {
+        std::ostringstream paje;
+        vt::writePajeTrace(vt::makeFigure1Trace(), paje);
+        std::istringstream in(paje.str());
+        EXPECT_FALSE(vt::readPajeTrace(in).ok());
+    });
+}
+
+TEST(ObservedFaults, VizWriteStream)
+{
+    expectObservedFault("viz.write.stream", "viz.write.errors", [] {
+        vap::Session session(vt::makeFigure1Trace());
+        EXPECT_FALSE(
+            session.renderSvg(tempDir() + "/obs_inject.svg").ok());
+    });
+}
+
+TEST(ObservedFaults, LayoutForceNan)
+{
+    expectObservedFault("layout.force.nan", "layout.quarantine", [] {
+        vl::LayoutGraph graph;
+        auto a = graph.addNode(1, {0.0, 0.0}, 1.0);
+        graph.addNode(2, {30.0, 0.0}, 1.0);
+        graph.addEdge(a, graph.findKey(2), 1.0);
+        vl::ForceLayout layout(graph);
+        vs::FaultSpec spec;
+        spec.probability = 0.5;
+        spec.seed = 11;
+        vs::FaultInjector::global().arm("layout.force.nan", spec);
+        for (int i = 0; i < 20; ++i)
+            layout.step();
+        EXPECT_GT(layout.quarantineCount(), 0u);
+    });
 }

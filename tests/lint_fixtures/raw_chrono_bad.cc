@@ -1,0 +1,9 @@
+#include <chrono>
+
+unsigned long long
+elapsed()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::high_resolution_clock::now();
+    return static_cast<unsigned long long>((t1 - t0).count());
+}

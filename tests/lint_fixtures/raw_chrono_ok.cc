@@ -1,0 +1,9 @@
+#include "support/clock.hh"
+
+unsigned long long
+elapsed()
+{
+    auto t0 = viva::support::clock().nowNanos();
+    auto t1 = viva::support::clock().nowNanos();
+    return t1 - t0;
+}

@@ -1,0 +1,9 @@
+#include <chrono>
+
+unsigned long long
+stamp()
+{
+    auto t0 = std::chrono::steady_clock::now();  // viva-lint: allow(raw-chrono)
+    return static_cast<unsigned long long>(
+        t0.time_since_epoch().count());
+}

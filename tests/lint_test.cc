@@ -168,6 +168,52 @@ TEST(LintWallClock, CleanOnSteadyClock)
     EXPECT_EQ(countRule(findings, "wall-clock"), 0u);
 }
 
+// --- raw-chrono -----------------------------------------------------------------
+
+TEST(LintRawChrono, FiresOnDirectClockReads)
+{
+    // steady_clock::now() and high_resolution_clock::now(): monotonic,
+    // so wall-clock stays silent, but both bypass the injectable
+    // support::clock() and break FakeClock-driven tests.
+    auto findings = lintAs("src/layout/fixture.cc", "raw_chrono_bad.cc");
+    EXPECT_EQ(countRule(findings, "raw-chrono"), 2u);
+}
+
+TEST(LintRawChrono, FiresInBenchToo)
+{
+    // Unlike wall-clock, benches are in scope: their timings must also
+    // run through support::clock() so FakeClock exports stay exact.
+    auto findings = lintAs("bench/fixture.cc", "raw_chrono_bad.cc");
+    EXPECT_EQ(countRule(findings, "raw-chrono"), 2u);
+}
+
+TEST(LintRawChrono, ExemptInTheClockShim)
+{
+    // support/clock.cc is the one sanctioned chrono touchpoint.
+    auto findings =
+        lintAs("src/support/clock.cc", "raw_chrono_bad.cc");
+    EXPECT_EQ(countRule(findings, "raw-chrono"), 0u);
+}
+
+TEST(LintRawChrono, OutOfScopeInTests)
+{
+    auto findings = lintAs("tests/fixture.cc", "raw_chrono_bad.cc");
+    EXPECT_EQ(countRule(findings, "raw-chrono"), 0u);
+}
+
+TEST(LintRawChrono, SuppressedByAllow)
+{
+    auto findings =
+        lintAs("src/layout/fixture.cc", "raw_chrono_suppressed.cc");
+    EXPECT_EQ(countRule(findings, "raw-chrono"), 0u);
+}
+
+TEST(LintRawChrono, CleanOnTheInjectedClock)
+{
+    auto findings = lintAs("src/layout/fixture.cc", "raw_chrono_ok.cc");
+    EXPECT_EQ(countRule(findings, "raw-chrono"), 0u);
+}
+
 // --- pragma-once ----------------------------------------------------------------
 
 TEST(LintPragmaOnce, FiresOnGuardedHeader)

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Golden-file test for the `stats --json` export schema. A fixed
+ * workload under a frozen FakeClock must reproduce the checked-in
+ * fixture BYTE FOR BYTE -- any schema drift (key order, spacing, new
+ * or renamed metrics on these code paths) shows up as a diff here and
+ * must be a deliberate, reviewed change to the fixture.
+ *
+ * This test lives in its own binary on purpose: the global registry is
+ * append-only, so tests sharing a process would leak their metric
+ * names into the export. Regenerate the fixture with:
+ *
+ *   VIVA_UPDATE_GOLDEN=1 ./obs_golden_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "app/commands.hh"
+#include "app/session.hh"
+#include "support/clock.hh"
+#include "support/obs.hh"
+#include "trace/builder.hh"
+
+namespace obs = viva::support::obs;
+namespace vap = viva::app;
+namespace vs = viva::support;
+namespace vt = viva::trace;
+
+namespace
+{
+
+/** The pinned workload: 2 sites x 4 hosts, one metric pair, 5 steps. */
+vt::Trace
+goldenTrace()
+{
+    vt::TraceBuilder b;
+    for (int s = 0; s < 2; ++s) {
+        b.beginGroup("site" + std::to_string(s),
+                     vt::ContainerKind::Site);
+        for (int h = 0; h < 4; ++h) {
+            vt::ContainerId host =
+                b.host("s" + std::to_string(s) + "h" + std::to_string(h));
+            for (int t = 0; t <= 4; ++t) {
+                b.set(host, "power", double(t), 100.0);
+                b.set(host, "power_used", double(t),
+                      double((s + h + t) % 3) * 25.0);
+            }
+        }
+        b.endGroup();
+    }
+    return b.take();
+}
+
+/** Run the pinned workload and export `stats --json`. */
+std::string
+goldenStatsJson()
+{
+    vs::FakeClock frozen(0);
+    vs::ClockOverride clock_guard(frozen);
+    obs::Registry::global().reset();
+
+    vap::Session sess(goldenTrace());
+    sess.setThreads(2);
+    sess.aggregateToDepth(1);
+    (void)sess.view();
+    sess.resetAggregation();
+    (void)sess.view(true);
+    sess.stepLayout(5);
+
+    vap::CommandInterpreter interp(sess);
+    std::ostringstream out;
+    EXPECT_TRUE(interp.execute("stats --json", out));
+    return out.str();
+}
+
+} // namespace
+
+TEST(ObsGolden, StatsJsonMatchesTheCheckedInFixture)
+{
+    // First run registers every metric name; the second, measured run
+    // starts from zeroed values with the full name set in place --
+    // exactly the state a long-lived interactive session is in.
+    (void)goldenStatsJson();
+    const std::string actual = goldenStatsJson();
+
+    const std::string fixture_path = VIVA_OBS_GOLDEN;
+    if (std::getenv("VIVA_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(fixture_path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << fixture_path;
+        out << actual;
+        GTEST_SKIP() << "fixture regenerated: " << fixture_path;
+    }
+
+    std::ifstream in(fixture_path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing fixture " << fixture_path
+                    << " -- regenerate with VIVA_UPDATE_GOLDEN=1";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+
+    EXPECT_EQ(actual, expected.str())
+        << "stats --json drifted from the golden fixture; if the "
+           "change is intentional, regenerate with "
+           "VIVA_UPDATE_GOLDEN=1 ./obs_golden_test";
+}
+
+TEST(ObsGolden, ExportIsStableAcrossRepeatedRuns)
+{
+    (void)goldenStatsJson();
+    EXPECT_EQ(goldenStatsJson(), goldenStatsJson());
+}

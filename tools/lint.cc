@@ -712,6 +712,8 @@ runLint(const std::vector<FileInput> &files)
     static const std::regex floatRe(R"(\bfloat\b)");
     static const std::regex wallClockRe(
         R"(\bsystem_clock\b|\bgettimeofday\b|\btime\s*\(|\blocaltime\b|\bgmtime\b|\bctime\b)");
+    static const std::regex rawChronoRe(
+        R"(\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
     static const std::regex fatalRe(R"(\b(?:fatal|panic)\s*\()");
 
     std::vector<Finding> out;
@@ -746,6 +748,12 @@ runLint(const std::vector<FileInput> &files)
         if (active("wall-clock"))
             checkPattern(file, stripped, wallClockRe, "wall-clock",
                          "wall-clock read in a deterministic code path",
+                         sup, out);
+        if (active("raw-chrono"))
+            checkPattern(file, stripped, rawChronoRe, "raw-chrono",
+                         "direct chrono clock read; measure time "
+                         "through support::clock() so a FakeClock can "
+                         "stand in",
                          sup, out);
         if (active("no-fatal-below-app"))
             checkPattern(file, stripped, fatalRe, "no-fatal-below-app",

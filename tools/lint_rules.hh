@@ -100,6 +100,16 @@ ruleTable()
             false,
         },
         {
+            "raw-chrono",
+            "direct std::chrono clock read (steady_clock/system_clock/"
+            "high_resolution_clock ::now()): time must flow through the "
+            "injectable support::clock() so tests can substitute a "
+            "FakeClock and measurements stay deterministic",
+            {"src/", "bench/"},
+            {"src/support/clock."},
+            false,
+        },
+        {
             "pragma-once",
             "headers must start with #pragma once (before any other "
             "preprocessor directive or code)",
