@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "support/error.hh"
 #include "agg/aggregate.hh"
 #include "layout/force.hh"
 #include "app/session.hh"
@@ -43,8 +44,11 @@ figure1()
                     v.valueOf(s.trace().findByName("HostB"), power),
                     v.valueOf(s.trace().findByName("LinkA"), bw));
         s.setTimeSlice({c.at, c.at + 0.1});
-        s.renderSvg(std::string(out_dir) + "/fig1_" + c.name + ".svg",
-                    std::string("Fig. 1 cursor ") + c.name);
+        viva::support::okOrDie(
+            s.renderSvg(std::string(out_dir) + "/fig1_" + c.name +
+                            ".svg",
+                        std::string("Fig. 1 cursor ") + c.name),
+            "fig1 render");
     }
 }
 

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "support/error.hh"
 #include "grid_common.hh"
 #include "layout/metrics.hh"
 #include "support/clock.hh"
@@ -57,10 +58,12 @@ main()
         std::printf("%-10s %8zu %8zu %12.1f %12zu\n", level.name,
                     session.cut().visibleCount(),
                     session.layoutGraph().edgeCount(), ms, iters);
-        session.renderSvg(std::string("bench_out/fig8_") + level.name +
-                              ".svg",
-                          std::string("Fig. 8: ") + level.name +
-                              " level");
+        viva::support::okOrDie(
+            session.renderSvg(std::string("bench_out/fig8_") +
+                                  level.name + ".svg",
+                              std::string("Fig. 8: ") + level.name +
+                                  " level"),
+            "fig8 render");
     }
 
     // --- claim (1): overall resource usage ------------------------------

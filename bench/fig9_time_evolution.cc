@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "support/error.hh"
 #include "grid_common.hh"
 
 namespace
@@ -158,7 +159,10 @@ main()
     viva::app::Session session(std::move(bc.trace));
     session.aggregateToDepth(2);  // site level
     session.stabilizeLayout(400);
-    session.animate(4, "bench_out", "fig9_t", 150);
-    std::printf("animation frames in bench_out/fig9_t00*.svg\n");
+    std::size_t frames = viva::support::valueOrDie(
+        session.animate(4, "bench_out", "fig9_t", 150),
+        "fig9 animate");
+    std::printf("%zu animation frames in bench_out/fig9_t00*.svg\n",
+                frames);
     return 0;
 }

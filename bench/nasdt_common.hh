@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "support/error.hh"
 #include "agg/aggregate.hh"
 #include "app/session.hh"
 #include "platform/builders.hh"
@@ -119,14 +120,18 @@ renderViews(viva::trace::Trace trace, const std::string &out_dir,
 {
     viva::app::Session session(std::move(trace));
     session.stabilizeLayout(600);
-    session.renderSvg(out_dir + "/" + prefix + "_whole.svg",
-                      prefix + ": whole execution");
+    viva::support::okOrDie(
+        session.renderSvg(out_dir + "/" + prefix + "_whole.svg",
+                          prefix + ": whole execution"),
+        "renderViews: " + prefix);
     static const char *names[3] = {"begin", "middle", "end"};
     for (std::size_t i = 0; i < 3; ++i) {
         session.setSliceOf(viva::agg::SliceIndex::fromIndex(i), 3);
-        session.renderSvg(out_dir + "/" + prefix + "_" + names[i] +
-                              ".svg",
-                          prefix + ": " + names[i]);
+        viva::support::okOrDie(
+            session.renderSvg(out_dir + "/" + prefix + "_" +
+                                  names[i] + ".svg",
+                              prefix + ": " + names[i]),
+            "renderViews: " + prefix);
     }
 }
 

@@ -18,6 +18,7 @@
 #include <filesystem>
 #include <string>
 
+#include "support/error.hh"
 #include "app/session.hh"
 #include "platform/builders.hh"
 #include "sim/tracer.hh"
@@ -83,9 +84,12 @@ main(int argc, char **argv)
                     session.layoutGraph().edgeCount());
         // The host-level layout of 2170+ nodes relaxes with Barnes-Hut.
         session.stabilizeLayout(level.depth < 0 ? 120 : 300);
-        session.renderSvg(out_dir + "/fig8_" + level.name + ".svg",
-                          std::string("Fig. 8: ") + level.name +
-                              " level");
+        viva::support::okOrDie(
+            session.renderSvg(out_dir + "/fig8_" + level.name +
+                                  ".svg",
+                              std::string("Fig. 8: ") + level.name +
+                                  " level"),
+            "fig8 render");
     }
 
     // --- per-site resource shares of the two applications --------------
@@ -114,18 +118,24 @@ main(int argc, char **argv)
     session.mapping().setComposition(comp);
     session.aggregateToDepth(2);
     session.stabilizeLayout(200);
-    session.renderSvg(out_dir + "/fig8_sites_perapp.svg",
-                      "per-application shares (pie glyphs)");
+    viva::support::okOrDie(
+        session.renderSvg(out_dir + "/fig8_sites_perapp.svg",
+                          "per-application shares (pie glyphs)"),
+        "per-app render");
     session.mapping().clearComposition();
 
     // --- treemap of compute power across the grid ------------------------
-    session.renderTreemap(out_dir + "/grid_treemap_power.svg", "power",
-                          3);
+    viva::support::okOrDie(
+        session.renderTreemap(out_dir + "/grid_treemap_power.svg",
+                              "power", 3),
+        "treemap render");
 
     // --- the Fig. 9 animation at site level ------------------------------
     std::printf("rendering the Fig. 9 animation (site level)...\n");
     session.aggregateToDepth(2);
-    session.animate(4, out_dir, "fig9_t", 150);
+    std::size_t frames = viva::support::valueOrDie(
+        session.animate(4, out_dir, "fig9_t", 150), "fig9 animate");
+    std::printf("  %zu frames\n", frames);
 
     std::printf("done; SVGs in %s/\n", out_dir.c_str());
     return 0;

@@ -19,6 +19,7 @@
 #include <filesystem>
 #include <string>
 
+#include "support/error.hh"
 #include "app/session.hh"
 #include "platform/builders.hh"
 #include "sim/tracer.hh"
@@ -78,8 +79,10 @@ main(int argc, char **argv)
     viva::app::Session session(std::move(run.trace));
     session.aggregateToDepth(3);  // cluster scale
     session.stabilizeLayout(400);
-    session.renderSvg(out_dir + "/hunt_1_clusters.svg",
-                      "step 1: cluster scale");
+    viva::support::okOrDie(
+        session.renderSvg(out_dir + "/hunt_1_clusters.svg",
+                          "step 1: cluster scale"),
+        "hunt step 1 render");
 
     std::printf("step 2: anomaly scan at cluster scale (power)...\n");
     std::vector<std::string> findings =
@@ -92,17 +95,22 @@ main(int argc, char **argv)
     std::printf("step 3: focus on the flagged cluster...\n");
     session.focus("west-c1");
     session.stabilizeLayout(400);
-    session.renderSvg(out_dir + "/hunt_2_focused.svg",
-                      "step 3: focused on west-c1");
+    viva::support::okOrDie(
+        session.renderSvg(out_dir + "/hunt_2_focused.svg",
+                          "step 3: focused on west-c1"),
+        "hunt step 3 render");
     std::printf("  %zu visible nodes (full detail inside west-c1, one "
                 "aggregate per other subtree)\n",
                 session.cut().visibleCount());
 
     // The evidence: per-host utilization chart of the odd cluster vs a
     // healthy one.
-    session.renderChart(out_dir + "/hunt_3_evidence.svg", "power_used",
-                        {"west-c1", "west-c0"});
-    session.exportCsv(out_dir + "/hunt_view.csv");
+    viva::support::okOrDie(
+        session.renderChart(out_dir + "/hunt_3_evidence.svg",
+                            "power_used", {"west-c1", "west-c0"}),
+        "hunt evidence chart");
+    viva::support::okOrDie(session.exportCsv(out_dir + "/hunt_view.csv"),
+                           "hunt csv export");
     std::printf(
         "done; evidence in %s/hunt_*.svg and hunt_view.csv\n",
         out_dir.c_str());

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <string>
 
+#include "support/error.hh"
 #include "app/session.hh"
 #include "trace/builder.hh"
 
@@ -56,8 +57,10 @@ main(int argc, char **argv)
 
         std::string path = out_dir + "/fig1_cursor_" +
                            std::string(cursor.name) + ".svg";
-        session.renderSvg(path, "Figure 1, cursor " +
-                                    std::string(cursor.name));
+        viva::support::okOrDie(
+            session.renderSvg(path, "Figure 1, cursor " +
+                                        std::string(cursor.name)),
+            "quickstart cursor render");
         std::printf("  rendered %s\n", path.c_str());
     }
 
@@ -69,8 +72,10 @@ main(int argc, char **argv)
                 view.valueOf(host_a, power),
                 view.valueOf(host_a,
                              session.trace().findMetric("power_used")));
-    session.renderSvg(out_dir + "/fig2_timeslice.svg",
-                      "Figure 2: temporal aggregation");
+    viva::support::okOrDie(
+        session.renderSvg(out_dir + "/fig2_timeslice.svg",
+                          "Figure 2: temporal aggregation"),
+        "quickstart fig2 render");
 
     // 6. A terminal look at the same scene.
     std::printf("%s", session.renderAscii().c_str());

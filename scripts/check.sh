@@ -26,6 +26,10 @@
 #              a clang -Wthread-safety build of the library -- both
 #              skipped with a notice when the clang toolchain is not
 #              installed (the default container is GCC-only)
+#   check      the viva-check flow rules (unchecked-expected,
+#              context-on-propagate, obs-phase-manifest,
+#              include-self-sufficiency) over the whole tree, plus the
+#              lexer/rule unit tests
 #
 # Usage: check.sh [stage ...]   -- default: every stage, failing fast.
 # Per-stage build trees live in build-<stage>/ and are reused.
@@ -36,7 +40,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
-STAGES="${*:-release validate tsan asan fault lint obs analyze}"
+STAGES="${*:-release validate tsan asan fault lint obs analyze check}"
 
 configure_flags() {
     case "$1" in
@@ -52,12 +56,12 @@ configure_flags() {
     asan|fault)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=address,undefined"
         ;;
-    lint|analyze)
+    lint|analyze|check)
         echo "-DCMAKE_BUILD_TYPE=Release"
         ;;
     *)
         echo "check.sh: unknown stage '$1'" >&2
-        echo "usage: $0 [release|validate|tsan|asan|fault|lint|obs|analyze ...]" >&2
+        echo "usage: $0 [release|validate|tsan|asan|fault|lint|obs|analyze|check ...]" >&2
         exit 2
         ;;
     esac
@@ -88,6 +92,12 @@ run_stage() {
             perfdiff_test fault_test obs_export viva-perfdiff || return 1
         ctest --test-dir "$BUILD" --output-on-failure \
             -R 'Obs|Clock|ScopedPhase|StatsCommand|PerfDiff|perfdiff' \
+            || return 1
+    elif [ "$stage" = check ]; then
+        cmake --build "$BUILD" -j --target viva-check check_test || return 1
+        "$BUILD/tools/viva-check" "$ROOT" \
+            src tests bench examples tools || return 1
+        ctest --test-dir "$BUILD" --output-on-failure -R '^check' \
             || return 1
     elif [ "$stage" = analyze ]; then
         cmake --build "$BUILD" -j --target viva-deps deps_test || return 1

@@ -425,7 +425,12 @@ Session::renderSvg(const std::string &path, const std::string &title)
 
     viz::SvgOptions options;
     options.title = title;
-    return viz::writeSvgFile(scene(), path, options);
+    support::Expected<void> written =
+        viz::writeSvgFile(scene(), path, options);
+    if (!written)
+        return VIVA_ERROR_CONTEXT(written.error(),
+                                  "Session::renderSvg");
+    return written;
 }
 
 std::string
@@ -446,8 +451,12 @@ Session::renderTreemap(const std::string &path,
     viz::TreemapOptions options;
     options.maxDepth = max_depth;
     viz::Treemap map = viz::buildTreemap(tr, m, slice, options);
-    return viz::writeTreemapSvgFile(map, path,
-                                    "treemap of " + metric_name);
+    support::Expected<void> written = viz::writeTreemapSvgFile(
+        map, path, "treemap of " + metric_name);
+    if (!written)
+        return VIVA_ERROR_CONTEXT(written.error(),
+                                  "Session::renderTreemap");
+    return written;
 }
 
 support::Expected<std::size_t>
@@ -498,7 +507,12 @@ Session::renderChart(const std::string &path,
     viz::ChartOptions options;
     options.title = metric_name + " over time";
     options.yLabel = tr.metric(m).unit;
-    return viz::writeChartSvgFile(series, path, options);
+    support::Expected<void> written =
+        viz::writeChartSvgFile(series, path, options);
+    if (!written)
+        return VIVA_ERROR_CONTEXT(written.error(),
+                                  "Session::renderChart");
+    return written;
 }
 
 support::Expected<void>
@@ -541,9 +555,14 @@ Session::findAnomalies(const std::string &metric_name,
 support::Expected<void>
 Session::saveTrace(const std::string &path) const
 {
-    if (support::endsWith(path, ".paje"))
-        return trace::writePajeTraceFile(tr, path);
-    return trace::writeTraceFile(tr, path);
+    support::Expected<void> written =
+        support::endsWith(path, ".paje")
+            ? trace::writePajeTraceFile(tr, path)
+            : trace::writeTraceFile(tr, path);
+    if (!written)
+        return VIVA_ERROR_CONTEXT(written.error(),
+                                  "Session::saveTrace");
+    return written;
 }
 
 support::AuditLog

@@ -243,7 +243,7 @@ TEST(CsvExport, SessionWritesFile)
     std::string path =
         (std::filesystem::temp_directory_path() / "viva_view.csv")
             .string();
-    session.exportCsv(path);
+    ASSERT_TRUE(session.exportCsv(path).ok());
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
     std::string header;

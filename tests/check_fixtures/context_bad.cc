@@ -1,0 +1,18 @@
+// Two bare propagations: a direct pass-through of a callee's Expected
+// and a raw .error() return. Both lose this layer's context frame.
+#include "expected_api.hh"
+
+viva::support::Expected<void>
+resave(viva::app::Session &session)
+{
+    return session.save("out.trace");
+}
+
+viva::support::Expected<void>
+reload(viva::app::Session &session)
+{
+    auto loaded = session.load("trace.paje");
+    if (!loaded)
+        return loaded.error();
+    return loaded;
+}

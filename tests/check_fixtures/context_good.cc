@@ -1,0 +1,11 @@
+// Propagation with VIVA_ERROR_CONTEXT on the error path: clean.
+#include "expected_api.hh"
+
+viva::support::Expected<void>
+resave(viva::app::Session &session)
+{
+    auto saved = session.save("out.trace");
+    if (!saved)
+        return VIVA_ERROR_CONTEXT(saved.error(), "resave");
+    return saved;
+}

@@ -1,0 +1,29 @@
+// The mini signature surface the flow-rule fixtures call into. The
+// pre-pass must harvest load/save/render (Expected returns) and
+// annotate (Error return) from this header.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace viva::support
+{
+template <typename T> class Expected;
+class Error;
+} // namespace viva::support
+
+namespace viva::app
+{
+
+class Session
+{
+  public:
+    viva::support::Expected<void> load(const std::string &path);
+    viva::support::Expected<void> save(const std::string &path);
+    viva::support::Expected<std::size_t>
+    render(const std::string &path);
+};
+
+viva::support::Error annotate(const std::string &what);
+
+} // namespace viva::app

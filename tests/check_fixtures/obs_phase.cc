@@ -1,0 +1,11 @@
+// One phase registration; the test drives it against matching, stale
+// and missing manifests.
+#include "support/obs.hh"
+
+void
+setup()
+{
+    viva::obs::Registry &reg = viva::obs::Registry::global();
+    static const auto phase = reg.histogram("demo.phase");
+    (void)phase;
+}

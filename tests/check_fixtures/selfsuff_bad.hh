@@ -1,0 +1,9 @@
+// References Widget without including its header or forward-declaring
+// it: only compiles when someone else included core/defs.hh first.
+#pragma once
+
+class Panel
+{
+  public:
+    void attach(const Widget &w);
+};

@@ -1,0 +1,16 @@
+// The defining header of the self-sufficiency mini-tree: one class,
+// one struct, one alias and an enum whose members shadow nothing.
+#pragma once
+
+class Widget
+{
+  public:
+    int id = 0;
+};
+
+struct Gadget final
+{
+    double mass = 0.0;
+};
+
+using WidgetList = int;

@@ -1,0 +1,10 @@
+// An enumerator spelled like a type defined elsewhere is not a type
+// reference: enum bodies are their own scope.
+#pragma once
+
+enum class Part : int
+{
+    Widget,
+    Gadget,
+    Other,
+};

@@ -1,0 +1,11 @@
+// Self-sufficient via a forward declaration: a reference parameter
+// needs no definition.
+#pragma once
+
+class Widget;
+
+class Panel
+{
+  public:
+    void attach(const Widget &w);
+};

@@ -1,0 +1,10 @@
+// Self-sufficient via a direct include.
+#pragma once
+
+#include "core/defs.hh"
+
+class Panel
+{
+  public:
+    void attach(const Widget &w);
+};

@@ -1,0 +1,10 @@
+// Self-sufficient transitively: mid.hh includes core/defs.hh.
+#pragma once
+
+#include "core/mid.hh"
+
+class Panel
+{
+  public:
+    void attach(const Widget &w);
+};

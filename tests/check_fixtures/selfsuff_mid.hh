@@ -1,0 +1,11 @@
+// Middle hop of the include chain: pulls in the definitions so
+// headers including *this* header reach them transitively.
+#pragma once
+
+#include "core/defs.hh"
+
+class Holder
+{
+  public:
+    Widget w;
+};

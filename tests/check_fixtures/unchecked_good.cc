@@ -1,0 +1,15 @@
+// Every Expected result is bound, tested, or passed on: clean.
+#include "expected_api.hh"
+
+bool consume(viva::support::Expected<std::size_t> result);
+
+bool
+demo(viva::app::Session &session)
+{
+    auto loaded = session.load("trace.paje");
+    if (!loaded)
+        return false;
+    if (!session.save("out.trace"))
+        return false;
+    return consume(session.render("whole.svg"));
+}

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests for the viva-check lexer and engine. The lexer section covers
+ * the lexical blind spots the tool exists to fix (raw strings, line
+ * splices, digit separators); the rule sections drive each flow rule
+ * against good/bad/waived fixture triples under virtual repo paths so
+ * rule scoping is under test too; the JSON section pins byte
+ * stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/check.hh"
+#include "tools/check_lexer.hh"
+
+namespace vc = viva::check;
+
+namespace
+{
+
+/** Load one fixture file from the source tree. */
+std::string
+fixture(const std::string &name)
+{
+    std::string path = std::string(VIVA_CHECK_FIXTURES) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** The mini API header all flow fixtures call into. */
+vc::FileInput
+apiHeader()
+{
+    return {"src/demo/api.hh", fixture("expected_api.hh")};
+}
+
+/** Run the engine (no manifest) on fixtures at virtual paths. */
+std::vector<vc::Finding>
+checkFiles(std::vector<vc::FileInput> files)
+{
+    return vc::runCheck(files, vc::Options{});
+}
+
+std::size_t
+countRule(const std::vector<vc::Finding> &findings,
+          const std::string &rule)
+{
+    std::size_t n = 0;
+    for (const vc::Finding &f : findings)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+/** Tokens of `text` with comments dropped. */
+std::vector<vc::Token>
+codeTokens(const std::string &text)
+{
+    std::vector<vc::Token> out;
+    for (vc::Token &t : vc::lex(text))
+        if (t.kind != vc::Tok::Comment)
+            out.push_back(std::move(t));
+    return out;
+}
+
+} // namespace
+
+// --- lexer ----------------------------------------------------------------
+
+TEST(CheckLexer, RawStringIsOneToken)
+{
+    auto toks = codeTokens(
+        "auto s = R\"(no // comment \"inside\")\";\nint x;");
+    ASSERT_GE(toks.size(), 7u);
+    EXPECT_EQ(toks[3].kind, vc::Tok::RawString);
+    EXPECT_EQ(toks[3].text, "no // comment \"inside\"");
+    // The code after the literal is still lexed normally.
+    EXPECT_EQ(toks[5].text, "int");
+    EXPECT_EQ(toks[5].line, 2u);
+}
+
+TEST(CheckLexer, RawStringWithDelimiterAndPrefix)
+{
+    auto toks = codeTokens("auto s = u8R\"xy(a)\"b)xy\";");
+    ASSERT_GE(toks.size(), 4u);
+    EXPECT_EQ(toks[3].kind, vc::Tok::RawString);
+    EXPECT_EQ(toks[3].text, "a)\"b");
+}
+
+TEST(CheckLexer, LineSpliceInsideIdentifier)
+{
+    auto toks = codeTokens("ab\\\ncd = 1;");
+    ASSERT_GE(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, vc::Tok::Identifier);
+    EXPECT_EQ(toks[0].text, "abcd");
+}
+
+TEST(CheckLexer, SplicedLineCommentSwallowsNextLine)
+{
+    // The backslash-newline continues the // comment, so `hidden` is
+    // comment text, not code -- the old line scanner got this wrong.
+    auto toks =
+        codeTokens("// note \\\nhidden();\nint visible;");
+    ASSERT_GE(toks.size(), 2u);
+    EXPECT_EQ(toks[0].text, "int");
+    EXPECT_EQ(toks[0].line, 3u);
+    EXPECT_EQ(toks[1].text, "visible");
+}
+
+TEST(CheckLexer, DigitSeparatorIsNotACharLiteral)
+{
+    auto toks = codeTokens("int x = 1'000'000; char c = 'q';");
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[3].kind, vc::Tok::Number);
+    EXPECT_EQ(toks[3].text, "1'000'000");
+    EXPECT_EQ(toks[8].kind, vc::Tok::CharLit);
+    EXPECT_EQ(toks[8].text, "q");
+}
+
+TEST(CheckLexer, NoDigraphSurprises)
+{
+    // `<:` must stay two punctuators (template-arg then scope), not a
+    // digraph '['.
+    auto toks = codeTokens("set<::viva::Id> s;");
+    ASSERT_GE(toks.size(), 3u);
+    EXPECT_EQ(toks[1].text, "<");
+    EXPECT_EQ(toks[2].text, "::");
+}
+
+TEST(CheckLexer, EscapedQuoteInsideString)
+{
+    auto toks = codeTokens("auto s = \"a\\\"b\"; int y;");
+    ASSERT_GE(toks.size(), 5u);
+    EXPECT_EQ(toks[3].kind, vc::Tok::String);
+    EXPECT_EQ(toks[3].text, "a\\\"b");
+    EXPECT_EQ(toks[5].text, "int");
+}
+
+TEST(CheckLexer, PreprocessorLineIsFlagged)
+{
+    auto toks = codeTokens("#define FOO bar()\nint x;");
+    ASSERT_GE(toks.size(), 7u);
+    EXPECT_TRUE(toks[0].inPreproc);   // '#'
+    EXPECT_TRUE(toks[3].inPreproc);   // 'bar'
+    EXPECT_EQ(toks[6].text, "int");
+    EXPECT_FALSE(toks[6].inPreproc);  // next line leaves the directive
+}
+
+TEST(CheckLexer, StripBlanksRawStringsAndKeepsLines)
+{
+    const std::string in =
+        "auto s = R\"(line1\nline2 // not a comment)\";\nint x; // gone\n";
+    const std::string out = vc::stripCommentsAndStrings(in);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              std::count(in.begin(), in.end(), '\n'));
+    EXPECT_EQ(out.find("line2"), std::string::npos);
+    EXPECT_EQ(out.find("// gone"), std::string::npos);
+    EXPECT_NE(out.find("int x;"), std::string::npos);
+}
+
+// --- signature pre-pass ---------------------------------------------------
+
+TEST(CheckHarvest, ExpectedAndErrorReturnsFromHeader)
+{
+    auto callees = vc::harvestExpectedCallees({apiHeader()});
+    EXPECT_TRUE(callees.count("load"));
+    EXPECT_TRUE(callees.count("save"));
+    EXPECT_TRUE(callees.count("render"));
+    EXPECT_TRUE(callees.count("annotate"));
+    // The forward-declared template itself is not a callee.
+    EXPECT_FALSE(callees.count("Expected"));
+}
+
+// --- unchecked-expected ---------------------------------------------------
+
+TEST(CheckUnchecked, FiresOnDiscardedResults)
+{
+    auto findings = checkFiles(
+        {apiHeader(), {"bench/demo.cc", fixture("unchecked_bad.cc")}});
+    EXPECT_EQ(countRule(findings, "unchecked-expected"), 3u);
+    // The deliberately-discarded Session::load result is caught.
+    bool load_caught = false;
+    for (const auto &f : findings)
+        if (f.rule == "unchecked-expected" && f.line == 8)
+            load_caught = true;
+    EXPECT_TRUE(load_caught);
+}
+
+TEST(CheckUnchecked, CleanWhenBoundTestedOrPassedOn)
+{
+    auto findings = checkFiles(
+        {apiHeader(),
+         {"bench/demo.cc", fixture("unchecked_good.cc")}});
+    EXPECT_EQ(countRule(findings, "unchecked-expected"), 0u);
+}
+
+TEST(CheckUnchecked, WaivedWithRationale)
+{
+    auto findings = checkFiles(
+        {apiHeader(),
+         {"bench/demo.cc", fixture("unchecked_waived.cc")}});
+    EXPECT_EQ(countRule(findings, "unchecked-expected"), 0u);
+    EXPECT_EQ(countRule(findings, "waiver"), 0u);
+}
+
+TEST(CheckUnchecked, WaiverWithoutRationaleIsAFinding)
+{
+    auto findings = checkFiles(
+        {apiHeader(),
+         {"bench/demo.cc", fixture("unchecked_norationale.cc")}});
+    EXPECT_EQ(countRule(findings, "waiver"), 1u);
+    EXPECT_EQ(countRule(findings, "unchecked-expected"), 1u);
+}
+
+// --- context-on-propagate -------------------------------------------------
+
+TEST(CheckContext, FiresOnBarePropagation)
+{
+    auto findings = checkFiles(
+        {apiHeader(),
+         {"src/app/demo.cc", fixture("context_bad.cc")}});
+    EXPECT_EQ(countRule(findings, "context-on-propagate"), 2u);
+}
+
+TEST(CheckContext, OutOfScopeOutsideSrc)
+{
+    auto findings = checkFiles(
+        {apiHeader(), {"bench/demo.cc", fixture("context_bad.cc")}});
+    EXPECT_EQ(countRule(findings, "context-on-propagate"), 0u);
+}
+
+TEST(CheckContext, CleanWithContextWrap)
+{
+    auto findings = checkFiles(
+        {apiHeader(),
+         {"src/app/demo.cc", fixture("context_good.cc")}});
+    EXPECT_EQ(countRule(findings, "context-on-propagate"), 0u);
+}
+
+TEST(CheckContext, WaivedShim)
+{
+    auto findings = checkFiles(
+        {apiHeader(),
+         {"src/app/demo.cc", fixture("context_waived.cc")}});
+    EXPECT_EQ(countRule(findings, "context-on-propagate"), 0u);
+}
+
+// --- obs-phase-manifest ---------------------------------------------------
+
+namespace
+{
+
+std::vector<vc::Finding>
+checkWithManifest(std::vector<vc::FileInput> files,
+                  const std::string &manifest)
+{
+    vc::Options options;
+    options.manifestContent = manifest;
+    options.haveManifest = true;
+    return vc::runCheck(files, options);
+}
+
+} // namespace
+
+TEST(CheckObsManifest, CleanWhenInSync)
+{
+    auto findings = checkWithManifest(
+        {{"src/trace/demo.cc", fixture("obs_phase.cc")}},
+        "# header\ndemo.phase\n");
+    EXPECT_EQ(countRule(findings, "obs-phase-manifest"), 0u);
+}
+
+TEST(CheckObsManifest, FiresOnUnlistedPhase)
+{
+    auto findings = checkWithManifest(
+        {{"src/trace/demo.cc", fixture("obs_phase.cc")}}, "");
+    ASSERT_EQ(countRule(findings, "obs-phase-manifest"), 1u);
+    EXPECT_EQ(findings[0].file, "src/trace/demo.cc");
+}
+
+TEST(CheckObsManifest, FiresOnStaleManifestEntry)
+{
+    auto findings = checkWithManifest(
+        {{"src/trace/demo.cc", fixture("obs_phase.cc")}},
+        "demo.phase\nstale.entry\n");
+    ASSERT_EQ(countRule(findings, "obs-phase-manifest"), 1u);
+    EXPECT_EQ(findings[0].file, "tools/obs_manifest.txt");
+    EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(CheckObsManifest, RegistrationsOutsideSrcIgnored)
+{
+    auto findings = checkWithManifest(
+        {{"tests/demo.cc", fixture("obs_phase.cc")}}, "");
+    EXPECT_EQ(countRule(findings, "obs-phase-manifest"), 0u);
+}
+
+TEST(CheckObsManifest, WaivedScratchPhase)
+{
+    auto findings = checkWithManifest(
+        {{"src/trace/demo.cc", fixture("obs_phase_waived.cc")}}, "");
+    EXPECT_EQ(countRule(findings, "obs-phase-manifest"), 0u);
+}
+
+TEST(CheckObsManifest, HarvestIsSortedAndUnique)
+{
+    auto names = vc::harvestPhaseNames(
+        {{"src/a.cc", fixture("obs_phase.cc")},
+         {"src/b.cc", fixture("obs_phase.cc")}});
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "demo.phase");
+}
+
+// --- include-self-sufficiency ---------------------------------------------
+
+namespace
+{
+
+std::vector<vc::FileInput>
+selfSuffTree(const std::string &panel_fixture)
+{
+    return {{"src/core/defs.hh", fixture("selfsuff_defs.hh")},
+            {"src/core/mid.hh", fixture("selfsuff_mid.hh")},
+            {"src/ui/panel.hh", fixture(panel_fixture)}};
+}
+
+} // namespace
+
+TEST(CheckSelfSuff, FiresOnUnreachableType)
+{
+    auto findings = checkFiles(selfSuffTree("selfsuff_bad.hh"));
+    ASSERT_EQ(countRule(findings, "include-self-sufficiency"), 1u);
+    EXPECT_EQ(findings[0].file, "src/ui/panel.hh");
+    EXPECT_NE(findings[0].message.find("Widget"), std::string::npos);
+}
+
+TEST(CheckSelfSuff, CleanWithDirectInclude)
+{
+    auto findings =
+        checkFiles(selfSuffTree("selfsuff_good_include.hh"));
+    EXPECT_EQ(countRule(findings, "include-self-sufficiency"), 0u);
+}
+
+TEST(CheckSelfSuff, CleanWithForwardDeclaration)
+{
+    auto findings = checkFiles(selfSuffTree("selfsuff_good_fwd.hh"));
+    EXPECT_EQ(countRule(findings, "include-self-sufficiency"), 0u);
+}
+
+TEST(CheckSelfSuff, CleanThroughTransitiveInclude)
+{
+    auto findings =
+        checkFiles(selfSuffTree("selfsuff_good_transitive.hh"));
+    EXPECT_EQ(countRule(findings, "include-self-sufficiency"), 0u);
+}
+
+TEST(CheckSelfSuff, WaivedReference)
+{
+    auto findings = checkFiles(selfSuffTree("selfsuff_waived.hh"));
+    EXPECT_EQ(countRule(findings, "include-self-sufficiency"), 0u);
+}
+
+TEST(CheckSelfSuff, EnumMembersAreNotTypeReferences)
+{
+    auto files = selfSuffTree("selfsuff_good_include.hh");
+    files.push_back(
+        {"src/ui/kinds.hh", fixture("selfsuff_enum_member.hh")});
+    auto findings = checkFiles(files);
+    EXPECT_EQ(countRule(findings, "include-self-sufficiency"), 0u);
+}
+
+// --- output formats -------------------------------------------------------
+
+TEST(CheckOutput, FindingFormat)
+{
+    vc::Finding f{"src/a.cc", 12, "unchecked-expected", "msg"};
+    EXPECT_EQ(vc::formatFinding(f),
+              "src/a.cc:12: [unchecked-expected] msg");
+}
+
+TEST(CheckOutput, JsonIsByteStableAcrossRuns)
+{
+    std::vector<vc::FileInput> files = {
+        apiHeader(), {"bench/demo.cc", fixture("unchecked_bad.cc")}};
+    auto run1 = vc::runCheck(files, vc::Options{});
+    auto run2 = vc::runCheck(files, vc::Options{});
+    EXPECT_EQ(vc::formatJson(files.size(), run1),
+              vc::formatJson(files.size(), run2));
+}
+
+TEST(CheckOutput, JsonShapeAndEscaping)
+{
+    std::vector<vc::Finding> findings = {
+        {"src/a.cc", 3, "waiver", "say \"why\"\n"}};
+    const std::string doc = vc::formatJson(2, findings);
+    EXPECT_NE(doc.find("\"schema\": \"viva-check-1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"files\": 2"), std::string::npos);
+    EXPECT_NE(doc.find("say \\\"why\\\"\\n"), std::string::npos);
+    EXPECT_EQ(vc::formatJson(0, {}).find("\"findings\": []"),
+              vc::formatJson(0, {}).find("\"findings\": []"));
+}
+
+TEST(CheckOutput, EmptyFindingsJson)
+{
+    const std::string doc = vc::formatJson(0, {});
+    EXPECT_NE(doc.find("\"findings\": []"), std::string::npos);
+}

@@ -11,11 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/cli_common.hh"
 #include "tools/lint.hh"
 
 namespace vl = viva::lint;
@@ -379,4 +381,55 @@ TEST(LintEngine, WholeTreeIsCleanByConstruction)
     // viva-lint binary; here we just assert the engine accepts an empty
     // input set without findings.
     EXPECT_TRUE(vl::runLint({}).empty());
+}
+
+// --- shared exit-code contract (tools/cli_common.hh) ----------------------
+
+TEST(CliContract, ExitCodesAreTheSharedContract)
+{
+    // 0 clean / 1 findings / 2 usage-or-io: both viva-lint and
+    // viva-check build their exit status from these constants.
+    EXPECT_EQ(viva::cli::kExitClean, 0);
+    EXPECT_EQ(viva::cli::kExitFindings, 1);
+    EXPECT_EQ(viva::cli::kExitUsage, 2);
+    EXPECT_EQ(viva::cli::exitCodeForFindings(0), viva::cli::kExitClean);
+    EXPECT_EQ(viva::cli::exitCodeForFindings(1),
+              viva::cli::kExitFindings);
+    EXPECT_EQ(viva::cli::exitCodeForFindings(42),
+              viva::cli::kExitFindings);
+}
+
+TEST(CliContract, MissingSubdirIsAnError)
+{
+    // A scan of a nonexistent subdirectory must fail loudly (exit 2
+    // path), not degrade into a silently-empty clean run.
+    std::vector<viva::cli::Source> sources;
+    std::ostringstream err;
+    EXPECT_FALSE(viva::cli::collectSources(
+        "viva-lint", std::filesystem::temp_directory_path(),
+        {"no_such_subdir_xyzzy"}, sources, err));
+    EXPECT_NE(err.str().find("not a directory"), std::string::npos);
+}
+
+TEST(CliContract, CollectSkipsFixturesAndSorts)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() / "viva_cli_contract_test";
+    fs::remove_all(root);
+    fs::create_directories(root / "src" / "lint_fixtures");
+    std::ofstream(root / "src" / "b.cc") << "int b;\n";
+    std::ofstream(root / "src" / "a.hh") << "int a;\n";
+    std::ofstream(root / "src" / "ignored.txt") << "text\n";
+    std::ofstream(root / "src" / "lint_fixtures" / "bad.cc")
+        << "int bad;\n";
+
+    std::vector<viva::cli::Source> sources;
+    std::ostringstream err;
+    ASSERT_TRUE(viva::cli::collectSources("viva-lint", root, {"src"},
+                                          sources, err));
+    ASSERT_EQ(sources.size(), 2u);
+    EXPECT_EQ(sources[0].path, "src/a.hh");
+    EXPECT_EQ(sources[1].path, "src/b.cc");
+    fs::remove_all(root);
 }

@@ -1,0 +1,980 @@
+/**
+ * @file
+ * Implementation of the viva-check engine (see check.hh for the model
+ * and rule catalog).
+ */
+
+#include "tools/check.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <regex>
+#include <sstream>
+
+#include "tools/check_lexer.hh"
+
+namespace viva::check
+{
+
+namespace
+{
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool
+isHeaderPath(const std::string &path)
+{
+    auto ends = [&](const char *suffix) {
+        const std::string s(suffix);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends(".hh") || ends(".hpp");
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/** Per-file waiver state parsed from viva-check comments. */
+struct Waivers
+{
+    std::set<std::string> fileWide;
+    /** line (1-based) -> rules waived on that line */
+    std::map<std::size_t, std::set<std::string>> perLine;
+
+    bool
+    allows(const std::string &rule, std::size_t line) const
+    {
+        if (fileWide.count(rule))
+            return true;
+        auto it = perLine.find(line);
+        return it != perLine.end() && it->second.count(rule) != 0;
+    }
+};
+
+/** Split "a, b c" into trimmed ids. */
+std::vector<std::string>
+splitIds(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : list) {
+        if (c == ',' || c == ' ' || c == '\t') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/**
+ * Parse `// viva-check: allow(rule): why` waivers out of the comment
+ * tokens. A waiver must carry a rationale after the closing paren; a
+ * bare one is reported as a finding. A comment with no code on its
+ * line(s) also covers the next line.
+ */
+Waivers
+parseWaivers(const std::string &path, const std::string &content,
+             const std::vector<Token> &tokens,
+             std::vector<Finding> &out)
+{
+    static const std::regex allowRe(
+        R"(viva-check:\s*allow(-file)?\(([^)]*)\)\s*(:?)\s*(\S?))");
+
+    // Lines that carry at least one code (non-comment) token.
+    std::set<std::size_t> codeLines;
+    for (const Token &t : tokens) {
+        if (t.kind == Tok::Comment)
+            continue;
+        std::size_t endLine =
+            t.line + std::size_t(std::count(
+                         content.begin() + std::ptrdiff_t(t.offset),
+                         content.begin() + std::ptrdiff_t(t.end),
+                         '\n'));
+        for (std::size_t l = t.line; l <= endLine; ++l)
+            codeLines.insert(l);
+    }
+
+    Waivers w;
+    for (const Token &t : tokens) {
+        if (t.kind != Tok::Comment)
+            continue;
+        auto begin = std::sregex_iterator(t.text.begin(), t.text.end(),
+                                          allowRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const bool fileWide = (*it)[1].matched;
+            const bool hasRationale =
+                (*it)[3].str() == ":" && !(*it)[4].str().empty();
+            if (!hasRationale) {
+                out.push_back(
+                    {path, t.line, "waiver",
+                     "waiver lacks a rationale (write `// viva-check: "
+                     "allow" +
+                         std::string(fileWide ? "-file" : "") + "(" +
+                         (*it)[2].str() + "): <why>`)"});
+                continue;
+            }
+            for (const std::string &id : splitIds((*it)[2].str())) {
+                if (fileWide) {
+                    w.fileWide.insert(id);
+                    continue;
+                }
+                std::size_t endLine =
+                    t.line +
+                    std::size_t(std::count(
+                        content.begin() + std::ptrdiff_t(t.offset),
+                        content.begin() + std::ptrdiff_t(t.end),
+                        '\n'));
+                w.perLine[t.line].insert(id);
+                bool alone = codeLines.count(t.line) == 0 &&
+                             codeLines.count(endLine) == 0;
+                if (alone)
+                    w.perLine[endLine + 1].insert(id);
+            }
+        }
+    }
+    return w;
+}
+
+/** Add a finding unless waived. */
+void
+report(std::vector<Finding> &out, const Waivers &w,
+       const std::string &file, std::size_t line,
+       const std::string &rule, const std::string &message)
+{
+    if (w.allows(rule, line))
+        return;
+    out.push_back({file, line, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream utilities (comment-free streams)
+// ---------------------------------------------------------------------------
+
+/** Index of the ')' matching the '(' at `open`, or kNone. */
+std::size_t
+matchParen(const std::vector<Token> &code, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i].kind != Tok::Punct)
+            continue;
+        if (code[i].text == "(")
+            ++depth;
+        else if (code[i].text == ")" && --depth == 0)
+            return i;
+    }
+    return kNone;
+}
+
+/** Index of the '(' matching the ')' at `close`, or kNone. */
+std::size_t
+matchParenBack(const std::vector<Token> &code, std::size_t close)
+{
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+        if (code[i].kind != Tok::Punct)
+            continue;
+        if (code[i].text == ")")
+            ++depth;
+        else if (code[i].text == "(" && --depth == 0)
+            return i;
+    }
+    return kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-passes
+// ---------------------------------------------------------------------------
+
+/**
+ * Harvest Expected/Error-returning function names from one header's
+ * token stream: `Expected < ...balanced... > name (` and
+ * `Error name (`.
+ */
+void
+harvestCalleesFrom(const std::vector<Token> &code,
+                   std::set<std::string> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].kind != Tok::Identifier)
+            continue;
+        if (code[i].text == "Expected") {
+            std::size_t k = i + 1;
+            if (k >= code.size() || code[k].text != "<")
+                continue;
+            int depth = 0;
+            for (; k < code.size(); ++k) {
+                if (code[k].kind != Tok::Punct)
+                    continue;
+                if (code[k].text == "<")
+                    ++depth;
+                else if (code[k].text == ">")
+                    --depth;
+                else if (code[k].text == ">>")
+                    depth -= 2;
+                if (depth <= 0)
+                    break;
+            }
+            if (k + 2 >= code.size())
+                continue;
+            if (code[k + 1].kind == Tok::Identifier &&
+                code[k + 2].text == "(")
+                out.insert(code[k + 1].text);
+        } else if (code[i].text == "Error") {
+            if (i + 2 < code.size() &&
+                code[i + 1].kind == Tok::Identifier &&
+                code[i + 2].text == "(")
+                out.insert(code[i + 1].text);
+        }
+    }
+}
+
+/** Directory part of a path ("" when the path has no '/'). */
+std::string
+dirnameOf(const std::string &path)
+{
+    std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+/** Collapse "." and ".." segments of a '/'-separated path. */
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        std::size_t slash = path.find('/', pos);
+        if (slash == std::string::npos)
+            slash = path.size();
+        const std::string seg = path.substr(pos, slash - pos);
+        if (seg == "..") {
+            if (!parts.empty())
+                parts.pop_back();
+        } else if (!seg.empty() && seg != ".") {
+            parts.push_back(seg);
+        }
+        pos = slash + 1;
+    }
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += '/';
+        out += parts[i];
+    }
+    return out;
+}
+
+/**
+ * Resolve a quoted include against the scanned set, trying the same
+ * candidate roots the build (and viva-deps) use: the repo root, src/
+ * and the including file's directory.
+ */
+std::string
+resolveInclude(const std::string &from, const std::string &target,
+               const std::set<std::string> &known)
+{
+    const std::string dir = dirnameOf(from);
+    const std::string candidates[] = {
+        normalizePath(target),
+        normalizePath("src/" + target),
+        normalizePath(dir.empty() ? target : dir + "/" + target),
+    };
+    for (const std::string &c : candidates)
+        if (known.count(c))
+            return c;
+    return "";
+}
+
+/** Quoted includes of one file: `# include "target"` token triples. */
+std::vector<std::string>
+extractIncludeTargets(const std::vector<Token> &code)
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i + 2 < code.size(); ++i)
+        if (code[i].inPreproc && code[i].text == "#" &&
+            code[i + 1].kind == Tok::Identifier &&
+            code[i + 1].text == "include" &&
+            code[i + 2].kind == Tok::String)
+            out.push_back(code[i + 2].text);
+    return out;
+}
+
+/** Per-header type knowledge for include-self-sufficiency. */
+struct TypeTables
+{
+    /** type name -> headers that *define* it (class body / alias) */
+    std::map<std::string, std::set<std::string>> definedIn;
+
+    /** header -> names it defines or forward-declares locally */
+    std::map<std::string, std::set<std::string>> localNames;
+};
+
+bool
+isUppercaseName(const std::string &s)
+{
+    return !s.empty() && s[0] >= 'A' && s[0] <= 'Z';
+}
+
+/** Skip one `[[...]]` attribute group starting at `k`, if present. */
+std::size_t
+skipAttributes(const std::vector<Token> &code, std::size_t k)
+{
+    while (k + 1 < code.size() && code[k].text == "[" &&
+           code[k + 1].text == "[") {
+        std::size_t j = k + 2;
+        while (j + 1 < code.size() &&
+               !(code[j].text == "]" && code[j + 1].text == "]"))
+            ++j;
+        k = j + 2 <= code.size() ? j + 2 : code.size();
+    }
+    return k;
+}
+
+/**
+ * Harvest type definitions (`class X {`, `struct X :`, `enum class
+ * X {`, `using X = ...`) and forward declarations (`class X;`) from
+ * one header.
+ */
+void
+harvestTypesFrom(const std::string &path,
+                 const std::vector<Token> &code, TypeTables &tables)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code[i];
+        if (t.kind != Tok::Identifier || t.inPreproc)
+            continue;
+
+        if (t.text == "using") {
+            if (i + 2 < code.size() &&
+                code[i + 1].kind == Tok::Identifier &&
+                code[i + 2].text == "=" &&
+                isUppercaseName(code[i + 1].text)) {
+                tables.definedIn[code[i + 1].text].insert(path);
+                tables.localNames[path].insert(code[i + 1].text);
+            }
+            continue;
+        }
+
+        bool isEnum = t.text == "enum";
+        if (t.text != "class" && t.text != "struct" && !isEnum)
+            continue;
+        std::size_t k = i + 1;
+        if (isEnum && k < code.size() &&
+            (code[k].text == "class" || code[k].text == "struct"))
+            ++k;
+        k = skipAttributes(code, k);
+        if (k >= code.size() || code[k].kind != Tok::Identifier ||
+            !isUppercaseName(code[k].text))
+            continue;
+        const std::string &name = code[k].text;
+        std::size_t after = k + 1;
+        if (after < code.size() && code[after].text == "final")
+            ++after;
+        if (after >= code.size())
+            continue;
+        const std::string &next = code[after].text;
+        if (next == ";") {
+            // Forward declaration: names the type locally without a
+            // definition.
+            tables.localNames[path].insert(name);
+        } else if (next == "{" || next == ":") {
+            tables.definedIn[name].insert(path);
+            tables.localNames[path].insert(name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unchecked-expected
+// ---------------------------------------------------------------------------
+
+/**
+ * Start index of the postfix chain (`a.b->c::callee`) ending at
+ * `calleeIdx`, or kNone when the shape is unfamiliar (conservatively
+ * treated as a use).
+ */
+std::size_t
+chainStart(const std::vector<Token> &code, std::size_t calleeIdx)
+{
+    std::size_t j = calleeIdx;
+    while (j > 0) {
+        const Token &sep = code[j - 1];
+        if (sep.kind != Tok::Punct ||
+            (sep.text != "." && sep.text != "->" && sep.text != "::"))
+            break;
+        if (j < 2)
+            return kNone;
+        const Token &elem = code[j - 2];
+        if (elem.kind == Tok::Identifier) {
+            j -= 2;
+            continue;
+        }
+        if (elem.kind == Tok::Punct && elem.text == ")") {
+            // A call in the chain: walk over `name( ... )`.
+            std::size_t open = matchParenBack(code, j - 2);
+            if (open == kNone || open == 0 ||
+                code[open - 1].kind != Tok::Identifier)
+                return kNone;
+            j = open - 1;
+            continue;
+        }
+        return kNone;
+    }
+    return j;
+}
+
+/**
+ * Is the token before `first` a statement boundary, i.e. is the chain
+ * at `first` the root of an expression statement? Control-clause
+ * closers (`if (...)`) and explicit `(void)` casts count: both still
+ * discard the value.
+ */
+bool
+isDiscardPosition(const std::vector<Token> &code, std::size_t first,
+                  bool &voidCast)
+{
+    voidCast = false;
+    if (first == 0)
+        return true;
+    const Token &p = code[first - 1];
+    if (p.kind == Tok::Identifier)
+        return p.text == "else" || p.text == "do";
+    if (p.kind != Tok::Punct)
+        return false;
+    const std::string &s = p.text;
+    if (s == ";" || s == "{" || s == "}")
+        return true;
+    if (s == ":") {
+        // `case X:`, `default:` and access-specifier colons open a
+        // statement; a ternary `cond ? a(...) : b(...)` does not.
+        // Scan back for a `?` at depth zero before the enclosing
+        // statement boundary.
+        int depth = 0;
+        for (std::size_t j = first - 1; j-- > 0;) {
+            const Token &q = code[j];
+            if (q.kind != Tok::Punct)
+                continue;
+            const std::string &qs = q.text;
+            if (qs == ")" || qs == "]") {
+                ++depth;
+            } else if (qs == "(" || qs == "[") {
+                if (depth == 0)
+                    return false;  // inside parens: not a label colon
+                --depth;
+            } else if (depth == 0) {
+                if (qs == "?")
+                    return false;
+                if (qs == ";" || qs == "{" || qs == "}")
+                    return true;
+            }
+        }
+        return true;
+    }
+    if (s == ")") {
+        std::size_t open = matchParenBack(code, first - 1);
+        if (open == kNone)
+            return false;
+        if (open + 2 == first - 1 && code[open + 1].text == "void") {
+            voidCast = true;
+            return true;
+        }
+        if (open == 0)
+            return false;
+        const std::string &kw = code[open - 1].text;
+        return kw == "if" || kw == "for" || kw == "while" ||
+               kw == "switch";
+    }
+    return false;
+}
+
+void
+checkUncheckedExpected(const FileInput &file,
+                       const std::vector<Token> &code,
+                       const std::set<std::string> &callees,
+                       const Waivers &waivers,
+                       std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code[i];
+        if (t.kind != Tok::Identifier || t.inPreproc ||
+            callees.count(t.text) == 0)
+            continue;
+        if (i + 1 >= code.size() || code[i + 1].text != "(")
+            continue;
+        std::size_t close = matchParen(code, i + 1);
+        if (close == kNone || close + 1 >= code.size())
+            continue;
+        if (code[close + 1].text != ";")
+            continue;  // chained, compared, passed on, ...
+        std::size_t first = chainStart(code, i);
+        if (first == kNone)
+            continue;
+        bool voidCast = false;
+        if (!isDiscardPosition(code, first, voidCast))
+            continue;
+        report(out, waivers, file.path, t.line, "unchecked-expected",
+               std::string(voidCast ? "explicitly discarded"
+                                    : "discarded") +
+                   " result of '" + t.text +
+                   "', which returns support::Expected; bind it, "
+                   "test it, or waive with a rationale");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: context-on-propagate
+// ---------------------------------------------------------------------------
+
+void
+checkContextOnPropagate(const FileInput &file,
+                        const std::vector<Token> &code,
+                        const std::set<std::string> &callees,
+                        const Waivers &waivers,
+                        std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].kind != Tok::Identifier ||
+            code[i].text != "return" || code[i].inPreproc)
+            continue;
+
+        // Statement extent: to the ';' at bracket depth zero.
+        int depth = 0;
+        std::size_t end = kNone;
+        for (std::size_t j = i + 1; j < code.size(); ++j) {
+            const std::string &s = code[j].text;
+            if (code[j].kind == Tok::Punct) {
+                if (s == "(" || s == "[" || s == "{")
+                    ++depth;
+                else if (s == ")" || s == "]" || s == "}")
+                    --depth;
+                else if (s == ";" && depth == 0) {
+                    end = j;
+                    break;
+                }
+            }
+            if (depth < 0)
+                break;  // `return x }` -- malformed, bail
+        }
+        if (end == kNone || end == i + 1)
+            continue;  // no `;` found, or a bare `return;`
+
+        bool hasContext = false;
+        for (std::size_t j = i + 1; j < end; ++j)
+            if (code[j].text == "VIVA_ERROR_CONTEXT" ||
+                code[j].text == "VIVA_ERROR")
+                hasContext = true;
+        if (hasContext)
+            continue;
+
+        // Pattern (a): `return <expr>.error() ...;` -- the callee's
+        // error crosses this function boundary bare.
+        bool propagatesError = false;
+        for (std::size_t j = i + 2; j + 1 < end; ++j)
+            if (code[j].kind == Tok::Identifier &&
+                code[j].text == "error" &&
+                code[j + 1].text == "(" &&
+                (code[j - 1].text == "." || code[j - 1].text == "->"))
+                propagatesError = true;
+        if (propagatesError) {
+            report(out, waivers, file.path, code[i].line,
+                   "context-on-propagate",
+                   "a callee's .error() is returned without "
+                   "VIVA_ERROR_CONTEXT; the diagnostic loses this "
+                   "layer's frame");
+            continue;
+        }
+
+        // Pattern (b): `return callee(...);` where the whole returned
+        // expression is one call to an Expected-returning function.
+        std::size_t k = i + 1;
+        if (code[k].kind != Tok::Identifier)
+            continue;
+        std::string last = code[k].text;
+        ++k;
+        while (k + 1 < end && code[k].kind == Tok::Punct &&
+               (code[k].text == "::" || code[k].text == "." ||
+                code[k].text == "->") &&
+               code[k + 1].kind == Tok::Identifier) {
+            last = code[k + 1].text;
+            k += 2;
+        }
+        if (k >= end || code[k].text != "(")
+            continue;
+        std::size_t close = matchParen(code, k);
+        if (close != end - 1 || callees.count(last) == 0)
+            continue;
+        report(out, waivers, file.path, code[i].line,
+               "context-on-propagate",
+               "the Expected received from '" + last +
+                   "' is returned without VIVA_ERROR_CONTEXT; wrap "
+                   "the error path so the chain records this layer");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: obs-phase-manifest
+// ---------------------------------------------------------------------------
+
+/** One phase registration site. */
+struct PhaseUse
+{
+    std::string name;
+    std::string file;
+    std::size_t line = 0;
+};
+
+/** `histogram("name")` registrations in one token stream. */
+void
+collectPhaseUses(const FileInput &file, const std::vector<Token> &code,
+                 std::vector<PhaseUse> &out)
+{
+    for (std::size_t i = 0; i + 2 < code.size(); ++i)
+        if (code[i].kind == Tok::Identifier &&
+            code[i].text == "histogram" && code[i + 1].text == "(" &&
+            code[i + 2].kind == Tok::String)
+            out.push_back(
+                {code[i + 2].text, file.path, code[i + 2].line});
+}
+
+void
+checkObsPhaseManifest(const std::vector<PhaseUse> &uses,
+                      const std::map<std::string, Waivers> &waiversByFile,
+                      const Options &options,
+                      std::vector<Finding> &out)
+{
+    // Parse the manifest: one name per line, '#' comments.
+    std::map<std::string, std::size_t> manifest;
+    std::set<std::string> manifestNames;
+    {
+        std::istringstream in(options.manifestContent);
+        std::string line;
+        std::size_t line_no = 0;
+        while (std::getline(in, line)) {
+            ++line_no;
+            std::size_t hash = line.find('#');
+            if (hash != std::string::npos)
+                line = line.substr(0, hash);
+            line = trim(line);
+            if (line.empty())
+                continue;
+            if (!manifest.emplace(line, line_no).second)
+                out.push_back({options.manifestPath, line_no,
+                               "obs-phase-manifest",
+                               "duplicate manifest entry '" + line +
+                                   "'"});
+            manifestNames.insert(line);
+        }
+    }
+
+    static const Waivers kNoWaivers;
+    std::set<std::string> used;
+    for (const PhaseUse &use : uses) {
+        used.insert(use.name);
+        if (manifestNames.count(use.name))
+            continue;
+        auto it = waiversByFile.find(use.file);
+        const Waivers &w =
+            it == waiversByFile.end() ? kNoWaivers : it->second;
+        report(out, w, use.file, use.line, "obs-phase-manifest",
+               "phase '" + use.name + "' is not listed in " +
+                   options.manifestPath +
+                   " (add it, or run viva-check --update-manifest)");
+    }
+    for (const auto &[name, line] : manifest)
+        if (!used.count(name))
+            out.push_back(
+                {options.manifestPath, line, "obs-phase-manifest",
+                 "manifest entry '" + name +
+                     "' matches no registered phase in src/ (remove "
+                     "it, or run viva-check --update-manifest)"});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-self-sufficiency
+// ---------------------------------------------------------------------------
+
+void
+checkSelfSufficiency(
+    const FileInput &file, const std::vector<Token> &code,
+    const TypeTables &types,
+    const std::map<std::string, std::set<std::string>> &closure,
+    const Waivers &waivers, std::vector<Finding> &out)
+{
+    auto closed = closure.find(file.path);
+    const std::set<std::string> empty;
+    const std::set<std::string> &reach =
+        closed == closure.end() ? empty : closed->second;
+    auto localIt = types.localNames.find(file.path);
+    const std::set<std::string> &local =
+        localIt == types.localNames.end() ? empty : localIt->second;
+
+    // Enumerator lists live in their own scope: `Host,` inside
+    // `enum class ContainerKind { ... }` is not a reference to a
+    // `Host` type defined elsewhere. Mark enum-body token ranges.
+    std::vector<char> inEnumBody(code.size(), 0);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].kind != Tok::Identifier || code[i].text != "enum")
+            continue;
+        std::size_t k = i + 1;
+        while (k < code.size() && code[k].text != "{" &&
+               code[k].text != ";")
+            ++k;
+        if (k >= code.size() || code[k].text != "{")
+            continue;
+        int depth = 0;
+        for (std::size_t j = k; j < code.size(); ++j) {
+            if (code[j].text == "{")
+                ++depth;
+            else if (code[j].text == "}" && --depth == 0)
+                break;
+            inEnumBody[j] = 1;
+        }
+    }
+
+    std::set<std::string> reported;
+    for (std::size_t ti = 0; ti < code.size(); ++ti) {
+        const Token &t = code[ti];
+        if (t.kind != Tok::Identifier || !isUppercaseName(t.text) ||
+            inEnumBody[ti])
+            continue;
+        if (local.count(t.text) || reported.count(t.text))
+            continue;
+        auto def = types.definedIn.find(t.text);
+        if (def == types.definedIn.end() ||
+            def->second.size() != 1)
+            continue;  // unknown or ambiguously defined: skip
+        const std::string &definer = *def->second.begin();
+        if (definer == file.path || reach.count(definer))
+            continue;
+        reported.insert(t.text);
+        report(out, waivers, file.path, t.line,
+               "include-self-sufficiency",
+               "references '" + t.text + "' but neither includes '" +
+                   definer +
+                   "' (directly or transitively) nor "
+                   "forward-declares it; the header only compiles in "
+                   "a lucky include order");
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::set<std::string>
+harvestExpectedCallees(const std::vector<FileInput> &files)
+{
+    std::set<std::string> out;
+    for (const FileInput &f : files) {
+        if (!isHeaderPath(f.path))
+            continue;
+        std::vector<Token> code;
+        for (Token &t : lex(f.content))
+            if (t.kind != Tok::Comment)
+                code.push_back(std::move(t));
+        harvestCalleesFrom(code, out);
+    }
+    return out;
+}
+
+std::vector<std::string>
+harvestPhaseNames(const std::vector<FileInput> &files)
+{
+    std::vector<PhaseUse> uses;
+    for (const FileInput &f : files) {
+        if (!startsWith(f.path, "src/"))
+            continue;
+        std::vector<Token> code;
+        for (Token &t : lex(f.content))
+            if (t.kind != Tok::Comment)
+                code.push_back(std::move(t));
+        collectPhaseUses(f, code, uses);
+    }
+    std::vector<std::string> names;
+    for (const PhaseUse &u : uses)
+        names.push_back(u.name);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+std::vector<Finding>
+runCheck(const std::vector<FileInput> &files, const Options &options)
+{
+    std::vector<Finding> out;
+
+    // Lex once; split comment-free streams for the flow passes.
+    std::vector<std::vector<Token>> code(files.size());
+    std::map<std::string, Waivers> waiversByFile;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::vector<Token> all = lex(files[i].content);
+        waiversByFile[files[i].path] = parseWaivers(
+            files[i].path, files[i].content, all, out);
+        for (Token &t : all)
+            if (t.kind != Tok::Comment)
+                code[i].push_back(std::move(t));
+    }
+
+    // Pre-pass 1: Expected/Error-returning callees, from headers.
+    std::set<std::string> callees;
+    for (std::size_t i = 0; i < files.size(); ++i)
+        if (isHeaderPath(files[i].path))
+            harvestCalleesFrom(code[i], callees);
+
+    // Pre-pass 2: the include graph and, for src/ headers, type
+    // definitions and transitive include closures.
+    std::set<std::string> known;
+    for (const FileInput &f : files)
+        known.insert(f.path);
+    std::map<std::string, std::vector<std::string>> graph;
+    TypeTables types;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        for (const std::string &target :
+             extractIncludeTargets(code[i])) {
+            const std::string resolved =
+                resolveInclude(files[i].path, target, known);
+            if (!resolved.empty())
+                graph[files[i].path].push_back(resolved);
+        }
+        if (isHeaderPath(files[i].path) &&
+            startsWith(files[i].path, "src/"))
+            harvestTypesFrom(files[i].path, code[i], types);
+    }
+    std::map<std::string, std::set<std::string>> closure;
+    for (const FileInput &f : files) {
+        if (!isHeaderPath(f.path) || !startsWith(f.path, "src/"))
+            continue;
+        std::set<std::string> &reach = closure[f.path];
+        std::vector<std::string> stack{f.path};
+        while (!stack.empty()) {
+            std::string at = stack.back();
+            stack.pop_back();
+            auto it = graph.find(at);
+            if (it == graph.end())
+                continue;
+            for (const std::string &to : it->second)
+                if (reach.insert(to).second)
+                    stack.push_back(to);
+        }
+    }
+
+    // Per-file flow rules.
+    std::vector<PhaseUse> phaseUses;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const FileInput &file = files[i];
+        const Waivers &w = waiversByFile[file.path];
+        checkUncheckedExpected(file, code[i], callees, w, out);
+        if (startsWith(file.path, "src/")) {
+            checkContextOnPropagate(file, code[i], callees, w, out);
+            collectPhaseUses(file, code[i], phaseUses);
+            if (isHeaderPath(file.path))
+                checkSelfSufficiency(file, code[i], types, closure, w,
+                                     out);
+        }
+    }
+
+    if (options.haveManifest)
+        checkObsPhaseManifest(phaseUses, waiversByFile, options, out);
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+    return out;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    std::ostringstream os;
+    os << finding.file << ':' << finding.line << ": [" << finding.rule
+       << "] " << finding.message;
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatJson(std::size_t fileCount, const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"viva-check-1\",\n";
+    os << "  \"files\": " << fileCount << ",\n";
+    os << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? "," : "") << "\n    {\"file\": \""
+           << jsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << jsonEscape(f.rule)
+           << "\", \"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    if (!findings.empty())
+        os << "\n  ";
+    os << "]\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace viva::check

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The viva-check engine: flow-aware contract analysis on top of the
+ * tools/check_lexer.hh token stream. Where viva-lint matches tokens
+ * and lines, viva-check follows values across statements -- which is
+ * what the fault-tolerance (support::Expected) and observability
+ * (ScopedPhase / metrics registry) layers need to stay machine-
+ * enforced rather than convention-enforced.
+ *
+ * Passes:
+ *  1. a signature pre-pass harvests, from every scanned header, the
+ *     names of functions whose declared return type is
+ *     support::Expected<T> or support::Error;
+ *  2. a type pre-pass harvests type definitions and forward
+ *     declarations per header, and resolves the quoted include graph
+ *     (the same candidate roots viva-deps uses);
+ *  3. the rules below run per file on the token stream.
+ *
+ * Rules:
+ *  - unchecked-expected: an expression statement whose root is a call
+ *    to an Expected/Error-returning function, with the result neither
+ *    bound, tested, passed on nor returned (explicit (void) casts
+ *    included), silently drops a recoverable failure;
+ *  - context-on-propagate: a `return` that hands a callee's Expected
+ *    or .error() upward without VIVA_ERROR_CONTEXT loses the
+ *    file:line chain the error report is built from;
+ *  - obs-phase-manifest: every phase histogram registered in src/
+ *    must appear in tools/obs_manifest.txt and vice versa, so
+ *    dashboards and golden stats cannot silently drift from the code;
+ *  - include-self-sufficiency: a src/ header that references a viva
+ *    type must reach the defining header through its own includes
+ *    (directly or transitively) or forward-declare the name --
+ *    compile-order independence, IWYU-lite.
+ *
+ * Waivers: `// viva-check: allow(<rule>): <why>` on the offending
+ * line or alone on the line above; `allow-file(<rule>): <why>` for a
+ * whole file. A waiver without a rationale is itself a finding.
+ *
+ * Exit-code contract (shared with viva-lint via tools/cli_common.hh):
+ * 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace viva::check
+{
+
+/** One source file handed to the engine. */
+struct FileInput
+{
+    /** Repo-relative path with '/' separators (drives rule scoping). */
+    std::string path;
+
+    /** Full file content. */
+    std::string content;
+};
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;  ///< 1-based; manifest findings point there
+    std::string rule;
+    std::string message;
+};
+
+/** Engine configuration. */
+struct Options
+{
+    /** Path the manifest findings are attributed to. */
+    std::string manifestPath = "tools/obs_manifest.txt";
+
+    /** Raw manifest text (one phase name per line, '#' comments). */
+    std::string manifestContent;
+
+    /** When false, the obs-phase-manifest rule is skipped. */
+    bool haveManifest = false;
+};
+
+/**
+ * Run every rule over the files and return the findings, ordered by
+ * file, line, rule, message. Waived findings are dropped.
+ */
+std::vector<Finding> runCheck(const std::vector<FileInput> &files,
+                              const Options &options);
+
+/**
+ * The signature pre-pass alone: names of functions declared in the
+ * scanned headers with an Expected<T> or Error return type. Exposed
+ * for tests.
+ */
+std::set<std::string>
+harvestExpectedCallees(const std::vector<FileInput> &files);
+
+/**
+ * The phase names registered under src/ (string literals passed to
+ * obs registry `histogram(...)` calls), sorted and deduplicated --
+ * the content `--update-manifest` writes.
+ */
+std::vector<std::string>
+harvestPhaseNames(const std::vector<FileInput> &files);
+
+/** Format a finding as "path:line: [rule] message". */
+std::string formatFinding(const Finding &finding);
+
+/**
+ * The `--json` rendering: a stable viva-check-1 document (sorted
+ * findings, fixed key order, no timestamps) that is byte-identical
+ * across runs on identical input.
+ */
+std::string formatJson(std::size_t fileCount,
+                       const std::vector<Finding> &findings);
+
+} // namespace viva::check

@@ -13,6 +13,8 @@
 #include <set>
 #include <sstream>
 
+#include "tools/check_lexer.hh"
+
 namespace viva::lint
 {
 
@@ -22,63 +24,10 @@ namespace detail
 std::string
 stripCommentsAndStrings(const std::string &content)
 {
-    std::string out = content;
-    std::size_t i = 0;
-    const std::size_t n = content.size();
-
-    auto blank = [&](std::size_t from, std::size_t to) {
-        for (std::size_t k = from; k < to && k < n; ++k)
-            if (out[k] != '\n')
-                out[k] = ' ';
-    };
-
-    while (i < n) {
-        char c = content[i];
-        char next = i + 1 < n ? content[i + 1] : '\0';
-
-        if (c == '/' && next == '/') {
-            std::size_t end = content.find('\n', i);
-            if (end == std::string::npos)
-                end = n;
-            blank(i, end);
-            i = end;
-        } else if (c == '/' && next == '*') {
-            std::size_t end = content.find("*/", i + 2);
-            end = end == std::string::npos ? n : end + 2;
-            blank(i, end);
-            i = end;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(
-                                   static_cast<unsigned char>(
-                                       content[i - 1])) &&
-                               content[i - 1] != '_'))) {
-            // Raw string literal: R"delim( ... )delim"
-            std::size_t open = content.find('(', i + 2);
-            if (open == std::string::npos) {
-                ++i;
-                continue;
-            }
-            std::string delim = content.substr(i + 2, open - (i + 2));
-            std::string closer = ")" + delim + "\"";
-            std::size_t end = content.find(closer, open + 1);
-            end = end == std::string::npos ? n : end + closer.size();
-            blank(i, end);
-            i = end;
-        } else if (c == '"' || c == '\'') {
-            std::size_t k = i + 1;
-            while (k < n && content[k] != c) {
-                if (content[k] == '\\')
-                    ++k;
-                ++k;
-            }
-            std::size_t end = std::min(k + 1, n);
-            blank(i + 1, end > i + 1 ? end - 1 : i + 1);
-            i = end;
-        } else {
-            ++i;
-        }
-    }
-    return out;
+    // One lexical substrate for all analyzers: the viva-check
+    // tokenizer handles the cases the old hand-rolled scanner missed
+    // (spliced line comments, digit separators, encoding prefixes).
+    return viva::check::stripCommentsAndStrings(content);
 }
 
 std::size_t

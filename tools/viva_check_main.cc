@@ -1,0 +1,225 @@
+/**
+ * @file
+ * viva-check command line: run the flow-aware contract rules
+ * (tools/check.hh) over the repository tree.
+ *
+ * Usage: viva-check <root> [--json] [--update-manifest]
+ *                   [--compile-commands <path>] [subdir...]
+ *
+ * With no subdirs the default set (src tests bench examples tools) is
+ * scanned. `--compile-commands build/compile_commands.json` restricts
+ * the implementation files to the ones the build actually compiles
+ * (headers are always taken from the directory walk, since they never
+ * appear in the database). `--update-manifest` rewrites
+ * tools/obs_manifest.txt from the phases registered in src/ -- the
+ * VIVA_UPDATE_GOLDEN convention applied to observability. `--json`
+ * prints a byte-stable machine-readable report instead of text.
+ *
+ * Exit status (tools/cli_common.hh): 0 clean, 1 findings, 2 usage or
+ * I/O error.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/check.hh"
+#include "tools/cli_common.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/**
+ * Pull the "file" entries out of a compile_commands.json. A full JSON
+ * parser is not needed: clang and CMake both emit `"file": "<path>"`
+ * with standard JSON string escaping on the value.
+ */
+std::vector<std::string>
+compileCommandFiles(const std::string &json)
+{
+    std::vector<std::string> out;
+    const std::string key = "\"file\"";
+    std::size_t pos = 0;
+    while ((pos = json.find(key, pos)) != std::string::npos) {
+        pos += key.size();
+        while (pos < json.size() &&
+               (json[pos] == ' ' || json[pos] == '\t' ||
+                json[pos] == ':' || json[pos] == '\n' ||
+                json[pos] == '\r'))
+            ++pos;
+        if (pos >= json.size() || json[pos] != '"')
+            continue;
+        ++pos;
+        std::string value;
+        while (pos < json.size() && json[pos] != '"') {
+            if (json[pos] == '\\' && pos + 1 < json.size()) {
+                ++pos;
+                value += json[pos] == 'n' ? '\n' : json[pos];
+            } else {
+                value += json[pos];
+            }
+            ++pos;
+        }
+        out.push_back(value);
+    }
+    return out;
+}
+
+bool
+isImplementationPath(const std::string &path)
+{
+    auto ends = [&](const char *suffix) {
+        const std::string s(suffix);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends(".cc") || ends(".cpp");
+}
+
+int
+usage()
+{
+    std::cerr << "usage: viva-check <root> [--json] "
+                 "[--update-manifest] [--compile-commands <path>] "
+                 "[subdir...]\n";
+    return viva::cli::kExitUsage;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool updateManifest = false;
+    std::string compileCommandsPath;
+    std::string rootArg;
+    std::vector<std::string> subdirs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--update-manifest") {
+            updateManifest = true;
+        } else if (arg == "--compile-commands") {
+            if (++i >= argc)
+                return usage();
+            compileCommandsPath = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (rootArg.empty()) {
+            rootArg = arg;
+        } else {
+            subdirs.push_back(arg);
+        }
+    }
+    if (rootArg.empty())
+        return usage();
+
+    const fs::path root = rootArg;
+    if (!fs::is_directory(root)) {
+        std::cerr << "viva-check: '" << root.string()
+                  << "' is not a directory\n";
+        return viva::cli::kExitUsage;
+    }
+    if (subdirs.empty())
+        subdirs = {"src", "tests", "bench", "examples", "tools"};
+
+    std::vector<viva::cli::Source> sources;
+    if (!viva::cli::collectSources("viva-check", root, subdirs,
+                                   sources, std::cerr))
+        return viva::cli::kExitUsage;
+
+    if (!compileCommandsPath.empty()) {
+        std::ifstream in(compileCommandsPath, std::ios::binary);
+        if (!in) {
+            std::cerr << "viva-check: cannot read '"
+                      << compileCommandsPath << "'\n";
+            return viva::cli::kExitUsage;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        std::set<std::string> compiled;
+        for (const std::string &f :
+             compileCommandFiles(buffer.str())) {
+            std::error_code ec;
+            const std::string rel =
+                fs::relative(f, root, ec).generic_string();
+            if (!ec)
+                compiled.insert(rel);
+        }
+        std::erase_if(sources, [&](const viva::cli::Source &s) {
+            return isImplementationPath(s.path) &&
+                   compiled.count(s.path) == 0;
+        });
+    }
+
+    std::vector<viva::check::FileInput> files;
+    files.reserve(sources.size());
+    for (viva::cli::Source &s : sources)
+        files.push_back({std::move(s.path), std::move(s.content)});
+
+    const fs::path manifestFile = root / "tools" / "obs_manifest.txt";
+
+    if (updateManifest) {
+        std::vector<std::string> names =
+            viva::check::harvestPhaseNames(files);
+        std::ofstream outFile(manifestFile, std::ios::binary);
+        if (!outFile) {
+            std::cerr << "viva-check: cannot write '"
+                      << manifestFile.string() << "'\n";
+            return viva::cli::kExitUsage;
+        }
+        outFile << "# Observability phase manifest. One histogram "
+                   "name per line; '#' comments.\n"
+                << "# Regenerate with: viva-check <root> "
+                   "--update-manifest\n"
+                << "# Checked by the obs-phase-manifest rule: every "
+                   "phase registered in src/\n"
+                << "# must be listed here, and every line here must "
+                   "match a registration.\n";
+        for (const std::string &name : names)
+            outFile << name << '\n';
+        std::cout << "viva-check: wrote " << names.size()
+                  << " phase" << (names.size() == 1 ? "" : "s")
+                  << " to " << manifestFile.generic_string() << '\n';
+        return viva::cli::kExitClean;
+    }
+
+    viva::check::Options options;
+    options.manifestPath = "tools/obs_manifest.txt";
+    {
+        std::ifstream in(manifestFile, std::ios::binary);
+        if (!in) {
+            std::cerr << "viva-check: cannot read '"
+                      << manifestFile.string()
+                      << "' (run --update-manifest to create it)\n";
+            return viva::cli::kExitUsage;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        options.manifestContent = buffer.str();
+        options.haveManifest = true;
+    }
+
+    std::vector<viva::check::Finding> findings =
+        viva::check::runCheck(files, options);
+
+    if (json) {
+        std::cout << viva::check::formatJson(files.size(), findings);
+    } else {
+        for (const viva::check::Finding &f : findings)
+            std::cout << viva::check::formatFinding(f) << '\n';
+        std::cout << "viva-check: " << files.size() << " files, "
+                  << findings.size() << " finding"
+                  << (findings.size() == 1 ? "" : "s") << '\n';
+    }
+    return viva::cli::exitCodeForFindings(findings.size());
+}

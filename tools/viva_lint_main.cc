@@ -6,58 +6,36 @@
  * Usage: viva-lint <root> [subdir...]
  *
  * With no subdirs the default set (src tests bench examples tools) is
- * scanned. Fixture files under tests/lint_fixtures are always skipped:
- * they violate rules on purpose. Exit status: 0 clean, 1 findings,
- * 2 usage or I/O error.
+ * scanned. Fixture files (tests/lint_fixtures etc.) are always
+ * skipped: they violate rules on purpose. Exit status
+ * (tools/cli_common.hh, shared with viva-check): 0 clean, 1 findings,
+ * 2 usage or I/O error -- a missing subdirectory is an error, not a
+ * silently-empty scan.
  */
 
-#include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/cli_common.hh"
 #include "tools/lint.hh"
-
-namespace
-{
-
-namespace fs = std::filesystem;
-
-bool
-isSourcePath(const fs::path &p)
-{
-    const std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-           ext == ".hpp";
-}
-
-std::string
-readFile(const fs::path &p)
-{
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
+    namespace fs = std::filesystem;
+
     if (argc < 2) {
         std::cerr << "usage: viva-lint <root> [subdir...]\n";
-        return 2;
+        return viva::cli::kExitUsage;
     }
 
     const fs::path root = argv[1];
     if (!fs::is_directory(root)) {
         std::cerr << "viva-lint: '" << root.string()
                   << "' is not a directory\n";
-        return 2;
+        return viva::cli::kExitUsage;
     }
 
     std::vector<std::string> subdirs;
@@ -66,32 +44,15 @@ main(int argc, char **argv)
     if (subdirs.empty())
         subdirs = {"src", "tests", "bench", "examples", "tools"};
 
-    std::vector<viva::lint::FileInput> files;
-    for (const std::string &sub : subdirs) {
-        fs::path dir = root / sub;
-        if (!fs::is_directory(dir)) {
-            std::cerr << "viva-lint: skipping missing directory '"
-                      << dir.string() << "'\n";
-            continue;
-        }
-        for (const auto &entry :
-             fs::recursive_directory_iterator(dir)) {
-            if (!entry.is_regular_file() ||
-                !isSourcePath(entry.path()))
-                continue;
-            std::string rel =
-                fs::relative(entry.path(), root).generic_string();
-            if (rel.find("lint_fixtures/") != std::string::npos)
-                continue;
-            files.push_back({rel, readFile(entry.path())});
-        }
-    }
+    std::vector<viva::cli::Source> sources;
+    if (!viva::cli::collectSources("viva-lint", root, subdirs,
+                                   sources, std::cerr))
+        return viva::cli::kExitUsage;
 
-    std::sort(files.begin(), files.end(),
-              [](const viva::lint::FileInput &a,
-                 const viva::lint::FileInput &b) {
-                  return a.path < b.path;
-              });
+    std::vector<viva::lint::FileInput> files;
+    files.reserve(sources.size());
+    for (viva::cli::Source &s : sources)
+        files.push_back({std::move(s.path), std::move(s.content)});
 
     std::vector<viva::lint::Finding> findings =
         viva::lint::runLint(files);
@@ -101,5 +62,5 @@ main(int argc, char **argv)
     std::cout << "viva-lint: " << files.size() << " files, "
               << findings.size() << " finding"
               << (findings.size() == 1 ? "" : "s") << '\n';
-    return findings.empty() ? 0 : 1;
+    return viva::cli::exitCodeForFindings(findings.size());
 }
