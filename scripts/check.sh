@@ -30,9 +30,14 @@
 #              context-on-propagate, obs-phase-manifest,
 #              include-self-sufficiency) over the whole tree, plus the
 #              lexer/rule unit tests
+#   graph      the viva-graph transitive contract rules
+#              (fatal-reachable, clock-reachable, io-in-hot-path,
+#              dead-symbol) over the whole-program call graph, plus the
+#              extraction/cache unit tests
 #
 # Usage: check.sh [stage ...]   -- default: every stage, failing fast.
-# Per-stage build trees live in build-<stage>/ and are reused.
+# Per-stage build trees live in build-<stage>/ and are reused. A
+# per-stage wall-time summary is printed at the end.
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,7 +45,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
-STAGES="${*:-release validate tsan asan fault lint obs analyze check}"
+STAGES="${*:-release validate tsan asan fault lint obs analyze check graph}"
 
 configure_flags() {
     case "$1" in
@@ -56,12 +61,12 @@ configure_flags() {
     asan|fault)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=address,undefined"
         ;;
-    lint|analyze|check)
+    lint|analyze|check|graph)
         echo "-DCMAKE_BUILD_TYPE=Release"
         ;;
     *)
         echo "check.sh: unknown stage '$1'" >&2
-        echo "usage: $0 [release|validate|tsan|asan|fault|lint|obs|analyze|check ...]" >&2
+        echo "usage: $0 [release|validate|tsan|asan|fault|lint|obs|analyze|check|graph ...]" >&2
         exit 2
         ;;
     esac
@@ -99,6 +104,13 @@ run_stage() {
             src tests bench examples tools || return 1
         ctest --test-dir "$BUILD" --output-on-failure -R '^check' \
             || return 1
+    elif [ "$stage" = graph ]; then
+        cmake --build "$BUILD" -j --target viva-graph graph_test || return 1
+        "$BUILD/tools/viva-graph" "$ROOT" "$ROOT/tools/layering.rules" \
+            --cache "$BUILD/viva-graph.cache" \
+            src tests bench examples tools || return 1
+        ctest --test-dir "$BUILD" --output-on-failure -R '^graph' \
+            || return 1
     elif [ "$stage" = analyze ]; then
         cmake --build "$BUILD" -j --target viva-deps deps_test || return 1
         "$BUILD/tools/viva-deps" "$ROOT" "$ROOT/tools/layering.rules" \
@@ -132,12 +144,17 @@ run_stage() {
 }
 
 PASSED=""
+TIMINGS=""
 for stage in $STAGES; do
     configure_flags "$stage" >/dev/null  # validate the name up front
 done
 for stage in $STAGES; do
+    STAGE_START="$(date +%s)"
     if run_stage "$stage"; then
+        STAGE_SECS=$(( $(date +%s) - STAGE_START ))
         PASSED="$PASSED $stage"
+        TIMINGS="$TIMINGS$(printf '  %-10s %4ss\n' "$stage" "$STAGE_SECS")
+"
     else
         echo ""
         echo "check.sh: FAILED at stage '$stage' (passed:${PASSED:- none})"
@@ -146,4 +163,6 @@ for stage in $STAGES; do
 done
 
 echo ""
+echo "check.sh: stage wall times:"
+printf '%s' "$TIMINGS"
 echo "check.sh: all stages clean:$PASSED"

@@ -233,16 +233,8 @@ Platform::vertexRouter(VertexId v) const
     return vertexInfo[v.index()].isHost ? kNoRouter : RouterId{vertexInfo[v.index()].index};
 }
 
-const std::string &
-Platform::vertexName(VertexId v) const
-{
-    VIVA_ASSERT(v.index() < vertexInfo.size(), "bad vertex ", v);
-    return vertexInfo[v.index()].isHost ? hosts[vertexInfo[v.index()].index].name
-                                : routers[vertexInfo[v.index()].index].name;
-}
-
 const Route &
-Platform::route(HostId src, HostId dst) const
+Platform::route(HostId src, HostId dst) const  // viva-graph: allow(fatal-reachable): disconnected hosts are a construction error; panic is documented
 {
     VIVA_ASSERT(src.index() < hosts.size() && dst.index() < hosts.size(),
                 "bad route endpoints ", src, ", ", dst);
@@ -295,12 +287,6 @@ Platform::route(HostId src, HostId dst) const
     }
     std::reverse(result.links.begin(), result.links.end());
     return routeCache.emplace(key, std::move(result)).first->second;
-}
-
-void
-Platform::invalidateRoutes() const
-{
-    routeCache.clear();
 }
 
 support::AuditLog

@@ -99,8 +99,6 @@ struct Route
 {
     std::vector<LinkId> links;
     double latencyS = 0.0;
-
-    bool valid() const { return !links.empty() || latencyS >= 0.0; }
 };
 
 /**
@@ -188,9 +186,6 @@ class Platform
     /** What a vertex is: a router (returns id) or kNoRouter if a host. */
     RouterId vertexRouter(VertexId v) const;
 
-    /** Display name of a vertex (host or router name). */
-    const std::string &vertexName(VertexId v) const;
-
     // --- routing ----------------------------------------------------------
 
     /**
@@ -199,9 +194,6 @@ class Platform
      * A host-to-itself route is empty with zero latency.
      */
     const Route &route(HostId src, HostId dst) const;
-
-    /** Drop the route cache (after topology edits). */
-    void invalidateRoutes() const;
 
     /**
      * Deep structural audit: group parent/child lists agree and are

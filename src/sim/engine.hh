@@ -172,9 +172,6 @@ class Engine
     /** Traffic of one tag on a link right now. */
     double linkRate(platform::LinkId id, TagId tag) const;
 
-    /** Number of running fluid activities. */
-    std::size_t activeActivityCount() const { return activities.size(); }
-
     /** How many times the fair-share solver ran (cost metric). */
     std::size_t fairShareRuns() const { return recomputes; }
 

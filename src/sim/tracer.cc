@@ -44,22 +44,6 @@ Tracer::Tracer(const Engine &engine, trace::Trace &out,
     }
 }
 
-trace::MetricId
-Tracer::hostMetricForTag(TagId tag) const
-{
-    VIVA_ASSERT(perTag && tag >= 1 && tag < tagHostMetric.size(),
-                "no per-tag metric for tag ", int(tag));
-    return tagHostMetric[tag];
-}
-
-trace::MetricId
-Tracer::linkMetricForTag(TagId tag) const
-{
-    VIVA_ASSERT(perTag && tag >= 1 && tag < tagLinkMetric.size(),
-                "no per-tag metric for tag ", int(tag));
-    return tagLinkMetric[tag];
-}
-
 void
 Tracer::emit(trace::ContainerId c, trace::MetricId m, double time, double v,
              double &last)

@@ -45,12 +45,6 @@ class Tracer : public RateObserver
     /** Number of change points written so far. */
     std::size_t pointsWritten() const { return written; }
 
-    /** The per-tag host-usage metric for a tag ("power_used:<name>"). */
-    trace::MetricId hostMetricForTag(TagId tag) const;
-
-    /** The per-tag link-usage metric for a tag ("bandwidth_used:<name>"). */
-    trace::MetricId linkMetricForTag(TagId tag) const;
-
   private:
     /** Write v at `time` for (container, metric) unless it is a repeat. */
     void emit(trace::ContainerId c, trace::MetricId m, double time,

@@ -196,7 +196,7 @@ class [[nodiscard]] Expected<void>
  */
 template <typename T>
 T
-valueOrDie(Expected<T> result, const std::string &where)
+valueOrDie(Expected<T> result, const std::string &where)  // viva-graph: allow(fatal-reachable): the CLI boundary adapter; dying is its contract
 {
     if (!result) {
         // The one sanctioned escape hatch to fatal(): this helper IS
@@ -208,7 +208,7 @@ valueOrDie(Expected<T> result, const std::string &where)
 
 /** okOrDie: the Expected<void> flavour of valueOrDie. */
 inline void
-okOrDie(const Expected<void> &result, const std::string &where)
+okOrDie(const Expected<void> &result, const std::string &where)  // viva-graph: allow(fatal-reachable): the CLI boundary adapter; dying is its contract
 {
     if (!result) {
         fatal(where, result.error().toString());  // viva-lint: allow(no-fatal-below-app)

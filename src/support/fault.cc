@@ -78,7 +78,7 @@ FaultInjector::arm(const std::string &point, FaultSpec spec)
 }
 
 void
-FaultInjector::disarm(const std::string &point)
+FaultInjector::disarm(const std::string &point)  // viva-graph: allow(dead): arm()'s single-point counterpart; kept for injector API symmetry
 {
     std::lock_guard<std::mutex> lock(mu);
     auto it = points.find(point);

@@ -56,12 +56,6 @@ RunningStats::variance() const
 }
 
 double
-RunningStats::sampleVariance() const
-{
-    return n >= 2 ? m2 / double(n - 1) : 0.0;
-}
-
-double
 RunningStats::stddev() const
 {
     return std::sqrt(variance());

@@ -36,9 +36,6 @@ class RunningStats
     /** Population variance; 0 with fewer than 2 observations. */
     double variance() const;
 
-    /** Sample (n-1) variance; 0 with fewer than 2 observations. */
-    double sampleVariance() const;
-
     /** Population standard deviation. */
     double stddev() const;
 

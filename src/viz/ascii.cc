@@ -79,11 +79,4 @@ renderAscii(const Scene &scene, const AsciiOptions &options)
     return out.str();
 }
 
-void
-writeAscii(const Scene &scene, std::ostream &out,
-           const AsciiOptions &options)
-{
-    out << renderAscii(scene, options);
-}
-
 } // namespace viva::viz

@@ -31,9 +31,5 @@ struct AsciiOptions
 std::string renderAscii(const Scene &scene,
                         const AsciiOptions &options = AsciiOptions());
 
-/** Render directly to a stream. */
-void writeAscii(const Scene &scene, std::ostream &out,
-                const AsciiOptions &options = AsciiOptions());
-
 } // namespace viva::viz
 

@@ -12,17 +12,6 @@
 namespace viva::viz
 {
 
-const char *
-shapeKindName(ShapeKind kind)
-{
-    switch (kind) {
-      case ShapeKind::Square: return "square";
-      case ShapeKind::Diamond: return "diamond";
-      case ShapeKind::Circle: return "circle";
-    }
-    return "circle";
-}
-
 std::string
 Color::hex() const
 {

@@ -16,9 +16,6 @@ namespace viva::viz
 /** The three node glyphs. */
 enum class ShapeKind : std::uint8_t { Square, Diamond, Circle };
 
-/** Name of a shape kind ("square", ...). */
-const char *shapeKindName(ShapeKind kind);
-
 /** An sRGB color. */
 struct Color
 {

@@ -415,3 +415,28 @@ TEST(CheckOutput, EmptyFindingsJson)
     const std::string doc = vc::formatJson(0, {});
     EXPECT_NE(doc.find("\"findings\": []"), std::string::npos);
 }
+
+TEST(CheckJobs, FindingsIdenticalAcrossThreadCounts)
+{
+    const std::vector<vc::FileInput> files = {
+        apiHeader(),
+        {"src/demo/a.cc", fixture("unchecked_bad.cc")},
+        {"src/demo/b.cc", fixture("context_bad.cc")},
+        {"src/demo/bad.hh", fixture("selfsuff_bad.hh")},
+        {"src/demo/defs.hh", fixture("selfsuff_defs.hh")},
+    };
+    vc::Options serialOpts;
+    serialOpts.jobs = 1;
+    vc::Options threadedOpts;
+    threadedOpts.jobs = 4;
+    const std::vector<vc::Finding> serial =
+        vc::runCheck(files, serialOpts);
+    const std::vector<vc::Finding> threaded =
+        vc::runCheck(files, threadedOpts);
+    ASSERT_EQ(serial.size(), threaded.size());
+    ASSERT_GT(serial.size(), 0u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(vc::formatFinding(serial[i]),
+                  vc::formatFinding(threaded[i]));
+    }
+}

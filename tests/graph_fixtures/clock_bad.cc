@@ -1,0 +1,20 @@
+// Fed to the engine as src/demo/clock_bad.cc: a raw steady_clock read
+// outside the clock shim taints the reader and its caller.
+#include <chrono>
+
+namespace viva::demo
+{
+
+long
+readRawClock()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long
+entryClockBad()
+{
+    return readRawClock();
+}
+
+} // namespace viva::demo

@@ -1,0 +1,15 @@
+// Fed to the engine as src/support/clock.cc: the one sanctioned
+// chrono reader. Reachability is absorbed here.
+#include <chrono>
+
+namespace viva::support
+{
+
+double
+monotonicSeconds()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace viva::support

@@ -1,0 +1,12 @@
+// Fed to the engine as src/demo/dead_bad.cc: orphan() has no caller
+// anywhere, so the dead-symbol rule must flag it.
+namespace viva::demo
+{
+
+int
+orphan()
+{
+    return 3;
+}
+
+} // namespace viva::demo

@@ -1,0 +1,12 @@
+// Fed to the engine as src/demo/dead_good.cc: used() is called from
+// the driver's main(), so it is live.
+namespace viva::demo
+{
+
+int
+used()
+{
+    return 4;
+}
+
+} // namespace viva::demo

@@ -1,0 +1,30 @@
+// Fed to the engine as tests/driver.cc: the root that keeps each
+// fixture's entry function alive for the dead-symbol walk.
+namespace viva::demo
+{
+int entryFatalBad();
+int entryFatalGood();
+int entryFatalWaived();
+long entryClockBad();
+double entryClockGood();
+long entryClockWaived();
+void entryHotBad(int threads);
+void entryHotGood(int threads);
+void entryHotWaived(int threads);
+int used();
+} // namespace viva::demo
+
+int
+main()
+{
+    viva::demo::entryFatalBad();
+    viva::demo::entryFatalGood();
+    viva::demo::entryFatalWaived();
+    viva::demo::entryClockBad();
+    viva::demo::entryClockGood();
+    viva::demo::entryClockWaived();
+    viva::demo::entryHotBad(2);
+    viva::demo::entryHotGood(2);
+    viva::demo::entryHotWaived(2);
+    return viva::demo::used();
+}

@@ -1,0 +1,21 @@
+// Fed to the engine as src/demo/fatal_bad.cc: both functions reach
+// fatal() transitively, so both must be flagged.
+#include "support/log.hh"
+
+namespace viva::demo
+{
+
+int
+helperDepth()
+{
+    viva::support::fatal("demo");
+    return 1;
+}
+
+int
+entryFatalBad()
+{
+    return helperDepth();
+}
+
+} // namespace viva::demo

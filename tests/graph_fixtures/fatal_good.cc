@@ -1,0 +1,18 @@
+// Fed to the engine as src/demo/fatal_good.cc: nothing here reaches
+// fatal()/panic().
+namespace viva::demo
+{
+
+int
+pureHelper(int v)
+{
+    return v * 3;
+}
+
+int
+entryFatalGood()
+{
+    return pureHelper(2);
+}
+
+} // namespace viva::demo

@@ -1,0 +1,23 @@
+// Fed to the engine as src/demo/hot_bad.cc: the chunk lambda calls a
+// helper that reaches printf, so the hot call site must be flagged.
+#include <cstdio>
+
+namespace viva::demo
+{
+
+void
+logProgress(int i)
+{
+    std::printf("chunk %d\n", i);
+}
+
+void
+entryHotBad(int threads)
+{
+    pool.parallelFor(0, 8, 1, threads,
+                     [&](std::size_t lo, std::size_t hi) {
+                         logProgress(int(hi - lo));
+                     });
+}
+
+} // namespace viva::demo

@@ -1,0 +1,21 @@
+// Fed to the engine as src/demo/hot_good.cc: the chunk lambda only
+// does arithmetic, so the hot path stays clean.
+namespace viva::demo
+{
+
+int
+accumulate(int i)
+{
+    return i * i;
+}
+
+void
+entryHotGood(int threads)
+{
+    pool.parallelFor(0, 8, 1, threads,
+                     [&](std::size_t lo, std::size_t hi) {
+                         accumulate(int(hi - lo));
+                     });
+}
+
+} // namespace viva::demo

@@ -1,0 +1,24 @@
+// Fed to the engine as src/demo/overload.cc: the two scale()
+// overloads collapse onto one graph node that both calls resolve to.
+namespace viva::demo
+{
+
+int
+scale(int v)
+{
+    return v * 2;
+}
+
+double
+scale(double v)
+{
+    return v * 2.0;
+}
+
+double
+entryOverload()
+{
+    return scale(1) + scale(2.0);
+}
+
+} // namespace viva::demo

@@ -1,0 +1,16 @@
+// Fed to the engine as src/demo/unresolved.cc: a call through a
+// callable table is recorded as an unresolved site, never as a named
+// edge.
+#include <functional>
+#include <vector>
+
+namespace viva::demo
+{
+
+int
+callThrough(const std::vector<std::function<int()>> &table)
+{
+    return table[0]();
+}
+
+} // namespace viva::demo

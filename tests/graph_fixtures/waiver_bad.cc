@@ -1,0 +1,19 @@
+// Fed to the engine as src/demo/waiver_bad.cc: a rationale-free
+// waiver and an unknown rule name are findings themselves.
+namespace viva::demo
+{
+
+// viva-graph: allow(dead)
+int
+noRationale()
+{
+    return 1;
+}
+
+int
+unknownRule()  // viva-graph: allow(no-such-rule): typo'd rule name
+{
+    return 2;
+}
+
+} // namespace viva::demo

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the viva-graph engine. The extraction section pins the
+ * per-file facts (qualified names, overload collapse, unresolved call
+ * sites); the rule sections drive each transitive rule against
+ * good/bad/waived fixture triples under virtual repo paths; the cache
+ * section covers the warm path, invalidation and the corrupt-cache
+ * fallback; the output section pins JSON/DOT byte stability across
+ * thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/graph.hh"
+
+namespace vg = viva::graph;
+
+namespace
+{
+
+/** Load one fixture file from the source tree. */
+std::string
+fixture(const std::string &name)
+{
+    std::string path = std::string(VIVA_GRAPH_FIXTURES) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** A fixture file mounted at a virtual repo path. */
+vg::FileInput
+at(const std::string &path, const std::string &name)
+{
+    return {path, fixture(name)};
+}
+
+/** The sink definitions every rule set anchors on. */
+vg::FileInput
+sinks()
+{
+    return at("src/support/log.hh", "support_sinks.hh");
+}
+
+/** The main() that keeps fixture entry points alive. */
+vg::FileInput
+driver()
+{
+    return at("tests/driver.cc", "driver.cc");
+}
+
+vg::Result
+run(const std::vector<vg::FileInput> &files,
+    const std::string &cacheText = std::string(),
+    std::size_t jobs = 1)
+{
+    vg::Options options;
+    options.cacheText = cacheText;
+    options.jobs = jobs;
+    return vg::runGraph(files, options);
+}
+
+std::size_t
+countRule(const vg::Result &result, const std::string &rule)
+{
+    std::size_t n = 0;
+    for (const vg::Finding &f : result.findings)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+bool
+hasFinding(const vg::Result &result, const std::string &rule,
+           const std::string &needle)
+{
+    for (const vg::Finding &f : result.findings)
+        if (f.rule == rule &&
+            f.message.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+// --- extraction -----------------------------------------------------
+
+TEST(GraphExtract, QualifiedNamesAndOverloads)
+{
+    vg::FileFacts facts =
+        vg::extractFacts(at("src/demo/overload.cc", "overload.cc"));
+    std::size_t scales = 0, entries = 0;
+    for (const vg::SymbolFact &s : facts.symbols) {
+        if (s.qname == "viva::demo::scale" && s.defined)
+            ++scales;
+        if (s.qname == "viva::demo::entryOverload" && s.defined)
+            ++entries;
+    }
+    EXPECT_EQ(scales, 2u);
+    EXPECT_EQ(entries, 1u);
+}
+
+TEST(GraphExtract, FunctionPointerCallIsUnresolved)
+{
+    vg::FileFacts facts = vg::extractFacts(
+        at("src/demo/unresolved.cc", "unresolved.cc"));
+    EXPECT_EQ(facts.unresolvedSites, 1u);
+}
+
+TEST(GraphExtract, OverloadSetCollapsesToOneNode)
+{
+    const vg::Result result =
+        run({at("src/demo/overload.cc", "overload.cc")});
+    // Three definitions, two distinct qualified names, one node for
+    // the whole scale() overload set.
+    EXPECT_EQ(result.symbols, 2u);
+    EXPECT_EQ(result.definedSymbols, 2u);
+    EXPECT_GE(result.edges, 1u);
+}
+
+// --- transitive rules -----------------------------------------------
+
+TEST(GraphRules, FatalReachableTriple)
+{
+    const vg::Result result =
+        run({sinks(), at("src/demo/fatal_bad.cc", "fatal_bad.cc"),
+             at("src/demo/fatal_good.cc", "fatal_good.cc"),
+             at("src/demo/fatal_waived.cc", "fatal_waived.cc"),
+             driver()});
+    EXPECT_EQ(countRule(result, "fatal-reachable"), 2u);
+    EXPECT_TRUE(hasFinding(result, "fatal-reachable", "helperDepth"));
+    EXPECT_TRUE(
+        hasFinding(result, "fatal-reachable", "entryFatalBad"));
+    // The waived boundary absorbs: neither it nor its caller fires.
+    EXPECT_FALSE(
+        hasFinding(result, "fatal-reachable", "entryFatalWaived"));
+    EXPECT_FALSE(
+        hasFinding(result, "fatal-reachable", "entryFatalGood"));
+}
+
+TEST(GraphRules, ClockReachableTriple)
+{
+    const vg::Result result =
+        run({at("src/support/clock.cc", "clock_shim.cc"),
+             at("src/demo/clock_bad.cc", "clock_bad.cc"),
+             at("src/demo/clock_good.cc", "clock_good.cc"),
+             at("src/demo/clock_waived.cc", "clock_waived.cc"),
+             driver()});
+    EXPECT_EQ(countRule(result, "clock-reachable"), 2u);
+    EXPECT_TRUE(hasFinding(result, "clock-reachable", "readRawClock"));
+    EXPECT_TRUE(
+        hasFinding(result, "clock-reachable", "entryClockBad"));
+    // The shim and the waived probe absorb their callers.
+    EXPECT_FALSE(
+        hasFinding(result, "clock-reachable", "entryClockGood"));
+    EXPECT_FALSE(
+        hasFinding(result, "clock-reachable", "entryClockWaived"));
+}
+
+TEST(GraphRules, IoInHotPathTriple)
+{
+    const vg::Result result =
+        run({sinks(), at("src/demo/hot_bad.cc", "hot_bad.cc"),
+             at("src/demo/hot_good.cc", "hot_good.cc"),
+             at("src/demo/hot_waived.cc", "hot_waived.cc"),
+             driver()});
+    EXPECT_EQ(countRule(result, "io-in-hot-path"), 1u);
+    for (const vg::Finding &f : result.findings)
+        if (f.rule == "io-in-hot-path")
+            EXPECT_EQ(f.file, "src/demo/hot_bad.cc");
+}
+
+TEST(GraphRules, DeadSymbolTriple)
+{
+    const vg::Result result =
+        run({at("src/demo/dead_bad.cc", "dead_bad.cc"),
+             at("src/demo/dead_good.cc", "dead_good.cc"),
+             at("src/demo/dead_waived.cc", "dead_waived.cc"),
+             driver()});
+    EXPECT_EQ(countRule(result, "dead-symbol"), 1u);
+    EXPECT_TRUE(hasFinding(result, "dead-symbol", "orphan"));
+}
+
+TEST(GraphRules, BrokenWaiversAreFindings)
+{
+    const vg::Result result =
+        run({at("src/demo/waiver_bad.cc", "waiver_bad.cc")});
+    EXPECT_EQ(countRule(result, "waiver"), 2u);
+    EXPECT_TRUE(hasFinding(result, "waiver", "rationale"));
+    EXPECT_TRUE(hasFinding(result, "waiver", "no-such-rule"));
+}
+
+// --- incremental cache ----------------------------------------------
+
+namespace
+{
+
+std::vector<vg::FileInput>
+fullFixtureSet()
+{
+    return {sinks(),
+            at("src/support/clock.cc", "clock_shim.cc"),
+            at("src/demo/fatal_bad.cc", "fatal_bad.cc"),
+            at("src/demo/fatal_good.cc", "fatal_good.cc"),
+            at("src/demo/fatal_waived.cc", "fatal_waived.cc"),
+            at("src/demo/clock_bad.cc", "clock_bad.cc"),
+            at("src/demo/clock_good.cc", "clock_good.cc"),
+            at("src/demo/clock_waived.cc", "clock_waived.cc"),
+            at("src/demo/hot_bad.cc", "hot_bad.cc"),
+            at("src/demo/hot_good.cc", "hot_good.cc"),
+            at("src/demo/hot_waived.cc", "hot_waived.cc"),
+            at("src/demo/dead_bad.cc", "dead_bad.cc"),
+            at("src/demo/dead_good.cc", "dead_good.cc"),
+            at("src/demo/dead_waived.cc", "dead_waived.cc"),
+            driver()};
+}
+
+std::vector<std::string>
+formatted(const vg::Result &result)
+{
+    std::vector<std::string> out;
+    for (const vg::Finding &f : result.findings)
+        out.push_back(vg::formatFinding(f));
+    return out;
+}
+
+} // namespace
+
+TEST(GraphCache, WarmRunHitsEveryFile)
+{
+    const std::vector<vg::FileInput> files = fullFixtureSet();
+    const vg::Result cold = run(files);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.cacheMisses, files.size());
+
+    const vg::Result warm = run(files, cold.newCacheText);
+    EXPECT_EQ(warm.cacheHits, files.size());
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(formatted(warm), formatted(cold));
+    EXPECT_EQ(warm.newCacheText, cold.newCacheText);
+}
+
+TEST(GraphCache, OnlyChangedFileIsRelexed)
+{
+    std::vector<vg::FileInput> files = fullFixtureSet();
+    const vg::Result cold = run(files);
+    // orphan(), plus the uncalled panic()/warnLimited() sink stubs.
+    ASSERT_EQ(countRule(cold, "dead-symbol"), 3u);
+
+    for (vg::FileInput &f : files)
+        if (f.path == "src/demo/dead_bad.cc")
+            f.content += "\nnamespace viva::demo {\n"
+                         "int orphanTwo() { return 6; }\n"
+                         "}\n";
+    const vg::Result warm = run(files, cold.newCacheText);
+    EXPECT_EQ(warm.cacheHits, files.size() - 1);
+    EXPECT_EQ(warm.cacheMisses, 1u);
+    EXPECT_EQ(countRule(warm, "dead-symbol"), 4u);
+    EXPECT_TRUE(hasFinding(warm, "dead-symbol", "orphanTwo"));
+}
+
+TEST(GraphCache, CorruptCacheFallsBackToCold)
+{
+    std::map<std::string, vg::FileFacts> parsed;
+    EXPECT_FALSE(vg::parseFactsCache("not a cache", parsed));
+    EXPECT_TRUE(parsed.empty());
+    EXPECT_FALSE(
+        vg::parseFactsCache("viva-graph-cache-1\nF bogus", parsed));
+
+    const std::vector<vg::FileInput> files = fullFixtureSet();
+    const vg::Result result =
+        run(files, "viva-graph-cache-1\nF bogus");
+    EXPECT_EQ(result.cacheHits, 0u);
+    EXPECT_EQ(result.cacheMisses, files.size());
+}
+
+TEST(GraphCache, SerializeRoundTrips)
+{
+    const vg::FileFacts facts =
+        vg::extractFacts(at("src/demo/overload.cc", "overload.cc"));
+    const std::string text = vg::serializeFacts({facts});
+    std::map<std::string, vg::FileFacts> parsed;
+    ASSERT_TRUE(vg::parseFactsCache(text, parsed));
+    ASSERT_EQ(parsed.size(), 1u);
+    const vg::FileFacts &back = parsed.at("src/demo/overload.cc");
+    EXPECT_EQ(back.hash, facts.hash);
+    EXPECT_EQ(back.symbols.size(), facts.symbols.size());
+    EXPECT_EQ(vg::serializeFacts({back}), text);
+}
+
+// --- byte-stable output ---------------------------------------------
+
+TEST(GraphOutput, JsonAndDotIdenticalAcrossJobs)
+{
+    const std::string rules = "layer support src/support/\n"
+                              "layer demo    src/demo/\n"
+                              "layer tests   tests/\n"
+                              "allow demo  -> support\n"
+                              "allow tests -> *\n";
+    const std::vector<vg::FileInput> files = fullFixtureSet();
+
+    vg::Options serial;
+    serial.rulesText = rules;
+    serial.jobs = 1;
+    vg::Options threaded;
+    threaded.rulesText = rules;
+    threaded.jobs = 4;
+
+    const vg::Result a = vg::runGraph(files, serial);
+    const vg::Result b = vg::runGraph(files, threaded);
+    EXPECT_EQ(vg::formatJson(a), vg::formatJson(b));
+    EXPECT_EQ(vg::formatDot(a), vg::formatDot(b));
+    EXPECT_EQ(a.newCacheText, b.newCacheText);
+
+    // The demo layer calls into support (fatal, the clock shim).
+    EXPECT_NE(vg::formatDot(a).find("demo"), std::string::npos);
+    EXPECT_NE(vg::formatDot(a).find("\"demo\" -> \"support\""),
+              std::string::npos);
+}

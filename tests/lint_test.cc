@@ -433,3 +433,23 @@ TEST(CliContract, CollectSkipsFixturesAndSorts)
     EXPECT_EQ(sources[1].path, "src/b.cc");
     fs::remove_all(root);
 }
+
+TEST(LintJobs, FindingsIdenticalAcrossThreadCounts)
+{
+    const std::vector<vl::FileInput> files = {
+        {"src/demo/a.cc", fixture("unordered_iter_bad.cc")},
+        {"src/demo/b.cc", fixture("raw_random_bad.cc")},
+        {"src/demo/c.cc", fixture("new_delete_bad.cc")},
+        {"src/layout/d.cc", fixture("float_bad.cc")},
+        {"src/demo/e.cc", fixture("narrowing_bad.cc")},
+        {"src/demo/f.cc", fixture("raw_chrono_bad.cc")},
+    };
+    const std::vector<vl::Finding> serial = vl::runLint(files, 1);
+    const std::vector<vl::Finding> threaded = vl::runLint(files, 4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    ASSERT_GT(serial.size(), 0u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(vl::formatFinding(serial[i]),
+                  vl::formatFinding(threaded[i]));
+    }
+}

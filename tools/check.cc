@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <regex>
 #include <sstream>
 
+#include "support/threadpool.hh"
 #include "tools/check_lexer.hh"
 
 namespace viva::check
@@ -829,17 +831,32 @@ std::vector<Finding>
 runCheck(const std::vector<FileInput> &files, const Options &options)
 {
     std::vector<Finding> out;
+    const std::size_t n = files.size();
 
-    // Lex once; split comment-free streams for the flow passes.
-    std::vector<std::vector<Token>> code(files.size());
+    // Chunk bodies write only their own index's slot, so parallel
+    // passes merge into the same state serial ones produce.
+    auto perFile = [&](const std::function<void(std::size_t)> &fn) {
+        viva::support::ThreadPool::global().parallelFor(
+            0, n, 1, options.jobs,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    fn(i);
+            });
+    };
+
+    // Lex once (in parallel); waiver parsing and the comment-free
+    // split stay serial so the waiver findings keep their file order.
+    std::vector<std::vector<Token>> lexed(n);
+    perFile([&](std::size_t i) { lexed[i] = lex(files[i].content); });
+    std::vector<std::vector<Token>> code(n);
     std::map<std::string, Waivers> waiversByFile;
-    for (std::size_t i = 0; i < files.size(); ++i) {
-        std::vector<Token> all = lex(files[i].content);
+    for (std::size_t i = 0; i < n; ++i) {
         waiversByFile[files[i].path] = parseWaivers(
-            files[i].path, files[i].content, all, out);
-        for (Token &t : all)
+            files[i].path, files[i].content, lexed[i], out);
+        for (Token &t : lexed[i])
             if (t.kind != Tok::Comment)
                 code[i].push_back(std::move(t));
+        lexed[i].clear();
     }
 
     // Pre-pass 1: Expected/Error-returning callees, from headers.
@@ -885,19 +902,29 @@ runCheck(const std::vector<FileInput> &files, const Options &options)
         }
     }
 
-    // Per-file flow rules.
-    std::vector<PhaseUse> phaseUses;
-    for (std::size_t i = 0; i < files.size(); ++i) {
+    // Per-file flow rules, over read-only shared tables; findings and
+    // phase uses land in per-file buffers merged in file order.
+    std::vector<std::vector<Finding>> outPer(n);
+    std::vector<std::vector<PhaseUse>> phaseUsesPer(n);
+    perFile([&](std::size_t i) {
         const FileInput &file = files[i];
-        const Waivers &w = waiversByFile[file.path];
-        checkUncheckedExpected(file, code[i], callees, w, out);
+        const Waivers &w = waiversByFile.at(file.path);
+        checkUncheckedExpected(file, code[i], callees, w, outPer[i]);
         if (startsWith(file.path, "src/")) {
-            checkContextOnPropagate(file, code[i], callees, w, out);
-            collectPhaseUses(file, code[i], phaseUses);
+            checkContextOnPropagate(file, code[i], callees, w,
+                                    outPer[i]);
+            collectPhaseUses(file, code[i], phaseUsesPer[i]);
             if (isHeaderPath(file.path))
                 checkSelfSufficiency(file, code[i], types, closure, w,
-                                     out);
+                                     outPer[i]);
         }
+    });
+    std::vector<PhaseUse> phaseUses;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (Finding &f : outPer[i])
+            out.push_back(std::move(f));
+        for (PhaseUse &u : phaseUsesPer[i])
+            phaseUses.push_back(std::move(u));
     }
 
     if (options.haveManifest)

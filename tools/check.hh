@@ -80,6 +80,10 @@ struct Options
 
     /** When false, the obs-phase-manifest rule is skipped. */
     bool haveManifest = false;
+
+    /** Concurrent per-file scanners (0 or 1 = serial); the findings
+     *  are byte-identical whatever the job count. */
+    std::size_t jobs = 1;
 };
 
 /**

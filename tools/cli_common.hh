@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "support/threadpool.hh"
+
 namespace viva::cli
 {
 
@@ -62,10 +64,57 @@ isFixturePath(const std::string &rel)
 {
     return rel.find("lint_fixtures/") != std::string::npos ||
            rel.find("deps_fixtures/") != std::string::npos ||
-           rel.find("check_fixtures/") != std::string::npos;
+           rel.find("check_fixtures/") != std::string::npos ||
+           rel.find("graph_fixtures/") != std::string::npos;
 }
 
 } // namespace detail
+
+/** The default subdirectory set every viva tool scans. */
+inline std::vector<std::string>
+defaultSubdirs()
+{
+    return {"src", "tests", "bench", "examples", "tools"};
+}
+
+/**
+ * Parse a `--jobs` argument: a non-negative decimal, where 0 means
+ * "use every hardware thread". Returns false on anything else.
+ */
+inline bool
+parseJobs(const std::string &arg, std::size_t &jobs)
+{
+    if (arg.empty())
+        return false;
+    std::size_t value = 0;
+    for (const char c : arg) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    jobs = value == 0 ? viva::support::defaultThreadCount() : value;
+    return true;
+}
+
+/**
+ * Read one file whole. Returns false (after printing a `tool: ...`
+ * message to err) when it cannot be opened -- the caller should exit
+ * kExitUsage.
+ */
+inline bool
+readFile(const std::string &tool, const std::filesystem::path &path,
+         std::string &out, std::ostream &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err << tool << ": cannot read '" << path.string() << "'\n";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
 
 /**
  * Collect the sources under root/subdir for each subdir, sorted by

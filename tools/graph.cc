@@ -1,0 +1,773 @@
+/**
+ * @file
+ * viva-graph whole-program half: merge per-file facts (extracted or
+ * cache-hit) into one node per qualified name, resolve edges through
+ * scope chains / suffix matches / terminal-name overload fan-out, and
+ * run the four transitive rules by reachability:
+ *
+ *  - fatal-reachable and clock-reachable walk the caller graph
+ *    backwards from the sink set (support::fatal/panic, or the
+ *    pseudo-node for raw std::chrono clock reads) and flag every src/
+ *    symbol the walk reaches -- waived symbols absorb the walk, so a
+ *    justified sink silences its whole caller cone;
+ *  - io-in-hot-path intersects the stream-I/O-reaching set with the
+ *    targets of edges written inside ThreadPool chunk lambdas;
+ *  - dead-symbol walks forwards from the roots (main definitions,
+ *    gtest TEST bodies, file-scope initializers, dead-waived symbols)
+ *    over every edge kind and flags defined src/ symbols never
+ *    reached.
+ *
+ * Witness paths come from the BFS parent chains, so every finding
+ * names a concrete call chain to its sink. All iteration orders are
+ * sorted, which makes findings, --json and --dot byte-stable and --
+ * together with per-slot parallel extraction -- independent of
+ * --jobs.
+ */
+
+#include "tools/graph.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "support/threadpool.hh"
+#include "tools/deps.hh"
+
+namespace viva::graph
+{
+
+namespace
+{
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/** Pseudo-sink node names (never flagged, never counted). */
+constexpr char kChronoSink[] = "@chrono-read";
+constexpr char kStreamSink[] = "@stream-io";
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+isPseudoName(const std::string &qname)
+{
+    return !qname.empty() && (qname[0] == '<' || qname[0] == '@');
+}
+
+std::string
+terminalOf(const std::string &qname)
+{
+    const std::size_t pos = qname.rfind("::");
+    return pos == std::string::npos ? qname : qname.substr(pos + 2);
+}
+
+/** A raw std::chrono clock read, e.g. std::chrono::steady_clock::now. */
+bool
+isChronoRead(const std::string &name)
+{
+    if (terminalOf(name) != "now")
+        return false;
+    return name.find("chrono") != std::string::npos ||
+           name.find("steady_clock") != std::string::npos ||
+           name.find("system_clock") != std::string::npos ||
+           name.find("high_resolution_clock") != std::string::npos;
+}
+
+/** Console/file stream I/O by terminal name (any edge kind). */
+bool
+isStreamIo(const std::string &name)
+{
+    static const std::set<std::string> io = {
+        "cout",    "cerr",     "clog",    "printf", "fprintf",
+        "fopen",   "fwrite",   "fputs",   "puts",   "putchar",
+        "ofstream", "ifstream", "fstream",
+    };
+    return io.count(terminalOf(name)) != 0;
+}
+
+/** One merged call-graph node. */
+struct Node
+{
+    std::string qname;
+    std::string terminal;
+    std::string file;  ///< defining file ("" when only declared)
+    std::size_t line = 0;
+    bool defined = false;
+    std::set<std::string> waivers;
+
+    /** Resolved Call/Method (+ sink) targets: contract traversal. */
+    std::vector<std::size_t> out;
+
+    /** All resolved targets including Ref edges: liveness traversal. */
+    std::vector<std::size_t> outAll;
+};
+
+/** A call written inside a ThreadPool chunk lambda (io rule input). */
+struct HotEdge
+{
+    std::size_t from = 0;
+    std::string file;  ///< file the call is written in
+    std::size_t line = 0;
+    std::string name;  ///< callee as written
+    std::vector<std::size_t> targets;
+};
+
+/** The merged graph plus the indexes resolution needs. */
+struct Graph
+{
+    std::vector<Node> nodes;
+    std::map<std::string, std::size_t> byQname;
+    std::map<std::string, std::vector<std::size_t>> byTerminal;
+    std::vector<HotEdge> hotEdges;
+    std::size_t chronoSink = kNone;
+    std::size_t streamSink = kNone;
+    std::size_t externalCalls = 0;
+
+    std::size_t
+    intern(const std::string &qname)
+    {
+        auto it = byQname.find(qname);
+        if (it != byQname.end())
+            return it->second;
+        const std::size_t id = nodes.size();
+        Node node;
+        node.qname = qname;
+        node.terminal = terminalOf(qname);
+        nodes.push_back(std::move(node));
+        byQname.emplace(qname, id);
+        if (!isPseudoName(qname))
+            byTerminal[nodes[id].terminal].push_back(id);
+        return id;
+    }
+};
+
+/** Scope-chain prefixes of a qualified name, innermost first,
+ *  ending with the empty (global) prefix. */
+std::vector<std::string>
+scopePrefixes(const std::string &qname)
+{
+    std::vector<std::string> prefixes;
+    std::string cur = qname;
+    while (true) {
+        const std::size_t pos = cur.rfind("::");
+        if (pos == std::string::npos)
+            break;
+        cur = cur.substr(0, pos);
+        prefixes.push_back(cur);
+    }
+    prefixes.emplace_back();
+    return prefixes;
+}
+
+/**
+ * Method names of the standard library's everyday vocabulary
+ * (atomics, containers, smart pointers, streams). A member call with
+ * one of these terminals that only resolves by overload fan-out is
+ * overwhelmingly a std call that happens to share the name of an
+ * in-tree symbol (`flag_.load()` vs `Session::load`), so such edges
+ * feed the liveness graph but not the contract traversal.
+ */
+bool
+isStdVocabularyMethod(const std::string &terminal)
+{
+    static const std::set<std::string> names = {
+        "load",       "store",      "exchange",   "fetch_add",
+        "fetch_sub",  "compare_exchange_weak",
+        "compare_exchange_strong",  "test_and_set",
+        "get",        "reset",      "release",    "swap",
+        "size",       "empty",      "clear",      "count",
+        "find",       "insert",     "erase",      "at",
+        "begin",      "end",        "front",      "back",
+        "push_back",  "pop_back",   "emplace",    "emplace_back",
+        "data",       "c_str",      "str",        "substr",
+        "append",     "resize",     "reserve",    "push",
+        "pop",        "top",        "lock",       "unlock",
+        "try_lock",   "wait",       "notify_one", "notify_all",
+        "open",       "close",      "good",       "fail",
+        "tie",        "rdbuf",      "value_or",
+    };
+    return names.count(terminal) != 0;
+}
+
+/** How a written name resolved to node ids. */
+struct Resolution
+{
+    std::vector<std::size_t> targets;
+
+    /** True when only terminal-name overload fan-out matched. */
+    bool fanout = false;
+};
+
+/**
+ * Resolve one written callee/reference name from the context of
+ * `fromQname`: exact lookup through the enclosing scope chain, then
+ * qualified-suffix match (namespace aliases), then terminal-name
+ * overload fan-out (member calls, using-directives; Refs also pick up
+ * the `~`-twin so destructors stay alive when their class is named).
+ */
+Resolution
+resolveName(Graph &g, const std::string &fromQname,
+            const std::string &name, EdgeKind kind)
+{
+    Resolution res;
+    const std::string terminal = terminalOf(name);
+
+    for (const std::string &prefix : scopePrefixes(fromQname)) {
+        const std::string candidate =
+            prefix.empty() ? name : prefix + "::" + name;
+        auto it = g.byQname.find(candidate);
+        if (it != g.byQname.end()) {
+            res.targets.push_back(it->second);
+            return res;
+        }
+    }
+
+    if (name.find("::") != std::string::npos) {
+        auto it = g.byTerminal.find(terminal);
+        if (it != g.byTerminal.end()) {
+            const std::string suffix = "::" + name;
+            for (const std::size_t id : it->second) {
+                const std::string &q = g.nodes[id].qname;
+                if (q == name ||
+                    (q.size() > suffix.size() &&
+                     q.compare(q.size() - suffix.size(), suffix.size(),
+                               suffix) == 0))
+                    res.targets.push_back(id);
+            }
+        }
+        if (!res.targets.empty())
+            return res;
+    }
+
+    res.fanout = true;
+    auto it = g.byTerminal.find(terminal);
+    if (it != g.byTerminal.end())
+        res.targets = it->second;
+    if (kind == EdgeKind::Ref) {
+        auto tw = g.byTerminal.find("~" + terminal);
+        if (tw != g.byTerminal.end())
+            res.targets.insert(res.targets.end(), tw->second.begin(),
+                               tw->second.end());
+    }
+    return res;
+}
+
+/** Merge every file's facts into the node table and resolve edges. */
+Graph
+buildGraph(const std::vector<FileFacts> &facts)
+{
+    Graph g;
+    g.chronoSink = g.intern(kChronoSink);
+    g.streamSink = g.intern(kStreamSink);
+
+    for (const FileFacts &f : facts) {
+        for (const SymbolFact &s : f.symbols) {
+            const std::size_t id = g.intern(s.qname);
+            Node &node = g.nodes[id];
+            for (const std::string &w : s.waivers)
+                node.waivers.insert(w);
+            if (s.defined && !node.defined) {
+                node.defined = true;
+                node.file = f.path;
+                node.line = s.line;
+            }
+        }
+        /* file-level waivers cover every symbol the file defines */
+        if (!f.fileWaivers.empty())
+            for (const SymbolFact &s : f.symbols) {
+                Node &node = g.nodes[g.byQname[s.qname]];
+                if (node.defined && node.file == f.path)
+                    for (const std::string &w : f.fileWaivers)
+                        node.waivers.insert(w);
+            }
+    }
+
+    std::vector<std::set<std::size_t>> outSets(g.nodes.size());
+    std::vector<std::set<std::size_t>> outAllSets(g.nodes.size());
+
+    for (const FileFacts &f : facts) {
+        for (const SymbolFact &s : f.symbols) {
+            const std::size_t from = g.byQname[s.qname];
+            for (const EdgeFact &e : s.edges) {
+                Resolution res;
+                bool sink = false;
+                if (isChronoRead(e.name)) {
+                    res.targets.push_back(g.chronoSink);
+                    sink = true;
+                } else if (isStreamIo(e.name)) {
+                    res.targets.push_back(g.streamSink);
+                    sink = true;
+                } else {
+                    res = resolveName(g, s.qname, e.name, e.kind);
+                }
+                if (res.targets.empty()) {
+                    if (e.kind != EdgeKind::Ref)
+                        ++g.externalCalls;
+                    continue;
+                }
+                const bool contract =
+                    sink ||
+                    (e.kind != EdgeKind::Ref &&
+                     !(e.kind == EdgeKind::Method && res.fanout &&
+                       isStdVocabularyMethod(terminalOf(e.name))));
+                std::sort(res.targets.begin(), res.targets.end());
+                res.targets.erase(std::unique(res.targets.begin(),
+                                              res.targets.end()),
+                                  res.targets.end());
+                for (const std::size_t t : res.targets) {
+                    outAllSets[from].insert(t);
+                    if (contract)
+                        outSets[from].insert(t);
+                }
+                if (e.hot && contract)
+                    g.hotEdges.push_back(
+                        {from, f.path, e.line, e.name, res.targets});
+            }
+        }
+    }
+
+    for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+        g.nodes[id].out.assign(outSets[id].begin(), outSets[id].end());
+        g.nodes[id].outAll.assign(outAllSets[id].begin(),
+                                  outAllSets[id].end());
+    }
+    return g;
+}
+
+/** Reverse-reachability result: flagged nodes plus witness parents. */
+struct Reach
+{
+    std::vector<char> visited;
+    std::vector<char> flagged;  ///< reached and not absorbed
+    std::vector<std::size_t> parent;
+};
+
+/**
+ * BFS over the reversed Call/Method graph from `sinks`. A node the
+ * `absorb` predicate accepts is neither flagged nor expanded: waivers
+ * (and rule-specific shims) cut their whole caller cone.
+ */
+template <typename AbsorbFn>
+Reach
+reverseReach(const Graph &g,
+             const std::vector<std::vector<std::size_t>> &rin,
+             const std::vector<std::size_t> &sinks,
+             const AbsorbFn &absorb)
+{
+    Reach r;
+    r.visited.assign(g.nodes.size(), 0);
+    r.flagged.assign(g.nodes.size(), 0);
+    r.parent.assign(g.nodes.size(), kNone);
+    std::deque<std::size_t> queue;
+    for (const std::size_t id : sinks)
+        if (!r.visited[id]) {
+            r.visited[id] = 1;
+            queue.push_back(id);
+        }
+    while (!queue.empty()) {
+        const std::size_t t = queue.front();
+        queue.pop_front();
+        for (const std::size_t caller : rin[t]) {
+            if (r.visited[caller])
+                continue;
+            r.visited[caller] = 1;
+            if (absorb(caller))
+                continue;
+            r.flagged[caller] = 1;
+            r.parent[caller] = t;
+            queue.push_back(caller);
+        }
+    }
+    return r;
+}
+
+std::string
+nodeLabel(const Graph &g, std::size_t id)
+{
+    const Node &node = g.nodes[id];
+    if (node.qname == kChronoSink)
+        return "std::chrono clock read";
+    if (node.qname == kStreamSink)
+        return "stream I/O";
+    return node.terminal;
+}
+
+/** Witness chain "a -> b -> sink" from a flagged node's parents. */
+std::string
+witnessPath(const Graph &g, const Reach &r, std::size_t from)
+{
+    std::string path = nodeLabel(g, from);
+    for (std::size_t cur = r.parent[from]; cur != kNone;
+         cur = r.parent[cur])
+        path += " -> " + nodeLabel(g, cur);
+    return path;
+}
+
+} // namespace
+
+Result
+runGraph(const std::vector<FileInput> &files, const Options &options)
+{
+    Result result;
+    result.files = files.size();
+
+    /* --- per-file facts: cache-hit or fresh extraction, parallel --- */
+    std::map<std::string, FileFacts> cached;
+    if (!options.cacheText.empty())
+        parseFactsCache(options.cacheText, cached);
+
+    std::vector<FileFacts> facts(files.size());
+    std::vector<char> hit(files.size(), 0);
+    auto extractOne = [&](std::size_t i) {
+        const std::uint64_t hash = fnv1a(files[i].content);
+        auto it = cached.find(files[i].path);
+        if (it != cached.end() && it->second.hash == hash) {
+            facts[i] = it->second;
+            hit[i] = 1;
+        } else {
+            facts[i] = extractFacts(files[i]);
+        }
+    };
+    if (options.jobs > 1) {
+        viva::support::ThreadPool::global().parallelFor(
+            0, files.size(), 1, options.jobs,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    extractOne(i);
+            });
+    } else {
+        for (std::size_t i = 0; i < files.size(); ++i)
+            extractOne(i);
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (hit[i])
+            ++result.cacheHits;
+        else
+            ++result.cacheMisses;
+        result.unresolvedSites += facts[i].unresolvedSites;
+        for (const Finding &f : facts[i].waiverFindings)
+            result.findings.push_back(f);
+    }
+    result.newCacheText = serializeFacts(facts);
+
+    /* --- whole-program graph --- */
+    Graph g = buildGraph(facts);
+    result.externalCalls = g.externalCalls;
+    for (const Node &node : g.nodes) {
+        if (isPseudoName(node.qname))
+            continue;
+        ++result.symbols;
+        if (node.defined)
+            ++result.definedSymbols;
+        for (const std::size_t t : node.out)
+            if (!isPseudoName(g.nodes[t].qname))
+                ++result.edges;
+    }
+
+    /* --- layer collapse for --dot --- */
+    viva::deps::Ruleset rules;
+    bool haveRules = false;
+    if (!options.rulesText.empty()) {
+        std::string error;
+        haveRules = viva::deps::parseRules(options.rulesText, rules,
+                                           error);
+        if (!haveRules)
+            result.findings.push_back(
+                {"tools/layering.rules", 0, "rules", error});
+    }
+    if (haveRules) {
+        for (const Node &node : g.nodes) {
+            if (isPseudoName(node.qname) || !node.defined)
+                continue;
+            const std::string layer =
+                viva::deps::layerOf(node.file, rules);
+            if (layer.empty())
+                continue;
+            ++result.layerSymbols[layer];
+            for (const std::size_t t : node.out) {
+                const Node &to = g.nodes[t];
+                if (isPseudoName(to.qname) || !to.defined)
+                    continue;
+                const std::string toLayer =
+                    viva::deps::layerOf(to.file, rules);
+                if (!toLayer.empty() && toLayer != layer)
+                    ++result.layerEdges[{layer, toLayer}];
+            }
+        }
+    }
+
+    /* --- reversed adjacency for the sink rules --- */
+    std::vector<std::vector<std::size_t>> rin(g.nodes.size());
+    for (std::size_t id = 0; id < g.nodes.size(); ++id)
+        for (const std::size_t t : g.nodes[id].out)
+            rin[t].push_back(id);
+
+    const auto isSupportSink = [&](const Node &node) {
+        return (node.terminal == "fatal" || node.terminal == "panic") &&
+               node.defined && startsWith(node.file, "src/support/");
+    };
+
+    /* fatal-reachable */
+    std::vector<std::size_t> fatalSinks;
+    for (std::size_t id = 0; id < g.nodes.size(); ++id)
+        if (isSupportSink(g.nodes[id]))
+            fatalSinks.push_back(id);
+    if (!fatalSinks.empty()) {
+        const Reach reach = reverseReach(
+            g, rin, fatalSinks, [&](std::size_t id) {
+                return g.nodes[id].waivers.count("fatal-reachable") != 0;
+            });
+        for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+            const Node &node = g.nodes[id];
+            if (!reach.flagged[id] || !node.defined ||
+                isPseudoName(node.qname) ||
+                !startsWith(node.file, "src/") ||
+                startsWith(node.file, "src/app/"))
+                continue;
+            result.findings.push_back(
+                {node.file, node.line, "fatal-reachable",
+                 "'" + node.qname +
+                     "' can transitively reach fatal()/panic(): " +
+                     witnessPath(g, reach, id)});
+        }
+    }
+
+    /* clock-reachable */
+    {
+        const Reach reach = reverseReach(
+            g, rin, {g.chronoSink}, [&](std::size_t id) {
+                const Node &node = g.nodes[id];
+                return node.waivers.count("clock-reachable") != 0 ||
+                       startsWith(node.file, "src/support/clock.");
+            });
+        for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+            const Node &node = g.nodes[id];
+            if (!reach.flagged[id] || !node.defined ||
+                isPseudoName(node.qname) ||
+                !startsWith(node.file, "src/") ||
+                startsWith(node.file, "src/support/clock."))
+                continue;
+            result.findings.push_back(
+                {node.file, node.line, "clock-reachable",
+                 "'" + node.qname +
+                     "' can transitively reach a raw std::chrono clock "
+                     "read outside the clock shim: " +
+                     witnessPath(g, reach, id)});
+        }
+    }
+
+    /* io-in-hot-path */
+    {
+        std::vector<std::size_t> ioSinks = {g.streamSink};
+        for (std::size_t id = 0; id < g.nodes.size(); ++id)
+            if (g.nodes[id].terminal == "warnLimited" &&
+                g.nodes[id].defined)
+                ioSinks.push_back(id);
+        std::vector<char> isIoSink(g.nodes.size(), 0);
+        for (const std::size_t id : ioSinks)
+            isIoSink[id] = 1;
+        const Reach reach = reverseReach(
+            g, rin, ioSinks, [&](std::size_t id) {
+                const Node &node = g.nodes[id];
+                return node.waivers.count("io-in-hot-path") != 0 ||
+                       isSupportSink(node);
+            });
+        std::map<std::string, const FileFacts *> factsByPath;
+        for (const FileFacts &f : facts)
+            factsByPath.emplace(f.path, &f);
+        for (const HotEdge &h : g.hotEdges) {
+            std::size_t tainted = kNone;
+            for (const std::size_t t : h.targets)
+                if (isIoSink[t] || reach.flagged[t]) {
+                    tainted = t;
+                    break;
+                }
+            if (tainted == kNone)
+                continue;
+            const Node &from = g.nodes[h.from];
+            if (from.waivers.count("io-in-hot-path") != 0)
+                continue;
+            const FileFacts *ff = factsByPath.at(h.file);
+            if (ff->fileWaivers.count("io-in-hot-path") != 0)
+                continue;
+            auto lw = ff->lineWaivers.find(h.line);
+            if (lw != ff->lineWaivers.end() &&
+                lw->second.count("io-in-hot-path") != 0)
+                continue;
+            const std::string path =
+                isIoSink[tainted] ? nodeLabel(g, tainted)
+                                  : witnessPath(g, reach, tainted);
+            result.findings.push_back(
+                {h.file, h.line, "io-in-hot-path",
+                 "hot-path call to '" + h.name + "' in '" + from.qname +
+                     "' reaches stream I/O: " + path});
+        }
+    }
+
+    /* dead-symbol */
+    {
+        static const std::set<std::string> rootNames = {
+            "main",          "TEST",
+            "TEST_F",        "TEST_P",
+            "TYPED_TEST",    "TYPED_TEST_P",
+            "INSTANTIATE_TEST_SUITE_P",
+            "REGISTER_TYPED_TEST_SUITE_P",
+        };
+        std::vector<char> live(g.nodes.size(), 0);
+        std::deque<std::size_t> queue;
+        for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+            const Node &node = g.nodes[id];
+            const bool root =
+                rootNames.count(node.terminal) != 0 ||
+                startsWith(node.qname, "<file:") ||
+                node.waivers.count("dead-symbol") != 0;
+            if (root) {
+                live[id] = 1;
+                queue.push_back(id);
+            }
+        }
+        while (!queue.empty()) {
+            const std::size_t cur = queue.front();
+            queue.pop_front();
+            for (const std::size_t t : g.nodes[cur].outAll)
+                if (!live[t]) {
+                    live[t] = 1;
+                    queue.push_back(t);
+                }
+        }
+        for (std::size_t id = 0; id < g.nodes.size(); ++id) {
+            const Node &node = g.nodes[id];
+            if (live[id] || !node.defined ||
+                isPseudoName(node.qname) ||
+                !startsWith(node.file, "src/") ||
+                startsWith(node.terminal, "operator"))
+                continue;
+            result.findings.push_back(
+                {node.file, node.line, "dead-symbol",
+                 "'" + node.qname +
+                     "' is defined but unreachable from any entry "
+                     "point (main/TEST roots); remove it or waive "
+                     "with // viva-graph: allow(dead): <why>"});
+        }
+    }
+
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+    return result;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    std::ostringstream out;
+    out << finding.file << ':' << finding.line << ": [" << finding.rule
+        << "] " << finding.message;
+    return out.str();
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatJson(const Result &result)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"viva-graph-1\",\n";
+    out << "  \"files\": " << result.files << ",\n";
+    out << "  \"symbols\": " << result.symbols << ",\n";
+    out << "  \"defined_symbols\": " << result.definedSymbols << ",\n";
+    out << "  \"edges\": " << result.edges << ",\n";
+    out << "  \"external_calls\": " << result.externalCalls << ",\n";
+    out << "  \"unresolved_sites\": " << result.unresolvedSites
+        << ",\n";
+    out << "  \"cache_hits\": " << result.cacheHits << ",\n";
+    out << "  \"cache_misses\": " << result.cacheMisses << ",\n";
+    out << "  \"findings\": [";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"rule\": \""
+            << jsonEscape(f.rule) << "\", \"message\": \""
+            << jsonEscape(f.message) << "\"}";
+    }
+    if (!result.findings.empty())
+        out << "\n  ";
+    out << "]\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+formatDot(const Result &result)
+{
+    std::ostringstream out;
+    out << "digraph viva_graph_layers {\n";
+    out << "  rankdir=LR;\n";
+    out << "  node [shape=box];\n";
+    for (const auto &entry : result.layerSymbols)
+        out << "  \"" << entry.first << "\" [label=\"" << entry.first
+            << "\\n"
+            << entry.second << " symbols\"];\n";
+    for (const auto &entry : result.layerEdges)
+        out << "  \"" << entry.first.first << "\" -> \""
+            << entry.first.second << "\" [label=\"" << entry.second
+            << "\"];\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace viva::graph

@@ -8,11 +8,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 
+#include "support/threadpool.hh"
 #include "tools/check_lexer.hh"
 
 namespace viva::lint
@@ -626,28 +628,45 @@ companionHeader(const std::string &path)
 } // namespace
 
 std::vector<Finding>
-runLint(const std::vector<FileInput> &files)
+runLint(const std::vector<FileInput> &files, std::size_t jobs)
 {
-    // Pass 1: global alias names and per-file stripped text.
-    std::vector<std::string> strippedAll(files.size());
-    std::vector<std::string> aliases;
-    for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::size_t n = files.size();
+
+    // Chunk bodies write only their own index's slot, so parallel
+    // passes merge into the same state serial ones produce.
+    auto perFile = [&](const std::function<void(std::size_t)> &fn) {
+        support::ThreadPool::global().parallelFor(
+            0, n, 1, jobs, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    fn(i);
+            });
+    };
+
+    // Pass 1: per-file stripped text and alias names, merged in file
+    // order (the global alias set is sorted afterwards anyway).
+    std::vector<std::string> strippedAll(n);
+    std::vector<std::vector<std::string>> aliasesPer(n);
+    perFile([&](std::size_t i) {
         strippedAll[i] = stripCommentsAndStrings(files[i].content);
-        for (std::string &name : unorderedAliases(strippedAll[i]))
+        aliasesPer[i] = unorderedAliases(strippedAll[i]);
+    });
+    std::vector<std::string> aliases;
+    for (std::vector<std::string> &per : aliasesPer)
+        for (std::string &name : per)
             aliases.push_back(std::move(name));
-    }
     std::sort(aliases.begin(), aliases.end());
     aliases.erase(std::unique(aliases.begin(), aliases.end()),
                   aliases.end());
 
     // Pass 2: per-file unordered variable names (a .cc also sees the
     // members its companion header declares).
-    std::vector<std::set<std::string>> fileVars(files.size());
+    std::vector<std::set<std::string>> fileVars(n);
     std::map<std::string, std::size_t> indexByPath;
-    for (std::size_t i = 0; i < files.size(); ++i) {
-        fileVars[i] = unorderedVariables(strippedAll[i], aliases);
+    for (std::size_t i = 0; i < n; ++i)
         indexByPath[files[i].path] = i;
-    }
+    perFile([&](std::size_t i) {
+        fileVars[i] = unorderedVariables(strippedAll[i], aliases);
+    });
     for (std::size_t i = 0; i < files.size(); ++i) {
         auto it = indexByPath.find(companionHeader(files[i].path));
         if (it == indexByPath.end() || it->second == i)
@@ -665,10 +684,14 @@ runLint(const std::vector<FileInput> &files)
         R"(\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
     static const std::regex fatalRe(R"(\b(?:fatal|panic)\s*\()");
 
-    std::vector<Finding> out;
-    for (std::size_t i = 0; i < files.size(); ++i) {
+    // Per-file finding buffers, concatenated in file order, keep the
+    // within-file rule order identical to a serial run (the final sort
+    // is stable and keys on file/line only).
+    std::vector<std::vector<Finding>> outPer(n);
+    perFile([&](std::size_t i) {
         const FileInput &file = files[i];
         const std::string &stripped = strippedAll[i];
+        std::vector<Finding> &out = outPer[i];
         std::vector<std::string> rawLines = splitLines(file.content);
         std::vector<std::string> strippedLines = splitLines(stripped);
         Suppressions sup = parseSuppressions(rawLines, strippedLines);
@@ -718,7 +741,12 @@ runLint(const std::vector<FileInput> &files)
         if (active("include-hygiene"))
             checkIncludeHygiene(file, rawLines, strippedLines, sup,
                                 out);
-    }
+    });
+
+    std::vector<Finding> out;
+    for (std::vector<Finding> &per : outPer)
+        for (Finding &f : per)
+            out.push_back(std::move(f));
 
     std::stable_sort(out.begin(), out.end(),
                      [](const Finding &a, const Finding &b) {

@@ -42,9 +42,12 @@ struct Finding
 
 /**
  * Run every rule over the files and return the findings, ordered by
- * file then line. Suppressed findings are dropped.
+ * file then line. Suppressed findings are dropped. `jobs` bounds the
+ * concurrent per-file scanners (0 or 1 = serial); the findings are
+ * byte-identical whatever the job count.
  */
-std::vector<Finding> runLint(const std::vector<FileInput> &files);
+std::vector<Finding> runLint(const std::vector<FileInput> &files,
+                             std::size_t jobs = 1);
 
 /** Format a finding as "path:line: [rule] message". */
 std::string formatFinding(const Finding &finding);

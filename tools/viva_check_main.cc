@@ -4,7 +4,8 @@
  * (tools/check.hh) over the repository tree.
  *
  * Usage: viva-check <root> [--json] [--update-manifest]
- *                   [--compile-commands <path>] [subdir...]
+ *                   [--compile-commands <path>] [--jobs N]
+ *                   [subdir...]
  *
  * With no subdirs the default set (src tests bench examples tools) is
  * scanned. `--compile-commands build/compile_commands.json` restricts
@@ -12,8 +13,10 @@
  * (headers are always taken from the directory walk, since they never
  * appear in the database). `--update-manifest` rewrites
  * tools/obs_manifest.txt from the phases registered in src/ -- the
- * VIVA_UPDATE_GOLDEN convention applied to observability. `--json`
- * prints a byte-stable machine-readable report instead of text.
+ * VIVA_UPDATE_GOLDEN convention applied to observability. `--jobs N`
+ * scans files on N threads (0 = hardware concurrency); output is
+ * byte-identical to the serial run. `--json` prints a byte-stable
+ * machine-readable report instead of text.
  *
  * Exit status (tools/cli_common.hh): 0 clean, 1 findings, 2 usage or
  * I/O error.
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "support/threadpool.hh"
 #include "tools/check.hh"
 #include "tools/cli_common.hh"
 
@@ -87,7 +91,7 @@ usage()
 {
     std::cerr << "usage: viva-check <root> [--json] "
                  "[--update-manifest] [--compile-commands <path>] "
-                 "[subdir...]\n";
+                 "[--jobs N] [subdir...]\n";
     return viva::cli::kExitUsage;
 }
 
@@ -99,6 +103,7 @@ main(int argc, char **argv)
     bool json = false;
     bool updateManifest = false;
     std::string compileCommandsPath;
+    std::size_t jobs = viva::support::defaultThreadCount();
     std::string rootArg;
     std::vector<std::string> subdirs;
 
@@ -112,6 +117,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage();
             compileCommandsPath = argv[i];
+        } else if (arg == "--jobs") {
+            if (++i >= argc ||
+                !viva::cli::parseJobs(argv[i], jobs))
+                return usage();
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else if (rootArg.empty()) {
@@ -130,7 +139,7 @@ main(int argc, char **argv)
         return viva::cli::kExitUsage;
     }
     if (subdirs.empty())
-        subdirs = {"src", "tests", "bench", "examples", "tools"};
+        subdirs = viva::cli::defaultSubdirs();
 
     std::vector<viva::cli::Source> sources;
     if (!viva::cli::collectSources("viva-check", root, subdirs,
@@ -195,6 +204,7 @@ main(int argc, char **argv)
 
     viva::check::Options options;
     options.manifestPath = "tools/obs_manifest.txt";
+    options.jobs = jobs;
     {
         std::ifstream in(manifestFile, std::ios::binary);
         if (!in) {

@@ -7,112 +7,67 @@
  * Usage: viva-deps <root> <rules-file> [subdir...]
  *
  * With no subdirs the default set (src tests bench examples tools) is
- * scanned. Fixture files under tests/lint_fixtures and
- * tests/deps_fixtures are always skipped: they violate rules on
- * purpose. Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ * scanned. Fixture files (tests/lint_fixtures etc.) are always
+ * skipped: they violate rules on purpose. Exit status
+ * (tools/cli_common.hh, shared with the other viva tools): 0 clean,
+ * 1 findings, 2 usage or I/O error -- a missing subdirectory is an
+ * error, not a silently-empty scan.
  */
 
-#include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/cli_common.hh"
 #include "tools/deps.hh"
-
-namespace
-{
-
-namespace fs = std::filesystem;
-
-bool
-isSourcePath(const fs::path &p)
-{
-    const std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-           ext == ".hpp";
-}
-
-std::string
-readFile(const fs::path &p)
-{
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
+    namespace fs = std::filesystem;
+
     if (argc < 3) {
         std::cerr << "usage: viva-deps <root> <rules-file> "
                      "[subdir...]\n";
-        return 2;
+        return viva::cli::kExitUsage;
     }
 
     const fs::path root = argv[1];
     if (!fs::is_directory(root)) {
         std::cerr << "viva-deps: '" << root.string()
                   << "' is not a directory\n";
-        return 2;
+        return viva::cli::kExitUsage;
     }
 
-    const fs::path rules_path = argv[2];
-    std::ifstream rules_in(rules_path);
-    if (!rules_in) {
-        std::cerr << "viva-deps: cannot read rules file '"
-                  << rules_path.string() << "'\n";
-        return 2;
-    }
-    std::ostringstream rules_buffer;
-    rules_buffer << rules_in.rdbuf();
+    std::string rulesText;
+    if (!viva::cli::readFile("viva-deps", argv[2], rulesText,
+                             std::cerr))
+        return viva::cli::kExitUsage;
 
     viva::deps::Ruleset rules;
     std::string error;
-    if (!viva::deps::parseRules(rules_buffer.str(), rules, error)) {
-        std::cerr << "viva-deps: " << rules_path.string() << ": "
-                  << error << '\n';
-        return 2;
+    if (!viva::deps::parseRules(rulesText, rules, error)) {
+        std::cerr << "viva-deps: " << argv[2] << ": " << error
+                  << '\n';
+        return viva::cli::kExitUsage;
     }
 
     std::vector<std::string> subdirs;
     for (int i = 3; i < argc; ++i)
         subdirs.emplace_back(argv[i]);
     if (subdirs.empty())
-        subdirs = {"src", "tests", "bench", "examples", "tools"};
+        subdirs = viva::cli::defaultSubdirs();
+
+    std::vector<viva::cli::Source> sources;
+    if (!viva::cli::collectSources("viva-deps", root, subdirs,
+                                   sources, std::cerr))
+        return viva::cli::kExitUsage;
 
     std::vector<viva::deps::FileInput> files;
-    for (const std::string &sub : subdirs) {
-        fs::path dir = root / sub;
-        if (!fs::is_directory(dir)) {
-            std::cerr << "viva-deps: skipping missing directory '"
-                      << dir.string() << "'\n";
-            continue;
-        }
-        for (const auto &entry :
-             fs::recursive_directory_iterator(dir)) {
-            if (!entry.is_regular_file() ||
-                !isSourcePath(entry.path()))
-                continue;
-            std::string rel =
-                fs::relative(entry.path(), root).generic_string();
-            if (rel.find("lint_fixtures/") != std::string::npos ||
-                rel.find("deps_fixtures/") != std::string::npos)
-                continue;
-            files.push_back({rel, readFile(entry.path())});
-        }
-    }
-
-    std::sort(files.begin(), files.end(),
-              [](const viva::deps::FileInput &a,
-                 const viva::deps::FileInput &b) {
-                  return a.path < b.path;
-              });
+    files.reserve(sources.size());
+    for (viva::cli::Source &s : sources)
+        files.push_back({std::move(s.path), std::move(s.content)});
 
     std::vector<viva::deps::Violation> violations =
         viva::deps::checkDeps(files, rules);
@@ -122,5 +77,5 @@ main(int argc, char **argv)
     std::cout << "viva-deps: " << files.size() << " files, "
               << violations.size() << " violation"
               << (violations.size() == 1 ? "" : "s") << '\n';
-    return violations.empty() ? 0 : 1;
+    return viva::cli::exitCodeForFindings(violations.size());
 }

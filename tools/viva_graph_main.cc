@@ -1,0 +1,164 @@
+/**
+ * @file
+ * viva-graph command line: run the whole-program call-graph rules
+ * (tools/graph.hh) over the repository tree.
+ *
+ * Usage: viva-graph <root> <rules-file> [--json] [--dot <path>]
+ *                   [--cache <path>] [--jobs N] [subdir...]
+ *
+ * <rules-file> is the tools/layering.rules document used to tag
+ * symbols with layers in the --dot export. With no subdirs the
+ * default set (src tests bench examples tools) is scanned. `--cache`
+ * names the incremental fact cache (typically build/viva-graph.cache):
+ * it is read if present -- files whose content hash still matches are
+ * not re-lexed -- and rewritten after the run. `--jobs N` extracts
+ * per-file facts on N threads (0 = hardware concurrency); output is
+ * byte-identical to the serial run. `--dot` writes the
+ * layer-collapsed call graph in Graphviz format. `--json` prints the
+ * byte-stable viva-graph-1 report instead of text.
+ *
+ * Exit status (tools/cli_common.hh): 0 clean, 1 findings, 2 usage or
+ * I/O error.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/threadpool.hh"
+#include "tools/cli_common.hh"
+#include "tools/graph.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+int
+usage()
+{
+    std::cerr << "usage: viva-graph <root> <rules-file> [--json] "
+                 "[--dot <path>] [--cache <path>] [--jobs N] "
+                 "[subdir...]\n";
+    return viva::cli::kExitUsage;
+}
+
+bool
+writeFile(const std::string &tool, const fs::path &path,
+          const std::string &content)
+{
+    std::error_code ec;
+    if (path.has_parent_path())
+        fs::create_directories(path.parent_path(), ec);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::cerr << tool << ": cannot write '" << path.string()
+                  << "'\n";
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::string dotPath;
+    std::string cachePath;
+    std::size_t jobs = viva::support::defaultThreadCount();
+    std::string rootArg;
+    std::string rulesArg;
+    std::vector<std::string> subdirs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--dot") {
+            if (++i >= argc)
+                return usage();
+            dotPath = argv[i];
+        } else if (arg == "--cache") {
+            if (++i >= argc)
+                return usage();
+            cachePath = argv[i];
+        } else if (arg == "--jobs") {
+            if (++i >= argc || !viva::cli::parseJobs(argv[i], jobs))
+                return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (rootArg.empty()) {
+            rootArg = arg;
+        } else if (rulesArg.empty()) {
+            rulesArg = arg;
+        } else {
+            subdirs.push_back(arg);
+        }
+    }
+    if (rootArg.empty() || rulesArg.empty())
+        return usage();
+
+    const fs::path root = rootArg;
+    if (!fs::is_directory(root)) {
+        std::cerr << "viva-graph: '" << root.string()
+                  << "' is not a directory\n";
+        return viva::cli::kExitUsage;
+    }
+    if (subdirs.empty())
+        subdirs = viva::cli::defaultSubdirs();
+
+    viva::graph::Options options;
+    options.jobs = jobs;
+    if (!viva::cli::readFile("viva-graph", rulesArg,
+                             options.rulesText, std::cerr))
+        return viva::cli::kExitUsage;
+    if (!cachePath.empty()) {
+        /* a missing or unreadable cache is a cold run, not an error */
+        std::ifstream in(cachePath, std::ios::binary);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            options.cacheText = buffer.str();
+        }
+    }
+
+    std::vector<viva::cli::Source> sources;
+    if (!viva::cli::collectSources("viva-graph", root, subdirs,
+                                   sources, std::cerr))
+        return viva::cli::kExitUsage;
+
+    std::vector<viva::graph::FileInput> files;
+    files.reserve(sources.size());
+    for (viva::cli::Source &s : sources)
+        files.push_back({std::move(s.path), std::move(s.content)});
+
+    const viva::graph::Result result =
+        viva::graph::runGraph(files, options);
+
+    if (!cachePath.empty() &&
+        !writeFile("viva-graph", cachePath, result.newCacheText))
+        return viva::cli::kExitUsage;
+    if (!dotPath.empty() &&
+        !writeFile("viva-graph", dotPath,
+                   viva::graph::formatDot(result)))
+        return viva::cli::kExitUsage;
+
+    if (json) {
+        std::cout << viva::graph::formatJson(result);
+    } else {
+        for (const viva::graph::Finding &f : result.findings)
+            std::cout << viva::graph::formatFinding(f) << '\n';
+        std::cout << "viva-graph: " << result.files << " files, "
+                  << result.symbols << " symbols, " << result.edges
+                  << " edges, " << result.findings.size()
+                  << " finding"
+                  << (result.findings.size() == 1 ? "" : "s") << " ("
+                  << result.cacheHits << " cache hits)\n";
+    }
+    return viva::cli::exitCodeForFindings(result.findings.size());
+}

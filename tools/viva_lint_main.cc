@@ -3,14 +3,15 @@
  * viva-lint command line: scan C++ sources under a repository root for
  * violations of the project rules (tools/lint_rules.hh).
  *
- * Usage: viva-lint <root> [subdir...]
+ * Usage: viva-lint <root> [--jobs N] [subdir...]
  *
  * With no subdirs the default set (src tests bench examples tools) is
  * scanned. Fixture files (tests/lint_fixtures etc.) are always
- * skipped: they violate rules on purpose. Exit status
- * (tools/cli_common.hh, shared with viva-check): 0 clean, 1 findings,
- * 2 usage or I/O error -- a missing subdirectory is an error, not a
- * silently-empty scan.
+ * skipped: they violate rules on purpose. `--jobs N` scans files on N
+ * threads (0 = hardware concurrency); output is byte-identical to the
+ * serial run. Exit status (tools/cli_common.hh, shared with
+ * viva-check): 0 clean, 1 findings, 2 usage or I/O error -- a missing
+ * subdirectory is an error, not a silently-empty scan.
  */
 
 #include <filesystem>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "support/threadpool.hh"
 #include "tools/cli_common.hh"
 #include "tools/lint.hh"
 
@@ -26,23 +28,40 @@ main(int argc, char **argv)
 {
     namespace fs = std::filesystem;
 
-    if (argc < 2) {
-        std::cerr << "usage: viva-lint <root> [subdir...]\n";
+    auto usage = [] {
+        std::cerr << "usage: viva-lint <root> [--jobs N] "
+                     "[subdir...]\n";
         return viva::cli::kExitUsage;
-    }
+    };
 
-    const fs::path root = argv[1];
+    std::size_t jobs = viva::support::defaultThreadCount();
+    std::string rootArg;
+    std::vector<std::string> subdirs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            if (++i >= argc ||
+                !viva::cli::parseJobs(argv[i], jobs))
+                return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (rootArg.empty()) {
+            rootArg = arg;
+        } else {
+            subdirs.push_back(arg);
+        }
+    }
+    if (rootArg.empty())
+        return usage();
+
+    const fs::path root = rootArg;
     if (!fs::is_directory(root)) {
         std::cerr << "viva-lint: '" << root.string()
                   << "' is not a directory\n";
         return viva::cli::kExitUsage;
     }
-
-    std::vector<std::string> subdirs;
-    for (int i = 2; i < argc; ++i)
-        subdirs.emplace_back(argv[i]);
     if (subdirs.empty())
-        subdirs = {"src", "tests", "bench", "examples", "tools"};
+        subdirs = viva::cli::defaultSubdirs();
 
     std::vector<viva::cli::Source> sources;
     if (!viva::cli::collectSources("viva-lint", root, subdirs,
@@ -55,7 +74,7 @@ main(int argc, char **argv)
         files.push_back({std::move(s.path), std::move(s.content)});
 
     std::vector<viva::lint::Finding> findings =
-        viva::lint::runLint(files);
+        viva::lint::runLint(files, jobs);
     for (const viva::lint::Finding &f : findings)
         std::cout << viva::lint::formatFinding(f) << '\n';
 
