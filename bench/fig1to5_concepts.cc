@@ -28,7 +28,7 @@ figure1()
 {
     std::printf("--- Figure 1: trace metrics -> graph at cursors A/B/C\n");
     viva::app::Session s(viva::trace::makeFigure1Trace());
-    s.stabilizeLayout(400);
+    s.stabilizeLayout(400).value();
     auto power = s.trace().findMetric("power");
     auto bw = s.trace().findMetric("bandwidth");
 

@@ -52,7 +52,7 @@ main()
             session.aggregateToDepth(std::uint16_t(level.depth));
         std::uint64_t t0 = viva::support::clock().nowNanos();
         std::size_t iters =
-            session.stabilizeLayout(level.depth < 0 ? 120 : 300);
+            session.stabilizeLayout(level.depth < 0 ? 120 : 300).value();
         std::uint64_t t1 = viva::support::clock().nowNanos();
         double ms = double(t1 - t0) / 1e6;
         std::printf("%-10s %8zu %8zu %12.1f %12zu\n", level.name,

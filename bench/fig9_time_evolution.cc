@@ -158,7 +158,7 @@ main()
     // --- the animation frames -------------------------------------------
     viva::app::Session session(std::move(bc.trace));
     session.aggregateToDepth(2);  // site level
-    session.stabilizeLayout(400);
+    session.stabilizeLayout(400).value();
     std::size_t frames = viva::support::valueOrDie(
         session.animate(4, "bench_out", "fig9_t", 150),
         "fig9 animate");

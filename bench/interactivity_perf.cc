@@ -34,7 +34,7 @@ gridSession()
                 .set(0.0, rng.uniform(0.0, p.host(h).powerMflops));
         }
         viva::app::Session s(std::move(t));
-        s.stabilizeLayout(100);
+        s.stabilizeLayout(100).value();
         return s;
     }();
     return session;
@@ -108,7 +108,7 @@ BM_LayoutIterationHostLevel(benchmark::State &state)
     viva::app::Session &s = gridSession();
     s.resetAggregation();
     for (auto _ : state)
-        s.stepLayout(1);
+        s.stepLayout(1).value();
 }
 
 void

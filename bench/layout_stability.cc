@@ -43,7 +43,7 @@ main()
     viva::app::Session session = makeSession();
 
     // Start the analysis at host level (2170 hosts + links), settled.
-    session.stabilizeLayout(300);
+    session.stabilizeLayout(300).value();
 
     struct Step { const char *label; int depth; } steps[] = {
         {"host -> cluster", 3},
@@ -65,7 +65,7 @@ main()
             session.resetAggregation();
         else
             session.aggregateToDepth(std::uint16_t(step.depth));
-        std::size_t iters = session.stabilizeLayout(600);
+        std::size_t iters = session.stabilizeLayout(600).value();
 
         auto after =
             viva::layout::snapshotPositions(session.layoutGraph());
@@ -82,7 +82,7 @@ main()
     {
         viva::app::Session fresh = makeSession();
         fresh.aggregateToDepth(3);
-        fresh.stabilizeLayout(800);
+        fresh.stabilizeLayout(800).value();
         auto before =
             viva::layout::snapshotPositions(fresh.layoutGraph());
         double extent = std::sqrt(
@@ -95,7 +95,7 @@ main()
                 id, {rng.uniform(-extent, extent),
                      rng.uniform(-extent, extent)});
         }
-        fresh.stabilizeLayout(600);
+        fresh.stabilizeLayout(600).value();
         auto after =
             viva::layout::snapshotPositions(fresh.layoutGraph());
         auto disp = viva::layout::displacement(before, after);

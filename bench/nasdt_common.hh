@@ -119,7 +119,7 @@ renderViews(viva::trace::Trace trace, const std::string &out_dir,
             const std::string &prefix)
 {
     viva::app::Session session(std::move(trace));
-    session.stabilizeLayout(600);
+    session.stabilizeLayout(600).value();
     viva::support::okOrDie(
         session.renderSvg(out_dir + "/" + prefix + "_whole.svg",
                           prefix + ": whole execution"),

@@ -174,7 +174,7 @@ main(int argc, char **argv)
     viva::agg::View coarse = session.view();
     session.resetAggregation();
     viva::agg::View fine = session.view(true);
-    session.stepLayout(25);
+    session.stepLayout(25).value();
     std::printf("obs_export: %zu coarse nodes, %zu fine nodes\n",
                 coarse.nodes.size(), fine.nodes.size());
 

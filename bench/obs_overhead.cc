@@ -127,7 +127,7 @@ main()
     std::printf("=== obs_overhead: armed vs disarmed timers ===\n");
 
     // Warm both paths (thread pool spin-up, registry shards, caches).
-    session.stepLayout(5);
+    session.stepLayout(5).value();
     (void)session.view();
 
     // --- force pass ------------------------------------------------------
@@ -135,7 +135,7 @@ main()
     // session from the same initial state (construction is untimed).
     Overhead force = measureOverhead(kReps, [&] {
         viva::app::Session trial{viva::trace::Trace{master}};
-        return timeOnce([&] { trial.stepLayout(20); });
+        return timeOnce([&] { trial.stepLayout(20).value(); });
     });
 
     // --- aggregation -----------------------------------------------------

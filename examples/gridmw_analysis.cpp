@@ -83,7 +83,7 @@ main(int argc, char **argv)
                     level.name, session.cut().visibleCount(),
                     session.layoutGraph().edgeCount());
         // The host-level layout of 2170+ nodes relaxes with Barnes-Hut.
-        session.stabilizeLayout(level.depth < 0 ? 120 : 300);
+        session.stabilizeLayout(level.depth < 0 ? 120 : 300).value();
         viva::support::okOrDie(
             session.renderSvg(out_dir + "/fig8_" + level.name +
                                   ".svg",
@@ -117,7 +117,7 @@ main(int argc, char **argv)
     comp.total = session.trace().findMetric("power");
     session.mapping().setComposition(comp);
     session.aggregateToDepth(2);
-    session.stabilizeLayout(200);
+    session.stabilizeLayout(200).value();
     viva::support::okOrDie(
         session.renderSvg(out_dir + "/fig8_sites_perapp.svg",
                           "per-application shares (pie glyphs)"),

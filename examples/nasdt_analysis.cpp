@@ -57,7 +57,7 @@ renderViews(viva::app::Session &session, const std::string &out_dir,
             const std::string &tag)
 {
     // Start from the topology at host level and settle the layout.
-    session.stabilizeLayout(600);
+    session.stabilizeLayout(600).value();
 
     auto bw_used = session.trace().findMetric("bandwidth_used");
     auto bw = session.trace().findMetric("bandwidth");

@@ -78,7 +78,7 @@ main(int argc, char **argv)
     // --- the hunt ---------------------------------------------------------------
     viva::app::Session session(std::move(run.trace));
     session.aggregateToDepth(3);  // cluster scale
-    session.stabilizeLayout(400);
+    session.stabilizeLayout(400).value();
     viva::support::okOrDie(
         session.renderSvg(out_dir + "/hunt_1_clusters.svg",
                           "step 1: cluster scale"),
@@ -94,7 +94,7 @@ main(int argc, char **argv)
 
     std::printf("step 3: focus on the flagged cluster...\n");
     session.focus("west-c1");
-    session.stabilizeLayout(400);
+    session.stabilizeLayout(400).value();
     viva::support::okOrDie(
         session.renderSvg(out_dir + "/hunt_2_focused.svg",
                           "step 3: focused on west-c1"),

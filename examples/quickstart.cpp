@@ -35,7 +35,7 @@ main(int argc, char **argv)
 
     // 3. Lay out the topology (force-directed; converges in a blink on
     //    three nodes).
-    session.stabilizeLayout(400);
+    session.stabilizeLayout(400).value();
 
     // 4. The three cursors of Fig. 1, as narrow time slices.
     struct Cursor { const char *name; double at; } cursors[] = {

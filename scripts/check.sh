@@ -34,6 +34,11 @@
 #              (fatal-reachable, clock-reachable, io-in-hot-path,
 #              dead-symbol) over the whole-program call graph, plus the
 #              extraction/cache unit tests
+#   soak       RelWithDebInfo, -fsanitize=address,undefined; the
+#              kill/restart chaos soak alone: >= 200 seeded SIGKILL
+#              cycles against the checkpoint writer plus the
+#              all-points fault storm, so crash recovery is proven
+#              clean of memory errors and UB
 #
 # Usage: check.sh [stage ...]   -- default: every stage, failing fast.
 # Per-stage build trees live in build-<stage>/ and are reused. A
@@ -45,7 +50,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 GEN=""
 command -v ninja >/dev/null 2>&1 && GEN="-G Ninja"
 
-STAGES="${*:-release validate tsan asan fault lint obs analyze check graph}"
+STAGES="${*:-release validate tsan asan fault lint obs analyze check graph soak}"
 
 configure_flags() {
     case "$1" in
@@ -58,7 +63,7 @@ configure_flags() {
     tsan|obs)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=thread"
         ;;
-    asan|fault)
+    asan|fault|soak)
         echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DVIVA_SANITIZE=address,undefined"
         ;;
     lint|analyze|check|graph)
@@ -66,7 +71,7 @@ configure_flags() {
         ;;
     *)
         echo "check.sh: unknown stage '$1'" >&2
-        echo "usage: $0 [release|validate|tsan|asan|fault|lint|obs|analyze|check|graph ...]" >&2
+        echo "usage: $0 [release|validate|tsan|asan|fault|lint|obs|analyze|check|graph|soak ...]" >&2
         exit 2
         ;;
     esac
@@ -102,7 +107,9 @@ run_stage() {
         cmake --build "$BUILD" -j --target viva-check check_test || return 1
         "$BUILD/tools/viva-check" "$ROOT" \
             src tests bench examples tools || return 1
-        ctest --test-dir "$BUILD" --output-on-failure -R '^check' \
+        # '^check($|\.)': the whole-tree scan plus the check. unit
+        # tests, without catching checkpoint_test (not built here).
+        ctest --test-dir "$BUILD" --output-on-failure -R '^check($|\.)' \
             || return 1
     elif [ "$stage" = graph ]; then
         cmake --build "$BUILD" -j --target viva-graph graph_test || return 1
@@ -110,6 +117,10 @@ run_stage() {
             --cache "$BUILD/viva-graph.cache" \
             src tests bench examples tools || return 1
         ctest --test-dir "$BUILD" --output-on-failure -R '^graph' \
+            || return 1
+    elif [ "$stage" = soak ]; then
+        cmake --build "$BUILD" -j --target soak_session || return 1
+        ctest --test-dir "$BUILD" --output-on-failure -R '^soak' \
             || return 1
     elif [ "$stage" = analyze ]; then
         cmake --build "$BUILD" -j --target viva-deps deps_test || return 1

@@ -6,9 +6,11 @@
 #include "agg/aggregate.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
 #include <unordered_map>
 
+#include "support/governor.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/strings.hh"
@@ -206,11 +208,22 @@ View::valueOf(ContainerId id, MetricId m) const
     return 0.0;
 }
 
+namespace
+{
+
+/**
+ * The shared view build. With `abort` null this is the historical
+ * ungoverned pass (zero polls). With `abort` set, every worker checks
+ * the governor deadline once per visible node -- the per-ThreadPool-
+ * chunk cancellation checkpoint -- latches the flag and skips the
+ * rest of its range; the caller discards the partial view.
+ */
 View
-buildView(const trace::Trace &trace, const HierarchyCut &cut,
-          const TimeSlice &slice,
-          const std::vector<MetricRequest> &requests, bool with_stats,
-          std::size_t threads)
+buildViewImpl(const trace::Trace &trace, const HierarchyCut &cut,
+              const TimeSlice &slice,
+              const std::vector<MetricRequest> &requests,
+              bool with_stats, std::size_t threads,
+              std::atomic<bool> *abort)
 {
     obs::Registry &reg = obs::Registry::global();
     static const obs::HistogramId phase = reg.histogram("agg.build_view");
@@ -235,6 +248,13 @@ buildView(const trace::Trace &trace, const HierarchyCut &cut,
         0, visible.size(), 1, threads,
         [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
+                if (abort &&
+                    (abort->load(std::memory_order_relaxed) ||
+                     support::ResourceGovernor::global()
+                         .deadlineExpired())) {
+                    abort->store(true, std::memory_order_relaxed);
+                    return;
+                }
                 ContainerId id = visible[i];
                 ViewNode &node = view.nodes[i];
                 node.id = id;
@@ -269,6 +289,18 @@ buildView(const trace::Trace &trace, const HierarchyCut &cut,
     return view;
 }
 
+} // namespace
+
+View
+buildView(const trace::Trace &trace, const HierarchyCut &cut,
+          const TimeSlice &slice,
+          const std::vector<MetricRequest> &requests, bool with_stats,
+          std::size_t threads)
+{
+    return buildViewImpl(trace, cut, slice, requests, with_stats,
+                         threads, nullptr);
+}
+
 View
 buildView(const trace::Trace &trace, const HierarchyCut &cut,
           const TimeSlice &slice,
@@ -280,6 +312,46 @@ buildView(const trace::Trace &trace, const HierarchyCut &cut,
     for (trace::MetricId m : metrics)
         requests.emplace_back(m, op);
     return buildView(trace, cut, slice, requests, with_stats, threads);
+}
+
+support::Expected<View>
+buildViewGoverned(const trace::Trace &trace, const HierarchyCut &cut,
+                  const TimeSlice &slice,
+                  const std::vector<MetricRequest> &requests,
+                  bool with_stats, std::size_t threads)
+{
+    std::atomic<bool> aborted{false};
+    View view = buildViewImpl(trace, cut, slice, requests, with_stats,
+                              threads, &aborted);
+    // A deadline that trips after the last node but before the edge
+    // projection still aborts: a governed caller wants the budget
+    // honoured, not a lucky partial result.
+    if (aborted.load(std::memory_order_relaxed) ||
+        support::ResourceGovernor::global().deadlineExpired()) {
+        support::ResourceGovernor::global().noteDeadlineAbort();
+        return VIVA_ERROR(support::Errc::Deadline,
+                          "aggregation over ", cut.visibleCount(),
+                          " visible nodes ran past its deadline");
+    }
+    return view;
+}
+
+support::Expected<View>
+buildViewGoverned(const trace::Trace &trace, const HierarchyCut &cut,
+                  const TimeSlice &slice,
+                  const std::vector<trace::MetricId> &metrics,
+                  SpatialOp op, bool with_stats, std::size_t threads)
+{
+    std::vector<MetricRequest> requests;
+    requests.reserve(metrics.size());
+    for (trace::MetricId m : metrics)
+        requests.emplace_back(m, op);
+    support::Expected<View> view = buildViewGoverned(
+        trace, cut, slice, requests, with_stats, threads);
+    if (!view)
+        return VIVA_ERROR_CONTEXT(view.error(),
+                                  "buildViewGoverned defaults overload");
+    return view;
 }
 
 void

@@ -23,6 +23,7 @@
 
 #include "agg/hierarchy_cut.hh"
 #include "agg/timeslice.hh"
+#include "support/error.hh"
 #include "support/stats.hh"
 #include "trace/trace.hh"
 
@@ -205,6 +206,26 @@ View buildView(const trace::Trace &trace, const HierarchyCut &cut,
                const std::vector<trace::MetricId> &metrics,
                SpatialOp op = SpatialOp::Sum, bool with_stats = false,
                std::size_t threads = 1);
+
+/**
+ * buildView with cooperative cancellation: every worker polls the
+ * process-wide governor deadline once per visible node and the build
+ * aborts with Errc::Deadline when it has passed, discarding the
+ * partial view (the caller's state is untouched -- the view is the
+ * staged object). Ungoverned buildView never polls, so audits and
+ * read-only recomputation stay exact under an armed deadline.
+ */
+support::Expected<View> buildViewGoverned(
+    const trace::Trace &trace, const HierarchyCut &cut,
+    const TimeSlice &slice, const std::vector<MetricRequest> &requests,
+    bool with_stats = false, std::size_t threads = 1);
+
+/** Governed convenience overload mirroring the MetricId buildView. */
+support::Expected<View> buildViewGoverned(
+    const trace::Trace &trace, const HierarchyCut &cut,
+    const TimeSlice &slice, const std::vector<trace::MetricId> &metrics,
+    SpatialOp op = SpatialOp::Sum, bool with_stats = false,
+    std::size_t threads = 1);
 
 /**
  * Write a view as CSV (one row per node, one column per metric, plus

@@ -152,6 +152,40 @@ HierarchyCut::visibleCount() const
     return visibleNodes().size();
 }
 
+support::Expected<void>
+HierarchyCut::setCollapsedFlags(const std::vector<std::uint8_t> &flags)
+{
+    if (flags.size() != tr->containerCount()) {
+        return VIVA_ERROR(support::Errc::Invalid, "cut flag vector has ",
+                          flags.size(), " entries for ",
+                          tr->containerCount(), " containers");
+    }
+    for (ContainerId id{0}; id.index() < tr->containerCount(); ++id) {
+        if (flags[id.index()] > 1) {
+            return VIVA_ERROR(support::Errc::Invalid,
+                              "cut flag for container ", id, " is ",
+                              unsigned(flags[id.index()]), ", not 0/1");
+        }
+        if (flags[id.index()] && tr->container(id).leaf()) {
+            return VIVA_ERROR(support::Errc::Invalid, "leaf container ",
+                              id, " ('", tr->fullName(id),
+                              "') marked collapsed");
+        }
+    }
+    // Stage-then-swap: prove the candidate describes a well-formed cut
+    // on a scratch copy before touching this one.
+    HierarchyCut staged(*tr);
+    staged.collapsed = flags;
+    support::AuditLog audit = staged.auditInvariants();
+    if (!audit.empty()) {
+        return VIVA_ERROR(support::Errc::Invalid,
+                          "cut flags violate the cut property: ",
+                          audit.front());
+    }
+    collapsed = flags;
+    return {};
+}
+
 support::AuditLog
 HierarchyCut::auditInvariants() const
 {

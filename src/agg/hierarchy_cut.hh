@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/error.hh"
 #include "support/invariant.hh"
 #include "trace/trace.hh"
 
@@ -89,6 +90,25 @@ class HierarchyCut
 
     /** Number of visible nodes (what layout scalability depends on). */
     std::size_t visibleCount() const;
+
+    /**
+     * The raw per-container collapsed flags, one byte per container in
+     * id order -- the cut's complete serializable state (checkpoints).
+     */
+    const std::vector<std::uint8_t> &collapsedFlags() const
+    {
+        return collapsed;
+    }
+
+    /**
+     * Replace the flags wholesale (checkpoint restore). Validates
+     * before mutating: the vector must match the container count, hold
+     * only 0/1, mark no leaf collapsed, and describe a well-formed cut
+     * (antichain covering every leaf once). On error the cut is
+     * unchanged.
+     */
+    support::Expected<void>
+    setCollapsedFlags(const std::vector<std::uint8_t> &flags);
 
     /**
      * Deep structural audit: the flag vector matches the trace, no leaf

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Crash-safe session checkpoints: the `viva-ckpt-1` binary format.
+ *
+ * A checkpoint captures everything an analyst set up interactively --
+ * the trace under analysis, the hierarchy cut, the time slice, the
+ * force and scaling sliders, the governor budgets and every layout
+ * node's position and velocity -- so a session killed at any instant
+ * can be restored bitwise-identically (Session::stateDigest proves it).
+ *
+ * File layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *   ------  ----  -----------------------------------------------
+ *   0       12    magic "viva-ckpt-1\n" (version is part of it)
+ *   12      8     payload length in bytes
+ *   20      N     payload (sections below)
+ *   20+N    8     FNV-1a checksum of the payload bytes
+ *
+ * Payload sections, in order: embedded trace (native text format,
+ * length-prefixed), cut flags (one byte per container), time slice,
+ * force parameters, worker-thread count, scaling (max pixel size and
+ * touched sliders), governor budgets, layout nodes (key, position,
+ * velocity, pinned; sorted by key).
+ *
+ * Durability comes from the writer protocol, not the format: the bytes
+ * go to `<path>.tmp`, are flushed, and only then atomically renamed
+ * over `<path>` (support::atomicReplace). A crash at any byte leaves
+ * either the previous checkpoint or the new one -- never a torn file.
+ * The reader is strictly bounded: every length field is validated
+ * against the remaining bytes and the trace::ParseBudget ceilings
+ * before any allocation, so corrupt or adversarial files fail with a
+ * contextful error instead of an OOM or a crash.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "layout/force.hh"
+#include "support/error.hh"
+#include "trace/io.hh"
+#include "trace/trace.hh"
+
+namespace viva::app
+{
+
+/** The format magic; the version number is part of the bytes. */
+inline constexpr std::string_view kCheckpointMagic = "viva-ckpt-1\n";
+
+/** Hard ceiling on the payload length field (bounded reader). */
+inline constexpr std::uint64_t kMaxCheckpointPayload = 1ull << 30;
+
+/** One layout node's persisted state. */
+struct CheckpointNode
+{
+    std::uint64_t key = 0;  ///< container id the node represents
+    double px = 0.0;
+    double py = 0.0;
+    double vx = 0.0;
+    double vy = 0.0;
+    bool pinned = false;
+};
+
+/**
+ * The deserialized checkpoint: a plain snapshot, decoupled from the
+ * live Session so restore can validate everything on staging state
+ * before any member is touched.
+ */
+struct CheckpointImage
+{
+    /** The trace, serialized in the native viva-trace text format. */
+    std::string traceText;
+
+    /** Per-container collapsed flags, id order (the hierarchy cut). */
+    std::vector<std::uint8_t> cutFlags;
+
+    double sliceBegin = 0.0;
+    double sliceEnd = 0.0;
+
+    /** Force sliders and integration knobs (threads field ignored). */
+    layout::ForceParams force;
+
+    /** Worker-thread count (`set threads`). */
+    std::uint64_t threads = 1;
+
+    /** Per-type scaling: max glyph size and the touched sliders. */
+    double maxPixel = 60.0;
+    std::vector<std::pair<trace::MetricId, double>> sliders;
+
+    /** Governor budgets (0 = disabled). */
+    std::uint64_t memBudgetBytes = 0;
+    std::uint64_t opDeadlineNanos = 0;
+
+    /** Live layout nodes, sorted by key. */
+    std::vector<CheckpointNode> nodes;
+};
+
+/** Serialize an image to the complete file bytes (magic..checksum). */
+std::string serializeCheckpoint(const CheckpointImage &image);
+
+/**
+ * Parse complete checkpoint bytes. Strictly bounded: section lengths
+ * are checked against the remaining bytes and against the budget's
+ * maxContainers / maxMetrics ceilings before allocation; the checksum,
+ * magic and exact payload length are all enforced. The embedded trace
+ * text is NOT parsed here (Session::restore does, with the same
+ * budget), but its length is bounded.
+ */
+support::Expected<CheckpointImage>
+parseCheckpoint(const std::string &bytes,
+                const trace::ParseBudget &budget = {});
+
+/**
+ * Write a checkpoint with the crash-safe protocol: serialize, write to
+ * `<path>.tmp` (honouring the `ckpt.write.stream` fault point), flush,
+ * then atomically rename over `path`. On any failure the temp file is
+ * removed and `path` is untouched.
+ *
+ * @param chunk_bytes when non-zero, write (and flush) the file in
+ *        chunks of this many bytes -- the chaos soak harness uses a
+ *        small chunk size to widen the mid-write kill window; 0 writes
+ *        the whole file in one put.
+ */
+support::Expected<void>
+writeCheckpointFile(const CheckpointImage &image, const std::string &path,
+                    std::size_t chunk_bytes = 0);
+
+/**
+ * Read and parse a checkpoint file (honouring the `ckpt.read.stream`
+ * fault point). The header is read and validated before the payload is
+ * sized, so a bogus length field never allocates.
+ */
+support::Expected<CheckpointImage>
+readCheckpointFile(const std::string &path,
+                   const trace::ParseBudget &budget = {});
+
+} // namespace viva::app

@@ -23,6 +23,30 @@ bool
 CommandInterpreter::execute(const std::string &line, std::ostream &out)
 {
     std::string stripped = trim(line);
+    bool counted = !stripped.empty() && stripped[0] != '#';
+    const std::size_t every_before = autoCkptEvery;
+    const std::string path_before = autoCkptPath;
+    bool ok = executeOne(line, out);
+    // Auto-checkpoint hook: blank lines, comments and the arming
+    // command itself do not count, and a failed background checkpoint
+    // warns without failing the command that triggered it.
+    if (autoCkptEvery != every_before || autoCkptPath != path_before)
+        counted = false;
+    if (ok && counted && autoCkptEvery > 0 &&
+        ++cmdsSinceCkpt >= autoCkptEvery) {
+        cmdsSinceCkpt = 0;
+        support::Expected<void> saved = sess.checkpoint(autoCkptPath);
+        if (!saved)
+            out << "warning: auto-checkpoint failed: "
+                << saved.error().toString() << "\n";
+    }
+    return ok;
+}
+
+bool
+CommandInterpreter::executeOne(const std::string &line, std::ostream &out)
+{
+    std::string stripped = trim(line);
     if (stripped.empty() || stripped[0] == '#')
         return true;
 
@@ -150,9 +174,72 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
             out << "threads = " << sess.threads() << "\n";
             return true;
         }
+        if (args[1] == "mem-budget") {
+            std::size_t bytes;
+            if (!count(2, bytes))
+                return false;
+            sess.setMemoryBudget(bytes);
+            out << "mem-budget = " << sess.memoryBudget()
+                << " (working set " << sess.workingSetBytes()
+                << " bytes, " << sess.cut().visibleCount()
+                << " visible nodes)\n";
+            return true;
+        }
+        if (args[1] == "deadline-ms") {
+            std::size_t ms;
+            if (!count(2, ms))
+                return false;
+            sess.setOperationDeadline(std::uint64_t(ms) * 1000000ull);
+            out << "deadline-ms = " << ms << "\n";
+            return true;
+        }
+        if (args[1] == "autockpt") {
+            std::size_t every;
+            if (!count(2, every))
+                return false;
+            if (every > 0 && argc < 3) {
+                out << "error: 'set autockpt N <file>' needs a file\n";
+                return false;
+            }
+            autoCkptEvery = every;
+            autoCkptPath = every > 0 ? args[3] : std::string();
+            cmdsSinceCkpt = 0;
+            if (every == 0)
+                out << "autockpt off\n";
+            else
+                out << "autockpt every " << every << " command(s) to "
+                    << autoCkptPath << "\n";
+            return true;
+        }
         out << "error: unknown setting '" << args[1]
-            << "' (try 'set threads N')\n";
+            << "' (try 'set threads N', 'set mem-budget BYTES', "
+               "'set deadline-ms N' or 'set autockpt N FILE')\n";
         return false;
+    }
+    if (cmd == "checkpoint") {
+        if (!need(1))
+            return false;
+        support::Expected<void> saved = sess.checkpoint(args[1]);
+        if (!saved) {
+            out << "error: " << saved.error().toString() << "\n";
+            return false;
+        }
+        out << "checkpointed to " << args[1] << " (digest "
+            << sess.stateDigest() << ")\n";
+        return true;
+    }
+    if (cmd == "restore") {
+        if (!need(1))
+            return false;
+        support::Expected<void> restored = sess.restore(args[1]);
+        if (!restored) {
+            out << "error: " << restored.error().toString() << "\n";
+            return false;
+        }
+        out << "restored from " << args[1] << " ("
+            << sess.cut().visibleCount() << " visible nodes, digest "
+            << sess.stateDigest() << ")\n";
+        return true;
     }
     if (cmd == "status") {
         support::Interval s = sess.span();
@@ -164,7 +251,14 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
             << sess.layoutGraph().edgeCount() << " edges\n"
             << "layout " << sess.layoutEngine().iterations()
             << " iteration(s), energy "
-            << sess.layoutEngine().kineticEnergy() << "\n";
+            << sess.layoutEngine().kineticEnergy() << "\n"
+            << "governor budget " << sess.memoryBudget()
+            << " bytes, working set " << sess.workingSetBytes()
+            << " bytes, deadline " << sess.operationDeadline()
+            << " ns\n"
+            << "governor " << sess.degradationCount()
+            << " degradation(s), " << sess.deadlineAbortCount()
+            << " deadline abort(s)\n";
         return true;
     }
     if (cmd == "scale") {
@@ -184,8 +278,13 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
         std::size_t iters = 300;
         if (argc >= 1 && !count(1, iters))
             return false;
-        std::size_t done = sess.stabilizeLayout(iters);
-        out << "stabilized in " << done << " iteration(s)\n";
+        support::Expected<std::size_t> done =
+            sess.stabilizeLayout(iters);
+        if (!done) {
+            out << "error: " << done.error().toString() << "\n";
+            return false;
+        }
+        out << "stabilized in " << *done << " iteration(s)\n";
         return true;
     }
     if (cmd == "move") {
@@ -367,7 +466,8 @@ CommandInterpreter::execute(const std::string &line, std::ostream &out)
         out << "commands: slice slice-of aggregate disaggregate depth "
                "focus reset charge spring damping scale set stabilize move "
                "pin unpin render treemap gantt chart anomalies export-csv "
-               "load save ascii info nodes status stats help\n";
+               "load save checkpoint restore ascii info nodes status "
+               "stats help\n";
         return true;
     }
 

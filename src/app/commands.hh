@@ -18,6 +18,11 @@
  *   damping <v>                the Damping slider
  *   scale <metric> <mult>      a per-type size slider
  *   set threads <n>            worker threads for layout + aggregation
+ *   set mem-budget <bytes>     memory budget; 0 disables degradation
+ *   set deadline-ms <n>        per-operation deadline; 0 disables
+ *   set autockpt <n> <file>    checkpoint every n commands; 0 disables
+ *   checkpoint <file>          write a crash-safe session checkpoint
+ *   restore <file>             restore the session from a checkpoint
  *   stabilize [iters]          relax the layout
  *   move <path> <x> <y>        drag a node
  *   pin <path> | unpin <path>  hold / release a node
@@ -54,7 +59,10 @@ class CommandInterpreter
     explicit CommandInterpreter(Session &session) : sess(session) {}
 
     /**
-     * Execute one command line.
+     * Execute one command line. When auto-checkpointing is armed (`set
+     * autockpt <n> <file>`), every n-th successful command is followed
+     * by a crash-safe checkpoint to the configured file; a failed
+     * auto-checkpoint warns on `out` but does not fail the command.
      * @param line the command
      * @param out receives the command's textual output
      * @retval false on an unknown command or bad arguments (an error
@@ -70,7 +78,13 @@ class CommandInterpreter
     std::size_t executeScript(std::istream &in, std::ostream &out);
 
   private:
+    /** The command dispatch proper, without the auto-checkpoint hook. */
+    bool executeOne(const std::string &line, std::ostream &out);
+
     Session &sess;
+    std::size_t autoCkptEvery = 0;   ///< 0 = auto-checkpoint disabled
+    std::string autoCkptPath;
+    std::size_t cmdsSinceCkpt = 0;
 };
 
 } // namespace viva::app

@@ -5,14 +5,18 @@
 
 #include "app/session.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <unordered_set>
 
 #include "agg/anomaly.hh"
+#include "app/checkpoint.hh"
 #include "layout/metrics.hh"
+#include "support/governor.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/threadpool.hh"
@@ -71,11 +75,17 @@ Session::load(const std::string &path, const trace::ParseBudget &budget)
     // --- stage ------------------------------------------------------------
     // Everything fallible runs on locals; no member is touched until
     // the whole file has parsed, so failure leaves the session intact.
+    // Transient I/O failures (and only those: a Parse or Budget error
+    // is a property of the bytes and retrying cannot change it) are
+    // retried with bounded exponential backoff before giving up.
     trace::Trace staged;
     std::vector<std::string> import_warnings;
     if (support::endsWith(path, ".paje")) {
         support::Expected<trace::PajeImport> import =
-            trace::readPajeTraceFile(path, budget);
+            support::retryWithBackoff(ioRetry, [&] {
+                // viva-check: allow(context-on-propagate): per-attempt pass-through; the caller stamps one frame after the retries
+                return trace::readPajeTraceFile(path, budget);
+            });
         if (!import) {
             reg.add(errors);
             return VIVA_ERROR_CONTEXT(import.error(), "Session::load");
@@ -84,7 +94,10 @@ Session::load(const std::string &path, const trace::ParseBudget &budget)
         import_warnings = std::move(import->warnings);
     } else {
         support::Expected<trace::Trace> loaded =
-            trace::readTraceFile(path, budget);
+            support::retryWithBackoff(ioRetry, [&] {
+                // viva-check: allow(context-on-propagate): per-attempt pass-through; the caller stamps one frame after the retries
+                return trace::readTraceFile(path, budget);
+            });
         if (!loaded) {
             reg.add(errors);
             return VIVA_ERROR_CONTEXT(loaded.error(), "Session::load");
@@ -109,6 +122,7 @@ Session::load(const std::string &path, const trace::ParseBudget &budget)
     force.params() = layout::ForceParams();
     force.params().threads = nThreads;
     syncLayout();
+    enforceBudget();
     maybeAudit("Session::load");
     return {};
 }
@@ -141,16 +155,27 @@ Session::stateDigest() const
     mixDouble(p.spring);
     mixDouble(p.damping);
     mix(nThreads);
-    // rawNodes() is a vector in stable id order, so the digest is
-    // deterministic across runs and thread counts.
-    for (const layout::Node &n : graph.rawNodes()) {
-        if (!n.alive)
-            continue;
-        mix(n.key);
-        mixDouble(n.position.x);
-        mixDouble(n.position.y);
-        mixDouble(n.velocity.x);
-        mixDouble(n.velocity.y);
+    mix(memBudgetBytes);
+    mix(opDeadlineNanos);
+    // Sorted by key, not slot order: a restored graph re-inserts nodes
+    // in cut preorder, which need not match the insertion history of
+    // the session that wrote the checkpoint -- the digest must agree
+    // whenever the observable state (key, position, velocity) does.
+    std::vector<const layout::Node *> alive;
+    alive.reserve(graph.nodeCount());
+    for (const layout::Node &n : graph.rawNodes())
+        if (n.alive)
+            alive.push_back(&n);
+    std::sort(alive.begin(), alive.end(),
+              [](const layout::Node *a, const layout::Node *b) {
+                  return a->key < b->key;
+              });
+    for (const layout::Node *n : alive) {
+        mix(n->key);
+        mixDouble(n->position.x);
+        mixDouble(n->position.y);
+        mixDouble(n->velocity.x);
+        mixDouble(n->velocity.y);
     }
     mix(graph.edgeCount());
     return h;
@@ -188,6 +213,7 @@ Session::aggregate(const std::string &path)
         return false;
     hierCut.aggregate(id);
     syncLayout();
+    enforceBudget();
     maybeAudit("Session::aggregate");
     return true;
 }
@@ -202,6 +228,7 @@ Session::disaggregate(const std::string &path)
         return false;
     hierCut.disaggregate(id);
     syncLayout();
+    enforceBudget();
     maybeAudit("Session::disaggregate");
     return true;
 }
@@ -211,6 +238,7 @@ Session::aggregateToDepth(std::uint16_t depth)
 {
     hierCut.aggregateToDepth(depth);
     syncLayout();
+    enforceBudget();
     maybeAudit("Session::aggregateToDepth");
 }
 
@@ -224,6 +252,7 @@ Session::focus(const std::string &path)
         return false;
     hierCut.focus({id});
     syncLayout();
+    enforceBudget();
     maybeAudit("Session::focus");
     return true;
 }
@@ -233,6 +262,7 @@ Session::resetAggregation()
 {
     hierCut.reset();
     syncLayout();
+    enforceBudget();
     maybeAudit("Session::resetAggregation");
 }
 
@@ -347,20 +377,60 @@ Session::syncLayout()
     reg.set(layout_edges, std::int64_t(graph.edgeCount()));
 }
 
-std::size_t
+support::Expected<std::size_t>
 Session::stabilizeLayout(std::size_t max_iters)
 {
-    std::size_t done = force.stabilize(max_iters);
+    if (opDeadlineNanos == 0) {
+        std::size_t done = force.stabilize(max_iters);
+        maybeAudit("Session::stabilizeLayout");
+        return done;
+    }
+    // Whole-operation atomicity: the governed iterations run on a
+    // staged copy of the graph driven by a scratch engine, so a
+    // deadline abort after some committed iterations still leaves the
+    // session's graph bitwise untouched. The swap keeps `force`'s
+    // borrowed reference valid by assigning in place.
+    support::OperationScope scope(opDeadlineNanos);
+    layout::LayoutGraph staged = graph;
+    layout::ForceLayout scratch(staged, force.params());
+    support::Expected<std::size_t> done =
+        scratch.stabilizeGoverned(max_iters);
+    if (!done) {
+        ++deadlineAborts;
+        return VIVA_ERROR_CONTEXT(done.error(),
+                                  "Session::stabilizeLayout");
+    }
+    graph = std::move(staged);
+    force.absorbCounters(scratch);
     maybeAudit("Session::stabilizeLayout");
     return done;
 }
 
-void
+support::Expected<void>
 Session::stepLayout(std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        force.step();
+    if (opDeadlineNanos == 0) {
+        for (std::size_t i = 0; i < n; ++i)
+            force.step();
+        maybeAudit("Session::stepLayout");
+        return {};
+    }
+    support::OperationScope scope(opDeadlineNanos);
+    layout::LayoutGraph staged = graph;
+    layout::ForceLayout scratch(staged, force.params());
+    for (std::size_t i = 0; i < n; ++i) {
+        support::Expected<double> stepped = scratch.stepGoverned();
+        if (!stepped) {
+            ++deadlineAborts;
+            return VIVA_ERROR_CONTEXT(stepped.error(),
+                                      "Session::stepLayout at iteration ",
+                                      i, " of ", n);
+        }
+    }
+    graph = std::move(staged);
+    force.absorbCounters(scratch);
     maybeAudit("Session::stepLayout");
+    return {};
 }
 
 layout::NodeId
@@ -425,8 +495,31 @@ Session::renderSvg(const std::string &path, const std::string &title)
 
     viz::SvgOptions options;
     options.title = title;
+    if (opDeadlineNanos == 0) {
+        support::Expected<void> written =
+            viz::writeSvgFile(scene(), path, options);
+        if (!written)
+            return VIVA_ERROR_CONTEXT(written.error(),
+                                      "Session::renderSvg");
+        return written;
+    }
+
+    // Governed: the aggregation (the dominant cost on large cuts) runs
+    // under the deadline and discards its partial view on abort.
+    // Rendering never mutates session state, so no staging is needed.
+    support::OperationScope scope(opDeadlineNanos);
+    support::Expected<agg::View> v = agg::buildViewGoverned(
+        tr, hierCut, slice, visMapping.referencedMetrics(),
+        agg::SpatialOp::Sum, /*with_stats=*/false, nThreads);
+    if (!v) {
+        ++deadlineAborts;
+        return VIVA_ERROR_CONTEXT(v.error(), "Session::renderSvg");
+    }
+    layout::Snapshot positions = layout::snapshotPositions(graph);
+    viz::Scene sc = viz::composeScene(*v, tr, positions, visMapping,
+                                      typeScaling, {});
     support::Expected<void> written =
-        viz::writeSvgFile(scene(), path, options);
+        viz::writeSvgFile(sc, path, options);
     if (!written)
         return VIVA_ERROR_CONTEXT(written.error(),
                                   "Session::renderSvg");
@@ -630,21 +723,331 @@ Session::animate(std::size_t frames, const std::string &dir,
                           "': ", ec.message());
 
     std::vector<agg::TimeSlice> slices = agg::uniformSlices(span(), frames);
+    // Whole-operation atomicity: a deadline abort (or any I/O failure)
+    // mid-animation rolls the slice and the layout back to their
+    // pre-call state, so the caller never sees a half-animated
+    // session. Frames already written stay on disk; they are plain
+    // output, not session state.
+    const agg::TimeSlice entry_slice = slice;
+    const layout::LayoutGraph entry_graph = graph;
+    auto rollback = [&] {
+        slice = entry_slice;
+        graph = entry_graph;
+        maybeAudit("Session::animate rollback");
+    };
     for (std::size_t f = 0; f < frames; ++f) {
         setTimeSlice(slices[f]);
-        force.stabilize(iters_per_frame);
+        support::Expected<std::size_t> settled =
+            stabilizeLayout(iters_per_frame);
+        if (!settled) {
+            rollback();
+            return VIVA_ERROR_CONTEXT(settled.error(),
+                                      "animate frame ", f);
+        }
         char name[64];
         std::snprintf(name, sizeof(name), "%s%03zu.svg", prefix.c_str(),
                       f);
         support::Expected<void> drawn =
             renderSvg(dir + "/" + name,
                       prefix + " frame " + std::to_string(f));
-        if (!drawn)
+        if (!drawn) {
+            rollback();
             return VIVA_ERROR_CONTEXT(drawn.error(), "animate frame ",
                                       f);
+        }
         reg.add(frame_count);
     }
     return frames;
+}
+
+// --- resource governance --------------------------------------------------
+
+void
+Session::setMemoryBudget(std::uint64_t bytes)
+{
+    memBudgetBytes = bytes;
+    enforceBudget();
+    maybeAudit("Session::setMemoryBudget");
+}
+
+void
+Session::setOperationDeadline(std::uint64_t nanos)
+{
+    opDeadlineNanos = nanos;
+}
+
+std::uint64_t
+Session::workingSetBytes() const
+{
+    // Deterministic accounting model: a fixed cost per record kind,
+    // summed over what the session actually holds. The constants
+    // approximate the in-memory footprint of each record (slot +
+    // indexing overhead); they are part of the model's contract, NOT
+    // measurements, so budget decisions replay identically across
+    // allocators, platforms and runs.
+    std::uint64_t bytes = 0;
+    bytes += std::uint64_t(tr.containerCount()) * 192;
+    bytes += std::uint64_t(tr.metricCount()) * 128;
+    bytes += std::uint64_t(tr.variableCount()) * 96;
+    bytes += std::uint64_t(tr.pointCount()) * 16;
+    bytes += std::uint64_t(tr.states().size()) * 64;
+    bytes += std::uint64_t(tr.relations().size()) * 16;
+    // The shed-able part scales with the cut: layout slots plus the
+    // aggregated view (one row of every referenced metric per visible
+    // node) the interactive loop keeps rebuilding.
+    bytes += std::uint64_t(graph.rawNodes().size()) *
+             sizeof(layout::Node);
+    bytes += std::uint64_t(graph.rawEdges().size()) *
+             sizeof(layout::Edge);
+    bytes += std::uint64_t(hierCut.visibleCount()) *
+             (64 + 16 * std::uint64_t(tr.metricCount()));
+    return bytes;
+}
+
+std::uint16_t
+Session::deepestVisibleDepth() const
+{
+    std::uint16_t deepest = 0;
+    for (ContainerId id : hierCut.visibleNodes())
+        deepest = std::max(deepest, tr.container(id).depth);
+    return deepest;
+}
+
+void
+Session::enforceBudget()
+{
+    if (memBudgetBytes == 0)
+        return;
+    // Graceful degradation ladder: coarsen the cut one level at a time
+    // -- Equation-1 aggregation as load shedding -- until the working
+    // set fits or only the root view is left. aggregateToDepth(d-1)
+    // strictly lowers the deepest visible depth, so this terminates.
+    while (workingSetBytes() > memBudgetBytes) {
+        std::uint16_t deepest = deepestVisibleDepth();
+        if (deepest == 0)
+            break;
+        hierCut.aggregateToDepth(std::uint16_t(deepest - 1));
+        syncLayout();
+        ++degradations;
+        support::ResourceGovernor::global().noteDegradation();
+        support::warnLimited(
+            "governor.degrade", "Session::enforceBudget",
+            "working set over the ", memBudgetBytes,
+            "-byte budget: coarsened the cut to depth ", deepest - 1,
+            " (", hierCut.visibleCount(), " visible nodes)");
+    }
+}
+
+// --- durability ------------------------------------------------------------
+
+support::Expected<void>
+Session::checkpoint(const std::string &path) const
+{
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("session.checkpoint");
+    static const obs::CounterId checkpoints =
+        reg.counter("session.checkpoints");
+    obs::ScopedPhase timer(phase);
+
+    CheckpointImage image;
+    {
+        std::ostringstream text;
+        trace::writeTrace(tr, text);
+        image.traceText = std::move(text).str();
+    }
+    image.cutFlags = hierCut.collapsedFlags();
+    image.sliceBegin = slice.begin;
+    image.sliceEnd = slice.end;
+    image.force = force.params();
+    image.threads = nThreads;
+    image.maxPixel = typeScaling.maxPixelSize();
+    image.sliders = typeScaling.touchedSliders();
+    image.memBudgetBytes = memBudgetBytes;
+    image.opDeadlineNanos = opDeadlineNanos;
+    for (const layout::Node &n : graph.rawNodes()) {
+        if (!n.alive)
+            continue;
+        image.nodes.push_back({n.key, n.position.x, n.position.y,
+                               n.velocity.x, n.velocity.y, n.pinned});
+    }
+    // Sorted by key so the same observable state always serializes to
+    // the same bytes, whatever insertion history produced it.
+    std::sort(image.nodes.begin(), image.nodes.end(),
+              [](const CheckpointNode &a, const CheckpointNode &b) {
+                  return a.key < b.key;
+              });
+
+    support::Expected<void> written =
+        support::retryWithBackoff(ioRetry, [&] {
+            // viva-check: allow(context-on-propagate): per-attempt pass-through; the caller stamps one frame after the retries
+            return writeCheckpointFile(image, path);
+        });
+    if (!written)
+        return VIVA_ERROR_CONTEXT(written.error(),
+                                  "Session::checkpoint to '", path,
+                                  "'");
+    reg.add(checkpoints);
+    return {};
+}
+
+support::Expected<void>
+Session::restore(const std::string &path,
+                 const trace::ParseBudget &budget)
+{
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("session.restore");
+    static const obs::CounterId restores =
+        reg.counter("session.restores");
+    static const obs::CounterId errors =
+        reg.counter("session.restore.errors");
+    obs::ScopedPhase timer(phase);
+
+    auto fail = [&](support::Error err) {
+        reg.add(errors);
+        return support::Expected<void>(std::move(err));
+    };
+
+    // --- stage ------------------------------------------------------------
+    // Read, checksum, parse and validate everything against staging
+    // state; no member is touched until nothing can fail.
+    support::Expected<CheckpointImage> image =
+        support::retryWithBackoff(ioRetry, [&] {
+            // viva-check: allow(context-on-propagate): per-attempt pass-through; the caller stamps one frame after the retries
+            return readCheckpointFile(path, budget);
+        });
+    if (!image)
+        return fail(VIVA_ERROR_CONTEXT(image.error(),
+                                       "Session::restore"));
+
+    std::istringstream text(image->traceText);
+    support::Expected<trace::Trace> loaded =
+        trace::readTrace(text, budget);
+    if (!loaded)
+        return fail(VIVA_ERROR_CONTEXT(
+            loaded.error(), "Session::restore: embedded trace of '",
+            path, "'"));
+    trace::Trace staged = std::move(*loaded);
+
+    agg::HierarchyCut staged_cut(staged);
+    support::Expected<void> cut_ok =
+        staged_cut.setCollapsedFlags(image->cutFlags);
+    if (!cut_ok)
+        return fail(VIVA_ERROR_CONTEXT(cut_ok.error(),
+                                       "Session::restore: cut of '",
+                                       path, "'"));
+
+    if (!std::isfinite(image->sliceBegin) ||
+        !std::isfinite(image->sliceEnd) ||
+        image->sliceEnd < image->sliceBegin)
+        return fail(VIVA_ERROR(support::Errc::Parse,
+                               "checkpoint '", path,
+                               "' carries a reversed or non-finite "
+                               "time slice"));
+    if (image->threads == 0)
+        return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                               path,
+                               "' carries a zero worker-thread count"));
+    if (!std::isfinite(image->maxPixel) || image->maxPixel <= 0.0)
+        return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                               path,
+                               "' carries a non-positive max pixel "
+                               "size"));
+    const layout::ForceParams &fp = image->force;
+    for (double v : {fp.charge, fp.spring, fp.restLength, fp.damping,
+                     fp.timestep, fp.maxDisplacement, fp.theta}) {
+        if (!std::isfinite(v))
+            return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                                   path,
+                                   "' carries a non-finite force "
+                                   "parameter"));
+    }
+    for (const auto &[metric, value] : image->sliders) {
+        if (metric.value() >= staged.metricCount())
+            return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                                   path, "' scales unknown metric id ",
+                                   metric.value()));
+        if (!std::isfinite(value))
+            return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                                   path,
+                                   "' carries a non-finite slider"));
+    }
+
+    // The persisted nodes must be exactly the cut's visible set,
+    // strictly sorted, with finite state.
+    std::vector<ContainerId> visible = staged_cut.visibleNodes();
+    if (image->nodes.size() != visible.size())
+        return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                               path, "' carries ", image->nodes.size(),
+                               " layout node(s) for a cut with ",
+                               visible.size(), " visible container(s)"));
+    std::unordered_set<std::uint64_t> visible_keys;
+    visible_keys.reserve(visible.size());
+    for (ContainerId id : visible)
+        visible_keys.insert(id.value());
+    std::uint64_t prev_key = 0;
+    bool first = true;
+    for (const CheckpointNode &n : image->nodes) {
+        if (!first && n.key <= prev_key)
+            return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                                   path,
+                                   "' layout nodes are not strictly "
+                                   "sorted by key"));
+        first = false;
+        prev_key = n.key;
+        if (!visible_keys.count(n.key))
+            return fail(VIVA_ERROR(support::Errc::Parse, "checkpoint '",
+                                   path, "' places container ", n.key,
+                                   " which the cut does not make "
+                                   "visible"));
+        for (double v : {n.px, n.py, n.vx, n.vy})
+            if (!std::isfinite(v))
+                return fail(VIVA_ERROR(support::Errc::Parse,
+                                       "checkpoint '", path,
+                                       "' carries a non-finite "
+                                       "position or velocity for "
+                                       "container ", n.key));
+    }
+
+    // --- swap -------------------------------------------------------------
+    // Infallible from here: rebuild every member in place, in
+    // constructor order (the ForceLayout borrows `graph` by
+    // reference), then overlay the persisted node state.
+    tr = std::move(staged);
+    hierCut = agg::HierarchyCut(tr);
+    support::Expected<void> applied =
+        hierCut.setCollapsedFlags(image->cutFlags);
+    VIVA_ASSERT(applied.ok(),
+                "validated cut flags failed to re-apply: ",
+                applied.ok() ? "" : applied.error().toString());
+    slice = agg::TimeSlice{image->sliceBegin, image->sliceEnd};
+    visMapping = viz::VisualMapping::defaults(tr);
+    typeScaling = viz::TypeScaling(image->maxPixel);
+    for (const auto &[metric, value] : image->sliders)
+        typeScaling.setSlider(metric, value);
+    nThreads = std::max<std::size_t>(std::size_t(image->threads), 1);
+    graph = layout::LayoutGraph();
+    force.params() = image->force;
+    force.params().threads = nThreads;
+    memBudgetBytes = image->memBudgetBytes;
+    opDeadlineNanos = image->opDeadlineNanos;
+    syncLayout();
+    // syncLayout placed the nodes deterministically; the checkpoint
+    // knows their real positions, velocities and pins.
+    for (const CheckpointNode &cn : image->nodes) {
+        layout::NodeId id = graph.findKey(cn.key);
+        VIVA_ASSERT(id != layout::kNoNode,
+                    "validated checkpoint node has no layout slot");
+        layout::Node &n = graph.mutableNodes()[id.index()];
+        n.position = {cn.px, cn.py};
+        n.velocity = {cn.vx, cn.vy};
+        n.pinned = cn.pinned;
+    }
+    reg.add(restores);
+    enforceBudget();
+    maybeAudit("Session::restore");
+    return {};
 }
 
 } // namespace viva::app

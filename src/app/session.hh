@@ -26,6 +26,7 @@
 #include "layout/graph.hh"
 #include "support/error.hh"
 #include "support/obs.hh"
+#include "support/retry.hh"
 #include "trace/io.hh"
 #include "trace/trace.hh"
 #include "viz/mapping.hh"
@@ -120,6 +121,7 @@ class Session
 
     /** The per-type scaling and its sliders. */
     viz::TypeScaling &scaling() { return typeScaling; }
+    const viz::TypeScaling &scaling() const { return typeScaling; }
 
     /** The force parameters (the charge/spring/damping sliders). */
     layout::ForceParams &forceParams() { return force.params(); }
@@ -142,12 +144,22 @@ class Session
 
     /**
      * Run the force-directed algorithm until it settles (or the
-     * iteration budget runs out). @return iterations performed
+     * iteration budget runs out). When an operation deadline is set
+     * (setOperationDeadline), the iterations run on a staged copy of
+     * the graph under the governor: a deadline abort returns
+     * Errc::Deadline and leaves every position and velocity bitwise
+     * unchanged; on success the staged graph is swapped in. Without a
+     * deadline this cannot fail.
+     * @return iterations performed
      */
-    std::size_t stabilizeLayout(std::size_t max_iters = 300);
+    support::Expected<std::size_t>
+    stabilizeLayout(std::size_t max_iters = 300);
 
-    /** Advance exactly n iterations. */
-    void stepLayout(std::size_t n = 1);
+    /**
+     * Advance exactly n iterations (same all-or-nothing deadline
+     * semantics as stabilizeLayout).
+     */
+    support::Expected<void> stepLayout(std::size_t n = 1);
 
     /**
      * Drag the named node to a position; its neighbours follow through
@@ -252,6 +264,76 @@ class Session
         const std::string &prefix = "frame",
         std::size_t iters_per_frame = 60);
 
+    // --- durability -------------------------------------------------------
+
+    /**
+     * Write a crash-safe checkpoint of the whole session (trace, cut,
+     * slice, sliders, budgets, every layout node's position and
+     * velocity) to `path` in the `viva-ckpt-1` format. The bytes go to
+     * a temp file and are atomically renamed into place, so a crash at
+     * any byte leaves the previous checkpoint or the new one, never a
+     * torn file. Transient I/O failures are retried under
+     * retryPolicy().
+     */
+    support::Expected<void> checkpoint(const std::string &path) const;
+
+    /**
+     * Restore the session from a checkpoint file. Stage-then-swap like
+     * load(): the file is read, checksummed, parsed and fully
+     * validated (embedded trace, cut flags, node set, finiteness) on
+     * staging state before any member is touched, so a failed restore
+     * leaves the session bitwise unchanged. A successful restore is
+     * bitwise-equivalent to the checkpointed session: stateDigest()
+     * before checkpoint() equals stateDigest() after restore().
+     */
+    support::Expected<void>
+    restore(const std::string &path,
+            const trace::ParseBudget &budget = {});
+
+    /** The retry policy governing transient-I/O retries (mutable). */
+    support::RetryPolicy &retryPolicy() { return ioRetry; }
+
+    // --- resource governance ----------------------------------------------
+
+    /**
+     * Set the memory budget in bytes (0 disables). The budget compares
+     * against workingSetBytes(); when the working set is above it, the
+     * session degrades gracefully: the hierarchy cut is coarsened one
+     * level at a time (Eq. 1 aggregation as load shedding) until the
+     * model fits or only the root level is left. Degradation runs here
+     * and after every operation that grows the working set.
+     */
+    void setMemoryBudget(std::uint64_t bytes);
+
+    /** The current memory budget (0 = disabled). */
+    std::uint64_t memoryBudget() const { return memBudgetBytes; }
+
+    /**
+     * Set the per-operation deadline in nanoseconds (0 disables).
+     * While set, stabilizeLayout / stepLayout / renderSvg / animate
+     * run under the process-wide governor: work past the deadline is
+     * cooperatively cancelled and the operation returns Errc::Deadline
+     * with the session state bitwise unchanged.
+     */
+    void setOperationDeadline(std::uint64_t nanos);
+
+    /** The current per-operation deadline (0 = disabled). */
+    std::uint64_t operationDeadline() const { return opDeadlineNanos; }
+
+    /**
+     * Deterministic working-set model in bytes: per-record accounting
+     * over the trace, the layout graph and the aggregated view of the
+     * current cut -- NOT an OS probe, so budgets behave identically
+     * across allocators and platforms.
+     */
+    std::uint64_t workingSetBytes() const;
+
+    /** Cut coarsenings forced by the memory budget so far. */
+    std::uint64_t degradationCount() const { return degradations; }
+
+    /** Operations aborted by the deadline governor so far. */
+    std::uint64_t deadlineAbortCount() const { return deadlineAborts; }
+
     // --- observability ----------------------------------------------------
 
     /**
@@ -294,6 +376,15 @@ class Session
     /** Layout node of a container path; kNoNode when not visible. */
     layout::NodeId nodeOf(const std::string &path) const;
 
+    /**
+     * Degrade until the working set fits the memory budget (or the
+     * ladder is exhausted at the root level). No-op without a budget.
+     */
+    void enforceBudget();
+
+    /** Deepest depth among the currently visible containers. */
+    std::uint16_t deepestVisibleDepth() const;
+
     trace::Trace tr;
     agg::HierarchyCut hierCut;
     agg::TimeSlice slice;
@@ -302,6 +393,11 @@ class Session
     layout::LayoutGraph graph;
     layout::ForceLayout force;
     std::size_t nThreads;
+    support::RetryPolicy ioRetry;
+    std::uint64_t memBudgetBytes = 0;
+    std::uint64_t opDeadlineNanos = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t deadlineAborts = 0;
 };
 
 } // namespace viva::app

@@ -6,10 +6,12 @@
 #include "layout/force.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "support/fault.hh"
+#include "support/governor.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/threadpool.hh"
@@ -26,6 +28,23 @@ ForceLayout::ForceLayout(LayoutGraph &graph, ForceParams params)
 
 double
 ForceLayout::step(double timestep_scale)
+{
+    // Ungoverned: stepImpl never polls and cannot fail.
+    return stepImpl(timestep_scale, false).value();
+}
+
+support::Expected<double>
+ForceLayout::stepGoverned(double timestep_scale)
+{
+    support::Expected<double> stepped = stepImpl(timestep_scale, true);
+    if (!stepped)
+        return VIVA_ERROR_CONTEXT(stepped.error(),
+                                  "ForceLayout::stepGoverned");
+    return stepped;
+}
+
+support::Expected<double>
+ForceLayout::stepImpl(double timestep_scale, bool governed)
 {
     obs::Registry &reg = obs::Registry::global();
     static const obs::HistogramId step_phase =
@@ -54,6 +73,27 @@ ForceLayout::step(double timestep_scale)
     const std::size_t grain =
         std::max<std::size_t>(32, nodes.size() / 64);
 
+    // Cooperative cancellation: each chunk polls once on entry and
+    // latches the verdict, so an expired deadline costs one clock read
+    // total, not one per chunk. The ungoverned step never polls.
+    std::atomic<bool> aborted{false};
+    auto expired = [&]() {
+        if (!governed)
+            return false;
+        if (aborted.load(std::memory_order_relaxed))
+            return true;
+        if (!support::ResourceGovernor::global().deadlineExpired())
+            return false;
+        aborted.store(true, std::memory_order_relaxed);
+        return true;
+    };
+    auto abortError = [&]() {
+        support::ResourceGovernor::global().noteDeadlineAbort();
+        return VIVA_ERROR(support::Errc::Deadline, "force step over ",
+                          g.nodeCount(),
+                          " nodes ran past its deadline");
+    };
+
     // --- repulsion ------------------------------------------------------
     if (prm.useBarnesHut && g.nodeCount() > 1) {
         // Bounding box, padded so the tree never degenerates.
@@ -75,6 +115,8 @@ ForceLayout::step(double timestep_scale)
             0, nodes.size(), grain, threads,
             [&](std::size_t clo, std::size_t chi) {
                 obs::ScopedPhase chunk_timer(chunk_phase);
+                if (expired())
+                    return;
                 for (std::size_t i = clo; i < chi; ++i) {
                     const Node &n = nodes[i];
                     if (!n.alive)
@@ -91,6 +133,8 @@ ForceLayout::step(double timestep_scale)
             0, nodes.size(), grain, threads,
             [&](std::size_t clo, std::size_t chi) {
                 obs::ScopedPhase chunk_timer(chunk_phase);
+                if (expired())
+                    return;
                 for (std::size_t i = clo; i < chi; ++i) {
                     const Node &a = nodes[i];
                     if (!a.alive)
@@ -123,6 +167,10 @@ ForceLayout::step(double timestep_scale)
     }
 
     // --- springs ----------------------------------------------------------
+    // Pass-boundary cancellation point: the spring pass is serial, so
+    // check once before entering it.
+    if (expired())
+        return abortError();
     for (const Edge &e : g.rawEdges()) {
         if (!e.alive || !nodes[e.a.index()].alive || !nodes[e.b.index()].alive)
             continue;
@@ -137,6 +185,11 @@ ForceLayout::step(double timestep_scale)
     }
 
     // --- integration -------------------------------------------------------
+    // Last cancellation point before anything commits: up to here only
+    // the local `force` vector was written, so an abort leaves every
+    // position and velocity exactly as before the call.
+    if (expired())
+        return abortError();
     // Watchdog: compute each update into locals and only commit finite
     // values. A non-finite update (overflow, corrupt input, injected
     // fault) quarantines the node -- velocity zeroed, last finite
@@ -180,12 +233,38 @@ ForceLayout::step(double timestep_scale)
 std::size_t
 ForceLayout::stabilize(std::size_t max_iters, double energy_per_node)
 {
+    // Ungoverned: stabilizeImpl never polls and cannot fail.
+    return stabilizeImpl(max_iters, energy_per_node, false).value();
+}
+
+support::Expected<std::size_t>
+ForceLayout::stabilizeGoverned(std::size_t max_iters,
+                               double energy_per_node)
+{
+    support::Expected<std::size_t> done =
+        stabilizeImpl(max_iters, energy_per_node, true);
+    if (!done)
+        return VIVA_ERROR_CONTEXT(done.error(),
+                                  "ForceLayout::stabilizeGoverned");
+    return done;
+}
+
+support::Expected<std::size_t>
+ForceLayout::stabilizeImpl(std::size_t max_iters,
+                           double energy_per_node, bool governed)
+{
     std::size_t done = 0;
     std::size_t n = std::max<std::size_t>(g.nodeCount(), 1);
     double cooling = 1.0;
     double prev = std::numeric_limits<double>::infinity();
     while (done < max_iters) {
-        double energy = step(cooling);
+        support::Expected<double> stepped = stepImpl(cooling, governed);
+        if (!stepped) {
+            return VIVA_ERROR_CONTEXT(stepped.error(),
+                                      "stabilize aborted after ", done,
+                                      " committed iterations");
+        }
+        double energy = *stepped;
         ++done;
         if (energy / double(n) < energy_per_node)
             break;

@@ -14,6 +14,7 @@
 
 #include "layout/graph.hh"
 #include "layout/quadtree.hh"
+#include "support/error.hh"
 
 namespace viva::layout
 {
@@ -95,6 +96,27 @@ class ForceLayout
     std::size_t stabilize(std::size_t max_iters = 500,
                           double energy_per_node = 1e-3);
 
+    /**
+     * step() with cooperative cancellation: every repulsion chunk (and
+     * each serial pass boundary) polls the process-wide governor
+     * deadline, and when it has passed the step aborts with
+     * Errc::Deadline *before* the integration commit -- positions and
+     * velocities are exactly as before the call. The ungoverned step()
+     * never polls and never pays for the check beyond one branch.
+     */
+    support::Expected<double> stepGoverned(double timestep_scale = 1.0);
+
+    /**
+     * stabilize() with cooperative cancellation. A deadline abort
+     * propagates the stepGoverned error; iterations committed before
+     * the abort remain (callers wanting whole-operation atomicity run
+     * this on a staged graph copy and swap on success, as Session
+     * does).
+     */
+    support::Expected<std::size_t>
+    stabilizeGoverned(std::size_t max_iters = 500,
+                      double energy_per_node = 1e-3);
+
     /** Kinetic energy of the system (sum of v^2 per node). */
     double kineticEnergy() const;
 
@@ -120,7 +142,26 @@ class ForceLayout
      */
     std::size_t quarantineCount() const { return quarantined; }
 
+    /**
+     * Fold another layout's iteration/quarantine counters into this
+     * one -- used after a staged graph copy (driven by a scratch
+     * ForceLayout) is swapped in, so the session-visible counters
+     * still account for the work actually performed.
+     */
+    void
+    absorbCounters(const ForceLayout &other)
+    {
+        iters += other.iters;
+        quarantined += other.quarantined;
+    }
+
   private:
+    support::Expected<double> stepImpl(double timestep_scale,
+                                       bool governed);
+    support::Expected<std::size_t> stabilizeImpl(std::size_t max_iters,
+                                                 double energy_per_node,
+                                                 bool governed);
+
     LayoutGraph &g;
     ForceParams prm;
     std::size_t iters = 0;

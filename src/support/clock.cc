@@ -6,6 +6,7 @@
 #include "support/clock.hh"
 
 #include <chrono>
+#include <thread>
 
 namespace viva::support
 {
@@ -41,6 +42,14 @@ SteadyClock::nowNanos()
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
+}
+
+void
+SteadyClock::sleepNanos(std::uint64_t nanos)
+{
+    // The matching real-sleep touchpoint: everything else waits through
+    // Clock so tests can substitute a FakeClock that advances instead.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
 }
 
 Clock &

@@ -27,6 +27,18 @@ class Clock
 
     /** Nanoseconds since an arbitrary fixed origin; never decreases. */
     virtual std::uint64_t nowNanos() = 0;
+
+    /**
+     * Block (or simulate blocking) for `nanos`. Retry backoff sleeps
+     * through this hook so a FakeClock-driven test advances virtual
+     * time instead of stalling the suite. The base default is a no-op:
+     * a clock that does not model sleeping simply returns immediately.
+     */
+    virtual void
+    sleepNanos(std::uint64_t nanos)
+    {
+        (void)nanos;
+    }
 };
 
 /** The production clock: std::chrono::steady_clock. */
@@ -34,6 +46,7 @@ class SteadyClock : public Clock
 {
   public:
     std::uint64_t nowNanos() override;
+    void sleepNanos(std::uint64_t nanos) override;
 };
 
 /**
@@ -74,6 +87,13 @@ class FakeClock : public Clock
     set(std::uint64_t nanos)
     {
         now.store(nanos, std::memory_order_relaxed);
+    }
+
+    /** Sleeping under a fake clock advances virtual time instantly. */
+    void
+    sleepNanos(std::uint64_t nanos) override
+    {
+        advance(nanos);
     }
 
   private:

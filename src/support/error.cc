@@ -19,6 +19,7 @@ errcName(Errc code)
       case Errc::Budget: return "budget";
       case Errc::NotFound: return "not-found";
       case Errc::Invalid: return "invalid";
+      case Errc::Deadline: return "deadline";
     }
     return "?";
 }

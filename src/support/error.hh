@@ -40,6 +40,7 @@ enum class Errc
     Budget,    ///< a parse budget (line length, containers, ...) hit
     NotFound,  ///< a named entity does not exist
     Invalid,   ///< a valid-looking request cannot be satisfied
+    Deadline,  ///< a governed operation ran past its time budget
 };
 
 /** Stable lower-case name of an error code ("io", "parse", ...). */
@@ -171,6 +172,18 @@ class [[nodiscard]] Expected<void>
     bool ok() const { return !err.has_value(); }
     bool has_value() const { return ok(); }
     explicit operator bool() const { return ok(); }
+
+    /**
+     * Assert success (the std::expected<void, E>::value() analogue);
+     * the idiom for call sites where failure is impossible by
+     * construction, e.g. a governed operation with no deadline armed.
+     */
+    void
+    value() const
+    {
+        VIVA_ASSERT(ok(), "Expected<void>::value() on error: ",
+                    err->toString());
+    }
 
     Error &
     error()

@@ -47,6 +47,8 @@ FaultInjector::knownPoints()
     // its name here, so tests can enumerate coverage and a typo in
     // arm() is caught instead of silently never firing.
     static const std::vector<std::string> names = {
+        "ckpt.read.stream",    // checkpoint reader: stream read failure
+        "ckpt.write.stream",   // checkpoint writer: stream write failure
         "layout.force.nan",    // NaN into one node's accumulated force
         "paje.read.stream",    // Paje reader: stream read failure
         "trace.parse.budget",  // treat the parse budget as exhausted

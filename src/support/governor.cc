@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the resource governor's deadline channel.
+ */
+
+#include "support/governor.hh"
+
+#include "support/clock.hh"
+#include "support/obs.hh"
+
+namespace viva::support
+{
+
+ResourceGovernor &
+ResourceGovernor::global()
+{
+    static ResourceGovernor instance;
+    return instance;
+}
+
+bool
+ResourceGovernor::deadlineExpired() const
+{
+    // Disarmed fast path: one relaxed load, no clock read. The clock
+    // is only consulted while a scope is armed, so ungoverned runs
+    // stay bitwise-deterministic under FakeClock.
+    std::uint64_t at = deadlineAt.load(std::memory_order_relaxed);
+    if (at == 0)
+        return false;
+    return clock().nowNanos() >= at;
+}
+
+void
+ResourceGovernor::noteDeadlineAbort()
+{
+    // Aborts are rare; registering the name on each one is a map
+    // lookup, not a hot-path cost (same policy as fault.fired.*).
+    obs::Registry &reg = obs::Registry::global();
+    reg.add(reg.counter("governor.deadline_aborts"));
+}
+
+void
+ResourceGovernor::noteDegradation()
+{
+    obs::Registry &reg = obs::Registry::global();
+    reg.add(reg.counter("governor.degradations"));
+}
+
+OperationScope::OperationScope(std::uint64_t budget_nanos)
+{
+    if (budget_nanos == 0)
+        return;
+    ResourceGovernor &gov = ResourceGovernor::global();
+    std::uint64_t expected = 0;
+    std::uint64_t at = clock().nowNanos() + budget_nanos;
+    // Outermost-wins: only arm when nothing is armed. Single-writer in
+    // practice (operations are driven from the session thread), but
+    // the CAS keeps nested arming well-defined regardless.
+    armed = gov.deadlineAt.compare_exchange_strong(
+        expected, at, std::memory_order_relaxed);
+}
+
+OperationScope::~OperationScope()
+{
+    if (armed)
+        ResourceGovernor::global().deadlineAt.store(
+            0, std::memory_order_relaxed);
+}
+
+bool
+OperationScope::expired() const
+{
+    return ResourceGovernor::global().deadlineExpired();
+}
+
+} // namespace viva::support

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of the retry classification, backoff arithmetic and
+ * metrics.
+ */
+
+#include "support/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/obs.hh"
+
+namespace viva::support
+{
+
+bool
+transientError(const Error &error)
+{
+    return error.code() == Errc::Io;
+}
+
+void
+noteRetryAttempt()
+{
+    // Retries are off the hot path by construction (they only happen
+    // after a failed I/O round trip), so the name lookup is fine.
+    obs::Registry &reg = obs::Registry::global();
+    reg.add(reg.counter("retry.attempts"));
+}
+
+void
+noteRetryExhausted()
+{
+    obs::Registry &reg = obs::Registry::global();
+    reg.add(reg.counter("retry.exhausted"));
+}
+
+std::uint64_t
+backoffNanos(const RetryPolicy &policy, std::size_t retry_index,
+             Rng &rng)
+{
+    double base = double(policy.initialBackoffNanos) *
+                  std::pow(std::max(policy.multiplier, 1.0),
+                           double(retry_index));
+    base = std::min(base, double(policy.maxBackoffNanos));
+    double jitter =
+        std::clamp(policy.jitterFraction, 0.0, 0.999999);
+    // Symmetric jitter in [1 - j, 1 + j): decorrelates concurrent
+    // retriers while keeping the expected wait equal to `base`.
+    double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+    double nanos = std::max(base * factor, 0.0);
+    return static_cast<std::uint64_t>(nanos);
+}
+
+} // namespace viva::support

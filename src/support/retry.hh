@@ -1,0 +1,86 @@
+/**
+ * @file
+ * support::RetryPolicy -- bounded exponential backoff around
+ * transient-classified failures.
+ *
+ * Long-lived analysis sessions meet flaky I/O (network filesystems,
+ * contended checkpoint targets). A retry wrapper turns a transient
+ * stream failure into a short, bounded wait instead of a failed
+ * command. Everything is deterministic: backoff sleeps go through the
+ * injectable support::Clock (a FakeClock advances virtual time
+ * instantly) and jitter comes from the seeded support::Rng, so a test
+ * observes the exact same attempt/backoff sequence every run.
+ *
+ * Classification is deliberately coarse: only Errc::Io is transient.
+ * Parse/Budget/Invalid failures are properties of the bytes, not of
+ * the moment -- retrying them would return the same error N times.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "support/clock.hh"
+#include "support/error.hh"
+#include "support/random.hh"
+
+namespace viva::support
+{
+
+/** The knobs of one bounded-backoff retry loop. */
+struct RetryPolicy
+{
+    /** Total tries including the first (1 = retry disabled). */
+    std::size_t maxAttempts = 3;
+    /** Wait before the first retry. */
+    std::uint64_t initialBackoffNanos = 200'000;  // 0.2 ms
+    /** Geometric growth factor per further retry. */
+    double multiplier = 2.0;
+    /** Backoff ceiling. */
+    std::uint64_t maxBackoffNanos = 50'000'000;  // 50 ms
+    /** Symmetric jitter fraction in [0, 1): wait *= 1 +/- jitter. */
+    double jitterFraction = 0.25;
+    /** Seed for the jitter stream. */
+    std::uint64_t seed = 0x5EEDBEEFULL;
+};
+
+/** Is this failure worth retrying? Only I/O failures are. */
+bool transientError(const Error &error);
+
+/** Bump the retry.attempts obs counter (one per performed retry). */
+void noteRetryAttempt();
+
+/** Bump the retry.exhausted obs counter (policy gave up). */
+void noteRetryExhausted();
+
+/** The backoff before retry number `retry_index` (0-based), jittered. */
+std::uint64_t backoffNanos(const RetryPolicy &policy,
+                           std::size_t retry_index, Rng &rng);
+
+/**
+ * Run `fn` (returning an Expected) up to policy.maxAttempts times,
+ * sleeping the jittered backoff between attempts. Non-transient
+ * errors and success return immediately; a transient error on the
+ * final attempt is returned as-is after noting exhaustion.
+ */
+template <typename Fn>
+auto
+retryWithBackoff(const RetryPolicy &policy, Fn fn) -> decltype(fn())
+{
+    Rng rng(policy.seed);
+    std::size_t attempts =
+        policy.maxAttempts > 0 ? policy.maxAttempts : 1;
+    for (std::size_t attempt = 0;; ++attempt) {
+        auto result = fn();
+        if (result.ok() || !transientError(result.error()))
+            return result;
+        if (attempt + 1 >= attempts) {
+            noteRetryExhausted();
+            return result;
+        }
+        noteRetryAttempt();
+        clock().sleepNanos(backoffNanos(policy, attempt, rng));
+    }
+}
+
+} // namespace viva::support

@@ -51,6 +51,22 @@ TypeScaling::autoMax(trace::MetricId metric) const
     return it == maxima.end() ? 0.0 : it->second;
 }
 
+std::vector<std::pair<trace::MetricId, double>>
+TypeScaling::touchedSliders() const
+{
+    std::vector<std::pair<trace::MetricId, double>> out;
+    out.reserve(sliders.size());
+    // Sorted immediately below, so the unordered walk cannot leak
+    // hash order into the serialized checkpoint bytes.
+    for (const auto &entry : sliders)  // viva-lint: allow(unordered-iter)
+        out.emplace_back(entry.first, entry.second);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
 double
 TypeScaling::pixelSize(trace::MetricId metric, double value) const
 {

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "agg/aggregate.hh"
 #include "trace/trace.hh"
@@ -59,6 +61,13 @@ class TypeScaling
      * slider]. Zero when the metric has no automatic maximum yet.
      */
     double pixelSize(trace::MetricId metric, double value) const;
+
+    /**
+     * Every touched slider as (metric, multiplier), sorted by metric
+     * id -- the deterministic serialization order checkpoints need.
+     * Untouched metrics (implicitly 1.0) are not listed.
+     */
+    std::vector<std::pair<trace::MetricId, double>> touchedSliders() const;
 
   private:
     double maxPixel;

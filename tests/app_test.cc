@@ -104,7 +104,7 @@ TEST(Session, LayoutFollowsTheCut)
 TEST(Session, AggregationPlacesGroupAtCentroid)
 {
     vap::Session s = makePlatformSession();
-    s.stabilizeLayout(200);
+    s.stabilizeLayout(200).value();
 
     // Centroid of adonis members before the collapse.
     auto adonis = s.trace().findByName("adonis");
@@ -133,13 +133,13 @@ TEST(Session, AggregationPlacesGroupAtCentroid)
 TEST(Session, SmoothTransitionAcrossScales)
 {
     vap::Session s = makePlatformSession();
-    s.stabilizeLayout(400);
+    s.stabilizeLayout(400).value();
     double extent =
         std::sqrt(vl::boundingBoxArea(s.layoutGraph())) + 1e-9;
     auto before = vl::snapshotPositions(s.layoutGraph());
 
     s.aggregate("adonis");
-    s.stabilizeLayout(100);
+    s.stabilizeLayout(100).value();
     auto after = vl::snapshotPositions(s.layoutGraph());
 
     // Nodes surviving the transition barely move: the paper's smooth
@@ -153,7 +153,7 @@ TEST(Session, DisaggregationFansOutAroundParent)
 {
     vap::Session s = makePlatformSession();
     s.aggregate("adonis");
-    s.stabilizeLayout(100);
+    s.stabilizeLayout(100).value();
     auto adonis = s.trace().findByName("adonis");
     vl::Vec2 parent_pos =
         s.layoutGraph().node(s.layoutGraph().findKey(adonis.value())).position;
@@ -195,7 +195,7 @@ TEST(Session, PinNode)
 TEST(Session, SceneAndAsciiRender)
 {
     vap::Session s(vt::makeFigure1Trace());
-    s.stabilizeLayout(200);
+    s.stabilizeLayout(200).value();
     viva::viz::Scene scene = s.scene();
     EXPECT_EQ(scene.nodes.size(), 3u);
     std::string text = s.renderAscii();
@@ -205,7 +205,7 @@ TEST(Session, SceneAndAsciiRender)
 TEST(Session, RenderSvgWritesFile)
 {
     vap::Session s(vt::makeFigure1Trace());
-    s.stabilizeLayout(100);
+    s.stabilizeLayout(100).value();
     std::string path = tempDir() + "/fig1.svg";
     ASSERT_TRUE(s.renderSvg(path, "test render").ok());
     std::ifstream in(path);

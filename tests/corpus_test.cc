@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "app/checkpoint.hh"
 #include "app/session.hh"
 #include "support/error.hh"
 #include "support/random.hh"
@@ -279,12 +280,12 @@ TEST(Corpus, FailedLoadsNeverMutateTheSession)
     ASSERT_TRUE(
         vt::writeTraceFile(vt::makeFigure1Trace(), pristinePath).ok());
     vap::Session session(vt::makeFigure1Trace());
-    auto restore = [&] {
+    auto rebaseline = [&] {
         auto ok = session.load(pristinePath);
         ASSERT_TRUE(ok.ok()) << ok.error().toString();
-        session.stabilizeLayout(50);
+        session.stabilizeLayout(50).value();
     };
-    restore();
+    rebaseline();
     const std::uint64_t digest = session.stateDigest();
 
     std::size_t failed_loads = 0;
@@ -309,7 +310,7 @@ TEST(Corpus, FailedLoadsNeverMutateTheSession)
                 if (loaded.ok()) {
                     // Accepted mutants legitimately change the session;
                     // restore the baseline before the next probe.
-                    restore();
+                    rebaseline();
                     ASSERT_EQ(session.stateDigest(), digest) << label;
                     continue;
                 }
@@ -340,4 +341,167 @@ TEST(Corpus, DigestReactsToStateChanges)
 
     session.setSliceOf(viva::agg::SliceIndex{0}, 4);
     EXPECT_NE(session.stateDigest(), after);
+}
+
+// --- the checkpoint-file corpus ------------------------------------------------
+
+namespace
+{
+
+enum class CkptMutation
+{
+    Truncate,      ///< cut the file at a random byte
+    ByteFlip,      ///< XOR a handful of random bytes
+    ChecksumFlip,  ///< corrupt the FNV footer only
+    VersionSkew,   ///< rewrite the version digit in the magic
+};
+
+constexpr CkptMutation kCkptMutations[] = {
+    CkptMutation::Truncate, CkptMutation::ByteFlip,
+    CkptMutation::ChecksumFlip, CkptMutation::VersionSkew};
+
+const char *
+ckptMutationName(CkptMutation m)
+{
+    switch (m) {
+      case CkptMutation::Truncate: return "truncate";
+      case CkptMutation::ByteFlip: return "byte-flip";
+      case CkptMutation::ChecksumFlip: return "checksum-flip";
+      case CkptMutation::VersionSkew: return "version-skew";
+    }
+    return "?";
+}
+
+/**
+ * Apply one seeded checkpoint mutation. Every kind guarantees a real
+ * change, so (checksum + magic + exact-length enforcement) must reject
+ * every mutant deterministically.
+ */
+std::string
+mutateCkpt(const std::string &bytes, CkptMutation kind,
+           std::uint64_t seed)
+{
+    vs::Rng rng(seed * 2654435761ull + std::uint64_t(kind) + 17);
+    std::string out = bytes;
+    switch (kind) {
+      case CkptMutation::Truncate:
+          return out.substr(0, rng.index(out.size()));
+      case CkptMutation::ByteFlip: {
+          std::size_t flips = 1 + rng.index(8);
+          for (std::size_t i = 0; i < flips; ++i) {
+              std::size_t at = rng.index(out.size());
+              out[at] = char(out[at] ^ char(1 << rng.index(7)));
+          }
+          return out;
+      }
+      case CkptMutation::ChecksumFlip: {
+          std::size_t at = out.size() - 1 - rng.index(8);
+          out[at] = char(out[at] ^ 0x40);
+          return out;
+      }
+      case CkptMutation::VersionSkew: {
+          out[10] = char('2' + rng.index(8));  // "viva-ckpt-N\n"
+          return out;
+      }
+    }
+    return out;
+}
+
+/** The pristine checkpoint bytes of a non-trivially configured session. */
+std::string
+pristineCkpt()
+{
+    vap::Session session(vt::makeFigure1Trace());
+    session.setSliceOf(viva::agg::SliceIndex{1}, 3);
+    session.forceParams().charge *= 1.25;
+    session.stabilizeLayout(30).value();
+    session.pinNode("HostA", true);
+    return vap::serializeCheckpoint([&] {
+        auto dir = corpusDir();
+        auto path = (dir / "pristine.ckpt").string();
+        EXPECT_TRUE(session.checkpoint(path).ok());
+        auto image = vap::readCheckpointFile(path);
+        EXPECT_TRUE(image.ok());
+        return *image;
+    }());
+}
+
+} // namespace
+
+/** >= 100 deterministic checkpoint mutants; not one crashes the parser. */
+TEST(Corpus, NoCheckpointMutantCrashesTheReader)
+{
+    const std::string doc = pristineCkpt();
+    ASSERT_GT(doc.size(), 64u);
+    std::size_t total = 0, rejected = 0;
+    for (CkptMutation m : kCkptMutations) {
+        for (std::uint64_t seed = 0; seed < kSeedsPerCell; ++seed) {
+            std::string label = std::string("ckpt/") +
+                                ckptMutationName(m) + "/seed " +
+                                std::to_string(seed);
+            std::string mutant = mutateCkpt(doc, m, seed);
+            ASSERT_NE(mutant, doc) << label;
+            ++total;
+            auto parsed = vap::parseCheckpoint(mutant);
+            ASSERT_FALSE(parsed.ok())
+                << label << ": the checksum/magic/length gauntlet "
+                            "accepted a corrupt checkpoint";
+            ++rejected;
+            EXPECT_FALSE(parsed.error().context().empty()) << label;
+            EXPECT_FALSE(parsed.error().toString().empty()) << label;
+        }
+    }
+    EXPECT_GE(total, 100u);
+    EXPECT_EQ(rejected, total);
+}
+
+/** Failed restores from mutant files leave the session bitwise intact. */
+TEST(Corpus, FailedRestoresNeverMutateTheSession)
+{
+    auto dir = corpusDir();
+    const std::string doc = pristineCkpt();
+    const std::string goodPath = (dir / "restore_good.ckpt").string();
+    {
+        std::ofstream out(goodPath, std::ios::binary);
+        out.write(doc.data(), std::streamsize(doc.size()));
+    }
+
+    vap::Session session(vt::makeFigure1Trace());
+    ASSERT_TRUE(session.restore(goodPath).ok());
+    const std::uint64_t digest = session.stateDigest();
+
+    std::size_t failed = 0;
+    for (CkptMutation m : kCkptMutations) {
+        // A slice of the corpus: the parser-level sweep above covers
+        // the full seed range.
+        for (std::uint64_t seed = 0; seed < 8; ++seed) {
+            std::string label = std::string("ckpt/") +
+                                ckptMutationName(m) + "/seed " +
+                                std::to_string(seed);
+            auto path = dir / (std::string("ckpt_") +
+                               ckptMutationName(m) + "_" +
+                               std::to_string(seed) + ".ckpt");
+            {
+                std::ofstream out(path, std::ios::binary);
+                std::string mutant = mutateCkpt(doc, m, seed);
+                out.write(mutant.data(),
+                          std::streamsize(mutant.size()));
+            }
+            auto restored = session.restore(path.string());
+            ASSERT_FALSE(restored.ok()) << label;
+            ++failed;
+            EXPECT_FALSE(restored.error().context().empty()) << label;
+            EXPECT_EQ(session.stateDigest(), digest)
+                << label << ": failed restore mutated the session; "
+                << restored.error().toString();
+        }
+    }
+    EXPECT_GE(failed, 32u);
+
+    // After the gauntlet the session still restores and renders.
+    ASSERT_TRUE(session.restore(goodPath).ok());
+    EXPECT_EQ(session.stateDigest(), digest);
+    auto svg =
+        session.renderSvg((dir / "after_ckpt_corpus.svg").string());
+    EXPECT_TRUE(svg.ok()) << svg.error().toString();
 }

@@ -89,7 +89,8 @@ TEST(Error, CarriesCodeMessageAndContextChain)
 TEST(Error, EveryCodeHasAName)
 {
     for (vs::Errc c : {vs::Errc::Io, vs::Errc::Parse, vs::Errc::Budget,
-                       vs::Errc::NotFound, vs::Errc::Invalid})
+                       vs::Errc::NotFound, vs::Errc::Invalid,
+                       vs::Errc::Deadline})
         EXPECT_STRNE(vs::errcName(c), "");
 }
 
@@ -170,8 +171,9 @@ TEST(FaultInjector, KnownPointsAreSortedAndComplete)
     const auto &points = vs::FaultInjector::knownPoints();
     EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
     for (const char *p :
-         {"layout.force.nan", "paje.read.stream", "trace.parse.budget",
-          "trace.read.stream", "trace.write.stream", "viz.write.stream"})
+         {"ckpt.read.stream", "ckpt.write.stream", "layout.force.nan",
+          "paje.read.stream", "trace.parse.budget", "trace.read.stream",
+          "trace.write.stream", "viz.write.stream"})
         EXPECT_TRUE(std::count(points.begin(), points.end(), p))
             << "missing point " << p;
 }
@@ -351,7 +353,7 @@ TEST(SessionFault, FailedLoadLeavesSessionUntouched)
 {
     FaultGuard guard;
     vap::Session session(vt::makeFigure1Trace());
-    ASSERT_TRUE(session.stabilizeLayout(50) > 0);
+    ASSERT_TRUE(session.stabilizeLayout(50).value() > 0);
     std::uint64_t digest = session.stateDigest();
 
     auto missing = session.load(tempDir() + "/does_not_exist.viva");

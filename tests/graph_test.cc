@@ -172,9 +172,11 @@ TEST(GraphRules, IoInHotPathTriple)
              at("src/demo/hot_waived.cc", "hot_waived.cc"),
              driver()});
     EXPECT_EQ(countRule(result, "io-in-hot-path"), 1u);
-    for (const vg::Finding &f : result.findings)
-        if (f.rule == "io-in-hot-path")
+    for (const vg::Finding &f : result.findings) {
+        if (f.rule == "io-in-hot-path") {
             EXPECT_EQ(f.file, "src/demo/hot_bad.cc");
+        }
+    }
 }
 
 TEST(GraphRules, DeadSymbolTriple)

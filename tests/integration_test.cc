@@ -144,7 +144,7 @@ TEST_F(NasDtCase, SessionViewsShowTheSaturation)
 
     // The analyst's workflow: whole-run slice, cluster-level view.
     session.aggregateToDepth(3);
-    session.stabilizeLayout(300);
+    session.stabilizeLayout(300).value();
     va::View v = session.view();
     EXPECT_GT(v.nodes.size(), 2u);
 

@@ -327,11 +327,11 @@ TEST(SessionAudit, CleanThroughAnalysisSequence)
     EXPECT_TRUE(session.auditInvariants().empty());
 
     session.setSliceOf(va::SliceIndex{0}, 2);
-    session.stepLayout(5);
+    session.stepLayout(5).value();
     EXPECT_TRUE(session.auditInvariants().empty());
 
     session.focus("h1");
-    session.stabilizeLayout(50);
+    session.stabilizeLayout(50).value();
     EXPECT_TRUE(session.auditInvariants().empty());
 
     session.resetAggregation();

@@ -1,0 +1,11 @@
+#include <cstdio>
+#include <filesystem>
+
+bool
+swapIn(const char *temp, const char *final_path)
+{
+    if (std::rename(temp, final_path) != 0)
+        return false;
+    std::filesystem::rename(temp, final_path);
+    return true;
+}

@@ -1,0 +1,7 @@
+#include "support/atomic_file.hh"
+
+bool
+swapIn(const char *temp, const char *final_path)
+{
+    return viva::support::atomicReplace(temp, final_path).ok();
+}

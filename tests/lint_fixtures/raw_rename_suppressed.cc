@@ -1,0 +1,7 @@
+#include <cstdio>
+
+bool
+swapIn(const char *temp, const char *final_path)
+{
+    return std::rename(temp, final_path) == 0;  // viva-lint: allow(raw-rename)
+}

@@ -340,6 +340,41 @@ TEST(LintNoFatalBelowApp, SuppressedByTrailingAllow)
     EXPECT_EQ(countRule(findings, "no-fatal-below-app"), 0u);
 }
 
+// --- raw-rename -----------------------------------------------------------------
+
+TEST(LintRawRename, FiresOnStdAndFilesystemRename)
+{
+    auto findings =
+        lintAs("src/trace/fixture.cc", "raw_rename_bad.cc");
+    EXPECT_EQ(countRule(findings, "raw-rename"), 2u);
+    ASSERT_GE(findings.size(), 2u);
+    EXPECT_EQ(findings[0].line, 7u);
+    EXPECT_EQ(findings[1].line, 9u);
+}
+
+TEST(LintRawRename, CleanOnAtomicReplace)
+{
+    auto findings = lintAs("src/trace/fixture.cc", "raw_rename_ok.cc");
+    EXPECT_EQ(countRule(findings, "raw-rename"), 0u);
+}
+
+TEST(LintRawRename, AppliesInTestsAndToolsToo)
+{
+    EXPECT_EQ(countRule(lintAs("tests/fixture.cc", "raw_rename_bad.cc"),
+                        "raw-rename"),
+              2u);
+    EXPECT_EQ(countRule(lintAs("tools/fixture.cc", "raw_rename_bad.cc"),
+                        "raw-rename"),
+              2u);
+}
+
+TEST(LintRawRename, SuppressedByTrailingAllow)
+{
+    auto findings =
+        lintAs("src/trace/fixture.cc", "raw_rename_suppressed.cc");
+    EXPECT_EQ(countRule(findings, "raw-rename"), 0u);
+}
+
 // --- engine details -------------------------------------------------------------
 
 TEST(LintEngine, StripPreservesLineStructure)

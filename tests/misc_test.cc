@@ -86,7 +86,7 @@ TEST(EngineEdge, ManySimultaneousCompletionsAllFire)
 TEST(RendererOptions, SvgWithoutEdgesOrLabels)
 {
     vap::Session session(vt::makeFigure1Trace());
-    session.stabilizeLayout(100);
+    session.stabilizeLayout(100).value();
     vv::Scene scene = session.scene();
 
     vv::SvgOptions options;
@@ -101,7 +101,7 @@ TEST(RendererOptions, SvgWithoutEdgesOrLabels)
 TEST(RendererOptions, AsciiWithoutEdges)
 {
     vap::Session session(vt::makeFigure1Trace());
-    session.stabilizeLayout(100);
+    session.stabilizeLayout(100).value();
     std::string text =
         vv::renderAscii(session.scene(), {60, 20, false});
     EXPECT_EQ(text.find('`'), std::string::npos);

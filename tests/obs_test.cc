@@ -402,7 +402,7 @@ TEST(StatsCommand, TableListsCountersGaugesAndPhases)
 {
     ObsGuard guard;
     vap::Session sess(smallTrace());
-    sess.stepLayout(3);
+    sess.stepLayout(3).value();
     (void)sess.view();
     vap::CommandInterpreter interp(sess);
     std::ostringstream out;
@@ -428,7 +428,7 @@ TEST(StatsCommand, ResetZeroesTheRegistry)
 {
     ObsGuard guard;
     vap::Session sess(smallTrace());
-    sess.stepLayout(2);
+    sess.stepLayout(2).value();
     vap::CommandInterpreter interp(sess);
     std::ostringstream out;
     ASSERT_TRUE(interp.execute("stats reset", out));
@@ -449,7 +449,7 @@ TEST(StatsCommand, SessionSnapshotMatchesTheGlobalRegistry)
 {
     ObsGuard guard;
     vap::Session sess(smallTrace());
-    sess.stepLayout(1);
+    sess.stepLayout(1).value();
     obs::StatsSnapshot via_session = sess.observability();
     obs::StatsSnapshot via_registry = obs::Registry::global().snapshot();
     ASSERT_EQ(via_session.counters.size(), via_registry.counters.size());
@@ -482,7 +482,7 @@ statsJsonWithThreads(std::size_t threads)
     (void)sess.view();
     sess.resetAggregation();
     (void)sess.view(true);
-    sess.stepLayout(10);
+    sess.stepLayout(10).value();
 
     vap::CommandInterpreter interp(sess);
     std::ostringstream out;

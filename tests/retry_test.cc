@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the bounded-backoff retry layer: the transient
+ * classification (only Errc::Io), the deterministic jittered backoff
+ * arithmetic, the retryWithBackoff loop under a FakeClock, the
+ * retry.attempts / retry.exhausted metrics, and the session-level
+ * integration (a transiently faulted trace read recovers on retry).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "app/session.hh"
+#include "support/clock.hh"
+#include "support/error.hh"
+#include "support/fault.hh"
+#include "support/logging.hh"
+#include "support/obs.hh"
+#include "support/random.hh"
+#include "support/retry.hh"
+#include "trace/builder.hh"
+#include "trace/io.hh"
+
+namespace vap = viva::app;
+namespace vs = viva::support;
+namespace vt = viva::trace;
+
+namespace
+{
+
+struct FaultGuard
+{
+    FaultGuard() { vs::FaultInjector::global().disarmAll(); }
+    ~FaultGuard()
+    {
+        vs::FaultInjector::global().disarmAll();
+        vs::resetWarnLimits();
+    }
+};
+
+std::string
+tempDir()
+{
+    auto dir = std::filesystem::temp_directory_path() / "viva_retry_test";
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+std::uint64_t
+counterValue(const char *name)
+{
+    namespace obs = vs::obs;
+    obs::StatsSnapshot snap = obs::Registry::global().snapshot();
+    for (const obs::CounterValue &c : snap.counters)
+        if (c.name == name)
+            return c.value;
+    return 0;
+}
+
+} // namespace
+
+// --- classification ------------------------------------------------------------
+
+TEST(Retry, OnlyIoErrorsAreTransient)
+{
+    EXPECT_TRUE(vs::transientError(
+        VIVA_ERROR(vs::Errc::Io, "stream died")));
+    for (vs::Errc code :
+         {vs::Errc::Parse, vs::Errc::Budget, vs::Errc::NotFound,
+          vs::Errc::Invalid, vs::Errc::Deadline}) {
+        EXPECT_FALSE(vs::transientError(
+            VIVA_ERROR(code, "not transient")))
+            << vs::errcName(code);
+    }
+}
+
+// --- backoff arithmetic --------------------------------------------------------
+
+TEST(Retry, BackoffIsDeterministicPerSeed)
+{
+    vs::RetryPolicy policy;
+    vs::Rng a(policy.seed), b(policy.seed);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(vs::backoffNanos(policy, i, a),
+                  vs::backoffNanos(policy, i, b));
+}
+
+TEST(Retry, BackoffGrowsGeometricallyWithinJitterBounds)
+{
+    vs::RetryPolicy policy;
+    policy.initialBackoffNanos = 1'000'000;
+    policy.multiplier = 2.0;
+    policy.maxBackoffNanos = 6'000'000;
+    policy.jitterFraction = 0.25;
+    vs::Rng rng(policy.seed);
+
+    for (std::size_t i = 0; i < 8; ++i) {
+        double base = 1'000'000.0;
+        for (std::size_t k = 0; k < i; ++k)
+            base *= 2.0;
+        base = std::min(base, 6'000'000.0);
+        std::uint64_t nanos = vs::backoffNanos(policy, i, rng);
+        EXPECT_GE(double(nanos), base * 0.75 - 1.0) << "retry " << i;
+        EXPECT_LE(double(nanos), base * 1.25 + 1.0) << "retry " << i;
+    }
+}
+
+TEST(Retry, ZeroJitterIsExact)
+{
+    vs::RetryPolicy policy;
+    policy.initialBackoffNanos = 500;
+    policy.multiplier = 3.0;
+    policy.maxBackoffNanos = 10'000;
+    policy.jitterFraction = 0.0;
+    vs::Rng rng(1);
+    EXPECT_EQ(vs::backoffNanos(policy, 0, rng), 500u);
+    EXPECT_EQ(vs::backoffNanos(policy, 1, rng), 1500u);
+    EXPECT_EQ(vs::backoffNanos(policy, 2, rng), 4500u);
+    EXPECT_EQ(vs::backoffNanos(policy, 3, rng), 10'000u);  // capped
+}
+
+// --- the retry loop ------------------------------------------------------------
+
+TEST(Retry, TransientFailuresAreRetriedUntilSuccess)
+{
+    vs::FakeClock fake;
+    vs::ClockOverride guard(fake);
+    vs::RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.jitterFraction = 0.0;
+    policy.initialBackoffNanos = 100;
+    policy.multiplier = 2.0;
+
+    std::size_t calls = 0;
+    auto result = vs::retryWithBackoff(policy, [&] {
+        ++calls;
+        if (calls < 3)
+            return vs::Expected<int>(
+                VIVA_ERROR(vs::Errc::Io, "flaky"));
+        return vs::Expected<int>(42);
+    });
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, 42);
+    EXPECT_EQ(calls, 3u);
+    // Two sleeps: 100 then 200 virtual nanoseconds.
+    EXPECT_EQ(fake.nowNanos(), 300u);
+}
+
+TEST(Retry, NonTransientFailuresReturnImmediately)
+{
+    vs::FakeClock fake;
+    vs::ClockOverride guard(fake);
+    vs::RetryPolicy policy;
+    policy.maxAttempts = 5;
+
+    std::size_t calls = 0;
+    auto result = vs::retryWithBackoff(policy, [&] {
+        ++calls;
+        return vs::Expected<int>(
+            VIVA_ERROR(vs::Errc::Parse, "bad bytes"));
+    });
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code(), vs::Errc::Parse);
+    EXPECT_EQ(calls, 1u);
+    EXPECT_EQ(fake.nowNanos(), 0u) << "no backoff for non-transients";
+}
+
+TEST(Retry, ExhaustionReturnsTheLastErrorAndCountsIt)
+{
+    vs::FakeClock fake;
+    vs::ClockOverride guard(fake);
+    vs::RetryPolicy policy;
+    policy.maxAttempts = 3;
+
+    const std::uint64_t attempts_before = counterValue("retry.attempts");
+    const std::uint64_t exhausted_before =
+        counterValue("retry.exhausted");
+
+    std::size_t calls = 0;
+    auto result = vs::retryWithBackoff(policy, [&] {
+        ++calls;
+        return vs::Expected<int>(
+            VIVA_ERROR(vs::Errc::Io, "still down"));
+    });
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code(), vs::Errc::Io);
+    EXPECT_EQ(calls, 3u);
+    EXPECT_EQ(counterValue("retry.attempts"), attempts_before + 2);
+    EXPECT_EQ(counterValue("retry.exhausted"), exhausted_before + 1);
+}
+
+TEST(Retry, SingleAttemptPolicyDisablesRetries)
+{
+    vs::RetryPolicy policy;
+    policy.maxAttempts = 1;
+    std::size_t calls = 0;
+    auto result = vs::retryWithBackoff(policy, [&] {
+        ++calls;
+        return vs::Expected<int>(
+            VIVA_ERROR(vs::Errc::Io, "down"));
+    });
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(calls, 1u);
+}
+
+// --- session integration -------------------------------------------------------
+
+TEST(Retry, TransientTraceReadFaultRecoversOnRetry)
+{
+    FaultGuard guard;
+    vs::FakeClock fake;
+    vs::ClockOverride clock_guard(fake);
+
+    auto path = tempDir() + "/figure1.viva";
+    ASSERT_TRUE(vt::writeTraceFile(vt::makeFigure1Trace(), path).ok());
+
+    vap::Session s(vt::makeFigure1Trace());
+    s.retryPolicy().maxAttempts = 3;
+
+    // The first read attempt dies mid-stream; the retry reads clean.
+    vs::FaultSpec spec;
+    spec.maxFires = 1;
+    vs::FaultInjector::global().arm("trace.read.stream", spec);
+
+    const std::uint64_t attempts_before = counterValue("retry.attempts");
+    auto loaded = s.load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(counterValue("retry.attempts"), attempts_before + 1);
+    EXPECT_EQ(s.cut().visibleCount(), 3u);
+}
+
+TEST(Retry, ExhaustedTraceReadLeavesTheSessionUnchanged)
+{
+    FaultGuard guard;
+    vs::FakeClock fake;
+    vs::ClockOverride clock_guard(fake);
+
+    auto path = tempDir() + "/figure1b.viva";
+    ASSERT_TRUE(vt::writeTraceFile(vt::makeFigure1Trace(), path).ok());
+
+    vap::Session s(vt::makeFigure1Trace());
+    s.retryPolicy().maxAttempts = 2;
+    const std::uint64_t digest = s.stateDigest();
+
+    vs::FaultInjector::global().arm("trace.read.stream");
+
+    const std::uint64_t exhausted_before =
+        counterValue("retry.exhausted");
+    auto loaded = s.load(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code(), vs::Errc::Io);
+    EXPECT_EQ(counterValue("retry.exhausted"), exhausted_before + 1);
+    EXPECT_EQ(s.stateDigest(), digest);
+}

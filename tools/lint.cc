@@ -683,6 +683,8 @@ runLint(const std::vector<FileInput> &files, std::size_t jobs)
     static const std::regex rawChronoRe(
         R"(\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
     static const std::regex fatalRe(R"(\b(?:fatal|panic)\s*\()");
+    static const std::regex renameRe(
+        R"(\b(?:std\s*::\s*|filesystem\s*::\s*)rename\s*\()");
 
     // Per-file finding buffers, concatenated in file order, keep the
     // within-file rule order identical to a serial run (the final sort
@@ -731,6 +733,12 @@ runLint(const std::vector<FileInput> &files, std::size_t jobs)
             checkPattern(file, stripped, fatalRe, "no-fatal-below-app",
                          "fatal()/panic() below the app layer; return "
                          "support::Expected instead",
+                         sup, out);
+        if (active("raw-rename"))
+            checkPattern(file, stripped, renameRe, "raw-rename",
+                         "raw rename; route the atomic swap through "
+                         "support::atomicReplace so the crash-safety "
+                         "protocol stays in one audited place",
                          sup, out);
         if (active("narrowing"))
             checkNarrowing(file, stripped, sup, out);

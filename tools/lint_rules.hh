@@ -149,6 +149,16 @@ ruleTable()
             false,
         },
         {
+            "raw-rename",
+            "direct std::rename / std::filesystem::rename: the "
+            "crash-safety protocol (write-temp -> flush -> atomic "
+            "rename) lives behind support::atomicReplace; a raw rename "
+            "bypasses its error handling and the durability audit",
+            {},
+            {},
+            false,
+        },
+        {
             "assert-side-effect",
             "side effect inside assert()/VIVA_AUDIT(): the expression "
             "vanishes in NDEBUG/no-audit builds, so mutation inside it "
