@@ -197,6 +197,35 @@ main(int argc, char **argv)
         std::fprintf(stderr, "obs_export: gantt: %s\n",
                      gantt.error().toString().c_str());
 
+    // --- slice-query microbench ----------------------------------------
+    // Drives the indexed temporal reductions (the trace.index.build
+    // consumers) over a deterministic slice sweep so the perf gate
+    // pins their cost. The histogram is bench-local (registered here,
+    // not in src/), so it is exempt from the obs-phase manifest.
+    {
+        const obs::HistogramId slice_phase =
+            reg.histogram("bench.slice.query");
+        const viva::trace::Trace &tr = session.trace();
+        const viva::trace::MetricId used_metric =
+            tr.findMetric("power_used");
+        double acc = 0.0;
+        obs::ScopedPhase slice_timer(slice_phase);
+        for (viva::trace::ContainerId host :
+             tr.containersOfKind(viva::trace::ContainerKind::Host)) {
+            const viva::trace::Variable *v =
+                tr.findVariable(host, used_metric);
+            if (!v)
+                continue;
+            for (std::size_t s = 0; s < 64; ++s) {
+                double a = double(s) * 10.0 / 64.0;
+                double b2 = a + 10.0 / 64.0;
+                acc += v->average(a, b2) + v->integrate(a, b2) +
+                       v->maxOver(a, b2) + v->minOver(a, b2);
+            }
+        }
+        std::printf("obs_export: slice sweep checksum %.3f\n", acc);
+    }
+
     // --- export ---------------------------------------------------------
     std::ofstream out(out_path);
     if (!out) {

@@ -99,9 +99,10 @@ run_stage() {
             || return 1
     elif [ "$stage" = obs ]; then
         cmake --build "$BUILD" -j --target obs_test obs_golden_test \
-            perfdiff_test fault_test obs_export viva-perfdiff || return 1
+            perfdiff_test fault_test obs_export viva-perfdiff \
+            agg_index_test || return 1
         ctest --test-dir "$BUILD" --output-on-failure \
-            -R 'Obs|Clock|ScopedPhase|StatsCommand|PerfDiff|perfdiff' \
+            -R 'Obs|Clock|ScopedPhase|StatsCommand|PerfDiff|perfdiff|AggIndex|ClosureCache' \
             || return 1
     elif [ "$stage" = check ]; then
         cmake --build "$BUILD" -j --target viva-check check_test || return 1

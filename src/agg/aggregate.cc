@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <ostream>
+#include <span>
 #include <unordered_map>
 
 #include "support/governor.hh"
@@ -85,7 +86,29 @@ fold(Partial &p, double v, SpatialOp op)
     }
 }
 
+/** Chunk-order partial combiner (shared by both fold paths). */
+Partial
+combinePartials(Partial a, Partial b, SpatialOp op)
+{
+    if (!b.any)
+        return a;
+    if (!a.any)
+        return b;
+    fold(a, b.acc, op);
+    a.count += b.count - 1;  // fold counted b as one value
+    return a;
+}
+
 } // namespace
+
+Aggregator::Aggregator(const trace::Trace &trace, std::size_t threads)
+    : tr(&trace), nthreads(threads)
+{
+    obs::Registry &reg = obs::Registry::global();
+    valuesCounter = reg.counter("agg.values");
+    closureHits = reg.counter("agg.closure.hits");
+    closureMisses = reg.counter("agg.closure.misses");
+}
 
 double
 Aggregator::value(ContainerId node, MetricId m, const TimeSlice &slice,
@@ -96,35 +119,55 @@ Aggregator::value(ContainerId node, MetricId m, const TimeSlice &slice,
     // here would dominate the quantity being measured. buildView()
     // times the enclosing pass instead.
     obs::Registry &reg = obs::Registry::global();
-    static const obs::CounterId values = reg.counter("agg.values");
-    reg.add(values);
+    const bool armed = reg.enabled();
+    if (armed)
+        reg.add(valuesCounter);
 
-    // Every container in the subtree that carries the variable
-    // contributes -- not just leaves, since traces may attach
-    // measurements at any level (hosts with process children, say).
-    std::vector<ContainerId> members = tr->subtree(node);
-    Partial total = support::ThreadPool::global().reduceOrdered<Partial>(
-        0, members.size(), kLeafChunk, nthreads, Partial{},
-        [&](std::size_t lo, std::size_t hi) {
-            Partial p;
-            for (std::size_t i = lo; i < hi; ++i) {
-                const trace::Variable *var =
-                    tr->findVariable(members[i], m);
-                if (!var || var->empty())
-                    continue;
-                fold(p, reduce(*var, slice, top), op);
-            }
-            return p;
-        },
-        [op](Partial a, Partial b) {
-            if (!b.any)
-                return a;
-            if (!a.any)
-                return b;
-            fold(a, b.acc, op);
-            a.count += b.count - 1;  // fold counted b as one value
-            return a;
-        });
+    support::ThreadPool &pool = support::ThreadPool::global();
+    auto combine = [op](Partial a, Partial b) {
+        return combinePartials(a, b, op);
+    };
+
+    Partial total;
+    if (tr->closureFresh()) {
+        // The cached Eq.-1 fold: no subtree materialization, no
+        // findVariable hash lookups -- just the precomputed carrier
+        // list, reduced over the same fixed-size chunks.
+        if (armed)
+            reg.add(closureHits);
+        std::span<const trace::Variable *const> carried =
+            tr->carriers(node, m);
+        total = pool.reduceOrdered<Partial>(
+            0, carried.size(), kLeafChunk, nthreads, Partial{},
+            [&](std::size_t lo, std::size_t hi) {
+                Partial p;
+                for (std::size_t i = lo; i < hi; ++i)
+                    fold(p, reduce(*carried[i], slice, top), op);
+                return p;
+            },
+            combine);
+    } else {
+        // Every container in the subtree that carries the variable
+        // contributes -- not just leaves, since traces may attach
+        // measurements at any level (hosts with process children, say).
+        if (armed)
+            reg.add(closureMisses);
+        std::vector<ContainerId> members = tr->subtree(node);
+        total = pool.reduceOrdered<Partial>(
+            0, members.size(), kLeafChunk, nthreads, Partial{},
+            [&](std::size_t lo, std::size_t hi) {
+                Partial p;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const trace::Variable *var =
+                        tr->findVariable(members[i], m);
+                    if (!var || var->empty())
+                        continue;
+                    fold(p, reduce(*var, slice, top), op);
+                }
+                return p;
+            },
+            combine);
+    }
     if (!total.any)
         return 0.0;
     if (op == SpatialOp::Average)
@@ -136,11 +179,33 @@ support::Samples
 Aggregator::distribution(ContainerId node, MetricId m,
                          const TimeSlice &slice, TemporalOp top) const
 {
-    std::vector<ContainerId> members = tr->subtree(node);
     // Per-chunk sample vectors concatenated in chunk order: the sample
-    // sequence equals the serial traversal for every thread count.
-    std::vector<double> all =
-        support::ThreadPool::global().reduceOrdered<std::vector<double>>(
+    // sequence equals the serial traversal for every thread count --
+    // and for both fold paths, since the carrier list holds exactly
+    // the non-empty subtree variables in preorder.
+    support::ThreadPool &pool = support::ThreadPool::global();
+    std::vector<double> all;
+    auto concat = [](std::vector<double> a, std::vector<double> b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+    };
+    if (tr->closureFresh()) {
+        std::span<const trace::Variable *const> carried =
+            tr->carriers(node, m);
+        all = pool.reduceOrdered<std::vector<double>>(
+            0, carried.size(), kLeafChunk, nthreads,
+            std::vector<double>{},
+            [&](std::size_t lo, std::size_t hi) {
+                std::vector<double> part;
+                part.reserve(hi - lo);
+                for (std::size_t i = lo; i < hi; ++i)
+                    part.push_back(reduce(*carried[i], slice, top));
+                return part;
+            },
+            concat);
+    } else {
+        std::vector<ContainerId> members = tr->subtree(node);
+        all = pool.reduceOrdered<std::vector<double>>(
             0, members.size(), kLeafChunk, nthreads,
             std::vector<double>{},
             [&](std::size_t lo, std::size_t hi) {
@@ -153,10 +218,8 @@ Aggregator::distribution(ContainerId node, MetricId m,
                 }
                 return part;
             },
-            [](std::vector<double> a, std::vector<double> b) {
-                a.insert(a.end(), b.begin(), b.end());
-                return a;
-            });
+            concat);
+    }
     support::Samples samples;
     for (double v : all)
         samples.add(v);

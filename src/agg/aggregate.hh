@@ -24,6 +24,7 @@
 #include "agg/hierarchy_cut.hh"
 #include "agg/timeslice.hh"
 #include "support/error.hh"
+#include "support/obs.hh"
 #include "support/stats.hh"
 #include "trace/trace.hh"
 
@@ -84,10 +85,8 @@ class Aggregator
      *        is serial, 0 means hardware_concurrency. Any value yields
      *        bitwise-identical results.
      */
-    explicit Aggregator(const trace::Trace &trace, std::size_t threads = 1)
-        : tr(&trace), nthreads(threads)
-    {
-    }
+    explicit Aggregator(const trace::Trace &trace,
+                        std::size_t threads = 1);
 
     /** Change the worker count (same semantics as the constructor). */
     void setThreads(std::size_t threads) { nthreads = threads; }
@@ -118,6 +117,14 @@ class Aggregator
   private:
     const trace::Trace *tr;
     std::size_t nthreads = 1;
+    /**
+     * Registered once at construction (not per query with a static
+     * local), so the disarmed hot path pays one relaxed enabled() load
+     * and zero registry lookups.
+     */
+    support::obs::CounterId valuesCounter;
+    support::obs::CounterId closureHits;
+    support::obs::CounterId closureMisses;
 };
 
 /** An edge between two visible nodes of an aggregated view. */

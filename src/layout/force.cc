@@ -59,7 +59,9 @@ ForceLayout::stepImpl(double timestep_scale, bool governed)
 
     const double dt = prm.timestep * timestep_scale;
     std::vector<Node> &nodes = g.mutableNodes();
-    std::vector<Vec2> force(nodes.size());
+    // Reused accumulator: assign() keeps the capacity across steps.
+    forceBuf.assign(nodes.size(), Vec2{});
+    std::vector<Vec2> &force = forceBuf;
 
     // The repulsion pass writes only force[i] from the chunk owning
     // slot i, so fanning chunks over workers is race-free and bitwise
@@ -107,16 +109,23 @@ ForceLayout::stepImpl(double timestep_scale, bool governed)
             hi.y = std::max(hi.y, n.position.y);
         }
         double pad = std::max({hi.x - lo.x, hi.y - lo.y, 1.0}) * 0.05;
-        QuadTree tree({lo.x - pad, lo.y - pad}, {hi.x + pad, hi.y + pad});
+        // One Morton-sorted batch build into the persistent arena; the
+        // arena and the body list keep their capacity across steps.
+        bodies.clear();
         for (const Node &n : nodes)
             if (n.alive)
-                tree.insert(n.position, n.charge);
+                bodies.push_back({n.position, n.charge});
+        tree.build({lo.x - pad, lo.y - pad}, {hi.x + pad, hi.y + pad},
+                   bodies);
         pool.parallelFor(
             0, nodes.size(), grain, threads,
             [&](std::size_t clo, std::size_t chi) {
                 obs::ScopedPhase chunk_timer(chunk_phase);
                 if (expired())
                     return;
+                // One pooled traversal stack per chunk: forceAt does
+                // zero heap allocation once capacities have warmed up.
+                auto stack = stacks.acquire();
                 for (std::size_t i = clo; i < chi; ++i) {
                     const Node &n = nodes[i];
                     if (!n.alive)
@@ -124,7 +133,8 @@ ForceLayout::stepImpl(double timestep_scale, bool governed)
                     // forceAt excludes the coincident self charge; the
                     // result is the field, scale by this node's own
                     // charge.
-                    Vec2 field = tree.forceAt(n.position, prm.theta);
+                    Vec2 field =
+                        tree.forceAt(n.position, prm.theta, *stack);
                     force[n.id.index()] += field * (prm.charge * n.charge);
                 }
             });

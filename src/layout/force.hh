@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "layout/graph.hh"
 #include "layout/quadtree.hh"
 #include "support/error.hh"
+#include "support/scratch.hh"
 
 namespace viva::layout
 {
@@ -166,6 +168,15 @@ class ForceLayout
     ForceParams prm;
     std::size_t iters = 0;
     std::size_t quarantined = 0;
+
+    // Per-iteration scratch, reused across steps so a steady-state
+    // iteration performs no heap allocation: the quadtree arena, the
+    // body list fed to its batch build, the force accumulator, and a
+    // pool of traversal stacks (one per in-flight repulsion chunk).
+    QuadTree tree;
+    std::vector<QuadTree::Body> bodies;
+    std::vector<Vec2> forceBuf;
+    support::ScratchPool<QuadTree::TraversalStack> stacks;
 };
 
 } // namespace viva::layout

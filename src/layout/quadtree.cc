@@ -8,9 +8,12 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace viva::layout
 {
+
+namespace obs = support::obs;
 
 namespace
 {
@@ -18,22 +21,71 @@ namespace
 /** Two points closer than this are the same point for repulsion. */
 constexpr double kCoincidenceEps = 1e-9;
 
+/** Morton resolution per axis: 21 bits interleave into 42. */
+constexpr int kMortonBits = 21;
+constexpr double kMortonGrid = double(std::uint64_t(1) << kMortonBits);
+
+/** Spread the low 21 bits of v over the even bit positions. */
+std::uint64_t
+spreadBits(std::uint64_t v)
+{
+    v &= 0x1fffffull;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+    v = (v | (v << 2)) & 0x3333333333333333ull;
+    v = (v | (v << 1)) & 0x5555555555555555ull;
+    return v;
+}
+
+/** Quantize a coordinate into [0, 2^21) over [lo, hi]. */
+std::uint64_t
+quantize(double x, double lo, double hi)
+{
+    double n = (std::clamp(x, lo, hi) - lo) / (hi - lo);
+    double scaled = n * kMortonGrid;
+    if (scaled >= kMortonGrid - 1.0)
+        return (std::uint64_t(1) << kMortonBits) - 1;
+    return std::uint64_t(scaled);
+}
+
+/** The interleaved Morton code of a position inside the box. */
+std::uint64_t
+mortonCode(Vec2 p, Vec2 lo, Vec2 hi)
+{
+    std::uint64_t qx = quantize(p.x, lo.x, hi.x);
+    std::uint64_t qy = quantize(p.y, lo.y, hi.y);
+    return (spreadBits(qy) << 1) | spreadBits(qx);
+}
+
 } // namespace
 
 QuadTree::QuadTree(Vec2 lo, Vec2 hi)
 {
     VIVA_ASSERT(lo.x < hi.x && lo.y < hi.y, "degenerate quadtree box");
-    Cell root;
-    root.lo = lo;
-    root.hi = hi;
-    cells.push_back(root);
+    newCell(lo, hi);
+}
+
+std::size_t
+QuadTree::newCell(Vec2 lo, Vec2 hi)
+{
+    std::size_t i = cellLo.size();
+    cellLo.push_back(lo);
+    cellHi.push_back(hi);
+    bary.push_back(Vec2{});
+    cellCharge.push_back(0.0);
+    kids.push_back({kNoCell, kNoCell, kNoCell, kNoCell});
+    leafPos.push_back(Vec2{});
+    leafCharge.push_back(0.0);
+    flags.push_back(kLeafBit);
+    return i;
 }
 
 int
-QuadTree::quadrant(const Cell &cell, Vec2 p)
+QuadTree::quadrant(std::size_t cell, Vec2 p) const
 {
-    double mx = 0.5 * (cell.lo.x + cell.hi.x);
-    double my = 0.5 * (cell.lo.y + cell.hi.y);
+    double mx = 0.5 * (cellLo[cell].x + cellHi[cell].x);
+    double my = 0.5 * (cellLo[cell].y + cellHi[cell].y);
     int q = 0;
     if (p.x >= mx)
         q |= 1;
@@ -43,12 +95,12 @@ QuadTree::quadrant(const Cell &cell, Vec2 p)
 }
 
 void
-QuadTree::subdivide(CellId cell)
+QuadTree::subdivide(std::size_t cell)
 {
-    double mx = 0.5 * (cells[cell.index()].lo.x + cells[cell.index()].hi.x);
-    double my = 0.5 * (cells[cell.index()].lo.y + cells[cell.index()].hi.y);
-    Vec2 lo = cells[cell.index()].lo;
-    Vec2 hi = cells[cell.index()].hi;
+    Vec2 lo = cellLo[cell];
+    Vec2 hi = cellHi[cell];
+    double mx = 0.5 * (lo.x + hi.x);
+    double my = 0.5 * (lo.y + hi.y);
     const Vec2 corner[4][2] = {
         {{lo.x, lo.y}, {mx, my}},
         {{mx, lo.y}, {hi.x, my}},
@@ -56,109 +108,221 @@ QuadTree::subdivide(CellId cell)
         {{mx, my}, {hi.x, hi.y}},
     };
     for (int q = 0; q < 4; ++q) {
-        Cell child;
-        child.lo = corner[q][0];
-        child.hi = corner[q][1];
-        cells[cell.index()].child[q] = CellId::fromIndex(cells.size());
-        cells.push_back(child);
+        std::size_t child = newCell(corner[q][0], corner[q][1]);
+        kids[cell][q] = CellId::fromIndex(child);
     }
-    cells[cell.index()].isLeaf = false;
+    flags[cell] = 0;
 }
 
 void
 QuadTree::insert(Vec2 position, double charge)
 {
     VIVA_ASSERT(charge > 0, "charge must be positive");
+    VIVA_ASSERT(!cellLo.empty(), "insert() into a box-less tree");
     // Clamp into the box so callers need not grow it exactly.
-    position.x = std::clamp(position.x, cells[0].lo.x, cells[0].hi.x);
-    position.y = std::clamp(position.y, cells[0].lo.y, cells[0].hi.y);
-    insertInto(CellId{0}, position, charge, 0);
+    position.x = std::clamp(position.x, cellLo[0].x, cellHi[0].x);
+    position.y = std::clamp(position.y, cellLo[0].y, cellHi[0].y);
+    insertInto(0, position, charge, 0);
     ++inserted;
 }
 
 void
-QuadTree::insertInto(CellId cell, Vec2 p, double charge, int depth)
+QuadTree::insertInto(std::size_t cell, Vec2 p, double charge, int depth)
 {
     while (true) {
-        Cell &c = cells[cell.index()];
         // Update the aggregate first.
-        double total = c.charge + charge;
-        c.barycentre = (c.barycentre * c.charge + p * charge) / total;
-        c.charge = total;
+        double total = cellCharge[cell] + charge;
+        bary[cell] = (bary[cell] * cellCharge[cell] + p * charge) / total;
+        cellCharge[cell] = total;
 
-        if (c.isLeaf) {
-            if (!c.hasPoint) {
-                c.point = p;
-                c.pointCharge = charge;
-                c.hasPoint = true;
+        if (flags[cell] & kLeafBit) {
+            if (!(flags[cell] & kPointBit)) {
+                leafPos[cell] = p;
+                leafCharge[cell] = charge;
+                flags[cell] |= kPointBit;
                 return;
             }
             // Merge coincident points instead of splitting forever.
             if (depth >= kMaxDepth ||
-                distance(c.point, p) < kCoincidenceEps) {
-                c.pointCharge += charge;
+                distance(leafPos[cell], p) < kCoincidenceEps) {
+                leafCharge[cell] += charge;
                 return;
             }
             // Split: push the resident point down, then continue with p.
-            Vec2 old_p = c.point;
-            double old_q = c.pointCharge;
-            c.hasPoint = false;
-            c.pointCharge = 0.0;
+            Vec2 old_p = leafPos[cell];
+            double old_q = leafCharge[cell];
+            flags[cell] = kLeafBit;
+            leafCharge[cell] = 0.0;
             subdivide(cell);
-            Cell &c2 = cells[cell.index()];  // subdivide may reallocate
-            CellId down = c2.child[quadrant(c2, old_p)];
+            std::size_t down =
+                kids[cell][quadrant(cell, old_p)].index();
             // Re-seed the child leaf with the old point (its aggregate
             // must reflect the point too).
-            Cell &child = cells[down.index()];
-            child.point = old_p;
-            child.pointCharge = old_q;
-            child.hasPoint = true;
-            child.charge = old_q;
-            child.barycentre = old_p;
+            leafPos[down] = old_p;
+            leafCharge[down] = old_q;
+            flags[down] = kLeafBit | kPointBit;
+            cellCharge[down] = old_q;
+            bary[down] = old_p;
             // Fall through: re-dispatch p on this (now internal) cell.
         }
-        Cell &c3 = cells[cell.index()];
-        cell = c3.child[quadrant(c3, p)];
+        cell = kids[cell][quadrant(cell, p)].index();
         ++depth;
     }
 }
 
+void
+QuadTree::build(Vec2 lo, Vec2 hi, const std::vector<Body> &bodies)
+{
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("layout.quadtree.build");
+    obs::ScopedPhase timer(phase);
+
+    VIVA_ASSERT(lo.x < hi.x && lo.y < hi.y, "degenerate quadtree box");
+    cellLo.clear();
+    cellHi.clear();
+    bary.clear();
+    cellCharge.clear();
+    kids.clear();
+    leafPos.clear();
+    leafCharge.clear();
+    flags.clear();
+    inserted = bodies.size();
+
+    if (bodies.empty()) {
+        newCell(lo, hi);
+        return;
+    }
+
+    codes.resize(bodies.size());
+    order.resize(bodies.size());
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+        VIVA_ASSERT(bodies[i].charge > 0, "charge must be positive");
+        codes[i] = mortonCode(bodies[i].position, lo, hi);
+        order[i] = std::uint32_t(i);
+    }
+    // Deterministic: ties broken by the original body index, so the
+    // tree (and every force it yields) is a pure function of the
+    // input sequence.
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (codes[a] != codes[b])
+                      return codes[a] < codes[b];
+                  return a < b;
+              });
+
+    buildRange(lo, hi, 0, bodies.size(), 2 * (kMortonBits - 1), bodies);
+}
+
+std::size_t
+QuadTree::buildRange(Vec2 lo, Vec2 hi, std::size_t begin,
+                     std::size_t end, int shift,
+                     const std::vector<Body> &bodies)
+{
+    std::size_t cell = newCell(lo, hi);
+    if (end - begin == 1 || shift < 0) {
+        // One body, or several sharing a Morton cell: a leaf at the
+        // charge-weighted centroid, merged left-to-right in sorted
+        // order (deterministic).
+        Vec2 p{};
+        double q = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            const Body &b = bodies[order[i]];
+            // Clamp exactly like insert(), so out-of-box bodies merge
+            // at the same positions either path would produce.
+            Vec2 bp{std::clamp(b.position.x, cellLo[0].x, cellHi[0].x),
+                    std::clamp(b.position.y, cellLo[0].y, cellHi[0].y)};
+            double total = q + b.charge;
+            p = (p * q + bp * b.charge) / total;
+            q = total;
+        }
+        leafPos[cell] = p;
+        leafCharge[cell] = q;
+        flags[cell] = kLeafBit | kPointBit;
+        cellCharge[cell] = q;
+        bary[cell] = p;
+        return cell;
+    }
+
+    flags[cell] = 0;
+    double mx = 0.5 * (lo.x + hi.x);
+    double my = 0.5 * (lo.y + hi.y);
+    const Vec2 corner[4][2] = {
+        {{lo.x, lo.y}, {mx, my}},
+        {{mx, lo.y}, {hi.x, my}},
+        {{lo.x, my}, {mx, hi.y}},
+        {{mx, my}, {hi.x, hi.y}},
+    };
+    // The range is Morton-sorted, so each quadrant's bodies form one
+    // contiguous sub-range; walk the 2-bit digit boundaries in order.
+    std::size_t cursor = begin;
+    double charge_sum = 0.0;
+    Vec2 moment{};
+    for (int d = 0; d < 4; ++d) {
+        std::size_t sub = cursor;
+        while (sub < end &&
+               int((codes[order[sub]] >> shift) & 3) == d)
+            ++sub;
+        if (sub == cursor)
+            continue;  // empty quadrant: no cell at all
+        std::size_t child = buildRange(corner[d][0], corner[d][1],
+                                       cursor, sub, shift - 2, bodies);
+        kids[cell][d] = CellId::fromIndex(child);
+        charge_sum += cellCharge[child];
+        moment += bary[child] * cellCharge[child];
+        cursor = sub;
+    }
+    cellCharge[cell] = charge_sum;
+    bary[cell] = moment / charge_sum;
+    return cell;
+}
+
 Vec2
 QuadTree::forceAt(Vec2 position, double theta) const
+{
+    TraversalStack stack;
+    return forceAt(position, theta, stack);
+}
+
+Vec2
+QuadTree::forceAt(Vec2 position, double theta,
+                  TraversalStack &scratch) const
 {
     Vec2 total;
     if (inserted == 0)
         return total;
 
     // Explicit stack to avoid recursion on deep trees.
-    std::vector<CellId> stack{CellId{0}};
-    while (!stack.empty()) {
-        const Cell &c = cells[stack.back().index()];
-        stack.pop_back();
-        if (c.charge <= 0.0)
+    scratch.clear();
+    scratch.push_back(CellId{0});
+    while (!scratch.empty()) {
+        std::size_t c = scratch.back().index();
+        scratch.pop_back();
+        if (cellCharge[c] <= 0.0)
             continue;
 
-        if (c.isLeaf) {
-            if (!c.hasPoint)
+        if (flags[c] & kLeafBit) {
+            if (!(flags[c] & kPointBit))
                 continue;
-            Vec2 d = position - c.point;
+            Vec2 d = position - leafPos[c];
             double dist = d.norm();
             if (dist < kCoincidenceEps)
                 continue;  // self or coincident: no direction, skip
-            total += d * (c.pointCharge / (dist * dist * dist));
+            total += d * (leafCharge[c] / (dist * dist * dist));
             continue;
         }
 
-        Vec2 d = position - c.barycentre;
+        Vec2 d = position - bary[c];
         double dist = d.norm();
-        double size = std::max(c.hi.x - c.lo.x, c.hi.y - c.lo.y);
+        double size =
+            std::max(cellHi[c].x - cellLo[c].x, cellHi[c].y - cellLo[c].y);
         if (dist > kCoincidenceEps && size / dist < theta) {
-            total += d * (c.charge / (dist * dist * dist));
+            total += d * (cellCharge[c] / (dist * dist * dist));
             continue;
         }
         for (int q = 0; q < 4; ++q)
-            if (c.child[q] != kNoCell)
-                stack.push_back(c.child[q]);
+            if (kids[c][q] != kNoCell)
+                scratch.push_back(kids[c][q]);
     }
     return total;
 }
@@ -174,93 +338,102 @@ QuadTree::auditInvariants() const
     constexpr double kTol = 1e-9;
 
     support::AuditLog log;
-    if (cells.empty()) {
+    if (cellLo.empty()) {
         auditFail(log, "quadtree has no root cell");
         return log;
     }
 
-    double leafCharge = 0.0;
+    double totalLeafCharge = 0.0;
     std::size_t leafPoints = 0;
 
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const Cell &c = cells[i];
-        if (!(c.lo.x < c.hi.x && c.lo.y < c.hi.y))
+    for (std::size_t i = 0; i < cellLo.size(); ++i) {
+        if (!(cellLo[i].x < cellHi[i].x && cellLo[i].y < cellHi[i].y))
             auditFail(log, "cell ", i, " has a degenerate box");
-        if (c.charge < 0.0)
+        if (cellCharge[i] < 0.0)
             auditFail(log, "cell ", i, " has negative charge ",
-                      c.charge);
+                      cellCharge[i]);
 
-        if (c.isLeaf) {
+        if (flags[i] & kLeafBit) {
             for (int q = 0; q < 4; ++q)
-                if (c.child[q] != kNoCell)
+                if (kids[i][q] != kNoCell)
                     auditFail(log, "leaf cell ", i, " has a child");
-            if (!c.hasPoint)
+            if (!(flags[i] & kPointBit))
                 continue;
             ++leafPoints;
-            leafCharge += c.pointCharge;
-            if (c.pointCharge <= 0.0)
+            totalLeafCharge += leafCharge[i];
+            if (leafCharge[i] <= 0.0)
                 auditFail(log, "leaf ", i, " has non-positive point "
-                          "charge ", c.pointCharge);
-            if (!nearlyEqual(c.charge, c.pointCharge, kTol))
-                auditFail(log, "leaf ", i, " charge ", c.charge,
-                          " != point charge ", c.pointCharge);
-            if (c.point.x < c.lo.x - kTol || c.point.x > c.hi.x + kTol ||
-                c.point.y < c.lo.y - kTol || c.point.y > c.hi.y + kTol)
+                          "charge ", leafCharge[i]);
+            if (!nearlyEqual(cellCharge[i], leafCharge[i], kTol))
+                auditFail(log, "leaf ", i, " charge ", cellCharge[i],
+                          " != point charge ", leafCharge[i]);
+            if (leafPos[i].x < cellLo[i].x - kTol ||
+                leafPos[i].x > cellHi[i].x + kTol ||
+                leafPos[i].y < cellLo[i].y - kTol ||
+                leafPos[i].y > cellHi[i].y + kTol)
                 auditFail(log, "leaf ", i, " point escapes its box");
             continue;
         }
 
-        if (c.hasPoint)
+        if (flags[i] & kPointBit)
             auditFail(log, "internal cell ", i,
                       " still holds a resident point");
 
         double childCharge = 0.0;
         Vec2 moment;
-        double mx = 0.5 * (c.lo.x + c.hi.x);
-        double my = 0.5 * (c.lo.y + c.hi.y);
+        std::size_t childCount = 0;
+        double mx = 0.5 * (cellLo[i].x + cellHi[i].x);
+        double my = 0.5 * (cellLo[i].y + cellHi[i].y);
         const Vec2 corner[4][2] = {
-            {{c.lo.x, c.lo.y}, {mx, my}},
-            {{mx, c.lo.y}, {c.hi.x, my}},
-            {{c.lo.x, my}, {mx, c.hi.y}},
-            {{mx, my}, {c.hi.x, c.hi.y}},
+            {{cellLo[i].x, cellLo[i].y}, {mx, my}},
+            {{mx, cellLo[i].y}, {cellHi[i].x, my}},
+            {{cellLo[i].x, my}, {mx, cellHi[i].y}},
+            {{mx, my}, {cellHi[i].x, cellHi[i].y}},
         };
         for (int q = 0; q < 4; ++q) {
-            CellId child_ix = c.child[q];
-            if (child_ix == kNoCell ||
-                child_ix.index() >= cells.size()) {
+            CellId child_ix = kids[i][q];
+            // The batch build creates only non-empty quadrants; an
+            // absent child is well-formed, a bad index is not.
+            if (child_ix == kNoCell)
+                continue;
+            if (child_ix.index() >= cellLo.size()) {
                 auditFail(log, "internal cell ", i,
                           " has a bad child index ", child_ix);
                 continue;
             }
-            const Cell &child = cells[child_ix.index()];
-            if (child.lo.x != corner[q][0].x ||
-                child.lo.y != corner[q][0].y ||
-                child.hi.x != corner[q][1].x ||
-                child.hi.y != corner[q][1].y)
+            ++childCount;
+            std::size_t child = child_ix.index();
+            if (cellLo[child].x != corner[q][0].x ||
+                cellLo[child].y != corner[q][0].y ||
+                cellHi[child].x != corner[q][1].x ||
+                cellHi[child].y != corner[q][1].y)
                 auditFail(log, "child ", child_ix, " of cell ", i,
                           " does not tile quadrant ", q);
-            childCharge += child.charge;
-            moment += child.barycentre * child.charge;
+            childCharge += cellCharge[child];
+            moment += bary[child] * cellCharge[child];
         }
-        if (!nearlyEqual(c.charge, childCharge, kTol))
-            auditFail(log, "internal cell ", i, " charge ", c.charge,
-                      " != sum of children ", childCharge);
-        if (c.charge > 0.0) {
+        if (childCount == 0)
+            auditFail(log, "internal cell ", i, " has no children");
+        if (!nearlyEqual(cellCharge[i], childCharge, kTol))
+            auditFail(log, "internal cell ", i, " charge ",
+                      cellCharge[i], " != sum of children ",
+                      childCharge);
+        if (cellCharge[i] > 0.0) {
             Vec2 expect = moment / childCharge;
-            if (!nearlyEqual(c.barycentre.x, expect.x, kTol) ||
-                !nearlyEqual(c.barycentre.y, expect.y, kTol))
+            if (!nearlyEqual(bary[i].x, expect.x, kTol) ||
+                !nearlyEqual(bary[i].y, expect.y, kTol))
                 auditFail(log, "internal cell ", i,
                           " barycentre drifted from its children");
         }
     }
 
-    if (!nearlyEqual(cells[0].charge, leafCharge, kTol))
-        auditFail(log, "root charge ", cells[0].charge,
-                  " != total leaf charge ", leafCharge);
+    if (!nearlyEqual(cellCharge[0], totalLeafCharge, kTol))
+        auditFail(log, "root charge ", cellCharge[0],
+                  " != total leaf charge ", totalLeafCharge);
     if (leafPoints > inserted)
         auditFail(log, leafPoints, " resident points exceed ",
                   inserted, " inserts");
-    if (inserted > 0 && cells[0].charge <= 0.0)
+    if (inserted > 0 && cellCharge[0] <= 0.0)
         auditFail(log, "points were inserted but the root holds no "
                   "charge");
     return log;
@@ -269,8 +442,8 @@ QuadTree::auditInvariants() const
 void
 QuadTree::debugScaleCellCharge(std::size_t cell, double factor)
 {
-    VIVA_ASSERT(cell < cells.size(), "bad cell index ", cell);
-    cells[cell].charge *= factor;
+    VIVA_ASSERT(cell < cellLo.size(), "bad cell index ", cell);
+    cellCharge[cell] *= factor;
 }
 
 } // namespace viva::layout

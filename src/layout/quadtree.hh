@@ -3,10 +3,19 @@
  * Barnes-Hut quadtree [3]: the O(n log n) approximation of the all-pairs
  * Coulomb repulsion that makes the layout scale to large views
  * (Section 3.3: "we adopt the scalable Barnes-Hut algorithm").
+ *
+ * The tree lives in a flat SoA arena (parallel per-field vectors
+ * indexed by CellId) whose capacity persists across rebuilds, so a
+ * layout iterating at interactive rates stops paying per-cell
+ * allocations after the first few steps. Two build paths share the
+ * arena: the historical incremental insert(), and the batch build()
+ * that Morton-sorts the points once and emits the tree bottom-up in a
+ * single preorder pass -- the per-iteration path of the force layout.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -33,12 +42,29 @@ using CellId = support::StrongId<CellTag, std::int32_t>;
 inline constexpr CellId kNoCell{-1};
 
 /**
- * A quadtree over charged 2-D points. Build once per iteration with
- * insert(), then query the approximate repulsive field with forceAt().
+ * A quadtree over charged 2-D points. Build once per iteration -- with
+ * insert() point by point, or with build() from a full point set --
+ * then query the approximate repulsive field with forceAt().
  */
 class QuadTree
 {
   public:
+    /** One charged input point of the batch build(). */
+    struct Body
+    {
+        Vec2 position;
+        double charge = 0.0;
+    };
+
+    /**
+     * A reusable traversal stack for the allocation-free forceAt
+     * overload; any instance works for any tree.
+     */
+    using TraversalStack = std::vector<CellId>;
+
+    /** An empty tree; define the box with build(). */
+    QuadTree() = default;
+
     /**
      * @param lo lower-left corner of the bounding box
      * @param hi upper-right corner (must strictly contain all inserts)
@@ -49,22 +75,44 @@ class QuadTree
     void insert(Vec2 position, double charge);
 
     /**
+     * Rebuild the whole tree from a point set: Morton-sort the bodies
+     * (21 bits per axis, deterministic index tiebreak), then emit
+     * cells bottom-up into the arena, creating only non-empty
+     * quadrants. Equivalent to clearing and re-inserting every body,
+     * but allocation-free once the arena capacity has warmed up.
+     * Bodies quantized to the same Morton cell merge into one leaf at
+     * their charge-weighted centroid.
+     */
+    void build(Vec2 lo, Vec2 hi, const std::vector<Body> &bodies);
+
+    /**
      * The repulsive field at a position: sum over inserted charges q_j
      * of q_j * (p - p_j) / |p - p_j|^3, with cells treated as a single
      * charge at their barycentre when (cell size / distance) < theta.
      * A query at an inserted point skips near-coincident charges
      * (distance below a small epsilon) rather than dividing by zero.
      *
+     * This overload allocates a fresh traversal stack; hot loops use
+     * the scratch overload below.
+     *
      * @param position query point
      * @param theta opening angle; 0 degenerates to the exact sum
      */
     Vec2 forceAt(Vec2 position, double theta) const;
 
+    /**
+     * forceAt with a caller-owned traversal stack: zero heap
+     * allocation once the stack's capacity has warmed up. Bitwise
+     * identical to the allocating overload.
+     */
+    Vec2 forceAt(Vec2 position, double theta,
+                 TraversalStack &scratch) const;
+
     /** Number of inserted points. */
     std::size_t pointCount() const { return inserted; }
 
     /** Number of allocated tree cells (memory metric). */
-    std::size_t cellCount() const { return cells.size(); }
+    std::size_t cellCount() const { return cellLo.size(); }
 
     /**
      * Deep structural audit: every internal cell's charge and
@@ -83,33 +131,48 @@ class QuadTree
     void debugScaleCellCharge(std::size_t cell, double factor);
 
   private:
-    struct Cell
-    {
-        Vec2 lo;                ///< cell bounds
-        Vec2 hi;
-        Vec2 barycentre;        ///< charge-weighted centre
-        double charge = 0.0;    ///< total charge inside
-        CellId child[4] = {kNoCell, kNoCell, kNoCell, kNoCell};
-        bool isLeaf = true;
-        Vec2 point;             ///< the single point of a leaf
-        double pointCharge = 0.0;
-        bool hasPoint = false;
-    };
+    /** Coincident points merge below this depth (incremental path). */
+    static constexpr int kMaxDepth = 48;
+
+    /** flags bits. */
+    static constexpr std::uint8_t kLeafBit = 1;
+    static constexpr std::uint8_t kPointBit = 2;
+
+    /** Append one leaf cell with this box; returns its index. */
+    std::size_t newCell(Vec2 lo, Vec2 hi);
 
     /** Index of the quadrant of `cell` containing p. */
-    static int quadrant(const Cell &cell, Vec2 p);
+    int quadrant(std::size_t cell, Vec2 p) const;
 
-    /** Create the 4 children of a cell. */
-    void subdivide(CellId cell);
+    /** Create the 4 children of a cell (incremental path). */
+    void subdivide(std::size_t cell);
 
-    void insertInto(CellId cell, Vec2 p, double charge, int depth);
+    void insertInto(std::size_t cell, Vec2 p, double charge, int depth);
 
-    std::vector<Cell> cells;
+    /**
+     * Emit the cell for the Morton-sorted body range [begin, end) of
+     * `order`, recursing per 2-bit digit at `shift`.
+     */
+    std::size_t buildRange(Vec2 lo, Vec2 hi, std::size_t begin,
+                           std::size_t end, int shift,
+                           const std::vector<Body> &bodies);
+
+    // The SoA arena: one slot per cell across all vectors. clear()
+    // between builds keeps the capacity.
+    std::vector<Vec2> cellLo;
+    std::vector<Vec2> cellHi;
+    std::vector<Vec2> bary;          ///< charge-weighted centre
+    std::vector<double> cellCharge;  ///< total charge inside
+    std::vector<std::array<CellId, 4>> kids;
+    std::vector<Vec2> leafPos;       ///< the single point of a leaf
+    std::vector<double> leafCharge;
+    std::vector<std::uint8_t> flags; ///< kLeafBit | kPointBit
+
     std::size_t inserted = 0;
 
-    /** Coincident points merge below this depth. */
-    static constexpr int kMaxDepth = 48;
+    // Morton scratch of build(), reused across calls.
+    std::vector<std::uint64_t> codes;
+    std::vector<std::uint32_t> order;
 };
 
 } // namespace viva::layout
-

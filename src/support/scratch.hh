@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A tiny pool of reusable scratch objects for parallel hot loops.
+ *
+ * A ThreadPool chunk acquires one scratch object (a traversal stack, a
+ * reusable buffer, ...) for its whole range and releases it when the
+ * chunk ends. Released objects keep their grown capacity, so after a
+ * few warm-up iterations every acquire is a pop from a free list and
+ * the hot loop performs zero heap allocation in steady state.
+ *
+ * The pool itself is mutex-guarded; that cost is paid once per chunk,
+ * not once per element, so it vanishes next to the work a chunk does.
+ * Determinism is unaffected: scratch state never outlives a chunk and
+ * never feeds back into results.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace viva::support
+{
+
+/**
+ * Pool of default-constructed T objects. acquire() returns an RAII
+ * handle; destruction returns the object (capacity intact) to the
+ * free list. Thread-safe.
+ */
+template <typename T>
+class ScratchPool
+{
+  public:
+    /** Owning handle; returns the object to the pool on destruction. */
+    class Handle
+    {
+      public:
+        Handle(ScratchPool *owner, std::unique_ptr<T> object)
+            : pool(owner), obj(std::move(object))
+        {
+        }
+
+        Handle(Handle &&other) noexcept
+            : pool(other.pool), obj(std::move(other.obj))
+        {
+            other.pool = nullptr;
+        }
+
+        Handle(const Handle &) = delete;
+        Handle &operator=(const Handle &) = delete;
+        Handle &operator=(Handle &&) = delete;
+
+        ~Handle()
+        {
+            if (pool && obj)
+                pool->release(std::move(obj));
+        }
+
+        T &operator*() { return *obj; }
+        T *operator->() { return obj.get(); }
+
+      private:
+        ScratchPool *pool;
+        std::unique_ptr<T> obj;
+    };
+
+    ScratchPool() = default;
+
+    // Movable so owners (e.g. a ForceLayout) stay movable. Moving
+    // steals the parked objects; it must not race live Handles (they
+    // point back at the source pool), which holds by construction:
+    // handles never outlive the chunk that acquired them.
+    ScratchPool(ScratchPool &&other) noexcept
+    {
+        std::lock_guard<std::mutex> lock(other.mu);
+        free = std::move(other.free);
+    }
+
+    ScratchPool &
+    operator=(ScratchPool &&other) noexcept
+    {
+        if (this != &other) {
+            std::scoped_lock lock(mu, other.mu);
+            free = std::move(other.free);
+        }
+        return *this;
+    }
+
+    ScratchPool(const ScratchPool &) = delete;
+    ScratchPool &operator=(const ScratchPool &) = delete;
+
+    /** Pop a pooled object, or default-construct when the pool is dry. */
+    Handle
+    acquire()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!free.empty()) {
+                std::unique_ptr<T> obj = std::move(free.back());
+                free.pop_back();
+                return Handle(this, std::move(obj));
+            }
+        }
+        return Handle(this, std::make_unique<T>());
+    }
+
+    /** Objects currently parked in the free list (tests, metrics). */
+    std::size_t
+    idleCount() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return free.size();
+    }
+
+  private:
+    void
+    release(std::unique_ptr<T> obj)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        free.push_back(std::move(obj));
+    }
+
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<T>> free;
+};
+
+} // namespace viva::support

@@ -27,8 +27,13 @@ class TraceBuilder
     /** The trace under construction (also accessible while building). */
     Trace &trace() { return result; }
 
-    /** Move the finished trace out of the builder. */
-    Trace take() { return std::move(result); }
+    /** Move the finished trace out, query acceleration built. */
+    Trace
+    take()
+    {
+        result.ensureQueryAcceleration();
+        return std::move(result);
+    }
 
     /** Open a grouping container and make it the current parent. */
     TraceBuilder &beginGroup(const std::string &name,

@@ -447,6 +447,8 @@ readPajeTrace(std::istream &in, const ParseBudget &budget)
         }
     }
 
+    // Build the query acceleration at load time, like the native reader.
+    trace.ensureQueryAcceleration();
     return result;
 }
 

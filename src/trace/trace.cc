@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace viva::trace
@@ -81,10 +82,37 @@ Trace::Trace()
     nodes.push_back(std::move(root_node));
 }
 
+Trace::Trace(const Trace &other)
+    : nodes(other.nodes), metricTable(other.metricTable),
+      metricByName(other.metricByName), vars(other.vars),
+      rels(other.rels), relSet(other.relSet),
+      stateLog(other.stateLog), mutations(other.mutations)
+{
+    // `closure` stays empty: it would point into `other`'s variables.
+}
+
+Trace &
+Trace::operator=(const Trace &other)
+{
+    if (this == &other)
+        return *this;
+    nodes = other.nodes;
+    metricTable = other.metricTable;
+    metricByName = other.metricByName;
+    vars = other.vars;
+    rels = other.rels;
+    relSet = other.relSet;
+    stateLog = other.stateLog;
+    mutations = other.mutations;
+    closure = Closure{};
+    return *this;
+}
+
 ContainerId
 Trace::addContainer(const std::string &name, ContainerKind kind,
                     ContainerId parent)
 {
+    ++mutations;
     VIVA_ASSERT(parent.index() < nodes.size(), "bad parent container id ", parent);
     VIVA_ASSERT(!name.empty(), "container name must not be empty");
     VIVA_ASSERT(name.find('/') == std::string::npos,
@@ -241,6 +269,7 @@ Trace::addMetric(const std::string &name, const std::string &unit,
         return it->second;
     VIVA_ASSERT(capacity_of == kNoMetric || capacity_of.index() < metricTable.size(),
                 "bad capacity metric id ", capacity_of);
+    ++mutations;
     Metric m;
     m.id = MetricId::fromIndex(metricTable.size());
     m.name = name;
@@ -271,6 +300,8 @@ Trace::variable(ContainerId c, MetricId m)
 {
     VIVA_ASSERT(c.index() < nodes.size(), "bad container id ", c);
     VIVA_ASSERT(m.index() < metricTable.size(), "bad metric id ", m);
+    // The caller gets a mutable reference, so assume it mutates.
+    ++mutations;
     return vars[varKey(c, m)];
 }
 
@@ -307,6 +338,7 @@ Trace::addRelation(ContainerId a, ContainerId b)
         return;
     if (!relSet.insert(relKey(a, b)).second)
         return;
+    ++mutations;
     rels.push_back({a, b});
 }
 
@@ -329,6 +361,7 @@ Trace::addState(ContainerId c, double begin, double end,
 {
     VIVA_ASSERT(c.index() < nodes.size(), "bad container id ", c);
     VIVA_ASSERT(begin <= end, "reversed state interval");
+    ++mutations;
     stateLog.push_back({c, begin, end, state});
 }
 
@@ -356,6 +389,112 @@ Trace::span() const
     for (const StateRecord &s : stateLog)
         fold(s.begin, s.end);
     return support::Interval(lo, hi);
+}
+
+void
+Trace::ensureSliceIndexes()
+{
+    namespace obs = support::obs;
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("trace.index.build");
+    obs::ScopedPhase timer(phase);
+
+    // Sorted key order: the build sequence (and any diagnostics it may
+    // ever emit) is independent of the hash layout.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(vars.size());
+    for (const auto &entry : vars)  // viva-lint: allow(unordered-iter)
+        keys.push_back(entry.first);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t key : keys)
+        vars.at(key).buildIndex();
+}
+
+void
+Trace::ensureClosure()
+{
+    if (closureFresh())
+        return;
+
+    namespace obs = support::obs;
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::HistogramId phase =
+        reg.histogram("trace.closure.build");
+    obs::ScopedPhase timer(phase);
+
+    // Preorder of the whole tree; every subtree is one contiguous slab
+    // of it. Sizes are filled right-to-left so children are done
+    // before their parent.
+    closure.preorder = subtree(root());
+    closure.preIndex.assign(nodes.size(), 0);
+    closure.subtreeSize.assign(nodes.size(), 0);
+    for (std::size_t slot = 0; slot < closure.preorder.size(); ++slot)
+        closure.preIndex[closure.preorder[slot].index()] =
+            std::uint32_t(slot);
+    for (std::size_t slot = closure.preorder.size(); slot-- > 0;) {
+        ContainerId id = closure.preorder[slot];
+        std::uint32_t size = 1;
+        for (ContainerId child : nodes[id.index()].children)
+            size += closure.subtreeSize[child.index()];
+        closure.subtreeSize[id.index()] = size;
+    }
+
+    // Per (container, metric): the non-empty carrying variables of the
+    // subtree, in preorder-member order -- exactly the sequence the
+    // Eq.-1 fold visits, so the cached fold reduces the same values in
+    // the same order as the uncached one.
+    const std::size_t metrics = metricTable.size();
+    closure.carrierVars.clear();
+    closure.carrierOff.assign(nodes.size() * metrics + 1, 0);
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        const std::uint32_t base = closure.preIndex[ni];
+        const std::uint32_t size = closure.subtreeSize[ni];
+        for (std::size_t mi = 0; mi < metrics; ++mi) {
+            closure.carrierOff[ni * metrics + mi] =
+                std::uint32_t(closure.carrierVars.size());
+            for (std::uint32_t k = 0; k < size; ++k) {
+                ContainerId member = closure.preorder[base + k];
+                const Variable *var =
+                    findVariable(member, MetricId::fromIndex(mi));
+                if (var && !var->empty())
+                    closure.carrierVars.push_back(var);
+            }
+        }
+    }
+    closure.carrierOff.back() =
+        std::uint32_t(closure.carrierVars.size());
+    closure.builtVersion = mutations;
+}
+
+void
+Trace::ensureQueryAcceleration()
+{
+    ensureSliceIndexes();
+    ensureClosure();
+}
+
+std::span<const ContainerId>
+Trace::cachedSubtree(ContainerId id) const
+{
+    VIVA_ASSERT(closureFresh(), "closure cache is stale");
+    VIVA_ASSERT(id.index() < nodes.size(), "bad container id ", id);
+    return {closure.preorder.data() + closure.preIndex[id.index()],
+            closure.subtreeSize[id.index()]};
+}
+
+std::span<const Variable *const>
+Trace::carriers(ContainerId c, MetricId m) const
+{
+    VIVA_ASSERT(closureFresh(), "closure cache is stale");
+    VIVA_ASSERT(c.index() < nodes.size(), "bad container id ", c);
+    // An unknown metric carries nothing -- same answer findVariable
+    // gives (nullptr), so lookups with a failed findMetric stay benign.
+    if (m.index() >= metricTable.size())
+        return {};
+    const std::size_t slot = c.index() * metricTable.size() + m.index();
+    return {closure.carrierVars.data() + closure.carrierOff[slot],
+            closure.carrierOff[slot + 1] - closure.carrierOff[slot]};
 }
 
 support::AuditLog
@@ -444,11 +583,16 @@ Trace::auditInvariants() const
             auditFail(log, "variable key references bad container ", c);
         if (m.index() >= metricTable.size())
             auditFail(log, "variable key references bad metric ", m);
-        const auto &points = vars.at(key).changePoints();
+        const Variable &var = vars.at(key);
+        const auto &points = var.changePoints();
         for (std::size_t i = 1; i < points.size(); ++i)
             if (points[i - 1].time >= points[i].time)
                 auditFail(log, "variable (", c, ", ", m,
                           ") has unsorted change points at index ", i);
+        if (!var.indexConsistent())
+            auditFail(log, "variable (", c, ", ", m,
+                      ") carries a slice index inconsistent with its "
+                      "points");
     }
 
     // Relations: valid distinct endpoints, deduplicated.
@@ -476,6 +620,48 @@ Trace::auditInvariants() const
         if (s.begin > s.end)
             auditFail(log, "state ", i, " has a reversed interval");
     }
+
+    // Closure cache: when fresh, every cached subtree and carrier list
+    // must equal an independent recomputation from the hierarchy. A
+    // stale cache is vacuously fine -- queries refuse to read it.
+    if (closureFresh()) {
+        if (closure.preIndex.size() != nodes.size() ||
+            closure.subtreeSize.size() != nodes.size() ||
+            closure.preorder.size() != nodes.size() ||
+            closure.carrierOff.size() !=
+                nodes.size() * metricTable.size() + 1) {
+            auditFail(log, "closure cache arrays are missized");
+            return log;
+        }
+        for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+            ContainerId id = ContainerId::fromIndex(ni);
+            std::vector<ContainerId> expect = subtree(id);
+            std::span<const ContainerId> cached = cachedSubtree(id);
+            if (cached.size() != expect.size() ||
+                !std::equal(cached.begin(), cached.end(),
+                            expect.begin())) {
+                auditFail(log, "cached subtree of container ", ni,
+                          " disagrees with the hierarchy");
+                continue;
+            }
+            for (std::size_t mi = 0; mi < metricTable.size(); ++mi) {
+                MetricId m = MetricId::fromIndex(mi);
+                std::vector<const Variable *> expect_vars;
+                for (ContainerId member : expect) {
+                    const Variable *var = findVariable(member, m);
+                    if (var && !var->empty())
+                        expect_vars.push_back(var);
+                }
+                std::span<const Variable *const> cached_vars =
+                    carriers(id, m);
+                if (cached_vars.size() != expect_vars.size() ||
+                    !std::equal(cached_vars.begin(), cached_vars.end(),
+                                expect_vars.begin()))
+                    auditFail(log, "cached carriers of (", ni, ", ", mi,
+                              ") disagree with the variables");
+            }
+        }
+    }
     return log;
 }
 
@@ -483,6 +669,7 @@ Container &
 Trace::debugMutableContainer(ContainerId id)
 {
     VIVA_ASSERT(id.index() < nodes.size(), "bad container id ", id);
+    ++mutations;
     return nodes[id.index()];
 }
 

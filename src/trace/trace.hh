@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -50,6 +51,18 @@ class Trace
 
     /** Creates the implicit root container (id 0). */
     Trace();
+
+    /**
+     * Copies drop the query-acceleration caches: the closure cache
+     * holds Variable pointers into this trace's storage, which a
+     * copied trace must not share. Moves keep them (unordered_map
+     * nodes keep their addresses across a move).
+     */
+    Trace(const Trace &other);
+    Trace &operator=(const Trace &other);
+    Trace(Trace &&) = default;
+    Trace &operator=(Trace &&) = default;
+    ~Trace() = default;
 
     // --- containers --------------------------------------------------
 
@@ -169,6 +182,56 @@ class Trace
     /** The observation period T: hull of all variable points and states. */
     support::Interval span() const;
 
+    // --- query acceleration ------------------------------------------------
+
+    /**
+     * Monotone mutation version, bumped by every mutating call
+     * (containers, metrics, variables, relations, states). The closure
+     * cache records the version it was built against, so a stale cache
+     * can never be served after a mutation.
+     */
+    std::uint64_t version() const { return mutations; }
+
+    /**
+     * Build the per-variable slice-query indexes (see
+     * Variable::buildIndex), in sorted (container, metric) key order so
+     * the build is deterministic. Sequential; idempotent when clean.
+     */
+    void ensureSliceIndexes();
+
+    /**
+     * Build (or refresh) the hierarchy-closure cache: the preorder
+     * subtree member list of every container plus, per (container,
+     * metric), the list of non-empty carrying variables — the exact
+     * sequence the Eq.-1 fold visits. No-op when already fresh.
+     */
+    void ensureClosure();
+
+    /** ensureSliceIndexes() + ensureClosure(). */
+    void ensureQueryAcceleration();
+
+    /** True when the closure cache matches the current version. */
+    bool closureFresh() const
+    {
+        return closure.builtVersion == mutations;
+    }
+
+    /**
+     * The cached preorder subtree of a container (id included).
+     * Requires a fresh closure; identical to subtree(id) without the
+     * allocation.
+     */
+    std::span<const ContainerId> cachedSubtree(ContainerId id) const;
+
+    /**
+     * The cached non-empty variables carrying metric m inside the
+     * subtree of c, in preorder-member order. Requires a fresh closure.
+     * An out-of-range metric (e.g. a failed findMetric) yields an
+     * empty span, matching findVariable's nullptr.
+     */
+    std::span<const Variable *const> carriers(ContainerId c,
+                                              MetricId m) const;
+
     // --- auditing ---------------------------------------------------------
 
     /**
@@ -202,6 +265,26 @@ class Trace
         return (std::uint64_t(a.value()) << 32) | b.value();
     }
 
+    /**
+     * The hierarchy-closure cache. `preorder` is the root-first DFS
+     * order of the whole tree; a container's subtree is the contiguous
+     * slab preorder[preIndex[c] .. preIndex[c] + subtreeSize[c]).
+     * `carrierVars` holds, per (container, metric) in
+     * container-major order, the non-empty variables of that subtree
+     * (offsets in `carrierOff`). Pointers reference `vars` storage, so
+     * copies must drop the cache; mutations invalidate it via
+     * `mutations` != `builtVersion`.
+     */
+    struct Closure
+    {
+        std::uint64_t builtVersion = 0;  ///< 0: never built
+        std::vector<ContainerId> preorder;
+        std::vector<std::uint32_t> preIndex;
+        std::vector<std::uint32_t> subtreeSize;
+        std::vector<const Variable *> carrierVars;
+        std::vector<std::uint32_t> carrierOff;
+    };
+
     std::vector<Container> nodes;
     std::vector<Metric> metricTable;
     std::unordered_map<std::string, MetricId> metricByName;
@@ -209,6 +292,9 @@ class Trace
     std::vector<Relation> rels;
     std::unordered_set<std::uint64_t> relSet;
     std::vector<StateRecord> stateLog;
+    /** Starts at 1 so builtVersion == 0 always reads as stale. */
+    std::uint64_t mutations = 1;
+    Closure closure;
 };
 
 } // namespace viva::trace

@@ -6,6 +6,7 @@
 #include "trace/variable.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/logging.hh"
 
@@ -35,6 +36,7 @@ Variable::indexAt(double t) const
 void
 Variable::set(double t, double v)
 {
+    indexClean = false;
     if (points.empty() || points.back().time < t) {
         points.push_back({t, v});
         return;
@@ -68,7 +70,7 @@ Variable::valueAt(double t) const
 }
 
 double
-Variable::integrate(double a, double b) const
+Variable::integrateScan(double a, double b) const
 {
     VIVA_ASSERT(a <= b, "reversed integration bounds [", a, ", ", b, ")");
     if (points.empty() || a == b)
@@ -92,6 +94,31 @@ Variable::integrate(double a, double b) const
 }
 
 double
+Variable::integrate(double a, double b) const
+{
+    if (!indexClean)
+        return integrateScan(a, b);
+    VIVA_ASSERT(a <= b, "reversed integration bounds [", a, ", ", b, ")");
+    if (points.empty() || a == b)
+        return 0.0;
+
+    std::size_t ia = indexAt(a);
+    std::size_t ib = indexAt(b);
+    // Both bounds inside one segment (or before the first point): a
+    // single multiply, with no prefix-difference cancellation.
+    if (ia == ib)
+        return (ia == npos ? 0.0 : points[ia].value) * (b - a);
+    // First partial segment, the whole segments between (a prefix
+    // difference), then the last partial segment.
+    std::size_t first = (ia == npos) ? 0 : ia + 1;
+    double total =
+        ia == npos ? 0.0 : points[ia].value * (points[first].time - a);
+    total += cum[ib] - cum[first];
+    total += points[ib].value * (b - points[ib].time);
+    return total;
+}
+
+double
 Variable::average(double a, double b) const
 {
     VIVA_ASSERT(a <= b, "reversed slice [", a, ", ", b, ")");
@@ -101,7 +128,7 @@ Variable::average(double a, double b) const
 }
 
 double
-Variable::maxOver(double a, double b) const
+Variable::maxOverScan(double a, double b) const
 {
     double best = valueAt(a);
     std::size_t i = indexAt(a);
@@ -114,7 +141,29 @@ Variable::maxOver(double a, double b) const
 }
 
 double
-Variable::minOver(double a, double b) const
+Variable::maxOver(double a, double b) const
+{
+    if (!indexClean)
+        return maxOverScan(a, b);
+    double best = valueAt(a);
+    std::size_t i = indexAt(a);
+    std::size_t first = (i == npos) ? 0 : i + 1;
+    // Last point strictly before b; the sparse table covers the points
+    // inside (a, b), exactly the set the scan visits.
+    auto it = std::lower_bound(points.begin(), points.end(), b,
+                               [](const Point &p, double rhs) {
+                                   return p.time < rhs;
+                               });
+    if (it == points.begin())
+        return best;
+    std::size_t last = std::size_t(it - points.begin()) - 1;
+    if (first <= last)
+        best = std::max(best, rangeMax(first, last));
+    return best;
+}
+
+double
+Variable::minOverScan(double a, double b) const
 {
     double best = valueAt(a);
     std::size_t i = indexAt(a);
@@ -124,6 +173,101 @@ Variable::minOver(double a, double b) const
         ++next;
     }
     return best;
+}
+
+double
+Variable::minOver(double a, double b) const
+{
+    if (!indexClean)
+        return minOverScan(a, b);
+    double best = valueAt(a);
+    std::size_t i = indexAt(a);
+    std::size_t first = (i == npos) ? 0 : i + 1;
+    auto it = std::lower_bound(points.begin(), points.end(), b,
+                               [](const Point &p, double rhs) {
+                                   return p.time < rhs;
+                               });
+    if (it == points.begin())
+        return best;
+    std::size_t last = std::size_t(it - points.begin()) - 1;
+    if (first <= last)
+        best = std::min(best, rangeMin(first, last));
+    return best;
+}
+
+double
+Variable::rangeMax(std::size_t lo, std::size_t hi) const
+{
+    std::size_t len = hi - lo + 1;
+    std::size_t k = std::size_t(std::bit_width(len)) - 1;
+    return std::max(maxTab[k][lo],
+                    maxTab[k][hi + 1 - (std::size_t(1) << k)]);
+}
+
+double
+Variable::rangeMin(std::size_t lo, std::size_t hi) const
+{
+    std::size_t len = hi - lo + 1;
+    std::size_t k = std::size_t(std::bit_width(len)) - 1;
+    return std::min(minTab[k][lo],
+                    minTab[k][hi + 1 - (std::size_t(1) << k)]);
+}
+
+void
+Variable::computeIndex(std::vector<double> &cum_out,
+                       std::vector<std::vector<double>> &max_out,
+                       std::vector<std::vector<double>> &min_out) const
+{
+    const std::size_t n = points.size();
+    cum_out.assign(n, 0.0);
+    for (std::size_t i = 1; i < n; ++i)
+        cum_out[i] = cum_out[i - 1] +
+                     points[i - 1].value *
+                         (points[i].time - points[i - 1].time);
+
+    const std::size_t levels = n == 0 ? 0 : std::size_t(std::bit_width(n));
+    max_out.assign(levels, {});
+    min_out.assign(levels, {});
+    if (n == 0)
+        return;
+    max_out[0].resize(n);
+    min_out[0].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        max_out[0][i] = points[i].value;
+        min_out[0][i] = points[i].value;
+    }
+    for (std::size_t k = 1; k < levels; ++k) {
+        const std::size_t w = std::size_t(1) << k;
+        max_out[k].resize(n - w + 1);
+        min_out[k].resize(n - w + 1);
+        for (std::size_t i = 0; i + w <= n; ++i) {
+            max_out[k][i] =
+                std::max(max_out[k - 1][i], max_out[k - 1][i + w / 2]);
+            min_out[k][i] =
+                std::min(min_out[k - 1][i], min_out[k - 1][i + w / 2]);
+        }
+    }
+}
+
+void
+Variable::buildIndex()
+{
+    if (indexClean)
+        return;
+    computeIndex(cum, maxTab, minTab);
+    indexClean = true;
+}
+
+bool
+Variable::indexConsistent() const
+{
+    if (!indexClean)
+        return true;
+    std::vector<double> cum_ref;
+    std::vector<std::vector<double>> max_ref;
+    std::vector<std::vector<double>> min_ref;
+    computeIndex(cum_ref, max_ref, min_ref);
+    return cum == cum_ref && maxTab == max_ref && minTab == min_ref;
 }
 
 double
@@ -143,6 +287,7 @@ Variable::compact()
 {
     if (points.size() < 2)
         return 0;
+    indexClean = false;
     std::size_t before = points.size();
     std::vector<Point> kept;
     kept.reserve(points.size());

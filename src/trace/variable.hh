@@ -100,11 +100,63 @@ class Variable
      */
     std::size_t compact();
 
+    // --- slice-query index -------------------------------------------
+
+    /**
+     * Build (or refresh) the slice-query index: a cumulative-integral
+     * prefix array plus sparse max/min tables over the point values,
+     * turning integrate/average/maxOver/minOver into O(log n) lookups.
+     * Sequential and deterministic; idempotent when already clean. The
+     * index is an accelerator, never a requirement: queries on a dirty
+     * index fall back to the linear scan, so correctness never depends
+     * on callers remembering to build.
+     */
+    void buildIndex();
+
+    /** True when the index reflects the current change points. */
+    bool indexed() const { return indexClean; }
+
+    /** Reference linear-scan integral (differential tests, audits). */
+    double integrateScan(double a, double b) const;
+
+    /** Reference linear-scan maximum over [a, b). */
+    double maxOverScan(double a, double b) const;
+
+    /** Reference linear-scan minimum over [a, b). */
+    double minOverScan(double a, double b) const;
+
+    /**
+     * True when the index is clean and bitwise-identical to a fresh
+     * rebuild from the current points (used by the VALIDATE audits).
+     * A dirty index is vacuously consistent.
+     */
+    bool indexConsistent() const;
+
   private:
     /** Index of the last point with time <= t, or npos. */
     std::size_t indexAt(double t) const;
 
+    /** Max over the inclusive point-index range via the sparse table. */
+    double rangeMax(std::size_t lo, std::size_t hi) const;
+
+    /** Min over the inclusive point-index range via the sparse table. */
+    double rangeMin(std::size_t lo, std::size_t hi) const;
+
+    /** Recompute the index arrays from `points` into the outputs. */
+    void computeIndex(std::vector<double> &cum_out,
+                      std::vector<std::vector<double>> &max_out,
+                      std::vector<std::vector<double>> &min_out) const;
+
     std::vector<Point> points;
+
+    /** cum[i]: exact integral from points[0].time to points[i].time. */
+    std::vector<double> cum;
+    /** maxTab[k][i]: max of the 2^k point values starting at i. */
+    std::vector<std::vector<double>> maxTab;
+    /** minTab[k][i]: min of the 2^k point values starting at i. */
+    std::vector<std::vector<double>> minTab;
+    /** Index freshness; any mutation clears it. */
+    bool indexClean = false;
 };
 
 } // namespace viva::trace

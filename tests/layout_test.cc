@@ -231,6 +231,119 @@ TEST(QuadTreeProperty, ErrorIsMonotoneInTheta)
     EXPECT_GT(mean_err[3], 1e-4);
 }
 
+// --- the arena batch build --------------------------------------------------
+
+namespace
+{
+
+/** A deterministic random body set inside [0, 500)^2. */
+std::vector<vl::QuadTree::Body>
+randomBodies(std::uint64_t seed, int n)
+{
+    viva::support::Rng rng(seed);
+    std::vector<vl::QuadTree::Body> bodies;
+    for (int i = 0; i < n; ++i)
+        bodies.push_back({{rng.uniform(0.0, 500.0),
+                           rng.uniform(0.0, 500.0)},
+                          rng.uniform(0.5, 4.0)});
+    return bodies;
+}
+
+} // namespace
+
+TEST(QuadTreeArena, BatchBuildAuditsClean)
+{
+    std::vector<vl::QuadTree::Body> bodies = randomBodies(17, 700);
+    vl::QuadTree tree;
+    tree.build({-1.0, -1.0}, {501.0, 501.0}, bodies);
+    EXPECT_EQ(tree.pointCount(), 700u);
+    EXPECT_TRUE(tree.auditInvariants().empty());
+}
+
+TEST(QuadTreeArena, BatchMatchesIncrementalAtThetaZero)
+{
+    // With theta = 0 both trees degenerate to the exact pairwise sum,
+    // so the (differently shaped) batch and incremental trees must
+    // agree to rounding at every query point.
+    std::vector<vl::QuadTree::Body> bodies = randomBodies(19, 300);
+    vl::QuadTree incremental({-1.0, -1.0}, {501.0, 501.0});
+    for (const auto &b : bodies)
+        incremental.insert(b.position, b.charge);
+    vl::QuadTree batch;
+    batch.build({-1.0, -1.0}, {501.0, 501.0}, bodies);
+
+    viva::support::Rng rng(21);
+    for (int i = 0; i < 40; ++i) {
+        vl::Vec2 q{rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)};
+        vl::Vec2 a = incremental.forceAt(q, 0.0);
+        vl::Vec2 b = batch.forceAt(q, 0.0);
+        EXPECT_NEAR(a.x, b.x, 1e-9);
+        EXPECT_NEAR(a.y, b.y, 1e-9);
+    }
+}
+
+TEST(QuadTreeArena, ScratchOverloadIsBitwiseIdentical)
+{
+    // The zero-allocation forceAt must return the exact same bits as
+    // the allocating overload: the force layout's determinism contract
+    // rides on it.
+    std::vector<vl::QuadTree::Body> bodies = randomBodies(23, 500);
+    vl::QuadTree tree;
+    tree.build({-1.0, -1.0}, {501.0, 501.0}, bodies);
+
+    vl::QuadTree::TraversalStack scratch;
+    viva::support::Rng rng(29);
+    for (double theta : {0.0, 0.5, 0.8, 1.2}) {
+        for (int i = 0; i < 50; ++i) {
+            vl::Vec2 q{rng.uniform(-10.0, 510.0),
+                       rng.uniform(-10.0, 510.0)};
+            vl::Vec2 a = tree.forceAt(q, theta);
+            vl::Vec2 b = tree.forceAt(q, theta, scratch);
+            EXPECT_EQ(a.x, b.x);
+            EXPECT_EQ(a.y, b.y);
+        }
+    }
+}
+
+TEST(QuadTreeArena, RebuildReusesTheArena)
+{
+    vl::QuadTree tree;
+    tree.build({0.0, 0.0}, {500.0, 500.0}, randomBodies(31, 800));
+    std::size_t big = tree.cellCount();
+    EXPECT_TRUE(tree.auditInvariants().empty());
+
+    // A smaller rebuild shrinks the logical tree (capacity is an
+    // implementation detail, but the cell count must track the build).
+    tree.build({0.0, 0.0}, {500.0, 500.0}, randomBodies(37, 50));
+    EXPECT_LT(tree.cellCount(), big);
+    EXPECT_EQ(tree.pointCount(), 50u);
+    EXPECT_TRUE(tree.auditInvariants().empty());
+}
+
+TEST(QuadTreeArena, CoincidentBodiesMergeIntoOneLeaf)
+{
+    std::vector<vl::QuadTree::Body> bodies(10,
+                                           {{0.25, 0.25}, 1.0});
+    vl::QuadTree tree;
+    tree.build({-1.0, -1.0}, {1.0, 1.0}, bodies);
+    EXPECT_EQ(tree.pointCount(), 10u);
+    EXPECT_TRUE(tree.auditInvariants().empty());
+    vl::Vec2 f = tree.forceAt({0.75, 0.25}, 0.0);
+    // Ten unit charges at distance 0.5: 10 * 0.5 / 0.125 = 40.
+    EXPECT_NEAR(f.x, 40.0, 1e-9);
+}
+
+TEST(QuadTreeArena, EmptyBuildIsWellFormed)
+{
+    vl::QuadTree tree;
+    tree.build({0.0, 0.0}, {1.0, 1.0}, {});
+    EXPECT_EQ(tree.pointCount(), 0u);
+    EXPECT_TRUE(tree.auditInvariants().empty());
+    vl::Vec2 f = tree.forceAt({0.5, 0.5}, 0.8);
+    EXPECT_DOUBLE_EQ(f.x, 0.0);
+    EXPECT_DOUBLE_EQ(f.y, 0.0);
+}
+
 // --- ForceLayout ------------------------------------------------------------------
 
 TEST(ForceLayout, TwoConnectedNodesApproachRestLength)
